@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one published artifact, stores the
+paper-vs-ours numbers in ``benchmark.extra_info`` (visible in the
+pytest-benchmark JSON/report) and prints the rendered table/figure so a
+``pytest benchmarks/ --benchmark-only -s`` run reads like the paper's
+evaluation section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record(benchmark, **info: object) -> None:
+    """Attach paper-vs-ours context to a benchmark result."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,57 @@
+"""Benchmark: PRR-granularity ablation (Section 5's design rule).
+
+Sweeps the number of uniform PRRs on the XC2VP50 and checks the paper's
+recommendation quantitatively: the speedup-maximizing granularity is the
+one whose ``X_PRTR`` sits closest to (at or just below) the task's
+``X_task``; for tasks longer than any achievable ``X_PRTR``, granularity
+is irrelevant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.experiments.ablations import granularity_ablation
+
+from conftest import record
+
+TASK_TIMES = (0.002, 0.02, 0.2, 2.0)
+
+
+def test_bench_ablation_granularity(benchmark) -> None:
+    points = benchmark(granularity_ablation, TASK_TIMES)
+    assert len(points) >= 4
+
+    # Finer PRRs -> strictly smaller bitstreams and partial config times.
+    sizes = [p.bitstream_bytes for p in points]
+    assert sizes == sorted(sizes, reverse=True)
+
+    # For the smallest task the finest granularity must win...
+    finest = max(points, key=lambda p: p.n_prrs)
+    best_small = max(points, key=lambda p: p.speedups[0])
+    assert best_small.n_prrs == finest.n_prrs
+    # ...and for the largest task granularity is moot (all equal).
+    big = [p.speedups[-1] for p in points]
+    assert np.allclose(big, big[0], rtol=1e-6)
+
+    print()
+    rows = []
+    for p in points:
+        row: dict[str, object] = {
+            "PRRs": p.n_prrs,
+            "cols": p.columns_each,
+            "bytes": p.bitstream_bytes,
+            "T_PRTR_ms": p.t_prtr * 1e3,
+            "X_PRTR": p.x_prtr,
+        }
+        for t, s in zip(TASK_TIMES, p.speedups):
+            row[f"S@{t * 1e3:g}ms"] = s
+        rows.append(row)
+    print(render_table(rows, title="Granularity ablation"))
+    record(
+        benchmark,
+        artifact="Ablation B (granularity)",
+        points=len(points),
+        finest_x_prtr=finest.x_prtr,
+    )

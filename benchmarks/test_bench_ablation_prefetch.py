@@ -1,0 +1,57 @@
+"""Benchmark: prefetch-policy ablation (the paper's deferred study).
+
+Replays locality-bearing traces through every (policy x prefetcher)
+combination and reports achieved hit ratios plus the Eq. (7) speedup each
+would deliver on the Cray XD1.  Ordering sanity: oracle >= learned
+prefetchers >= none, and Belady's hit ratio tops every online policy
+without prefetching.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.experiments.ablations import prefetch_ablation
+
+from conftest import record
+
+
+def test_bench_ablation_prefetch(benchmark) -> None:
+    cells = benchmark(prefetch_ablation, 2, 2000)
+    by_key = {(c.trace, c.policy, c.prefetcher): c for c in cells}
+
+    for trace in ("zipf", "markov", "phased"):
+        for policy in ("lru", "lfu", "fifo"):
+            none = by_key[(trace, policy, "none")].hit_ratio
+            oracle = by_key[(trace, policy, "oracle")].hit_ratio
+            markov = by_key[(trace, policy, "markov")].hit_ratio
+            assert oracle >= markov >= 0.0
+            assert oracle >= none
+        # Belady (no prefetch) beats every online policy (no prefetch).
+        belady = by_key[(trace, "belady", "none")].hit_ratio
+        for policy in ("lru", "lfu", "fifo"):
+            online = by_key[(trace, policy, "none")].hit_ratio
+            assert belady >= online - 1e-12, (
+                f"Belady lost to {policy} on {trace}: {belady} < {online}"
+            )
+
+    print()
+    rows = [
+        {
+            "trace": c.trace,
+            "policy": c.policy,
+            "prefetcher": c.prefetcher,
+            "H": c.hit_ratio,
+            "accuracy": c.prefetch_accuracy,
+            "S_inf": c.predicted_speedup,
+        }
+        for c in cells
+    ]
+    print(render_table(rows, title="Prefetch ablation (X_task < X_PRTR)"))
+    best = max(cells, key=lambda c: c.predicted_speedup)
+    record(
+        benchmark,
+        artifact="Ablation A (prefetch)",
+        cells=len(cells),
+        best=f"{best.trace}/{best.policy}/{best.prefetcher}",
+        best_speedup=best.predicted_speedup,
+    )

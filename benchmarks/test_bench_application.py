@@ -1,0 +1,86 @@
+"""Benchmark: whole-application speedup (software tasks included).
+
+The paper's conclusions defer "inclusion of software tasks" to future
+work; this bench runs it as a reconfiguration-aware Amdahl sweep on the
+published Cray XD1 platform: application speedup vs kernel grain size
+under no-RTR / FRTR / PRTR, plus the break-even kernel sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.model import (
+    ApplicationProfile,
+    Kernel,
+    amdahl_limit,
+    application_speedup,
+    breakeven_kernel_time,
+)
+
+from conftest import record
+
+XD1 = dict(t_frtr=1.67804, t_prtr=0.01977, t_control=1e-5)
+HW_SPEEDUP = 20.0
+
+
+def sweep() -> list[dict[str, float]]:
+    rows = []
+    for t_sw in np.logspace(-3, 2, 6):
+        p = ApplicationProfile(
+            "app",
+            t_serial=10.0,
+            kernels=(
+                Kernel("k", calls=max(int(100.0 / t_sw), 1),
+                       t_sw=float(t_sw), t_hw=float(t_sw) / HW_SPEEDUP),
+            ),
+        )
+        rows.append({
+            "kernel_ms": float(t_sw) * 1e3,
+            "amdahl_limit": amdahl_limit(p),
+            "S_none": application_speedup(p, "none", **XD1),
+            "S_frtr": application_speedup(p, "frtr", **XD1),
+            "S_prtr(H=0)": application_speedup(p, "prtr", **XD1),
+            "S_prtr(H=.99)": application_speedup(
+                p, "prtr", hit_ratio=0.99, **XD1
+            ),
+        })
+    return rows
+
+
+def test_bench_application(benchmark) -> None:
+    rows = benchmark(sweep)
+    print()
+    print(render_table(
+        rows,
+        title=f"Application speedup vs kernel grain "
+        f"(hardware {HW_SPEEDUP:g}x per kernel, ~100 s of kernel work)",
+    ))
+    be_frtr = breakeven_kernel_time("frtr", HW_SPEEDUP, **XD1)
+    be_prtr = breakeven_kernel_time("prtr", HW_SPEEDUP, **XD1)
+    print(f"\nbreak-even kernel size: FRTR {be_frtr * 1e3:.1f} ms, "
+          f"PRTR {be_prtr * 1e3:.3f} ms "
+          f"({be_frtr / be_prtr:.0f}x finer granularity viable)")
+
+    mid = rows[2]       # 100 ms kernels (above PRTR's, below FRTR's bound)
+    fine = rows[0]      # 1 ms kernels: only prefetched PRTR survives
+    coarse = rows[-1]   # 100 s kernels
+    assert mid["S_frtr"] < 1.0 < mid["S_prtr(H=0)"], (
+        "100 ms kernels: FRTR must lose while PRTR wins"
+    )
+    assert fine["S_prtr(H=0)"] < 1.0 < fine["S_prtr(H=.99)"], (
+        "1 ms kernels: H=0 PRTR loses (break-even = T_PRTR); "
+        "prefetching rescues it"
+    )
+    assert (
+        abs(coarse["S_frtr"] - coarse["S_prtr(H=0)"])
+        / coarse["S_prtr(H=0)"] < 0.05
+    )
+    assert all(r["S_prtr(H=0)"] < r["amdahl_limit"] for r in rows)
+    record(
+        benchmark,
+        artifact="Ablation I (application-level / software tasks)",
+        breakeven_frtr_ms=be_frtr * 1e3,
+        breakeven_prtr_ms=be_prtr * 1e3,
+    )

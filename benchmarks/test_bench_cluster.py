@@ -1,0 +1,76 @@
+"""Benchmark: cluster configuration storm (extension — scale-out study).
+
+Sweeps the blade count with every blade fetching bitstreams from one
+shared 100 MB/s management server: FRTR saturates the server and its
+parallel efficiency collapses; PRTR's advantage grows with machine size
+toward the bitstream-size ratio.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.hardware import PUBLISHED_TABLE2
+from repro.rtr.cluster import compare_cluster
+from repro.workloads import CallTrace, HardwareTask
+
+from conftest import record
+
+DUAL_BYTES = PUBLISHED_TABLE2["dual_prr"].bitstream_bytes
+
+
+def blade_trace() -> CallTrace:
+    lib = {f"m{i}": HardwareTask(f"m{i}", 0.02) for i in range(3)}
+    return CallTrace([lib[f"m{i % 3}"] for i in range(24)], name="blade")
+
+
+def sweep(blade_counts=(1, 2, 6, 12, 24)) -> list[dict[str, float]]:
+    rows = []
+    f1 = p1 = None
+    for n in blade_counts:
+        traces = [blade_trace()] * n
+        frtr, prtr = compare_cluster(
+            traces,
+            estimated=True,
+            server_bandwidth=100e6,
+            force_miss=True,
+            bitstream_bytes=DUAL_BYTES,
+            control_time=1e-5,
+        )
+        if f1 is None:
+            f1, p1 = frtr.makespan, prtr.makespan
+        rows.append(
+            {
+                "blades": n,
+                "frtr_makespan": frtr.makespan,
+                "prtr_makespan": prtr.makespan,
+                "speedup": frtr.makespan / prtr.makespan,
+                "frtr_efficiency": frtr.parallel_efficiency(f1),
+                "prtr_efficiency": prtr.parallel_efficiency(p1),
+                "frtr_server_util": frtr.server_utilization,
+                "prtr_server_util": prtr.server_utilization,
+            }
+        )
+    return rows
+
+
+def test_bench_cluster_storm(benchmark) -> None:
+    rows = benchmark(sweep)
+    print()
+    print(render_table(
+        rows,
+        title="Configuration storm: shared 100 MB/s bitstream server, "
+        "wire-limited configs",
+    ))
+    first, last = rows[0], rows[-1]
+    assert last["frtr_efficiency"] < 0.3, "FRTR must collapse at scale"
+    assert last["speedup"] > first["speedup"], (
+        "PRTR's advantage must grow with machine size"
+    )
+    assert last["frtr_server_util"] > 0.95
+    record(
+        benchmark,
+        artifact="Ablation F (cluster configuration storm)",
+        speedup_at_1=first["speedup"],
+        speedup_at_max=last["speedup"],
+        frtr_efficiency_at_max=last["frtr_efficiency"],
+    )

@@ -1,0 +1,46 @@
+"""Benchmark: regenerate the Figure 2-4 execution profiles.
+
+The timelines must show the structural facts the schematics assert: FRTR
+serializes configuration and execution; PRTR overlaps the ICAP lane with
+the PRR lane on misses; steady-state hits leave the ICAP lane idle.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig234_profiles as profiles
+from repro.sim.trace import Phase
+
+from conftest import record
+
+
+def test_bench_fig234_profiles(benchmark) -> None:
+    text = benchmark(profiles.render_all)
+    assert "FRTR execution profile" in text
+
+    # Structural assertions behind the pictures.
+    frtr = profiles.frtr_profile()
+    frtr.assert_lane_exclusive("main")  # strictly serial
+
+    missed = profiles.prtr_profile_missed()
+    config_spans = [
+        s for s in missed.by_lane("icap") if s.note == "partial"
+    ]
+    task_spans = missed.by_phase(Phase.TASK)
+    assert config_spans, "missed-task profile shows no partial configs"
+    overlaps = sum(
+        1 for c in config_spans for t in task_spans if c.overlaps(t)
+    )
+    assert overlaps > 0, "partial configuration never overlapped execution"
+
+    hit = profiles.prtr_profile_hit()
+    partials = [s for s in hit.by_lane("icap") if s.note == "partial"]
+    assert len(partials) <= 1, "steady-state hits still reconfigure"
+
+    print()
+    print(text)
+    record(
+        benchmark,
+        artifact="Figures 2-4 (profiles)",
+        missed_overlapping_configs=overlaps,
+        hit_partials=len(partials),
+    )

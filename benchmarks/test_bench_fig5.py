@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 5 (asymptotic PRTR performance).
+
+Evaluates the full Eq. (7) grid (241 task times x 5 X_PRTR x 5 H) and
+checks every prose claim the paper makes about the figure's shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig5
+
+from conftest import record
+
+
+def test_bench_fig5_grid(benchmark) -> None:
+    result = benchmark(fig5.run)
+    assert result.values.shape == (241, 5, 5)
+    assert np.all(np.isfinite(result.values))
+    claims = fig5.shape_claims()
+    assert all(claims.values()), f"figure 5 shape claims failed: {claims}"
+    print()
+    print(fig5.render(x_prtr=0.17))
+    print()
+    for name, ok in claims.items():
+        print(f"  claim {name}: {'PASS' if ok else 'FAIL'}")
+    record(benchmark, artifact="Figure 5", grid_points=result.values.size,
+           **claims)

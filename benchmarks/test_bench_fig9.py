@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Figure 9 (experimental PRTR speedup, both panels).
+
+For each panel (estimated / measured configuration times) the harness
+runs the discrete-event experiment across the task-time sweep, overlays
+the Eq. (6)/(7) curves, and checks the paper's quantitative prose:
+2x plateau, ~7x estimated peak, ~87x measured peak, and sim-vs-model
+agreement at every point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig9
+from repro.model import ModelParameters, speedup
+
+from conftest import record
+
+
+def _sim_vs_model(which: str, n_calls: int = 90) -> float:
+    p = fig9.panel(which)
+    x, s_sim = fig9.simulate_points(p, n_calls=n_calls)
+    params = ModelParameters(
+        x_task=x, x_prtr=p.x_prtr, hit_ratio=0.0, x_control=p.x_control
+    )
+    s_model = speedup(params, n_calls)
+    return float(np.max(np.abs(s_sim - s_model) / s_model))
+
+
+@pytest.mark.parametrize("which", ["estimated", "measured"])
+def test_bench_fig9_panel(benchmark, which: str) -> None:
+    p = fig9.panel(which)
+    x_sim, s_sim = benchmark(fig9.simulate_points, p, None, 90)
+    assert np.all(s_sim > 0)
+
+    # Eq. (6) agreement is asymptotic: the trace boundary contributes at
+    # most one stage's worth of configuration overlap, i.e. O(1/n).
+    # Float-exact agreement against the pipeline formula is asserted in
+    # test_bench_validation.py.
+    err = _sim_vs_model(which)
+    assert err < 2.0 / 90, f"sim diverged from Eq. (6) by {err:.2%}"
+
+    print()
+    print(fig9.render(which, n_calls=90))
+    claims = fig9.shape_claims()
+    for name, ok in claims.items():
+        if name.startswith(which):
+            print(f"  claim {name}: {'PASS' if ok else 'FAIL'}")
+            assert ok
+    record(
+        benchmark,
+        artifact=f"Figure 9 ({which})",
+        x_prtr=p.x_prtr,
+        max_sim_model_rel_err=err,
+        peak_speedup=float(np.max(s_sim)),
+    )

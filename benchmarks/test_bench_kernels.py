@@ -1,0 +1,58 @@
+"""Microbenchmarks: the computational kernels behind the experiments.
+
+Not a paper artifact — throughput numbers for the building blocks, so
+regressions in the vectorized model evaluation, the DES engine, or the
+image kernels are visible across commits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model import ModelParameters, asymptotic_speedup
+from repro.sim import Delay, Simulator
+from repro.workloads import median_filter, sobel_filter, synthetic_image
+
+from conftest import record
+
+
+def test_bench_model_eval_throughput(benchmark) -> None:
+    """Vectorized Eq. (7) over a 100k-point grid."""
+    x = np.logspace(-3, 2, 100_000)
+    params = ModelParameters(x_task=x, x_prtr=0.17, hit_ratio=0.3,
+                             x_control=1e-5)
+    out = benchmark(asymptotic_speedup, params)
+    assert out.shape == x.shape
+    record(benchmark, points=x.size)
+
+
+def test_bench_des_event_throughput(benchmark) -> None:
+    """Raw DES event-processing rate (10k-delay chain)."""
+
+    def run_chain() -> float:
+        sim = Simulator()
+
+        def proc():
+            for _ in range(10_000):
+                yield Delay(1.0)
+
+        sim.spawn(proc(), name="chain")
+        return sim.run()
+
+    final = benchmark(run_chain)
+    assert final == 10_000.0
+    record(benchmark, events=10_000)
+
+
+def test_bench_median_filter(benchmark) -> None:
+    img = synthetic_image(512, 512)
+    out = benchmark(median_filter, img)
+    assert out.shape == img.shape
+    record(benchmark, pixels=img.size)
+
+
+def test_bench_sobel_filter(benchmark) -> None:
+    img = synthetic_image(512, 512)
+    out = benchmark(sobel_filter, img)
+    assert out.shape == img.shape
+    record(benchmark, pixels=img.size)

@@ -1,0 +1,74 @@
+"""Benchmark: multi-tasking / hardware virtualization (Section 5 thesis).
+
+Not a published figure — the paper *argues* PRTR's real payoff is
+multi-tasking and hardware virtualization and defers the experiment; this
+bench runs it.  Three applications share the FPGA; PRTR's shared-PRR
+cache plus concurrent execution is measured against monolithic FRTR.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.hardware import PUBLISHED_TABLE2, uniform_prr_floorplan
+from repro.rtr import AppSpec, compare_multitask
+from repro.workloads import CallTrace, HardwareTask
+
+from conftest import record
+
+
+def build_apps() -> list[AppSpec]:
+    lib = {f"m{i}": HardwareTask(f"m{i}", 0.03) for i in range(6)}
+
+    def app(name, mods, n, arrival=0.0):
+        return AppSpec(
+            name, CallTrace([lib[m] for m in mods * n], name=name),
+            arrival_time=arrival,
+        )
+
+    return [
+        app("A", ["m0", "m1"], 20),
+        app("B", ["m1", "m2"], 20),          # shares m1 with A
+        app("C", ["m3", "m4", "m5"], 15),
+        app("D", ["m0", "m2"], 10, arrival=1.0),  # late, all-shared
+    ]
+
+
+def test_bench_multitask(benchmark) -> None:
+    apps = build_apps()
+    frtr, prtr = benchmark(
+        compare_multitask,
+        apps,
+        floorplan=uniform_prr_floorplan(4, 6),
+        bitstream_bytes=PUBLISHED_TABLE2["dual_prr"].bitstream_bytes,
+        control_time=1e-5,
+    )
+    speedup = frtr.makespan / prtr.makespan
+    assert speedup > 20, "multi-tasking PRTR should dominate FRTR"
+    assert prtr.total_configs < prtr.total_calls / 2, (
+        "module sharing should eliminate most reconfigurations"
+    )
+    # The late-arriving all-shared app must ride the warm cache.
+    late = next(a for a in prtr.apps if a.name == "D")
+    assert late.n_configs <= 2
+
+    print()
+    rows = [
+        {
+            "app": f.name,
+            "FRTR turnaround": f.turnaround,
+            "PRTR turnaround": p.turnaround,
+            "PRTR configs": p.n_configs,
+        }
+        for f, p in zip(frtr.apps, prtr.apps)
+    ]
+    print(render_table(rows, title="Multi-tasking: FRTR vs PRTR"))
+    print(f"\nmakespan speedup: {speedup:.1f}x   "
+          f"shared-cache H: {prtr.notes['hit_ratio']:.2f}")
+    record(
+        benchmark,
+        artifact="Ablation C (multi-tasking / virtualization)",
+        makespan_speedup=speedup,
+        prtr_hit_ratio=prtr.notes["hit_ratio"],
+        prtr_configs=prtr.total_configs,
+        total_calls=prtr.total_calls,
+    )

@@ -1,0 +1,76 @@
+"""Benchmark: hardware-page grouping quality (Section 2.1's paging model).
+
+Mines function affinity from a training trace, groups functions into
+pages, and measures the hit ratio (and the Eq. 7 speedup it buys) on a
+held-out test trace — affinity grouping vs sequential vs random vs no
+paging.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.caching.paging import (
+    group_by_affinity,
+    group_random,
+    group_sequential,
+    paged_hit_ratio,
+)
+from repro.hardware import PUBLISHED_TABLE2
+from repro.model import ModelParameters, asymptotic_speedup
+from repro.workloads import HardwareTask, markov_trace
+
+from conftest import record
+
+
+def _speedup_at(h: float) -> float:
+    full = PUBLISHED_TABLE2["full"].measured_time_s
+    dual = PUBLISHED_TABLE2["dual_prr"].measured_time_s
+    return float(asymptotic_speedup(ModelParameters(
+        x_task=0.005 / full,
+        x_prtr=dual / full,
+        hit_ratio=h,
+        x_control=10e-6 / full,
+    )))
+
+
+def run_study() -> list[dict[str, object]]:
+    library = {f"f{i:02d}": HardwareTask(f"f{i:02d}", 0.005)
+               for i in range(12)}
+    fns = sorted(library)
+    train = markov_trace(library, 3000, self_loop=0.05, follow=0.75,
+                         seed=1)
+    test = markov_trace(library, 3000, self_loop=0.05, follow=0.75,
+                        seed=2)
+    tables = {
+        "no paging (size 1)": group_sequential(fns, 1),
+        "sequential pages": group_sequential(fns, 3),
+        "random pages": group_random(fns, 3, seed=5),
+        "affinity pages": group_by_affinity(train, 3, functions=fns),
+    }
+    rows = []
+    for name, table in tables.items():
+        h = paged_hit_ratio(test, table, slots=2)
+        rows.append({
+            "grouping": name,
+            "pages": table.n_pages,
+            "hit_ratio": h,
+            "S_inf": _speedup_at(h),
+        })
+    return rows
+
+
+def test_bench_paging(benchmark) -> None:
+    rows = benchmark(run_study)
+    print()
+    print(render_table(
+        rows, title="Hardware-page grouping on a Markov-structured trace"
+    ))
+    by = {str(r["grouping"]): float(r["hit_ratio"]) for r in rows}
+    assert by["affinity pages"] > by["random pages"] + 0.1
+    assert by["affinity pages"] > by["no paging (size 1)"]
+    record(
+        benchmark,
+        artifact="Ablation G (hardware paging / grouping)",
+        affinity_h=by["affinity pages"],
+        random_h=by["random pages"],
+    )

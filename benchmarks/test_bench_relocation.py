@@ -1,0 +1,93 @@
+"""Benchmark: relocation/defragmentation study (ref [24]'s model).
+
+Variable-width modules streamed through the XC2VP50's reconfigurable
+column space: how often does external fragmentation block a placement,
+what does defragmentation cost in relocation traffic, and how does the
+allocation strategy matter?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.caching.relocation import AllocationError, ColumnAllocator
+from repro.hardware import XC2VP50
+
+from conftest import record
+
+RECONFIG_COLUMNS = 48  # the dual-layout share of the device
+N_EVENTS = 2000
+
+
+def churn(strategy: str, defrag: bool, seed: int = 0) -> dict[str, float]:
+    """Random allocate/free churn of 2-8 column modules."""
+    rng = np.random.default_rng(seed)
+    alloc = ColumnAllocator(RECONFIG_COLUMNS, strategy=strategy)
+    next_id = 0
+    frag_failures = 0
+    placements = 0
+    relocation_traffic = 0
+    for _ in range(N_EVENTS):
+        if alloc.residents and rng.random() < 0.45:
+            victim = alloc.residents[
+                int(rng.integers(0, len(alloc.residents)))
+            ]
+            alloc.free(victim)
+            continue
+        width = int(rng.integers(2, 9))
+        name = f"m{next_id}"
+        next_id += 1
+        try:
+            if defrag:
+                _, traffic = alloc.allocate_with_defrag(name, width)
+                relocation_traffic += traffic
+            else:
+                alloc.allocate(name, width)
+            placements += 1
+        except AllocationError as exc:
+            if exc.reason == "fragmentation":
+                frag_failures += 1
+            # capacity failures are inherent; drop the request either way
+    return {
+        "strategy": strategy,
+        "defrag": defrag,
+        "placements": placements,
+        "frag_failures": frag_failures,
+        "relocated_columns": relocation_traffic,
+        "relocation_ms": relocation_traffic
+        * XC2VP50.column_bytes / 66e6 * 1e3,
+    }
+
+
+def run_study() -> list[dict[str, float]]:
+    return [
+        churn("first_fit", defrag=False),
+        churn("best_fit", defrag=False),
+        churn("first_fit", defrag=True),
+        churn("best_fit", defrag=True),
+    ]
+
+
+def test_bench_relocation(benchmark) -> None:
+    rows = benchmark(run_study)
+    print()
+    print(render_table(
+        rows,
+        title="Relocation & defragmentation churn "
+        f"({RECONFIG_COLUMNS}-column space, {N_EVENTS} events)",
+    ))
+    by = {(str(r["strategy"]), bool(r["defrag"])): r for r in rows}
+    # Defragmentation must eliminate fragmentation failures entirely...
+    assert by[("first_fit", True)]["frag_failures"] == 0
+    assert by[("best_fit", True)]["frag_failures"] == 0
+    # ...at a measurable relocation-traffic cost.
+    assert by[("first_fit", True)]["relocated_columns"] > 0
+    # Without defrag, fragmentation failures happen.
+    assert by[("first_fit", False)]["frag_failures"] > 0
+    record(
+        benchmark,
+        artifact="Ablation H (relocation / defragmentation)",
+        ff_frag_failures=by[("first_fit", False)]["frag_failures"],
+        defrag_relocation_ms=by[("first_fit", True)]["relocation_ms"],
+    )

@@ -1,0 +1,46 @@
+"""Benchmark: technology-scaling study (extension of Section 5).
+
+Sweeps the Virtex-II Pro family plus Virtex-4/5 port generations and
+reports where the PRTR bounds land on each device under port-limited
+("wire") and XD1-API-limited overhead scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.experiments.scaling import run
+
+from conftest import record
+
+
+def test_bench_scaling(benchmark) -> None:
+    points = benchmark(run)
+    print()
+    rows = [
+        {
+            "device": p.device,
+            "family": p.family,
+            "scenario": p.scenario,
+            "full_MB": p.full_bitstream_bytes / 1e6,
+            "T_FRTR_ms": p.t_frtr * 1e3,
+            "T_PRTR_ms": p.t_prtr * 1e3,
+            "X_PRTR": p.x_prtr,
+            "peak_S": p.peak_speedup,
+        }
+        for p in points
+    ]
+    print(render_table(rows, title="Technology scaling of the PRTR bounds"))
+
+    wire = [p for p in points if p.scenario == "wire"]
+    assert all(6.0 < p.peak_speedup < 7.5 for p in wire), (
+        "the wire-limited peak is the floorplan-share bound everywhere"
+    )
+    by = {(p.device, p.scenario): p for p in points}
+    v2, v4 = by[("XC2VP50", "wire")], by[("V4LX60", "wire")]
+    assert v4.t_frtr < v2.t_frtr / 4
+    record(
+        benchmark,
+        artifact="Ablation E (technology scaling)",
+        devices=len({p.device for p in points}),
+        v2_to_v4_frtr_speedup=v2.t_frtr / v4.t_frtr,
+    )

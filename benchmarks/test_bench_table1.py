@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 1 (hardware-function resource table).
+
+The regenerated cells must match the published table *exactly* — the
+percentages are deterministic floor arithmetic on the XC2VP50 totals.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+from conftest import record
+
+
+def test_bench_table1(benchmark) -> None:
+    rows = benchmark(table1.table1_rows)
+    assert len(rows) == 5
+    mismatches = table1.verify_against_published()
+    assert mismatches == [], f"Table 1 cells diverged: {mismatches}"
+    print()
+    print(table1.render())
+    record(
+        benchmark,
+        artifact="Table 1",
+        rows=len(rows),
+        exact_match=True,
+    )

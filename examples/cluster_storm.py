@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The configuration storm: PRTR as a scalability feature.
+
+HPRC machines are clusters: the Cray XD1 packs six FPGA blades per
+chassis, and at job launch *every* blade pulls bitstreams from the same
+management server.  This example sweeps the machine size with a shared
+100 MB/s bitstream server and shows a result the single-node analysis
+cannot: FRTR's full-bitstream traffic saturates the server and wrecks
+parallel efficiency, while PRTR's ~6x smaller partial bitstreams keep
+scaling — the speedup between them *grows* with the machine.
+
+Run:  python examples/cluster_storm.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_plot, render_table
+from repro.hardware import PUBLISHED_TABLE2
+from repro.rtr import compare_cluster
+from repro.workloads import CallTrace, HardwareTask
+
+DUAL_BYTES = PUBLISHED_TABLE2["dual_prr"].bitstream_bytes
+FULL_BYTES = PUBLISHED_TABLE2["full"].bitstream_bytes
+
+
+def blade_trace() -> CallTrace:
+    lib = {f"m{i}": HardwareTask(f"m{i}", 0.02) for i in range(3)}
+    return CallTrace([lib[f"m{i % 3}"] for i in range(30)], name="blade")
+
+
+def main() -> None:
+    print("== Scale-out with one shared 100 MB/s bitstream server ==")
+    print(f"(full bitstream {FULL_BYTES / 1e6:.2f} MB, "
+          f"partial {DUAL_BYTES / 1e6:.2f} MB, wire-limited configs)\n")
+
+    rows = []
+    f1 = p1 = None
+    for n in (1, 2, 4, 6, 12, 24):
+        frtr, prtr = compare_cluster(
+            [blade_trace()] * n,
+            estimated=True,
+            server_bandwidth=100e6,
+            force_miss=True,
+            bitstream_bytes=DUAL_BYTES,
+            control_time=1e-5,
+        )
+        if f1 is None:
+            f1, p1 = frtr.makespan, prtr.makespan
+        rows.append({
+            "blades": n,
+            "FRTR (s)": frtr.makespan,
+            "PRTR (s)": prtr.makespan,
+            "speedup": frtr.makespan / prtr.makespan,
+            "FRTR eff": frtr.parallel_efficiency(f1),
+            "PRTR eff": prtr.parallel_efficiency(p1),
+            "FRTR srv util": frtr.server_utilization,
+        })
+    print(render_table(rows, title="Configuration storm"))
+
+    blades = [float(r["blades"]) for r in rows]
+    print()
+    print(ascii_plot(
+        {
+            "FRTR efficiency": (blades, [float(r["FRTR eff"]) for r in rows]),
+            "PRTR efficiency": (blades, [float(r["PRTR eff"]) for r in rows]),
+        },
+        title="Parallel efficiency vs machine size",
+        xlabel="blades", ylabel="T(1)/T(n)",
+        logx=True, logy=False, height=12,
+    ))
+
+    first, last = rows[0], rows[-1]
+    print(
+        f"\nAt 1 blade PRTR wins {float(first['speedup']):.1f}x; at "
+        f"{last['blades']} blades it wins {float(last['speedup']):.1f}x "
+        f"while FRTR efficiency has fallen to "
+        f"{float(last['FRTR eff']):.0%}."
+    )
+    assert float(last["speedup"]) > float(first["speedup"])
+
+
+if __name__ == "__main__":
+    main()

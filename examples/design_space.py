@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Design-space exploration: how fine-grained should the PRRs be?
+
+Section 5's recommendation: "the partitions (PRRs) must be so fine
+grained to match the task time requirements, i.e. X_PRTR = X_task".  This
+example makes that actionable for a system designer:
+
+1. sweep PRR granularity on the XC2VP50, deriving each layout's partial
+   bitstream size and ICAP configuration time from geometry;
+2. show, per task time, which granularity maximizes Eq. (7);
+3. check the sensitivity analysis agrees (d S / d X_PRTR < 0 only below
+   the kink);
+4. emit the Figure 5 family as CSV for external plotting.
+
+Run:  python examples/design_space.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ascii_plot, render_table
+from repro.experiments.ablations import granularity_ablation
+from repro.experiments.fig5 import to_csv
+from repro.model import ModelParameters, dS_dx_prtr, peak_speedup
+
+
+def main() -> None:
+    task_times = (0.002, 0.02, 0.2, 2.0)
+    points = granularity_ablation(task_times=task_times)
+
+    print("== PRR granularity sweep (XC2VP50, measured ICAP model) ==\n")
+    rows = []
+    for p in points:
+        row: dict[str, object] = {
+            "PRRs": p.n_prrs,
+            "cols": p.columns_each,
+            "bitstream_B": p.bitstream_bytes,
+            "T_PRTR_ms": p.t_prtr * 1e3,
+            "X_PRTR": p.x_prtr,
+        }
+        for t, s in zip(task_times, p.speedups):
+            row[f"S@{t * 1e3:g}ms"] = s
+        rows.append(row)
+    print(render_table(rows, title="Granularity ablation"))
+
+    print("\nBest granularity per task time:")
+    for i, t in enumerate(task_times):
+        best = max(points, key=lambda p: p.speedups[i])
+        print(f"  T_task = {t * 1e3:7g} ms -> {best.n_prrs} PRRs "
+              f"(X_PRTR = {best.x_prtr:.4f}, S = {best.speedups[i]:.1f}x)")
+
+    # Sensitivity cross-check: shrinking X_PRTR helps iff X_task < X_PRTR.
+    print("\n== Sensitivity check: d S_inf / d X_PRTR ==")
+    x_prtr = points[1].x_prtr
+    for t in task_times:
+        params = ModelParameters(
+            x_task=t / 1.67804, x_prtr=x_prtr, hit_ratio=0.0)
+        g = float(dS_dx_prtr(params))
+        regime = "left branch (shrink PRRs!)" if g < 0 else \
+            "right branch (granularity moot)"
+        print(f"  T_task = {t * 1e3:7g} ms: dS/dX_PRTR = {g:10.1f}  {regime}")
+
+    # ASCII view of speedup vs granularity for the smallest task.
+    xs = [float(p.x_prtr) for p in points]
+    ys = [p.speedups[0] for p in points]
+    print()
+    print(ascii_plot(
+        {"S(T_task=2ms)": (xs, ys)},
+        title="Speedup vs X_PRTR at T_task = 2 ms (finer PRRs ->)",
+        xlabel="X_PRTR", ylabel="S_inf", logx=True, logy=False,
+        height=12,
+    ))
+
+    # Export the Figure 5 family for external tooling.
+    csv_text = to_csv(x_prtr=0.17)
+    path = "fig5_xprtr0.17.csv"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(csv_text)
+    print(f"\nWrote the Figure 5 series (X_PRTR=0.17) to ./{path} "
+          f"({len(csv_text.splitlines()) - 1} rows)")
+
+
+if __name__ == "__main__":
+    main()

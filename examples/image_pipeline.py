@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""An image-processing pipeline on the simulated Cray XD1.
+
+The scenario that motivates the paper: a satellite/remote-sensing style
+application applies smoothing -> Sobel -> median to a stream of frames.
+Three hardware cores but only two PRRs, so modules must be swapped at run
+time.  We:
+
+1. actually process frames with the NumPy reference kernels (so the
+   pipeline computes something real);
+2. derive each core's task time from the frame size using the XD1
+   throughput model (1400 MB/s I/O, 200 MHz cores);
+3. execute the call trace under FRTR and PRTR and report who wins as the
+   frame size (and hence ``X_task``) grows — the crossover the paper's
+   Section 5 discusses.
+
+Run:  python examples/image_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.hardware import PUBLISHED_TABLE2, US
+from repro.workloads import (
+    CallTrace,
+    apply_core,
+    pipeline_trace,
+    synthetic_image,
+    task_for_data_size,
+)
+from repro.rtr import compare
+
+STAGES = ("smoothing", "sobel", "median")
+
+
+def process_frames(n_frames: int, size: int) -> dict[str, float]:
+    """Run the actual kernels; return simple output statistics."""
+    stats = {"frames": float(n_frames)}
+    edges_total = 0.0
+    for i in range(n_frames):
+        frame = synthetic_image(size, size, seed=i)
+        for stage in STAGES:
+            frame = apply_core(stage, frame)
+        edges_total += float((frame > 128).mean())
+    stats["mean_edge_fraction"] = edges_total / n_frames
+    return stats
+
+
+def run_at_frame_size(size: int, n_frames: int) -> dict[str, object]:
+    """Build the trace for one frame size and measure FRTR vs PRTR."""
+    data_bytes = float(size * size)  # 8-bit grayscale
+    library = {
+        name: task_for_data_size(name, data_bytes) for name in STAGES
+    }
+    trace: CallTrace = pipeline_trace(library, list(STAGES), n_frames)
+    result = compare(
+        trace,
+        force_miss=False,  # residency-driven hits (3 cores on 2 PRRs)
+        bitstream_bytes=PUBLISHED_TABLE2["dual_prr"].bitstream_bytes,
+        control_time=10 * US,
+    )
+    t_task = trace.mean_task_time()
+    return {
+        "frame": f"{size}x{size}",
+        "t_task_ms": t_task * 1e3,
+        "x_task": t_task / PUBLISHED_TABLE2["full"].measured_time_s,
+        "hit_ratio": result.prtr.hit_ratio,
+        "frtr_s": result.frtr.total_time,
+        "prtr_s": result.prtr.total_time,
+        "speedup": result.speedup,
+    }
+
+
+def main() -> None:
+    print("== Functional check: the pipeline really filters frames ==")
+    stats = process_frames(n_frames=3, size=128)
+    print(f"processed {stats['frames']:.0f} frames; "
+          f"mean edge fraction {stats['mean_edge_fraction']:.3f}")
+
+    print("\n== FRTR vs PRTR across frame sizes (20 frames each) ==")
+    rows = []
+    for size in (64, 256, 1024, 4096, 16384):
+        rows.append(run_at_frame_size(size, n_frames=20))
+    print(render_table(
+        rows,
+        ["frame", "t_task_ms", "x_task", "hit_ratio",
+         "frtr_s", "prtr_s", "speedup"],
+        title="Dual-PRR Cray XD1 (measured configuration times)",
+    ))
+
+    speedups = [float(r["speedup"]) for r in rows]
+    print(
+        "\nReading: tiny frames ride the partial-vs-full configuration "
+        "ratio\n(speedups near the bound), huge frames amortize any "
+        "configuration\n(speedup -> 1-2x) - the paper's central "
+        "observation."
+    )
+    assert speedups[0] > speedups[-1] > 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Prefetching study: the paper's "future investigations", executed.
+
+The published experiment runs with the hypothetical always-missing
+prefetcher (``H = 0``).  Here we attach *real* cache policies and
+prefetchers to locality-bearing workloads, measure the hit ratio each
+combination achieves, and show what Eq. (7) says that buys on the Cray
+XD1 — including the regime boundary the paper proves: for tasks longer
+than the partial configuration time, no prefetcher helps at all.
+
+Run:  python examples/prefetch_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.experiments.ablations import prefetch_ablation
+from repro.hardware import PUBLISHED_TABLE2
+from repro.model import ModelParameters, asymptotic_speedup
+
+
+def main() -> None:
+    print("== Achieved hit ratio and predicted speedup per combination ==")
+    print("(2 PRR slots, 8-core library, 2000 calls, X_task < X_PRTR)\n")
+    cells = prefetch_ablation(n_calls=2000)
+    rows = [
+        {
+            "trace": c.trace,
+            "policy": c.policy,
+            "prefetcher": c.prefetcher,
+            "hit_ratio": c.hit_ratio,
+            "accuracy": c.prefetch_accuracy,
+            "S_inf": c.predicted_speedup,
+        }
+        for c in cells
+    ]
+    print(render_table(rows, title="Prefetch ablation"))
+
+    # Highlight the headline comparisons on the markov trace with LRU.
+    by_key = {(c.trace, c.policy, c.prefetcher): c for c in cells}
+    base = by_key[("markov", "lru", "none")]
+    markov = by_key[("markov", "lru", "markov")]
+    oracle = by_key[("markov", "lru", "oracle")]
+    print(
+        f"\nOn the markov trace (LRU): no prefetch H={base.hit_ratio:.2f} "
+        f"-> S={base.predicted_speedup:.0f}x;"
+        f"  markov prefetcher H={markov.hit_ratio:.2f} "
+        f"-> S={markov.predicted_speedup:.0f}x;"
+        f"  oracle H={oracle.hit_ratio:.2f} "
+        f"-> S={oracle.predicted_speedup:.0f}x"
+    )
+
+    # The regime boundary: H is worthless once X_task >= X_PRTR.
+    print("\n== Where prefetching stops mattering (the paper's bound) ==")
+    full = PUBLISHED_TABLE2["full"].measured_time_s
+    dual = PUBLISHED_TABLE2["dual_prr"].measured_time_s
+    x_prtr = dual / full
+    rows = []
+    for x_task in (x_prtr / 4, x_prtr, 4 * x_prtr, 1.0, 10.0):
+        s0 = float(asymptotic_speedup(ModelParameters(
+            x_task=x_task, x_prtr=x_prtr, hit_ratio=0.0)))
+        s1 = float(asymptotic_speedup(ModelParameters(
+            x_task=x_task, x_prtr=x_prtr, hit_ratio=1.0)))
+        rows.append({
+            "x_task": x_task,
+            "S (H=0)": s0,
+            "S (H=1)": s1,
+            "prefetch gain": s1 / s0,
+        })
+    print(render_table(rows))
+    print(
+        "\nReading: below X_PRTR a perfect prefetcher multiplies the "
+        "speedup;\nat and above X_PRTR the two columns coincide - "
+        "configuration is\nalready fully hidden behind execution, exactly "
+        "as Eq. (7) predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: the PRTR performance model in five minutes.
+
+Walks the public API end to end:
+
+1. evaluate the analytical model (Eqs. 6-7) at the paper's published
+   Cray XD1 operating points;
+2. find the performance bounds (the 2x plateau, the ~87x peak);
+3. run the discrete-event simulator and check it lands on the model.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.hardware import PUBLISHED_TABLE2, US
+from repro.model import (
+    ModelParameters,
+    asymptotic_speedup,
+    min_calls_for_speedup,
+    peak_speedup,
+    peak_x_task,
+    speedup,
+)
+from repro.rtr import compare
+from repro.workloads import CallTrace, HardwareTask
+
+
+def main() -> None:
+    full = PUBLISHED_TABLE2["full"]
+    dual = PUBLISHED_TABLE2["dual_prr"]
+
+    # ------------------------------------------------------------------
+    # 1. The model at the paper's measured operating point (Fig. 9b).
+    # ------------------------------------------------------------------
+    x_prtr = dual.measured_time_s / full.measured_time_s
+    x_control = 10 * US / full.measured_time_s
+    print("== Cray XD1, dual PRR, measured configuration times ==")
+    print(f"T_FRTR = {full.measured_time_s * 1e3:8.2f} ms")
+    print(f"T_PRTR = {dual.measured_time_s * 1e3:8.2f} ms  "
+          f"(X_PRTR = {x_prtr:.4f})")
+
+    for t_task_ms in (1.0, 19.78, 100.0, 2000.0):
+        p = ModelParameters(
+            x_task=t_task_ms * 1e-3 / full.measured_time_s,
+            x_prtr=x_prtr,
+            hit_ratio=0.0,        # the paper's no-prefetch experiment
+            x_control=x_control,
+        )
+        s_inf = float(asymptotic_speedup(p))
+        s_100 = float(speedup(p, 100))
+        print(f"  T_task = {t_task_ms:8.2f} ms ->  "
+              f"S(100 calls) = {s_100:6.2f},  S_inf = {s_inf:6.2f}")
+
+    # ------------------------------------------------------------------
+    # 2. Bounds: where is the peak, and how many calls amortize startup?
+    # ------------------------------------------------------------------
+    p = ModelParameters(x_task=x_prtr, x_prtr=x_prtr, hit_ratio=0.0,
+                        x_control=x_control)
+    print("\n== Bounds ==")
+    print(f"peak task time  X_task* = {float(peak_x_task(p)):.4f} "
+          f"(= X_PRTR: tasks matching the partial config time)")
+    print(f"peak speedup    S*      = {float(peak_speedup(p)):.1f}  "
+          f"(the paper's '87x')")
+    n_needed = float(min_calls_for_speedup(p, 50.0))
+    print(f"calls needed for 50x    = {n_needed:.0f} "
+          f"(amortizing the initial full configuration)")
+
+    # ------------------------------------------------------------------
+    # 3. Simulate and compare: the DES lands on Eq. (6).
+    # ------------------------------------------------------------------
+    t_task = dual.measured_time_s  # peak of the curve
+    lib = {n: HardwareTask(n, t_task)
+           for n in ("median", "sobel", "smoothing")}
+    trace = CallTrace(
+        [lib[n] for n in ("median", "sobel", "smoothing") * 50],
+        name="quickstart",
+    )
+    result = compare(
+        trace,
+        force_miss=True,
+        bitstream_bytes=dual.bitstream_bytes,
+        control_time=10 * US,
+    )
+    p = ModelParameters(
+        x_task=t_task / full.measured_time_s,
+        x_prtr=x_prtr, hit_ratio=0.0, x_control=x_control,
+    )
+    predicted = float(speedup(p, len(trace)))
+    print("\n== Simulation vs model ==")
+    print(f"simulated speedup over {len(trace)} calls : {result.speedup:8.3f}")
+    print(f"Eq. (6) prediction                 : {predicted:8.3f}")
+    err = abs(result.speedup - predicted) / predicted
+    print(f"relative error                     : {err:.2e}")
+    assert err < 1e-3, "simulator drifted from the model!"
+    print("\nOK - simulator agrees with the analytical model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Analysis utilities: validation, calibration, tables and ASCII figures."""
+
+from .calibration import (
+    CalibrationCheck,
+    cross_validate,
+    fit_icap_handshake,
+    fit_vendor_api,
+)
+from .plotting import ascii_plot, series_to_csv, write_csv
+from .report import generate_report
+from .tables import format_value, render_comparison, render_table
+from .validate import (
+    ValidationReport,
+    expected_frtr_total,
+    expected_prtr_pipeline_total,
+    relative_error,
+    validate_frtr,
+    validate_prtr,
+)
+
+__all__ = [
+    "CalibrationCheck",
+    "ValidationReport",
+    "ascii_plot",
+    "cross_validate",
+    "expected_frtr_total",
+    "expected_prtr_pipeline_total",
+    "fit_icap_handshake",
+    "fit_vendor_api",
+    "format_value",
+    "generate_report",
+    "relative_error",
+    "render_comparison",
+    "render_table",
+    "series_to_csv",
+    "validate_frtr",
+    "validate_prtr",
+    "write_csv",
+]

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's tables report;
+:func:`render_table` formats them with aligned columns, optional float
+formats, and a title — nothing fancier than a careful monospace layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["render_table", "format_value", "render_comparison"]
+
+
+def format_value(value: Any, floatfmt: str = ".4g") -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str = "",
+    floatfmt: str = ".4g",
+) -> str:
+    """Render dict-rows as an aligned text table.
+
+    ``columns`` selects and orders the columns; defaults to the keys of
+    the first row.  Missing cells render empty.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns is not None else list(rows[0])
+    cells = [
+        [format_value(row.get(c, ""), floatfmt) for c in cols] for row in rows
+    ]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = [
+        " | ".join(v.rjust(w) for v, w in zip(r, widths)) for r in cells
+    ]
+    lines = ([title] if title else []) + [header, sep] + body
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    paper_col: str = "paper",
+    ours_col: str = "ours",
+    label_col: str = "quantity",
+    title: str = "",
+    floatfmt: str = ".4g",
+) -> str:
+    """Paper-vs-ours table with a relative-error column appended."""
+    out = []
+    for row in rows:
+        row = dict(row)
+        paper = row.get(paper_col)
+        ours = row.get(ours_col)
+        if (
+            isinstance(paper, (int, float))
+            and isinstance(ours, (int, float))
+            and paper
+        ):
+            row["rel_err_%"] = 100.0 * (float(ours) - float(paper)) / float(paper)
+        else:
+            row["rel_err_%"] = ""
+        out.append(row)
+    cols = [label_col, paper_col, ours_col, "rel_err_%"]
+    extra = [c for c in (out[0] if out else {}) if c not in cols]
+    return render_table(out, cols + extra, title=title, floatfmt=floatfmt)

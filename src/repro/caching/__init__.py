@@ -1,0 +1,79 @@
+"""Configuration caching and prefetching substrate.
+
+Replacement policies over PRR slots (:mod:`repro.caching.policies`),
+prefetch predictors (:mod:`repro.caching.prefetch`, including the
+association-rule miner of :mod:`repro.caching.arm`), and trace replay
+measuring the achieved hit ratio (:mod:`repro.caching.replay`).
+"""
+
+from .arm import ArmPrefetcher, AssociationRule
+from .base import CacheStats, ConfigCache, ReplacementPolicy
+from .paging import (
+    PagedCache,
+    PageTable,
+    cooccurrence_counts,
+    group_by_affinity,
+    group_random,
+    group_sequential,
+    paged_hit_ratio,
+)
+from .policies import (
+    BeladyPolicy,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from .prefetch import (
+    MarkovPrefetcher,
+    NonePrefetcher,
+    OraclePrefetcher,
+    Prefetcher,
+    SequentialPrefetcher,
+    make_prefetcher,
+)
+from .relocation import AllocationError, ColumnAllocator, Span
+from .replay import ReplayResult, replay
+from .stackdist import (
+    capacity_for_hit_ratio,
+    lru_hit_ratio,
+    lru_hit_ratios,
+    miss_curve,
+)
+
+__all__ = [
+    "AllocationError",
+    "ArmPrefetcher",
+    "AssociationRule",
+    "BeladyPolicy",
+    "CacheStats",
+    "ColumnAllocator",
+    "ConfigCache",
+    "FifoPolicy",
+    "LfuPolicy",
+    "LruPolicy",
+    "MarkovPrefetcher",
+    "NonePrefetcher",
+    "OraclePrefetcher",
+    "PagedCache",
+    "PageTable",
+    "Prefetcher",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "ReplayResult",
+    "SequentialPrefetcher",
+    "Span",
+    "capacity_for_hit_ratio",
+    "cooccurrence_counts",
+    "group_by_affinity",
+    "group_random",
+    "group_sequential",
+    "lru_hit_ratio",
+    "lru_hit_ratios",
+    "make_policy",
+    "make_prefetcher",
+    "miss_curve",
+    "paged_hit_ratio",
+    "replay",
+]

@@ -1,0 +1,139 @@
+"""Association-rule-mining (ARM) prefetcher.
+
+Reference [26] of the paper (Taher & El-Ghazawi, DRS 2005) proposes mining
+association rules over the recent call history to drive configuration
+caching: functions that co-occur within a window are "related", and a call
+to one prefetches the others — the hardware-page idea of Section 2.1
+("grouping only related functions that are typically requested together,
+processing spatial locality can be exploited").
+
+This is an online Apriori-lite over a sliding window:
+
+* maintain the last ``window`` calls;
+* count singleton and pair *support* (windows containing the items);
+* a rule ``a -> b`` qualifies when ``support(a, b) >= min_support`` and
+  confidence ``support(a, b) / support(a) >= min_confidence``;
+* prediction for the current module returns the top-confidence
+  consequents.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .prefetch import Prefetcher
+
+__all__ = ["ArmPrefetcher", "AssociationRule"]
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """``antecedent -> consequent`` with its mined statistics."""
+
+    antecedent: str
+    consequent: str
+    support: int
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence out of range: {self.confidence}")
+        if self.support < 0:
+            raise ValueError(f"negative support: {self.support}")
+
+
+class ArmPrefetcher(Prefetcher):
+    """Online sliding-window association-rule miner.
+
+    Parameters
+    ----------
+    window:
+        History window length (in calls) over which co-occurrence counts.
+    min_support:
+        Minimum number of co-occurrence windows for a rule to qualify.
+    min_confidence:
+        Minimum ``P(b in window | a called)`` for the rule ``a -> b``.
+    """
+
+    name = "arm"
+
+    def __init__(
+        self,
+        window: int = 8,
+        min_support: int = 2,
+        min_confidence: float = 0.3,
+    ) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        if not 0.0 < min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in (0, 1]")
+        self.window = window
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self._history: deque[str] = deque(maxlen=window)
+        self._single: dict[str, int] = {}
+        self._pair: dict[tuple[str, str], int] = {}
+        self._order: dict[str, int] = {}  # deterministic tie-break
+        self._last: str | None = None
+
+    # -- mining ------------------------------------------------------------
+
+    def observe(self, module: str) -> None:
+        """Count directed co-occurrences from window members to ``module``."""
+        self._order.setdefault(module, len(self._order))
+        self._single[module] = self._single.get(module, 0) + 1
+        for prior in set(self._history):
+            if prior != module:
+                key = (prior, module)
+                self._pair[key] = self._pair.get(key, 0) + 1
+        self._history.append(module)
+        self._last = module
+
+    def rules_for(self, antecedent: str) -> list[AssociationRule]:
+        """All qualifying rules with the given antecedent, best first."""
+        base = self._single.get(antecedent, 0)
+        if base == 0:
+            return []
+        rules = []
+        for (a, b), support in self._pair.items():
+            if a != antecedent or support < self.min_support:
+                continue
+            confidence = support / base
+            if confidence >= self.min_confidence:
+                rules.append(
+                    AssociationRule(a, b, support, min(confidence, 1.0))
+                )
+        rules.sort(
+            key=lambda r: (
+                -r.confidence,
+                -r.support,
+                self._order.get(r.consequent, 0),
+            )
+        )
+        return rules
+
+    def all_rules(self) -> list[AssociationRule]:
+        """Every qualifying rule in the mined set (inspection/testing)."""
+        out = []
+        for a in self._single:
+            out.extend(self.rules_for(a))
+        return out
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict(self, width: int = 1) -> list[str]:
+        if self._last is None:
+            return []
+        return [r.consequent for r in self.rules_for(self._last)[:width]]
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._single.clear()
+        self._pair.clear()
+        self._order.clear()
+        self._last = None

@@ -1,0 +1,176 @@
+"""Configuration-cache abstractions and hit/miss accounting.
+
+The paper characterizes a configuration caching/prefetching subsystem by
+two numbers — the decision latency ``T_decision`` and the hit ratio ``H``
+(Section 3).  This package provides the concrete machinery those numbers
+abstract: replacement policies over a fixed number of PRR slots
+(:mod:`repro.caching.policies`) and prefetchers that predict the next
+module (:mod:`repro.caching.prefetch`).
+
+A :class:`ConfigCache` is the composition the executors use: ``slots``
+PRRs, a replacement policy choosing the victim, and statistics tracking
+the achieved ``H`` that feeds back into the analytical model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["ReplacementPolicy", "CacheStats", "ConfigCache"]
+
+
+class ReplacementPolicy(ABC):
+    """Chooses which resident module to evict when all slots are full.
+
+    Policies see the access stream through :meth:`on_access` /
+    :meth:`on_insert` and must answer :meth:`victim` from the *current
+    residents*.  They never see slot indices — slot assignment belongs to
+    the cache.
+    """
+
+    name = "abstract"
+
+    @abstractmethod
+    def on_access(self, module: str) -> None:
+        """A resident module was referenced (hit)."""
+
+    @abstractmethod
+    def on_insert(self, module: str) -> None:
+        """A module became resident (after a miss fill)."""
+
+    @abstractmethod
+    def on_evict(self, module: str) -> None:
+        """A module left the cache."""
+
+    @abstractmethod
+    def victim(self, residents: Sequence[str]) -> str:
+        """Pick the resident to evict.  ``residents`` is non-empty."""
+
+    def reset(self) -> None:
+        """Forget all history (optional override)."""
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters with derived ratios."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: misses that occurred while at least one slot was still empty
+    cold_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """The achieved ``H``; 0.0 for an untouched cache."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        return 1.0 - self.hit_ratio if self.accesses else 0.0
+
+
+class ConfigCache:
+    """A fixed number of PRR slots managed by a replacement policy.
+
+    The minimal operation set the executors need:
+
+    * :meth:`lookup` — is the module resident?  (counts hit/miss)
+    * :meth:`fill` — make it resident, evicting if necessary; returns the
+      evicted module (or ``None``).
+    * :meth:`contains` — residency test *without* touching statistics
+      (for prefetchers peeking ahead).
+    """
+
+    def __init__(self, slots: int, policy: ReplacementPolicy) -> None:
+        if slots <= 0:
+            raise ValueError("cache needs at least one slot")
+        self.slots = slots
+        self.policy = policy
+        self._residents: dict[str, int] = {}  # module -> slot index
+        self._free: list[int] = list(range(slots))
+        self.stats = CacheStats()
+
+    # -- queries ---------------------------------------------------------
+
+    def contains(self, module: str) -> bool:
+        return module in self._residents
+
+    @property
+    def residents(self) -> list[str]:
+        return list(self._residents)
+
+    def slot_of(self, module: str) -> int:
+        try:
+            return self._residents[module]
+        except KeyError:
+            raise KeyError(f"{module!r} is not resident") from None
+
+    @property
+    def is_full(self) -> bool:
+        return not self._free
+
+    # -- operations --------------------------------------------------------
+
+    def lookup(self, module: str) -> bool:
+        """Reference ``module``; update stats and policy. True on hit."""
+        if module in self._residents:
+            self.stats.hits += 1
+            self.policy.on_access(module)
+            return True
+        self.stats.misses += 1
+        if self._free:
+            self.stats.cold_misses += 1
+        return False
+
+    def fill(
+        self, module: str, pinned: set[str] | frozenset[str] = frozenset()
+    ) -> Optional[str]:
+        """Insert ``module`` (idempotent); returns the evicted module.
+
+        ``pinned`` modules may not be evicted (e.g. the module whose PRR
+        is currently executing).  Raises if every resident is pinned.
+        """
+        if module in self._residents:
+            return None
+        evicted: Optional[str] = None
+        if self._free:
+            slot = self._free.pop(0)
+        else:
+            candidates = [m for m in self.residents if m not in pinned]
+            if not candidates:
+                raise RuntimeError(
+                    f"cannot fill {module!r}: all {self.slots} residents "
+                    f"are pinned ({sorted(pinned)})"
+                )
+            evicted = self.policy.victim(candidates)
+            if evicted not in self._residents:
+                raise RuntimeError(
+                    f"policy {self.policy.name!r} chose non-resident "
+                    f"victim {evicted!r}"
+                )
+            slot = self._residents.pop(evicted)
+            self.policy.on_evict(evicted)
+            self.stats.evictions += 1
+        self._residents[module] = slot
+        self.policy.on_insert(module)
+        return evicted
+
+    def access(self, module: str) -> bool:
+        """lookup + fill in one step; returns the hit flag."""
+        hit = self.lookup(module)
+        if not hit:
+            self.fill(module)
+        return hit
+
+    def reset(self) -> None:
+        self._residents.clear()
+        self._free = list(range(self.slots))
+        self.stats = CacheStats()
+        self.policy.reset()

@@ -1,0 +1,233 @@
+"""Hardware paging: fixed-size reconfiguration blocks (Section 2.1).
+
+Ref. [27] of the paper (Taher) proposes grouping hardware functions into
+fixed-size *pages* — "hardware reconfiguration blocks" — so one partial
+reconfiguration loads several related functions at once: "by grouping
+only related functions that are typically requested together, processing
+spatial locality can be exploited."
+
+This module implements that model:
+
+* a :class:`PageTable` maps functions to pages of ``page_size`` functions;
+* a :class:`PagedCache` caches *pages* in the PRR slots: a call hits when
+  its function's page is resident, and a miss loads the whole page
+  (bringing the function's page-mates along — the prefetch effect);
+* grouping strategies: :func:`group_sequential` (library order — the
+  naive baseline), :func:`group_random` (adversarial control) and
+  :func:`group_by_affinity`, which greedily packs functions by their
+  co-occurrence counts mined from a training trace — the ARM-style
+  grouping the paper's Section 2.1 sketches.
+
+The quality of a grouping is its achieved hit ratio on a test trace
+(:func:`paged_hit_ratio`), which plugs into Eq. (7) exactly like any
+other ``H``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..workloads.task import CallTrace
+from .base import CacheStats, ConfigCache, ReplacementPolicy
+from .policies import LruPolicy
+
+__all__ = [
+    "PageTable",
+    "PagedCache",
+    "group_sequential",
+    "group_random",
+    "group_by_affinity",
+    "cooccurrence_counts",
+    "paged_hit_ratio",
+]
+
+
+@dataclass(frozen=True)
+class PageTable:
+    """An immutable function -> page mapping with uniform page size."""
+
+    pages: tuple[tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for page in self.pages:
+            if not page:
+                raise ValueError("empty page")
+            for fn in page:
+                if fn in seen:
+                    raise ValueError(f"function {fn!r} mapped twice")
+                seen.add(fn)
+        if not self.pages:
+            raise ValueError("page table must have at least one page")
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def functions(self) -> tuple[str, ...]:
+        return tuple(fn for page in self.pages for fn in page)
+
+    def page_of(self, function: str) -> int:
+        for i, page in enumerate(self.pages):
+            if function in page:
+                return i
+        raise KeyError(f"function {function!r} not in any page")
+
+    def mates(self, function: str) -> tuple[str, ...]:
+        """The functions sharing a page with ``function`` (inclusive)."""
+        return self.pages[self.page_of(function)]
+
+
+class PagedCache:
+    """Page-granular configuration cache over the PRR slots.
+
+    Wraps a :class:`ConfigCache` keyed by page id; function-level lookups
+    translate through the page table.
+    """
+
+    def __init__(
+        self,
+        table: PageTable,
+        slots: int,
+        policy: ReplacementPolicy | None = None,
+    ) -> None:
+        self.table = table
+        self._cache = ConfigCache(slots=slots, policy=policy or LruPolicy())
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def access(self, function: str) -> bool:
+        """Reference a function; load its whole page on a miss."""
+        page = f"page{self.table.page_of(function)}"
+        return self._cache.access(page)
+
+    def resident_functions(self) -> list[str]:
+        out: list[str] = []
+        for resident in self._cache.residents:
+            idx = int(resident.removeprefix("page"))
+            out.extend(self.table.pages[idx])
+        return out
+
+    def reset(self) -> None:
+        self._cache.reset()
+
+
+# -- grouping strategies -----------------------------------------------------
+
+
+def _chunk(names: Sequence[str], page_size: int) -> tuple[tuple[str, ...], ...]:
+    return tuple(
+        tuple(names[i : i + page_size])
+        for i in range(0, len(names), page_size)
+    )
+
+
+def group_sequential(
+    functions: Sequence[str], page_size: int
+) -> PageTable:
+    """Pages in library order — the no-information baseline."""
+    if page_size <= 0:
+        raise ValueError("page_size must be >= 1")
+    if not functions:
+        raise ValueError("no functions to group")
+    return PageTable(_chunk(list(functions), page_size))
+
+
+def group_random(
+    functions: Sequence[str],
+    page_size: int,
+    seed: int = 0,
+) -> PageTable:
+    """Uniformly shuffled pages — the adversarial control."""
+    if page_size <= 0:
+        raise ValueError("page_size must be >= 1")
+    rng = np.random.default_rng(seed)
+    names = list(functions)
+    rng.shuffle(names)
+    return PageTable(_chunk(names, page_size))
+
+
+def cooccurrence_counts(
+    trace: CallTrace, window: int = 4
+) -> dict[tuple[str, str], int]:
+    """Symmetric co-occurrence counts within a sliding window."""
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    counts: dict[tuple[str, str], int] = {}
+    names = [c.name for c in trace]
+    for i, a in enumerate(names):
+        for b in names[max(0, i - window + 1) : i]:
+            if a == b:
+                continue
+            key = (min(a, b), max(a, b))
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def group_by_affinity(
+    trace: CallTrace,
+    page_size: int,
+    window: int = 4,
+    functions: Iterable[str] | None = None,
+) -> PageTable:
+    """Greedy affinity packing: repeatedly seed a page with the most-
+    connected ungrouped function and fill it with its strongest
+    co-occurring partners (mined from ``trace``).
+
+    Functions absent from the trace (or passed explicitly) fill trailing
+    pages in name order.
+    """
+    if page_size <= 0:
+        raise ValueError("page_size must be >= 1")
+    counts = cooccurrence_counts(trace, window=window)
+    universe = list(dict.fromkeys(
+        list(trace.task_names()) + (list(functions) if functions else [])
+    ))
+    degree: dict[str, int] = {f: 0 for f in universe}
+    for (a, b), c in counts.items():
+        degree[a] = degree.get(a, 0) + c
+        degree[b] = degree.get(b, 0) + c
+    ungrouped = set(universe)
+    pages: list[tuple[str, ...]] = []
+    while ungrouped:
+        seed_fn = max(
+            sorted(ungrouped), key=lambda f: degree.get(f, 0)
+        )
+        page = [seed_fn]
+        ungrouped.discard(seed_fn)
+        while len(page) < page_size and ungrouped:
+
+            def affinity(candidate: str) -> int:
+                return sum(
+                    counts.get((min(candidate, m), max(candidate, m)), 0)
+                    for m in page
+                )
+
+            best = max(sorted(ungrouped), key=affinity)
+            if affinity(best) == 0 and len(page) >= 1:
+                # No related function left; keep the page short rather
+                # than polluting it (short pages waste no locality).
+                break
+            page.append(best)
+            ungrouped.discard(best)
+        pages.append(tuple(page))
+    return PageTable(tuple(pages))
+
+
+def paged_hit_ratio(
+    trace: CallTrace,
+    table: PageTable,
+    slots: int,
+    policy: ReplacementPolicy | None = None,
+) -> float:
+    """Replay a trace through a paged cache; the achieved ``H``."""
+    cache = PagedCache(table, slots=slots, policy=policy)
+    for call in trace:
+        cache.access(call.name)
+    return cache.stats.hit_ratio

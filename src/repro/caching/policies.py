@@ -1,0 +1,214 @@
+"""Replacement policies for the configuration cache.
+
+Online policies (LRU, LFU, FIFO, random) plus the offline-optimal Belady
+policy used as the upper-bound baseline in the prefetch ablation.  All are
+deliberately simple, heavily asserted implementations: the experiments
+depend on their *correctness*, not their speed (caches hold a handful of
+PRR slots).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from .base import ReplacementPolicy
+
+__all__ = [
+    "LruPolicy",
+    "LfuPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "BeladyPolicy",
+    "make_policy",
+]
+
+
+class LruPolicy(ReplacementPolicy):
+    """Evict the least recently used resident."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._clock = itertools.count()
+        self._last_use: dict[str, int] = {}
+
+    def on_access(self, module: str) -> None:
+        self._last_use[module] = next(self._clock)
+
+    def on_insert(self, module: str) -> None:
+        self._last_use[module] = next(self._clock)
+
+    def on_evict(self, module: str) -> None:
+        self._last_use.pop(module, None)
+
+    def victim(self, residents: Sequence[str]) -> str:
+        return min(residents, key=lambda m: self._last_use.get(m, -1))
+
+    def reset(self) -> None:
+        self._clock = itertools.count()
+        self._last_use.clear()
+
+
+class LfuPolicy(ReplacementPolicy):
+    """Evict the least frequently used resident (FIFO tie-break)."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._clock = itertools.count()
+        self._count: dict[str, int] = {}
+        self._inserted: dict[str, int] = {}
+
+    def on_access(self, module: str) -> None:
+        self._count[module] = self._count.get(module, 0) + 1
+
+    def on_insert(self, module: str) -> None:
+        self._count[module] = self._count.get(module, 0) + 1
+        self._inserted[module] = next(self._clock)
+
+    def on_evict(self, module: str) -> None:
+        # Frequency history survives eviction (classic LFU-with-history
+        # would decay it; we keep it simple and deterministic).
+        self._inserted.pop(module, None)
+
+    def victim(self, residents: Sequence[str]) -> str:
+        return min(
+            residents,
+            key=lambda m: (
+                self._count.get(m, 0),
+                self._inserted.get(m, -1),
+            ),
+        )
+
+    def reset(self) -> None:
+        self._clock = itertools.count()
+        self._count.clear()
+        self._inserted.clear()
+
+
+class FifoPolicy(ReplacementPolicy):
+    """Evict the oldest-inserted resident; accesses don't refresh age."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._clock = itertools.count()
+        self._inserted: dict[str, int] = {}
+
+    def on_access(self, module: str) -> None:
+        pass
+
+    def on_insert(self, module: str) -> None:
+        self._inserted[module] = next(self._clock)
+
+    def on_evict(self, module: str) -> None:
+        self._inserted.pop(module, None)
+
+    def victim(self, residents: Sequence[str]) -> str:
+        return min(residents, key=lambda m: self._inserted.get(m, -1))
+
+    def reset(self) -> None:
+        self._clock = itertools.count()
+        self._inserted.clear()
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random resident (seeded: runs are reproducible)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def on_access(self, module: str) -> None:
+        pass
+
+    def on_insert(self, module: str) -> None:
+        pass
+
+    def on_evict(self, module: str) -> None:
+        pass
+
+    def victim(self, residents: Sequence[str]) -> str:
+        return residents[int(self._rng.integers(0, len(residents)))]
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """Belady's MIN: evict the resident used farthest in the future.
+
+    Offline-optimal for uniform-cost caches; serves as the unbeatable
+    baseline in the ablations.  Construct with the full future reference
+    string; the policy tracks its own position via :meth:`on_access` /
+    :meth:`on_insert` (exactly one of which fires per trace reference).
+    """
+
+    name = "belady"
+
+    def __init__(self, future: Sequence[str]) -> None:
+        self._future = list(future)
+        self._pos = 0
+        # Precompute, for every position, the next use index of the module
+        # referenced there... we need "next use after pos" per module, so
+        # store sorted occurrence lists.
+        self._occurrences: dict[str, list[int]] = {}
+        for i, m in enumerate(self._future):
+            self._occurrences.setdefault(m, []).append(i)
+
+    def _advance(self, module: str) -> None:
+        if self._pos < len(self._future) and self._future[self._pos] != module:
+            raise RuntimeError(
+                f"Belady trace desync at {self._pos}: expected "
+                f"{self._future[self._pos]!r}, saw {module!r}"
+            )
+        self._pos += 1
+
+    def on_access(self, module: str) -> None:
+        self._advance(module)
+
+    def on_insert(self, module: str) -> None:
+        self._advance(module)
+
+    def on_evict(self, module: str) -> None:
+        pass
+
+    def next_use(self, module: str) -> int:
+        """Index of the next reference to ``module`` at/after the cursor."""
+        occ = self._occurrences.get(module, [])
+        # Binary search for first occurrence >= self._pos.
+        lo, hi = 0, len(occ)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if occ[mid] < self._pos:
+                lo = mid + 1
+            else:
+                hi = mid
+        return occ[lo] if lo < len(occ) else len(self._future)
+
+    def victim(self, residents: Sequence[str]) -> str:
+        return max(residents, key=self.next_use)
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+def make_policy(name: str, **kwargs: object) -> ReplacementPolicy:
+    """Factory by name: ``lru``/``lfu``/``fifo``/``random``/``belady``."""
+    table = {
+        "lru": LruPolicy,
+        "lfu": LfuPolicy,
+        "fifo": FifoPolicy,
+        "random": RandomPolicy,
+        "belady": BeladyPolicy,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; have {sorted(table)}") from None
+    return cls(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,192 @@
+"""Configuration prefetchers.
+
+The paper's model abstracts prefetching into a hit ratio ``H`` and a
+decision latency ``T_decision``; these classes are concrete predictors
+whose *achieved* ``H`` (measured by :mod:`repro.caching.replay`) plugs
+back into the model — the paper's deferred "future investigations",
+implemented as the prefetch ablation.
+
+Interface: after each completed call, :meth:`Prefetcher.observe` sees the
+module name, then :meth:`Prefetcher.predict` proposes up to ``width``
+modules to stage into idle PRRs before the next call.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+__all__ = [
+    "Prefetcher",
+    "NonePrefetcher",
+    "OraclePrefetcher",
+    "SequentialPrefetcher",
+    "MarkovPrefetcher",
+    "make_prefetcher",
+]
+
+
+class Prefetcher(ABC):
+    """Predicts the module(s) needed next."""
+
+    name = "abstract"
+    #: decision latency this predictor charges per call (``T_decision``)
+    decision_time: float = 0.0
+
+    @abstractmethod
+    def observe(self, module: str) -> None:
+        """Record that ``module`` was just called."""
+
+    @abstractmethod
+    def predict(self, width: int = 1) -> list[str]:
+        """Up to ``width`` module names to stage next (may be empty)."""
+
+    def reset(self) -> None:
+        """Forget all learned state (optional override)."""
+
+
+class NonePrefetcher(Prefetcher):
+    """Never prefetches: the paper's experimental configuration
+    (``H = 0, M = 1`` modulo repeated back-to-back calls)."""
+
+    name = "none"
+
+    def observe(self, module: str) -> None:
+        pass
+
+    def predict(self, width: int = 1) -> list[str]:
+        return []
+
+
+class OraclePrefetcher(Prefetcher):
+    """Perfect lookahead over a known trace (the ``H -> 1`` bound).
+
+    Construct with the full reference string; prediction returns the next
+    ``width`` *distinct* upcoming modules.
+    """
+
+    name = "oracle"
+
+    def __init__(self, future: Sequence[str]) -> None:
+        self._future = list(future)
+        self._pos = 0
+
+    def observe(self, module: str) -> None:
+        if (
+            self._pos < len(self._future)
+            and self._future[self._pos] != module
+        ):
+            raise RuntimeError(
+                f"oracle trace desync at {self._pos}: expected "
+                f"{self._future[self._pos]!r}, saw {module!r}"
+            )
+        self._pos += 1
+
+    def predict(self, width: int = 1) -> list[str]:
+        out: list[str] = []
+        for m in self._future[self._pos :]:
+            if m not in out:
+                out.append(m)
+            if len(out) >= width:
+                break
+        return out
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class SequentialPrefetcher(Prefetcher):
+    """Predicts the lexicographic successor within a known library.
+
+    A stand-in for static schedule-based prefetching: effective exactly
+    when the workload walks the library in order (pipeline traces), and
+    useless on random traces — a useful contrast in the ablation.
+    """
+
+    name = "sequential"
+
+    def __init__(self, library_order: Sequence[str]) -> None:
+        if not library_order:
+            raise ValueError("library order must be non-empty")
+        self._order = list(library_order)
+        self._index = {m: i for i, m in enumerate(self._order)}
+        self._last: str | None = None
+
+    def observe(self, module: str) -> None:
+        self._last = module
+
+    def predict(self, width: int = 1) -> list[str]:
+        if self._last is None or self._last not in self._index:
+            return []
+        start = self._index[self._last]
+        k = len(self._order)
+        return [self._order[(start + 1 + j) % k] for j in range(min(width, k - 1))]
+
+    def reset(self) -> None:
+        self._last = None
+
+
+class MarkovPrefetcher(Prefetcher):
+    """First-order Markov predictor with online transition counts.
+
+    Predicts the ``width`` most frequent successors of the current module
+    (ties broken by first observation, deterministically).  This is the
+    classic configuration-prefetching baseline the caching literature
+    ([24, 25]) builds on.
+    """
+
+    name = "markov"
+
+    def __init__(self) -> None:
+        self._counts: dict[str, dict[str, int]] = {}
+        self._first_seen: dict[tuple[str, str], int] = {}
+        self._clock = 0
+        self._last: str | None = None
+
+    def observe(self, module: str) -> None:
+        if self._last is not None:
+            row = self._counts.setdefault(self._last, {})
+            row[module] = row.get(module, 0) + 1
+            self._first_seen.setdefault((self._last, module), self._clock)
+            self._clock += 1
+        self._last = module
+
+    def predict(self, width: int = 1) -> list[str]:
+        if self._last is None:
+            return []
+        row = self._counts.get(self._last, {})
+        ranked = sorted(
+            row,
+            key=lambda m: (
+                -row[m],
+                self._first_seen.get((self._last, m), 0),
+            ),
+        )
+        return ranked[:width]
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._first_seen.clear()
+        self._clock = 0
+        self._last = None
+
+
+def make_prefetcher(name: str, **kwargs: object) -> Prefetcher:
+    """Factory: ``none``/``oracle``/``sequential``/``markov``/``arm``."""
+    if name == "arm":
+        from .arm import ArmPrefetcher
+
+        return ArmPrefetcher(**kwargs)  # type: ignore[arg-type]
+    table = {
+        "none": NonePrefetcher,
+        "oracle": OraclePrefetcher,
+        "sequential": SequentialPrefetcher,
+        "markov": MarkovPrefetcher,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown prefetcher {name!r}; have {sorted(table) + ['arm']}"
+        ) from None
+    return cls(**kwargs)  # type: ignore[arg-type]

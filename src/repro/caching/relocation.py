@@ -1,0 +1,200 @@
+"""Module relocation and defragmentation over the column space (ref [24]).
+
+The fixed-PRR model of the paper's experiments wastes fabric whenever
+module sizes differ: a 2-column Sobel core occupies a 12-column PRR.
+Li & Hauck's relocation/defragmentation work ([24] in the paper) treats
+the reconfigurable area as a contiguous column space instead: modules of
+*heterogeneous widths* are placed anywhere, relocated (by rewriting their
+frames at a new frame address) and the free space compacted when external
+fragmentation blocks an allocation.
+
+:class:`ColumnAllocator` implements that model:
+
+* first-fit / best-fit placement of width-``w`` modules in a
+  ``total_columns`` space;
+* eviction frees a span; allocation failure distinguishes *capacity*
+  (not enough total free columns) from *fragmentation* (enough columns,
+  no contiguous hole);
+* :meth:`defragment` slides residents left to coalesce the free space,
+  reporting which modules moved and the relocation traffic in columns
+  (each moved column is one column's worth of reconfiguration data —
+  time = columns x column_bytes / port rate, chargeable through the
+  usual ICAP model).
+
+The payoff metric — how often defragmentation turns a fragmentation
+failure into a successful placement, and what the relocation traffic
+costs — feeds the Eq. (7) machinery like any other configuration
+overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+__all__ = ["Span", "AllocationError", "ColumnAllocator"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A placed module's column interval ``[start, start + width)``."""
+
+    module: str
+    start: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.width <= 0:
+            raise ValueError(f"bad span: {self!r}")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.width
+
+
+class AllocationError(RuntimeError):
+    """Placement failed; ``reason`` is 'capacity' or 'fragmentation'."""
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class ColumnAllocator:
+    """Contiguous-column placement with relocation support."""
+
+    def __init__(
+        self,
+        total_columns: int,
+        strategy: Literal["first_fit", "best_fit"] = "first_fit",
+    ) -> None:
+        if total_columns <= 0:
+            raise ValueError("total_columns must be >= 1")
+        if strategy not in ("first_fit", "best_fit"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.total_columns = total_columns
+        self.strategy = strategy
+        self._spans: dict[str, Span] = {}
+        #: cumulative relocation traffic, in columns rewritten
+        self.relocated_columns = 0
+        self.defrag_count = 0
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def residents(self) -> list[str]:
+        return list(self._spans)
+
+    def span_of(self, module: str) -> Span:
+        try:
+            return self._spans[module]
+        except KeyError:
+            raise KeyError(f"{module!r} is not placed") from None
+
+    @property
+    def used_columns(self) -> int:
+        return sum(s.width for s in self._spans.values())
+
+    @property
+    def free_columns(self) -> int:
+        return self.total_columns - self.used_columns
+
+    def holes(self) -> list[tuple[int, int]]:
+        """Free intervals as (start, width), left to right."""
+        spans = sorted(self._spans.values(), key=lambda s: s.start)
+        holes = []
+        cursor = 0
+        for s in spans:
+            if s.start > cursor:
+                holes.append((cursor, s.start - cursor))
+            cursor = s.end
+        if cursor < self.total_columns:
+            holes.append((cursor, self.total_columns - cursor))
+        return holes
+
+    def largest_hole(self) -> int:
+        return max((w for _, w in self.holes()), default=0)
+
+    def external_fragmentation(self) -> float:
+        """``1 - largest_hole / free`` (0 when free space is contiguous)."""
+        free = self.free_columns
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_hole() / free
+
+    # -- placement ---------------------------------------------------------
+
+    def _find_hole(self, width: int) -> int | None:
+        candidates = [(start, w) for start, w in self.holes() if w >= width]
+        if not candidates:
+            return None
+        if self.strategy == "first_fit":
+            return candidates[0][0]
+        # best-fit: tightest hole, leftmost on ties
+        return min(candidates, key=lambda c: (c[1], c[0]))[0]
+
+    def allocate(self, module: str, width: int) -> Span:
+        """Place a module; raises :class:`AllocationError` on failure."""
+        if module in self._spans:
+            raise ValueError(f"{module!r} is already placed")
+        if width <= 0:
+            raise ValueError("width must be >= 1")
+        if width > self.total_columns:
+            raise AllocationError(
+                f"{module!r} ({width} cols) exceeds the device "
+                f"({self.total_columns} cols)",
+                reason="capacity",
+            )
+        start = self._find_hole(width)
+        if start is None:
+            reason = (
+                "fragmentation" if self.free_columns >= width else "capacity"
+            )
+            raise AllocationError(
+                f"no hole of {width} columns for {module!r} "
+                f"(free={self.free_columns}, "
+                f"largest hole={self.largest_hole()})",
+                reason=reason,
+            )
+        span = Span(module, start, width)
+        self._spans[module] = span
+        return span
+
+    def free(self, module: str) -> Span:
+        span = self.span_of(module)
+        del self._spans[module]
+        return span
+
+    def allocate_with_defrag(self, module: str, width: int) -> tuple[Span, int]:
+        """Allocate, defragmenting first if fragmentation blocks it.
+
+        Returns ``(span, relocation_columns)`` where the second element
+        is the traffic the defragmentation cost (0 when none was needed).
+        """
+        try:
+            return self.allocate(module, width), 0
+        except AllocationError as exc:
+            if exc.reason != "fragmentation":
+                raise
+        moved = self.defragment()
+        traffic = sum(w for _, w in moved)
+        return self.allocate(module, width), traffic
+
+    # -- defragmentation ---------------------------------------------------
+
+    def defragment(self) -> list[tuple[str, int]]:
+        """Slide every resident left; returns ``(module, width)`` for
+        each module that actually moved (its frames were rewritten)."""
+        moved = []
+        cursor = 0
+        for span in sorted(self._spans.values(), key=lambda s: s.start):
+            if span.start != cursor:
+                self._spans[span.module] = Span(
+                    span.module, cursor, span.width
+                )
+                moved.append((span.module, span.width))
+                self.relocated_columns += span.width
+            cursor += span.width
+        if moved:
+            self.defrag_count += 1
+        return moved

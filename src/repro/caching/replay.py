@@ -1,0 +1,112 @@
+"""Trace replay: measure the hit ratio a (cache, prefetcher) pair achieves.
+
+This is the bridge between the concrete caching substrate and the
+analytical model: replay a :class:`~repro.workloads.task.CallTrace`
+through a :class:`~repro.caching.base.ConfigCache` driven by a
+:class:`~repro.caching.prefetch.Prefetcher`, read off the achieved ``H``,
+and feed it to Eq. (7).
+
+Replay semantics (matching the paper's execution model):
+
+1. the call references its module — hit or miss is decided *now*;
+2. on a miss the module is configured into a slot (the demand fill);
+3. while the task runs, the prefetcher stages up to ``prefetch_width``
+   predicted modules into other slots (prefetch fills are not references:
+   they touch no hit/miss statistics).
+
+Note on Belady: the offline-optimal policy tracks the reference string
+through policy callbacks, so it must be replayed with the
+``none`` prefetcher (prefetch fills would desynchronize it).  The replay
+function enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.task import CallTrace
+from .base import CacheStats, ConfigCache
+from .policies import BeladyPolicy
+from .prefetch import NonePrefetcher, Prefetcher
+
+__all__ = ["ReplayResult", "replay"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of a trace replay."""
+
+    trace_name: str
+    policy: str
+    prefetcher: str
+    slots: int
+    stats: CacheStats
+    #: number of prefetch fills issued (useful vs wasted is workload truth)
+    prefetches: int
+    #: prefetch fills that were later referenced before eviction
+    useful_prefetches: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.stats.hit_ratio
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        return (
+            self.useful_prefetches / self.prefetches if self.prefetches else 0.0
+        )
+
+
+def replay(
+    trace: CallTrace,
+    cache: ConfigCache,
+    prefetcher: Prefetcher | None = None,
+    prefetch_width: int = 1,
+) -> ReplayResult:
+    """Replay ``trace`` and return achieved statistics.
+
+    The cache and prefetcher are reset first; pass freshly constructed
+    objects or expect their history to be cleared.
+    """
+    if prefetch_width < 0:
+        raise ValueError("prefetch_width must be >= 0")
+    prefetcher = prefetcher or NonePrefetcher()
+    if isinstance(cache.policy, BeladyPolicy) and not isinstance(
+        prefetcher, NonePrefetcher
+    ):
+        raise ValueError(
+            "BeladyPolicy replays require the 'none' prefetcher "
+            "(prefetch fills desynchronize the offline reference string)"
+        )
+    cache.reset()
+    prefetcher.reset()
+
+    prefetched: set[str] = set()
+    prefetches = 0
+    useful = 0
+    for call in trace:
+        hit = cache.lookup(call.name)
+        if hit and call.name in prefetched:
+            useful += 1
+            prefetched.discard(call.name)
+        if not hit:
+            prefetched.discard(call.name)
+            cache.fill(call.name)
+        prefetcher.observe(call.name)
+        if prefetch_width:
+            for module in prefetcher.predict(prefetch_width):
+                if not cache.contains(module):
+                    cache.fill(module)
+                    prefetched.add(module)
+                    prefetches += 1
+    # Anything evicted stops being attributable; drop stale markers.
+    prefetched &= set(cache.residents)
+    return ReplayResult(
+        trace_name=trace.name,
+        policy=cache.policy.name,
+        prefetcher=prefetcher.name,
+        slots=cache.slots,
+        stats=cache.stats,
+        prefetches=prefetches,
+        useful_prefetches=useful,
+    )

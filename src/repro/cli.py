@@ -1,0 +1,280 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+    python -m repro table1
+    python -m repro table2
+    python -m repro fig5 --x-prtr 0.17 --csv fig5.csv
+    python -m repro fig9 --panel measured --calls 120
+    python -m repro profiles
+    python -m repro ablation-prefetch --calls 2000
+    python -m repro ablation-granularity
+    python -m repro validate
+    python -m repro all
+
+Every subcommand prints the same text tables/plots the benchmark harness
+shows, and optionally writes the figure's data series as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .analysis import render_table, write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments import table1
+
+    print(table1.render())
+    mismatches = table1.verify_against_published()
+    if mismatches:
+        print(f"\nMISMATCHES vs published: {mismatches}")
+        return 1
+    print("\nAll cells match the published Table 1 exactly.")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .analysis import cross_validate
+    from .experiments import table2
+
+    print(table2.render())
+    failures = table2.verify_against_published()
+    for check in cross_validate():
+        print(
+            f"\nOut-of-sample check: {check.layout} predicted "
+            f"{check.predicted_s * 1e3:.2f} ms vs published "
+            f"{check.published_s * 1e3:.2f} ms "
+            f"({check.rel_error:.2%} error)"
+        )
+    if failures:
+        print(f"\nCELLS OUT OF TOLERANCE: {failures}")
+        return 1
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from .experiments import fig5
+
+    print(fig5.render(x_prtr=args.x_prtr))
+    claims = fig5.shape_claims(x_prtr=args.x_prtr)
+    print()
+    for name, ok in claims.items():
+        print(f"  claim {name}: {'PASS' if ok else 'FAIL'}")
+    if args.csv:
+        write_csv(args.csv, fig5.to_csv(x_prtr=args.x_prtr))
+        print(f"\nwrote {args.csv}")
+    return 0 if all(claims.values()) else 1
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    from .experiments import fig9
+
+    panels = (
+        ["estimated", "measured"] if args.panel == "both" else [args.panel]
+    )
+    ok = True
+    for which in panels:
+        print(fig9.render(which, n_calls=args.calls))
+        print()
+        if args.csv:
+            path = args.csv.replace(".csv", f"_{which}.csv")
+            write_csv(path, fig9.to_csv(which, n_calls=args.calls))
+            print(f"wrote {path}\n")
+    claims = fig9.shape_claims()
+    for name, passed in claims.items():
+        print(f"  claim {name}: {'PASS' if passed else 'FAIL'}")
+        ok &= passed
+    return 0 if ok else 1
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    from .experiments import fig234_profiles
+
+    print(fig234_profiles.render_all(width=args.width))
+    return 0
+
+
+def _cmd_ablation_prefetch(args: argparse.Namespace) -> int:
+    from .experiments.ablations import prefetch_ablation
+
+    cells = prefetch_ablation(slots=args.slots, n_calls=args.calls)
+    rows = [
+        {
+            "trace": c.trace,
+            "policy": c.policy,
+            "prefetcher": c.prefetcher,
+            "H": c.hit_ratio,
+            "accuracy": c.prefetch_accuracy,
+            "S_inf": c.predicted_speedup,
+        }
+        for c in cells
+    ]
+    print(render_table(rows, title="Prefetch ablation"))
+    return 0
+
+
+def _cmd_ablation_granularity(args: argparse.Namespace) -> int:
+    from .experiments.ablations import granularity_ablation
+
+    points = granularity_ablation()
+    rows = []
+    for p in points:
+        row: dict[str, object] = {
+            "PRRs": p.n_prrs,
+            "cols": p.columns_each,
+            "bytes": p.bitstream_bytes,
+            "T_PRTR_ms": p.t_prtr * 1e3,
+            "X_PRTR": p.x_prtr,
+        }
+        for i, s in enumerate(p.speedups):
+            row[f"S[{i}]"] = s
+        rows.append(row)
+    print(render_table(rows, title="PRR granularity ablation"))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis import validate_frtr, validate_prtr
+    from .experiments import fig9
+    from .hardware import PUBLISHED_TABLE2
+    from .rtr import FrtrExecutor, PrtrExecutor, make_node
+    from .workloads import CallTrace, HardwareTask
+
+    worst_pipe = worst_model = worst_frtr = 0.0
+    for which in ("estimated", "measured"):
+        p = fig9.panel(which)
+        for x_task in np.logspace(-2, 0.5, 5):
+            t_task = float(x_task) * p.t_frtr
+            lib = {
+                n: HardwareTask(n, t_task)
+                for n in ("median", "sobel", "smoothing")
+            }
+            trace = CallTrace(
+                [lib[n] for n in ("median", "sobel", "smoothing") * 20],
+                name="val",
+            )
+            frtr = FrtrExecutor(
+                make_node(), estimated=p.estimated,
+                control_time=p.t_control,
+            ).run(trace)
+            rep = validate_frtr(
+                frtr, t_frtr=frtr.notes["t_config_full"],
+                t_control=p.t_control, t_task=t_task,
+            )
+            worst_frtr = max(worst_frtr, rep.model_rel_error)
+            prtr = PrtrExecutor(
+                make_node(), estimated=p.estimated,
+                control_time=p.t_control, force_miss=True,
+                bitstream_bytes=PUBLISHED_TABLE2["dual_prr"].bitstream_bytes,
+            ).run(trace)
+            rep = validate_prtr(
+                prtr, t_frtr=prtr.notes["t_config_full"],
+                t_prtr=prtr.notes["t_config_partial"],
+                t_control=p.t_control,
+            )
+            worst_pipe = max(worst_pipe, rep.pipeline_rel_error or 0.0)
+            worst_model = max(worst_model, rep.model_rel_error)
+    print(f"max FRTR vs Eq.(1) rel error   : {worst_frtr:.3e}")
+    print(f"max PRTR vs pipeline rel error : {worst_pipe:.3e}")
+    print(f"max PRTR vs Eq.(3) rel error   : {worst_model:.3e}")
+    ok = worst_frtr < 1e-9 and worst_pipe < 1e-9 and worst_model < 0.05
+    print("VALIDATION", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report
+
+    text, ok = generate_report(
+        n_calls=args.calls, progress=lambda m: print(f"... {m}")
+    )
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines); "
+          f"checks {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    rc = 0
+    for name, fn in _COMMANDS.items():
+        if name in ("all", "report"):
+            continue
+        print("=" * 72)
+        print(f"== {name}")
+        print("=" * 72)
+        ns = build_parser().parse_args([name])
+        rc |= fn(ns)
+        print()
+    return rc
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig5": _cmd_fig5,
+    "fig9": _cmd_fig9,
+    "profiles": _cmd_profiles,
+    "ablation-prefetch": _cmd_ablation_prefetch,
+    "ablation-granularity": _cmd_ablation_granularity,
+    "validate": _cmd_validate,
+    "report": _cmd_report,
+    "all": _cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: resource usage")
+    sub.add_parser("table2", help="Table 2: configuration times")
+
+    p5 = sub.add_parser("fig5", help="Figure 5: asymptotic bounds")
+    p5.add_argument("--x-prtr", type=float, default=0.17)
+    p5.add_argument("--csv", type=str, default="")
+
+    p9 = sub.add_parser("fig9", help="Figure 9: the XD1 experiment")
+    p9.add_argument(
+        "--panel", choices=["estimated", "measured", "both"],
+        default="both",
+    )
+    p9.add_argument("--calls", type=int, default=90)
+    p9.add_argument("--csv", type=str, default="")
+
+    pp = sub.add_parser("profiles", help="Figures 2-4: execution profiles")
+    pp.add_argument("--width", type=int, default=72)
+
+    pa = sub.add_parser(
+        "ablation-prefetch", help="prefetch policy ablation"
+    )
+    pa.add_argument("--slots", type=int, default=2)
+    pa.add_argument("--calls", type=int, default=2000)
+
+    sub.add_parser(
+        "ablation-granularity", help="PRR granularity ablation"
+    )
+    sub.add_parser("validate", help="model-vs-simulation validation")
+    pr = sub.add_parser("report", help="write the full REPORT.md")
+    pr.add_argument("--output", type=str, default="REPORT.md")
+    pr.add_argument("--calls", type=int, default=90)
+    sub.add_parser("all", help="run everything")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Per-table / per-figure experiment modules.
+
+Each module regenerates one artifact of the paper's evaluation:
+:mod:`~repro.experiments.table1`, :mod:`~repro.experiments.table2`,
+:mod:`~repro.experiments.fig5`, :mod:`~repro.experiments.fig9`,
+:mod:`~repro.experiments.fig234_profiles`, plus the extension studies in
+:mod:`~repro.experiments.ablations`.  The benchmark harness under
+``benchmarks/`` drives these and prints the paper-vs-ours rows.
+"""
+
+from . import (
+    ablations,
+    fig234_profiles,
+    fig5,
+    fig9,
+    heterogeneity,
+    scaling,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "ablations",
+    "fig234_profiles",
+    "fig5",
+    "fig9",
+    "heterogeneity",
+    "scaling",
+    "table1",
+    "table2",
+]

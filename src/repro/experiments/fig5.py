@@ -1,0 +1,119 @@
+"""Figure 5 — asymptotic performance of PRTR.
+
+The paper's Figure 5 plots Eq. (7) with ``X_decision = X_control = 0``:
+``S_inf`` against ``X_task`` (log axis) for several hit ratios and partial
+configuration times.  The prose claims it illustrates are checked by
+:func:`shape_claims`:
+
+1. for ``X_task > 1`` the speedup never reaches 2, for any ``H``/``X_PRTR``;
+2. for ``H = 1`` the curve decreases monotonically and is independent of
+   ``X_PRTR``;
+3. for ``H = 0`` the curve peaks exactly at ``X_task = X_PRTR`` with value
+   ``(1 + X_PRTR) / X_PRTR``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.plotting import ascii_plot, series_to_csv
+from ..model.parameters import ModelParameters
+from ..model.speedup import asymptotic_speedup
+from ..model.sweep import SweepResult, figure5_grid, log_task_axis
+
+__all__ = ["run", "render", "to_csv", "shape_claims", "DEFAULT_X_PRTR",
+           "DEFAULT_HIT_RATIOS"]
+
+DEFAULT_X_PRTR: tuple[float, ...] = (0.012, 0.05, 0.17, 0.37, 0.7)
+DEFAULT_HIT_RATIOS: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def run(
+    x_prtr_values: tuple[float, ...] = DEFAULT_X_PRTR,
+    hit_ratios: tuple[float, ...] = DEFAULT_HIT_RATIOS,
+) -> SweepResult:
+    """Evaluate the Figure 5 grid (Eq. 7, ideal overheads)."""
+    return figure5_grid(x_prtr_values, hit_ratios)
+
+
+def _series_for(
+    result: SweepResult, x_prtr: float, hit_ratios: tuple[float, ...]
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    series = {}
+    for h in hit_ratios:
+        x, y = result.series(x_prtr=x_prtr, hit_ratio=h)
+        series[f"H={h:g}"] = (x, y)
+    return series
+
+
+def render(
+    x_prtr: float = 0.17,
+    hit_ratios: tuple[float, ...] = DEFAULT_HIT_RATIOS,
+) -> str:
+    """ASCII Figure 5 panel at one ``X_PRTR``."""
+    result = run((x_prtr,), hit_ratios)
+    return ascii_plot(
+        _series_for(result, x_prtr, hit_ratios),
+        title=f"Figure 5. Asymptotic performance of PRTR (X_PRTR={x_prtr:g})",
+        xlabel="X_task = T_task / T_FRTR",
+        ylabel="S_inf",
+        logx=True,
+        logy=False,
+    )
+
+
+def to_csv(
+    x_prtr: float = 0.17,
+    hit_ratios: tuple[float, ...] = DEFAULT_HIT_RATIOS,
+) -> str:
+    """The panel's data series as CSV."""
+    result = run((x_prtr,), hit_ratios)
+    return series_to_csv(
+        _series_for(result, x_prtr, hit_ratios), x_name="x_task"
+    )
+
+
+def shape_claims(x_prtr: float = 0.17) -> dict[str, bool]:
+    """Machine-checkable versions of the paper's Figure 5 prose."""
+    x = log_task_axis()
+    claims: dict[str, bool] = {}
+
+    # Claim 1: X_task > 1 bounds S below 2 regardless of H and X_PRTR.
+    big = x[x > 1.0]
+    ok = True
+    for h in DEFAULT_HIT_RATIOS:
+        for p in DEFAULT_X_PRTR:
+            s = asymptotic_speedup(
+                ModelParameters(x_task=big, x_prtr=p, hit_ratio=h)
+            )
+            ok &= bool(np.all(s < 2.0))
+    claims["s_below_2_for_large_tasks"] = ok
+
+    # Claim 2: H=1 curve decreases monotonically, independent of X_PRTR.
+    s_ref = asymptotic_speedup(
+        ModelParameters(x_task=x, x_prtr=DEFAULT_X_PRTR[0], hit_ratio=1.0)
+    )
+    mono = bool(np.all(np.diff(s_ref) < 0))
+    indep = all(
+        np.allclose(
+            s_ref,
+            asymptotic_speedup(
+                ModelParameters(x_task=x, x_prtr=p, hit_ratio=1.0)
+            ),
+        )
+        for p in DEFAULT_X_PRTR[1:]
+    )
+    claims["h1_monotone_decreasing"] = mono
+    claims["h1_independent_of_x_prtr"] = indep
+
+    # Claim 3: H=0 peaks at X_task = X_PRTR with value (1+P)/P.
+    grid = np.unique(np.concatenate([x, [x_prtr]]))
+    s0 = asymptotic_speedup(
+        ModelParameters(x_task=grid, x_prtr=x_prtr, hit_ratio=0.0)
+    )
+    peak_at = grid[int(np.argmax(s0))]
+    claims["h0_peak_at_x_prtr"] = bool(np.isclose(peak_at, x_prtr))
+    claims["h0_peak_value"] = bool(
+        np.isclose(float(np.max(s0)), (1.0 + x_prtr) / x_prtr)
+    )
+    return claims

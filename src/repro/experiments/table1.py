@@ -1,0 +1,119 @@
+"""Table 1 — hardware functions and their resource requirements.
+
+Regenerates the paper's resource table from the core catalog and the
+XC2VP50 device description: LUT/FF/BRAM counts with floor-percentages, and
+the clock frequency of each block.  The published percentages are exactly
+``floor(100 * used / total)`` against the device totals; a mismatch in any
+cell is a test failure, not a tolerance.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table
+from ..hardware.catalog import XC2VP50, FpgaDevice
+from ..workloads.library import STATIC_BLOCKS, TABLE1_CORES, CoreSpec
+
+__all__ = ["PUBLISHED_TABLE1", "table1_rows", "render", "row_for"]
+
+#: The table exactly as published: (LUTs, pct, FFs, pct, BRAM, pct, MHz).
+#: ``None`` BRAM is the paper's "NA".
+PUBLISHED_TABLE1: dict[str, dict[str, object]] = {
+    "static_region": {
+        "luts": 3372, "luts_pct": 7, "ffs": 5503, "ffs_pct": 11,
+        "brams": 25, "brams_pct": 10, "freq_mhz": 200,
+    },
+    "pr_controller": {
+        "luts": 418, "luts_pct": 0, "ffs": 432, "ffs_pct": 0,
+        "brams": 8, "brams_pct": 3, "freq_mhz": 66,
+    },
+    "median": {
+        "luts": 3141, "luts_pct": 6, "ffs": 3270, "ffs_pct": 6,
+        "brams": None, "brams_pct": None, "freq_mhz": 200,
+    },
+    "sobel": {
+        "luts": 1159, "luts_pct": 2, "ffs": 1060, "ffs_pct": 2,
+        "brams": None, "brams_pct": None, "freq_mhz": 200,
+    },
+    "smoothing": {
+        "luts": 2053, "luts_pct": 4, "ffs": 1601, "ffs_pct": 3,
+        "brams": None, "brams_pct": None, "freq_mhz": 200,
+    },
+}
+
+_DISPLAY_NAMES = {
+    "static_region": "Static Region",
+    "pr_controller": "PR Controller",
+    "median": "Median Filter",
+    "sobel": "Sobel Filter",
+    "smoothing": "Smoothing Filter",
+}
+
+
+def row_for(spec: CoreSpec, device: FpgaDevice = XC2VP50) -> dict[str, object]:
+    """One regenerated Table 1 row for a core/static block."""
+    row: dict[str, object] = {
+        "name": spec.name,
+        "display": _DISPLAY_NAMES.get(spec.name, spec.name),
+        "luts": spec.luts,
+        "luts_pct": device.utilization_pct(spec.luts, device.luts),
+        "ffs": spec.ffs,
+        "ffs_pct": device.utilization_pct(spec.ffs, device.ffs),
+        "freq_mhz": round(spec.freq_hz / 1e6),
+    }
+    if spec.brams:
+        row["brams"] = spec.brams
+        row["brams_pct"] = device.utilization_pct(spec.brams, device.brams)
+    else:
+        row["brams"] = None
+        row["brams_pct"] = None
+    return row
+
+
+def table1_rows(device: FpgaDevice = XC2VP50) -> list[dict[str, object]]:
+    """All regenerated rows, in the paper's ordering."""
+    order = ["static_region", "pr_controller", "median", "sobel", "smoothing"]
+    catalog = {**STATIC_BLOCKS, **TABLE1_CORES}
+    return [row_for(catalog[name], device) for name in order]
+
+
+def render(device: FpgaDevice = XC2VP50) -> str:
+    """The Table 1 text table, formatted like the paper's."""
+    rows = []
+    for r in table1_rows(device):
+        rows.append(
+            {
+                "Hardware Function": r["display"],
+                "LUTs": f"{r['luts']:,} ({r['luts_pct']}%)",
+                "FFs": f"{r['ffs']:,} ({r['ffs_pct']}%)",
+                "BRAM": (
+                    f"{r['brams']} ({r['brams_pct']}%)"
+                    if r["brams"] is not None
+                    else "NA"
+                ),
+                "Freq (MHz)": r["freq_mhz"],
+            }
+        )
+    return render_table(
+        rows,
+        title="Table 1. Hardware functions and their resource requirements "
+        f"({device.name})",
+    )
+
+
+def verify_against_published(
+    device: FpgaDevice = XC2VP50,
+) -> list[tuple[str, str, object, object]]:
+    """All (row, field, ours, published) mismatches — empty means exact."""
+    mismatches = []
+    for row in table1_rows(device):
+        name = str(row["name"])
+        published = PUBLISHED_TABLE1[name]
+        for fieldname in (
+            "luts", "luts_pct", "ffs", "ffs_pct", "brams", "brams_pct",
+            "freq_mhz",
+        ):
+            if row[fieldname] != published[fieldname]:
+                mismatches.append(
+                    (name, fieldname, row[fieldname], published[fieldname])
+                )
+    return mismatches

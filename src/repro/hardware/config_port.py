@@ -1,0 +1,179 @@
+"""Configuration-port models: SelectMap, JTAG and the raw ICAP.
+
+Each port is a :class:`repro.sim.resources.BandwidthChannel` plus a pure
+time model usable without a simulator.  Two overhead regimes matter for
+Table 2:
+
+* the **estimated** times are simply ``bytes / port_rate`` — the paper's
+  "lower bound, best case scenario";
+* the **measured** full-configuration time includes the Cray software API
+  overhead (device reset, DONE polling, driver cost), modeled by
+  :class:`VendorApiOverhead` and calibrated in
+  :mod:`repro.analysis.calibration`.
+
+The ICAP *controller* path (BRAM-buffered, host-fed) gets its own module,
+:mod:`repro.hardware.icap_controller`, because its behaviour involves link
+sharing and chunked pipelining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from ..sim.engine import Delay, Simulator
+from ..sim.resources import BandwidthChannel
+from .bitstream import Bitstream
+from .catalog import MS
+
+__all__ = [
+    "ConfigPort",
+    "VendorApiOverhead",
+    "selectmap_port",
+    "jtag_port",
+    "icap_raw_port",
+    "CRAY_API_OVERHEAD",
+]
+
+
+@dataclass(frozen=True)
+class VendorApiOverhead:
+    """Fixed plus per-byte software overhead of a vendor configuration call.
+
+    ``time = fixed + nbytes * per_byte`` is added on top of the raw wire
+    time.  For the Cray XD1 the measured full configuration (1678.04 ms for
+    a 36.09 ms wire transfer) implies the API dominates; calibration
+    recovers the constants from Table 2.
+    """
+
+    fixed: float = 0.0
+    per_byte: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fixed < 0 or self.per_byte < 0:
+            raise ValueError(f"overheads must be >= 0: {self!r}")
+
+    def time(self, nbytes: float) -> float:
+        return self.fixed + nbytes * self.per_byte
+
+
+#: Calibrated Cray XD1 API overhead: the measured full configuration time
+#: is 1678.04 ms against a ~36.09 ms wire time for 2,381,764 bytes.  We
+#: attribute the difference to a per-byte software cost (bit-banging /
+#: word-wise writes through the driver) — a fixed-only model would predict
+#: the same overhead for tiny bitstreams, which contradicts how such APIs
+#: behave.  per_byte = (measured - bytes / 66 MB/s) / bytes, so the model
+#: closes on the published measurement exactly.
+CRAY_API_OVERHEAD = VendorApiOverhead(
+    fixed=0.0,
+    per_byte=(1678.04 * MS - 2_381_764 / (66 * 1_000_000.0)) / 2_381_764,
+)
+
+
+class ConfigPort:
+    """A configuration interface with a rate, an API overhead and checks.
+
+    Parameters
+    ----------
+    supports_partial:
+        Whether the port accepts partial bitstreams at all (JTAG and
+        SelectMap do; the Cray API wrapper around SelectMap does *not*,
+        because it validates bitstream size and the DONE pin — the exact
+        blocker Section 4.1 of the paper describes).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth: float,
+        *,
+        api_overhead: VendorApiOverhead | None = None,
+        supports_partial: bool = True,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth}")
+        self.name = name
+        self.bandwidth = bandwidth
+        self.api_overhead = api_overhead or VendorApiOverhead()
+        self.supports_partial = supports_partial
+        self._channel: BandwidthChannel | None = None
+
+    # -- pure time model -------------------------------------------------
+
+    def wire_time(self, nbytes: float) -> float:
+        """Raw transfer time (the Table 2 *estimated* column)."""
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        return nbytes / self.bandwidth
+
+    def configure_time(self, bitstream: Bitstream) -> float:
+        """Wire time plus API overhead (the *measured* model)."""
+        self._check(bitstream)
+        return self.wire_time(bitstream.nbytes) + self.api_overhead.time(
+            bitstream.nbytes
+        )
+
+    def _check(self, bitstream: Bitstream) -> None:
+        if bitstream.is_partial and not self.supports_partial:
+            raise ValueError(
+                f"port {self.name!r} rejects partial bitstreams "
+                "(bitstream-size / DONE-signal checks in the vendor API)"
+            )
+
+    # -- DES integration -------------------------------------------------
+
+    def bind(self, sim: Simulator) -> "ConfigPort":
+        """Attach the port to a simulator (creates the serializing channel)."""
+        self._channel = BandwidthChannel(
+            sim, name=f"port:{self.name}", rate=self.bandwidth
+        )
+        return self
+
+    @property
+    def channel(self) -> BandwidthChannel:
+        if self._channel is None:
+            raise RuntimeError(f"port {self.name!r} is not bound to a simulator")
+        return self._channel
+
+    def configure(
+        self, bitstream: Bitstream, owner: str
+    ) -> Generator[Any, Any, float]:
+        """DES process: run a configuration through the port."""
+        self._check(bitstream)
+        api = self.api_overhead.time(bitstream.nbytes)
+        if api > 0:
+            yield Delay(api)
+        yield from self.channel.transfer(bitstream.nbytes, owner)
+        return self.channel.sim.now
+
+
+def selectmap_port(
+    bandwidth: float,
+    *,
+    vendor_api: bool = True,
+    api_overhead: VendorApiOverhead | None = None,
+) -> ConfigPort:
+    """The external parallel (SelectMap) port.
+
+    With ``vendor_api=True`` the port is wrapped by the Cray configuration
+    function: full bitstreams only, plus the calibrated software overhead.
+    """
+    return ConfigPort(
+        "selectmap",
+        bandwidth,
+        api_overhead=(
+            api_overhead if api_overhead is not None
+            else (CRAY_API_OVERHEAD if vendor_api else VendorApiOverhead())
+        ),
+        supports_partial=not vendor_api,
+    )
+
+
+def jtag_port(bandwidth: float) -> ConfigPort:
+    """The serial JTAG port (slow; supports partial bitstreams)."""
+    return ConfigPort("jtag", bandwidth, supports_partial=True)
+
+
+def icap_raw_port(bandwidth: float) -> ConfigPort:
+    """The raw internal ICAP port (66 MB/s; partial-capable by design)."""
+    return ConfigPort("icap", bandwidth, supports_partial=True)

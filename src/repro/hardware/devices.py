@@ -1,0 +1,128 @@
+"""Extended device catalog: the Virtex-II Pro family and successors.
+
+The paper's Section 5 ties the PRTR payoff to "the current status of the
+technology": the XC2VP50's slow SelectMap/ICAP (8 bit @ 66 MHz) and large
+full bitstream make FRTR brutal and PRTR's ceiling high.  To study how
+the bounds move with device size and configuration-port generation, we
+catalog the Virtex-II Pro family plus Virtex-4/5 representatives (whose
+ICAP widens to 32 bit @ 100 MHz = 400 MB/s).
+
+Geometry and bitstream sizes are datasheet-approximate (the scaling
+study cares about ratios and trends, and the XC2VP50 entry — the only
+one the paper measures — is pinned exactly in
+:mod:`repro.hardware.catalog`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .catalog import MB, FpgaDevice, XC2VP50
+
+__all__ = ["DeviceGeneration", "CatalogEntry", "DEVICES", "device_entry"]
+
+
+@dataclass(frozen=True)
+class DeviceGeneration:
+    """Configuration-port characteristics of an FPGA family."""
+
+    family: str
+    #: external parallel configuration port throughput (bytes/s)
+    selectmap_bandwidth: float
+    #: internal ICAP raw throughput (bytes/s)
+    icap_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.selectmap_bandwidth <= 0 or self.icap_bandwidth <= 0:
+            raise ValueError("port bandwidths must be positive")
+
+
+#: Port generations: Virtex-II Pro is 8 bit @ 66 MHz on both ports;
+#: Virtex-4/5 widen to 32 bit @ 100 MHz.
+VIRTEX2PRO_PORTS = DeviceGeneration("virtex2pro", 66 * MB, 66 * MB)
+VIRTEX4_PORTS = DeviceGeneration("virtex4", 400 * MB, 400 * MB)
+VIRTEX5_PORTS = DeviceGeneration("virtex5", 400 * MB, 400 * MB)
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """A device plus its family's configuration ports."""
+
+    device: FpgaDevice
+    ports: DeviceGeneration
+
+
+def _v2p(
+    name: str,
+    slices: int,
+    brams: int,
+    clb_columns: int,
+    clb_rows: int,
+    full_bitstream_bytes: int,
+    ppc: int,
+) -> CatalogEntry:
+    return CatalogEntry(
+        device=FpgaDevice(
+            name=name,
+            luts=2 * slices,
+            ffs=2 * slices,
+            brams=brams,
+            slices=slices,
+            clb_columns=clb_columns,
+            clb_rows=clb_rows,
+            full_bitstream_bytes=full_bitstream_bytes,
+            bitstream_overhead_bytes=1_312,
+            ppc_cores=ppc,
+        ),
+        ports=VIRTEX2PRO_PORTS,
+    )
+
+
+DEVICES: dict[str, CatalogEntry] = {
+    # -- Virtex-II Pro family (datasheet-approximate sizes) --------------
+    "XC2VP20": _v2p("XC2VP20", 9_280, 88, 46, 56, 1_026_828, ppc=2),
+    "XC2VP30": _v2p("XC2VP30", 13_696, 136, 46, 80, 1_448_740, ppc=2),
+    "XC2VP50": CatalogEntry(device=XC2VP50, ports=VIRTEX2PRO_PORTS),
+    "XC2VP70": _v2p("XC2VP70", 33_088, 328, 82, 104, 3_200_372, ppc=2),
+    "XC2VP100": _v2p("XC2VP100", 44_096, 444, 94, 120, 4_206_560, ppc=2),
+    # -- later generations: wider/faster configuration ports --------------
+    "V4LX60": CatalogEntry(
+        device=FpgaDevice(
+            name="V4LX60",
+            luts=53_248,
+            ffs=53_248,
+            brams=160,
+            slices=26_624,
+            clb_columns=52,
+            clb_rows=128,
+            full_bitstream_bytes=2_670_912,
+            bitstream_overhead_bytes=1_312,
+            ppc_cores=0,
+        ),
+        ports=VIRTEX4_PORTS,
+    ),
+    "V5LX110": CatalogEntry(
+        device=FpgaDevice(
+            name="V5LX110",
+            luts=69_120,
+            ffs=69_120,
+            brams=128,
+            slices=17_280,
+            clb_columns=54,
+            clb_rows=160,
+            full_bitstream_bytes=3_889_792,
+            bitstream_overhead_bytes=1_312,
+            ppc_cores=0,
+        ),
+        ports=VIRTEX5_PORTS,
+    ),
+}
+
+
+def device_entry(name: str) -> CatalogEntry:
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; have {sorted(DEVICES)}"
+        ) from None

@@ -1,0 +1,146 @@
+"""On-board memory: QDR-II SRAM banks and the PRR interface FIFOs.
+
+Section 4.2 of the paper: each XD1 FPGA is attached to four SRAM banks; in
+the dual-PRR layout two banks are assigned to each region; FIFOs sit
+between each bank and its PRR to decouple bus-macro placement from the
+hardware-function interface and to guarantee data availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.engine import Simulator
+from ..sim.resources import MutexResource
+
+__all__ = ["SramBank", "Fifo", "MemorySystem"]
+
+
+@dataclass
+class SramBank:
+    """One QDR-II SRAM bank with capacity accounting."""
+
+    name: str
+    capacity_bytes: int
+    used_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("bank capacity must be positive")
+        if not 0 <= self.used_bytes <= self.capacity_bytes:
+            raise ValueError("used_bytes out of range")
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative size")
+        if nbytes > self.free_bytes:
+            raise MemoryError(
+                f"bank {self.name!r}: {nbytes} B requested, "
+                f"{self.free_bytes} B free"
+            )
+        self.used_bytes += nbytes
+
+    def free(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self.used_bytes:
+            raise ValueError(
+                f"bank {self.name!r}: cannot free {nbytes} of "
+                f"{self.used_bytes} used"
+            )
+        self.used_bytes -= nbytes
+
+
+class Fifo:
+    """A depth-bounded FIFO between an SRAM bank and a PRR.
+
+    Only occupancy semantics are modeled (the timing effect of the FIFOs in
+    the paper is to *decouple* interfaces; they add no steady-state latency
+    at matched rates).  Occupancy violations indicate an executor bug.
+    """
+
+    def __init__(self, name: str, depth_words: int) -> None:
+        if depth_words <= 0:
+            raise ValueError("FIFO depth must be positive")
+        self.name = name
+        self.depth_words = depth_words
+        self.occupancy = 0
+        self.max_occupancy_seen = 0
+        self.pushes = 0
+        self.pops = 0
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy >= self.depth_words
+
+    @property
+    def empty(self) -> bool:
+        return self.occupancy == 0
+
+    def push(self, words: int = 1) -> None:
+        if words < 0:
+            raise ValueError("words must be >= 0")
+        if self.occupancy + words > self.depth_words:
+            raise OverflowError(
+                f"FIFO {self.name!r} overflow: "
+                f"{self.occupancy}+{words} > {self.depth_words}"
+            )
+        self.occupancy += words
+        self.pushes += words
+        self.max_occupancy_seen = max(self.max_occupancy_seen, self.occupancy)
+
+    def pop(self, words: int = 1) -> None:
+        if words < 0:
+            raise ValueError("words must be >= 0")
+        if words > self.occupancy:
+            raise BufferError(
+                f"FIFO {self.name!r} underflow: pop {words} of {self.occupancy}"
+            )
+        self.occupancy -= words
+        self.pops += words
+
+
+@dataclass
+class MemorySystem:
+    """The bank set of one node plus bank->region assignment."""
+
+    sim: Simulator
+    n_banks: int
+    bank_bytes: int
+    banks: list[SramBank] = field(init=False)
+    bank_mutexes: list[MutexResource] = field(init=False)
+    _assignment: dict[str, list[int]] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_banks <= 0:
+            raise ValueError("need at least one bank")
+        self.banks = [
+            SramBank(name=f"bank{i}", capacity_bytes=self.bank_bytes)
+            for i in range(self.n_banks)
+        ]
+        self.bank_mutexes = [
+            MutexResource(self.sim, name=f"bank{i}") for i in range(self.n_banks)
+        ]
+
+    def assign(self, region: str, bank_indices: list[int]) -> None:
+        """Dedicate banks to a region (dual-PRR layout: 2 banks per PRR)."""
+        for idx in bank_indices:
+            if not 0 <= idx < self.n_banks:
+                raise IndexError(f"no bank {idx}")
+            for other, owned in self._assignment.items():
+                if idx in owned and other != region:
+                    raise ValueError(
+                        f"bank {idx} already assigned to region {other!r}"
+                    )
+        self._assignment[region] = list(bank_indices)
+
+    def banks_of(self, region: str) -> list[SramBank]:
+        try:
+            return [self.banks[i] for i in self._assignment[region]]
+        except KeyError:
+            raise KeyError(f"region {region!r} has no assigned banks") from None
+
+    def region_capacity(self, region: str) -> int:
+        return sum(b.capacity_bytes for b in self.banks_of(region))

@@ -1,0 +1,146 @@
+"""The assembled HPRC node: one Cray XD1 blade's acceleration subsystem.
+
+:class:`XD1Node` wires together everything Section 4 of the paper
+describes — the FPGA with its floorplan, the dual-channel link, the SRAM
+banks with their per-PRR assignment and FIFOs, the vendor (SelectMap)
+configuration path for full bitstreams, and the ICAP controller path for
+partial bitstreams — on top of one shared :class:`repro.sim.Simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.engine import Simulator
+from .bitstream import Bitstream, full_bitstream
+from .catalog import XD1_NODE, FpgaDevice, NodeParameters
+from .config_port import (
+    ConfigPort,
+    VendorApiOverhead,
+    icap_raw_port,
+    jtag_port,
+    selectmap_port,
+)
+from .fpga import Fpga
+from .icap_controller import DEFAULT_ICAP_TIMINGS, IcapController, IcapTimings
+from .interconnect import DualChannelLink
+from .memory import Fifo, MemorySystem
+from .prr import Floorplan, dual_prr_floorplan
+
+__all__ = ["XD1Node"]
+
+
+@dataclass
+class XD1Node:
+    """One blade's acceleration subsystem, ready for executor use.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that owns all the node's resources.
+    floorplan:
+        Any :class:`repro.hardware.prr.Floorplan`; defaults to the paper's
+        dual-PRR layout.
+    params:
+        Bandwidth/latency parameters; defaults to the published XD1 values.
+    vendor_api:
+        When true (default), full configuration goes through the Cray API
+        with its calibrated software overhead and partial bitstreams are
+        rejected on the external port — forcing the ICAP path, exactly as
+        on the real machine.
+    """
+
+    sim: Simulator
+    floorplan: Floorplan | None = None
+    params: NodeParameters = XD1_NODE
+    vendor_api: bool = True
+    icap_timings: IcapTimings = DEFAULT_ICAP_TIMINGS
+    api_overhead: VendorApiOverhead | None = None
+
+    def __post_init__(self) -> None:
+        if self.floorplan is None:
+            self.floorplan = dual_prr_floorplan()
+        self.device: FpgaDevice = self.floorplan.device
+        self.fpga: Fpga = self.floorplan.build()
+        self.link = DualChannelLink(
+            self.sim,
+            io_bandwidth=self.params.io_bandwidth,
+            raw_bandwidth=self.params.link_raw_bandwidth,
+        )
+        self.selectmap: ConfigPort = selectmap_port(
+            self.params.selectmap_bandwidth,
+            vendor_api=self.vendor_api,
+            api_overhead=self.api_overhead,
+        ).bind(self.sim)
+        self.jtag: ConfigPort = jtag_port(self.params.jtag_bandwidth).bind(
+            self.sim
+        )
+        self.icap_raw: ConfigPort = icap_raw_port(
+            self.params.icap_bandwidth
+        ).bind(self.sim)
+        self.icap = IcapController(
+            self.sim, in_link=self.link.config_stream, timings=self.icap_timings
+        )
+        self.memory = MemorySystem(
+            self.sim,
+            n_banks=self.params.sram_banks,
+            bank_bytes=self.params.sram_bank_bytes,
+        )
+        self.fifos: dict[str, list[Fifo]] = {}
+        self._assign_banks()
+        self.full_image: Bitstream = full_bitstream(self.device)
+
+    # -- construction helpers ---------------------------------------------
+
+    def _assign_banks(self) -> None:
+        """Distribute SRAM banks across PRRs as in Section 4.2.
+
+        Single PRR: all four banks.  Dual PRR: two banks each.  For the
+        parametric layouts banks are dealt round-robin; a PRR may end up
+        with zero banks if there are more PRRs than banks (legal — such a
+        region streams directly over the link).
+        """
+        prrs = self.floorplan.prr_names()
+        if not prrs:
+            return
+        per_region: dict[str, list[int]] = {name: [] for name in prrs}
+        for bank_idx in range(self.params.sram_banks):
+            per_region[prrs[bank_idx % len(prrs)]].append(bank_idx)
+        for name, banks in per_region.items():
+            if banks:
+                self.memory.assign(name, banks)
+            self.fifos[name] = [
+                Fifo(name=f"{name}.fifo{i}", depth_words=512)
+                for i in range(max(1, len(banks)))
+            ]
+
+    # -- configuration time models ------------------------------------------
+
+    def full_config_time(self, estimated: bool = False) -> float:
+        """Full-device configuration time (the model's ``T_FRTR``).
+
+        ``estimated=True`` gives the wire-only lower bound (Table 2
+        "estimated"); otherwise the vendor-API model (Table 2 "measured").
+        """
+        if estimated:
+            return self.selectmap.wire_time(self.full_image.nbytes)
+        return self.selectmap.configure_time(self.full_image)
+
+    def partial_config_time(
+        self, bitstream: Bitstream, estimated: bool = False
+    ) -> float:
+        """Partial configuration time (the model's ``T_PRTR``).
+
+        ``estimated=True``: wire-only through the nominal 66 MB/s port.
+        Otherwise: the BRAM-buffered ICAP controller model.
+        """
+        if not bitstream.is_partial:
+            raise ValueError("expected a partial bitstream")
+        if estimated:
+            return self.icap_raw.wire_time(bitstream.nbytes)
+        return self.icap.configure_time(bitstream)
+
+    def prr_bitstream(self, prr_index: int, module: str) -> Bitstream:
+        """Module-based partial bitstream for a PRR, at the geometric size."""
+        (bs,) = self.floorplan.bitstreams_for(prr_index, [module])
+        return bs

@@ -1,0 +1,185 @@
+"""PRR floorplans: the paper's single- and dual-PRR Cray XD1 layouts.
+
+A :class:`Floorplan` carves the device's CLB columns into one static region
+(RT core, ICAP controller, FIFOs — Fig. 8) and ``n`` partially
+reconfigurable regions.  Bus macros anchor the wires crossing each PRR
+boundary; we count them (2 per crossing direction per data bus) because
+their fixed placement is what motivates the FIFOs.
+
+Column widths for the XD1 layouts are chosen so the geometric
+partial-bitstream model lands on the published Table 2 sizes:
+
+* single PRR: 26 of 70 columns  -> 885,480 B (published 887,784; -0.26%)
+* dual PRR:   12 of 70 columns  -> 409,390 B (published 404,168; +1.29%)
+
+Both the geometric and the published sizes are reported by the Table 2
+experiment; everything downstream (configuration times) uses the published
+sizes as ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bitstream import Bitstream, module_based_bitstreams
+from .catalog import FpgaDevice, XC2VP50
+from .fpga import Fpga, PlacementError, Region
+
+__all__ = [
+    "BusMacro",
+    "Floorplan",
+    "static_only_floorplan",
+    "single_prr_floorplan",
+    "dual_prr_floorplan",
+    "uniform_prr_floorplan",
+]
+
+
+@dataclass(frozen=True)
+class BusMacro:
+    """A fixed LUT-pair routing bridge across a PRR boundary."""
+
+    name: str
+    src_region: str
+    dst_region: str
+    width_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0:
+            raise ValueError("bus macro width must be positive")
+        if self.src_region == self.dst_region:
+            raise ValueError("bus macro must cross a region boundary")
+
+
+@dataclass
+class Floorplan:
+    """A named floorplan: device + static region + PRRs + bus macros."""
+
+    name: str
+    device: FpgaDevice
+    static_columns: int
+    prr_columns: list[int]
+    bus_macros: list[BusMacro] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.static_columns <= 0:
+            raise ValueError("static region needs at least one column")
+        if any(c <= 0 for c in self.prr_columns):
+            raise ValueError("every PRR needs at least one column")
+        total = self.static_columns + sum(self.prr_columns)
+        if total > self.device.clb_columns:
+            raise PlacementError(
+                f"floorplan {self.name!r} needs {total} columns; device "
+                f"{self.device.name} has {self.device.clb_columns}"
+            )
+
+    @property
+    def n_prrs(self) -> int:
+        return len(self.prr_columns)
+
+    def prr_names(self) -> list[str]:
+        return [f"prr{i}" for i in range(self.n_prrs)]
+
+    def build(self) -> Fpga:
+        """Instantiate an :class:`Fpga` with the regions laid out left to
+        right: static first (as in the paper's Fig. 1), then each PRR."""
+        fpga = Fpga(self.device)
+        fpga.add_region(
+            Region("static", 0, self.static_columns, reconfigurable=False)
+        )
+        col = self.static_columns
+        for i, width in enumerate(self.prr_columns):
+            fpga.add_region(
+                Region(f"prr{i}", col, col + width, reconfigurable=True)
+            )
+            col += width
+        return fpga
+
+    def partial_bitstream_bytes(self, prr_index: int) -> int:
+        """Geometry-derived size of a partial bitstream for one PRR."""
+        return self.device.partial_bitstream_bytes(self.prr_columns[prr_index])
+
+    def bitstreams_for(
+        self, prr_index: int, modules: list[str]
+    ) -> list[Bitstream]:
+        region = Region(
+            f"prr{prr_index}",
+            0,
+            self.prr_columns[prr_index],
+            reconfigurable=True,
+        )
+        return module_based_bitstreams(self.device, region, modules)
+
+    def default_bus_macros(self, buses_per_prr: int = 2) -> list[BusMacro]:
+        """Standard macro set: one in/out pair per PRR<->static crossing."""
+        macros = []
+        for prr in self.prr_names():
+            for b in range(buses_per_prr):
+                macros.append(
+                    BusMacro(f"{prr}_in{b}", "static", prr, width_bits=8)
+                )
+                macros.append(
+                    BusMacro(f"{prr}_out{b}", prr, "static", width_bits=8)
+                )
+        return macros
+
+
+def static_only_floorplan(device: FpgaDevice = XC2VP50) -> Floorplan:
+    """The FRTR baseline layout: no PRRs, whole device reconfigured."""
+    return Floorplan(
+        name="static_only",
+        device=device,
+        static_columns=device.clb_columns,
+        prr_columns=[],
+    )
+
+
+def single_prr_floorplan(device: FpgaDevice = XC2VP50) -> Floorplan:
+    """The paper's single-PRR layout (all four SRAM banks to one PRR)."""
+    plan = Floorplan(
+        name="single_prr",
+        device=device,
+        static_columns=device.clb_columns - 26,
+        prr_columns=[26],
+    )
+    plan.bus_macros = plan.default_bus_macros()
+    return plan
+
+
+def dual_prr_floorplan(device: FpgaDevice = XC2VP50) -> Floorplan:
+    """The paper's dual-PRR layout (Fig. 8; two SRAM banks per PRR)."""
+    plan = Floorplan(
+        name="dual_prr",
+        device=device,
+        static_columns=device.clb_columns - 24,
+        prr_columns=[12, 12],
+    )
+    plan.bus_macros = plan.default_bus_macros()
+    return plan
+
+
+def uniform_prr_floorplan(
+    n_prrs: int,
+    columns_each: int,
+    device: FpgaDevice = XC2VP50,
+    static_columns: int | None = None,
+) -> Floorplan:
+    """A parametric layout for the PRR-granularity ablation.
+
+    ``static_columns`` defaults to whatever the device has left over after
+    the PRRs (at least the paper's dual-layout static share is recommended
+    for realism, but the ablation explores the whole range).
+    """
+    if n_prrs <= 0:
+        raise ValueError("need at least one PRR")
+    used = n_prrs * columns_each
+    if static_columns is None:
+        static_columns = device.clb_columns - used
+    plan = Floorplan(
+        name=f"uniform_{n_prrs}x{columns_each}",
+        device=device,
+        static_columns=static_columns,
+        prr_columns=[columns_each] * n_prrs,
+    )
+    plan.bus_macros = plan.default_bus_macros()
+    return plan

@@ -1,0 +1,204 @@
+"""Whole-application speedup: software tasks included (paper future work).
+
+Section 3.1 scopes the analysis to hardware tasks only; the conclusion
+flags the inclusion of software tasks as future consideration.  This
+module follows through in the style of the paper's modeling references
+(Smith & Peterson [33, 34]): a *reconfiguration-aware Amdahl's law*.
+
+An application is a serial software part plus a set of acceleratable
+kernels.  Offloading kernel ``i`` replaces ``calls_i x t_sw_i`` of CPU
+time with ``calls_i x (t_hw_i + per-call reconfiguration overhead)``,
+where the overhead depends on the regime:
+
+* ``"none"``   — the kernels' circuits all fit on chip (no RTR at all);
+* ``"frtr"``   — every call pays ``T_FRTR + T_control`` (Eq. 1);
+* ``"prtr"``   — every call pays the PRTR per-call surcharge of Eq. (5):
+  ``T_control + M * max(0, T_PRTR - t_hw - T_decision) + T_decision``
+  (the partial reconfiguration hides behind the kernel execution; only
+  the *uncovered* remainder bills the application), plus the one-time
+  initial full configuration.
+
+The headline consequences, pinned by tests:
+
+* Amdahl: no regime beats ``T_total / T_serial``;
+* FRTR can make acceleration a *slowdown* for fine-grained kernels while
+  PRTR keeps it profitable — the application-level restatement of the
+  paper's bounds;
+* as kernels grow coarse, the three regimes converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+__all__ = [
+    "Kernel",
+    "ApplicationProfile",
+    "application_time",
+    "application_speedup",
+    "amdahl_limit",
+    "breakeven_kernel_time",
+]
+
+Regime = Literal["none", "frtr", "prtr"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One acceleratable function of the application."""
+
+    name: str
+    calls: int
+    #: CPU time per call (seconds)
+    t_sw: float
+    #: FPGA time per call (seconds), including its I/O
+    t_hw: float
+
+    def __post_init__(self) -> None:
+        if self.calls <= 0:
+            raise ValueError("calls must be >= 1")
+        if self.t_sw <= 0 or self.t_hw <= 0:
+            raise ValueError("per-call times must be > 0")
+
+    @property
+    def hw_speedup(self) -> float:
+        return self.t_sw / self.t_hw
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Serial software time plus kernels."""
+
+    name: str
+    t_serial: float
+    kernels: tuple[Kernel, ...]
+
+    def __post_init__(self) -> None:
+        if self.t_serial < 0:
+            raise ValueError("t_serial must be >= 0")
+        if not self.kernels:
+            raise ValueError("need at least one kernel")
+        names = [k.name for k in self.kernels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate kernel names: {names}")
+
+    @property
+    def t_software_total(self) -> float:
+        """Pure-CPU execution time (the baseline)."""
+        return self.t_serial + sum(k.calls * k.t_sw for k in self.kernels)
+
+    @property
+    def accelerable_fraction(self) -> float:
+        return 1.0 - self.t_serial / self.t_software_total
+
+
+def _per_call_overhead(
+    regime: Regime,
+    t_hw: float,
+    *,
+    t_frtr: float,
+    t_prtr: float,
+    t_control: float,
+    t_decision: float,
+    hit_ratio: float,
+) -> float:
+    if regime == "none":
+        return t_control
+    if regime == "frtr":
+        return t_frtr + t_control
+    if regime == "prtr":
+        miss = 1.0 - hit_ratio
+        uncovered = max(0.0, t_prtr - t_hw - t_decision)
+        return t_control + t_decision + miss * uncovered
+    raise ValueError(f"unknown regime {regime!r}")
+
+
+def application_time(
+    profile: ApplicationProfile,
+    regime: Regime,
+    *,
+    t_frtr: float,
+    t_prtr: float,
+    t_control: float = 0.0,
+    t_decision: float = 0.0,
+    hit_ratio: float = 0.0,
+) -> float:
+    """End-to-end accelerated execution time under a regime."""
+    if t_frtr <= 0 or t_prtr <= 0:
+        raise ValueError("configuration times must be > 0")
+    total = profile.t_serial
+    for k in profile.kernels:
+        overhead = _per_call_overhead(
+            regime,
+            k.t_hw,
+            t_frtr=t_frtr,
+            t_prtr=t_prtr,
+            t_control=t_control,
+            t_decision=t_decision,
+            hit_ratio=hit_ratio,
+        )
+        total += k.calls * (k.t_hw + overhead)
+    if regime == "prtr":
+        total += t_decision + t_frtr  # Eq. (5)'s one-time startup
+    return total
+
+
+def application_speedup(
+    profile: ApplicationProfile,
+    regime: Regime,
+    **platform: float,
+) -> float:
+    """Speedup of the accelerated application over pure software."""
+    return profile.t_software_total / application_time(
+        profile, regime, **platform
+    )
+
+
+def amdahl_limit(profile: ApplicationProfile) -> float:
+    """The zero-overhead, infinitely-fast-hardware ceiling:
+    ``T_total / T_serial`` (``inf`` for fully-accelerable apps)."""
+    if profile.t_serial == 0:
+        return np.inf
+    return profile.t_software_total / profile.t_serial
+
+
+def breakeven_kernel_time(
+    regime: Regime,
+    hw_speedup: float,
+    *,
+    t_frtr: float,
+    t_prtr: float,
+    t_control: float = 0.0,
+    t_decision: float = 0.0,
+    hit_ratio: float = 0.0,
+) -> float:
+    """Smallest per-call *software* kernel time for which offloading pays.
+
+    Offloading one call wins when ``t_sw > t_hw + overhead`` with
+    ``t_hw = t_sw / hw_speedup``.  For the PRTR regime, the overhead
+    itself depends on ``t_hw`` (coverage of the partial reconfiguration),
+    so the bound solves the piecewise condition; for FRTR it is simply
+    ``(t_frtr + t_control) / (1 - 1/s)``.
+    """
+    if hw_speedup <= 1.0:
+        raise ValueError("hardware must be faster than software (s > 1)")
+    shrink = 1.0 - 1.0 / hw_speedup
+    if regime == "none":
+        return t_control / shrink
+    if regime == "frtr":
+        return (t_frtr + t_control) / shrink
+    if regime == "prtr":
+        miss = 1.0 - hit_ratio
+        # Case 1: t_hw covers the reconfiguration entirely.
+        t1 = (t_control + t_decision) / shrink
+        if t1 / hw_speedup + t_decision >= t_prtr:
+            return t1
+        # Case 2: uncovered remainder bills the call.
+        # t_sw*shrink > Tc + Td + miss*(Tp - t_sw/s - Td)
+        numer = t_control + t_decision + miss * (t_prtr - t_decision)
+        denom = shrink + miss / hw_speedup
+        return numer / denom
+    raise ValueError(f"unknown regime {regime!r}")

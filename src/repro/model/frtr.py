@@ -1,0 +1,48 @@
+"""FRTR total-time model — Eqs. (1) and (2) of the paper.
+
+Under Full Run-Time Reconfiguration every function call downloads a full
+bitstream, transfers control, and runs the task::
+
+    T_total^FRTR = n_calls * (T_FRTR + T_control + T_task)        (1)
+    X_total^FRTR = n_calls * (1 + X_control + X_task)             (2)
+
+No pre-fetch decision term appears: configuration caching only makes sense
+with partial reconfiguration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .parameters import ModelParameters, RawParameters, as_array
+
+__all__ = [
+    "frtr_total_normalized",
+    "frtr_total_time",
+    "frtr_per_call_normalized",
+]
+
+
+def frtr_per_call_normalized(params: ModelParameters) -> np.ndarray:
+    """Normalized cost of one FRTR call: ``1 + X_control + X_task``."""
+    return 1.0 + params.x_control + params.x_task
+
+
+def frtr_total_normalized(params: ModelParameters, n_calls: Any) -> np.ndarray:
+    """Eq. (2): ``X_total^FRTR = n * (1 + X_control + X_task)``."""
+    n = as_array(n_calls)
+    if np.any(n <= 0):
+        raise ValueError("n_calls must be > 0")
+    return n * frtr_per_call_normalized(params)
+
+
+def frtr_total_time(raw: RawParameters, n_calls: Any) -> np.ndarray:
+    """Eq. (1) in seconds: ``n * (T_FRTR + T_control + T_task)``."""
+    n = as_array(n_calls)
+    if np.any(n <= 0):
+        raise ValueError("n_calls must be > 0")
+    return n * (
+        as_array(raw.t_frtr) + as_array(raw.t_control) + as_array(raw.t_task)
+    )

@@ -1,0 +1,149 @@
+"""Model parameters: raw (seconds) and normalized (Eq. 2's ``X`` variables).
+
+The paper normalizes every time by the full configuration time ``T_FRTR``::
+
+    X_y = T_y / T_FRTR
+
+:class:`RawParameters` carries dimensional task/platform times measured on
+(or simulated for) a platform; :meth:`RawParameters.normalized` converts to
+the dimensionless :class:`ModelParameters` the equations consume.  All
+fields of :class:`ModelParameters` accept numpy arrays and broadcast, so a
+whole figure grid is one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ModelParameters", "RawParameters", "as_array"]
+
+
+def as_array(x: Any) -> np.ndarray:
+    """Coerce scalars/sequences to a float64 ndarray (0-d for scalars)."""
+    return np.asarray(x, dtype=np.float64)
+
+
+def _check_nonneg(name: str, value: np.ndarray) -> None:
+    if np.any(value < 0):
+        raise ValueError(f"{name} must be >= 0 (got min {value.min()!r})")
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Normalized parameters of the PRTR/FRTR execution model.
+
+    Attributes
+    ----------
+    x_task:
+        ``T_task / T_FRTR`` — average task time requirement.  Must be > 0.
+    x_prtr:
+        ``T_PRTR / T_FRTR`` — average partial configuration time.  In
+        ``(0, 1]``: a partial bitstream is never larger than the full one.
+    hit_ratio:
+        ``H`` — fraction of calls whose module was successfully
+        pre-fetched.  In ``[0, 1]``.
+    x_control:
+        ``T_control / T_FRTR`` — transfer-of-control overhead.  >= 0.
+    x_decision:
+        ``T_decision / T_FRTR`` — pre-fetch decision latency.  >= 0.
+
+    All attributes may be numpy arrays; they broadcast against each other.
+    """
+
+    x_task: Any
+    x_prtr: Any
+    hit_ratio: Any = 0.0
+    x_control: Any = 0.0
+    x_decision: Any = 0.0
+
+    def __post_init__(self) -> None:
+        x_task = as_array(self.x_task)
+        x_prtr = as_array(self.x_prtr)
+        h = as_array(self.hit_ratio)
+        x_control = as_array(self.x_control)
+        x_decision = as_array(self.x_decision)
+        if np.any(x_task <= 0):
+            raise ValueError("x_task must be > 0")
+        if np.any(x_prtr <= 0) or np.any(x_prtr > 1):
+            raise ValueError("x_prtr must be in (0, 1]")
+        if np.any(h < 0) or np.any(h > 1):
+            raise ValueError("hit_ratio must be in [0, 1]")
+        _check_nonneg("x_control", x_control)
+        _check_nonneg("x_decision", x_decision)
+        # Freeze the coerced arrays.
+        object.__setattr__(self, "x_task", x_task)
+        object.__setattr__(self, "x_prtr", x_prtr)
+        object.__setattr__(self, "hit_ratio", h)
+        object.__setattr__(self, "x_control", x_control)
+        object.__setattr__(self, "x_decision", x_decision)
+        np.broadcast(x_task, x_prtr, h, x_control, x_decision)  # raises if bad
+
+    @property
+    def miss_ratio(self) -> np.ndarray:
+        """``M = 1 - H``."""
+        return 1.0 - self.hit_ratio
+
+    def with_(self, **kwargs: Any) -> "ModelParameters":
+        """A copy with some fields replaced (named to avoid ``replace``)."""
+        return replace(self, **kwargs)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return np.broadcast(
+            self.x_task,
+            self.x_prtr,
+            self.hit_ratio,
+            self.x_control,
+            self.x_decision,
+        ).shape
+
+
+@dataclass(frozen=True)
+class RawParameters:
+    """Dimensional platform/task times in seconds.
+
+    Attributes
+    ----------
+    t_task:
+        Average task execution time requirement ``T_task`` (I/O +
+        compute, folded together exactly as the paper does).
+    t_frtr:
+        Full configuration time ``T_FRTR``.
+    t_prtr:
+        Average partial configuration time ``T_PRTR``.
+    t_control, t_decision:
+        Transfer-of-control and pre-fetch decision latencies.
+    hit_ratio:
+        Cache/prefetch hit ratio ``H``.
+    """
+
+    t_task: Any
+    t_frtr: Any
+    t_prtr: Any
+    t_control: Any = 0.0
+    t_decision: Any = 0.0
+    hit_ratio: Any = 0.0
+
+    def __post_init__(self) -> None:
+        t_frtr = as_array(self.t_frtr)
+        if np.any(t_frtr <= 0):
+            raise ValueError("t_frtr must be > 0")
+        for name in ("t_task", "t_prtr"):
+            if np.any(as_array(getattr(self, name)) <= 0):
+                raise ValueError(f"{name} must be > 0")
+        for name in ("t_control", "t_decision"):
+            _check_nonneg(name, as_array(getattr(self, name)))
+
+    def normalized(self) -> ModelParameters:
+        """Normalize by ``t_frtr`` (Eq. 2's change of variables)."""
+        t_frtr = as_array(self.t_frtr)
+        return ModelParameters(
+            x_task=as_array(self.t_task) / t_frtr,
+            x_prtr=as_array(self.t_prtr) / t_frtr,
+            hit_ratio=self.hit_ratio,
+            x_control=as_array(self.t_control) / t_frtr,
+            x_decision=as_array(self.t_decision) / t_frtr,
+        )

@@ -1,0 +1,75 @@
+"""PRTR total-time model — Eqs. (3), (4) and (5) of the paper.
+
+Under Partial Run-Time Reconfiguration the run starts with one pre-fetch
+decision and one full configuration (the static design plus the first
+module), then each of the ``n_calls`` calls pays a transfer of control and
+one of two pipeline-stage costs:
+
+* a **missed** call (probability ``M``) — the partial reconfiguration of
+  the module overlaps the preceding execution; the stage costs the longer
+  of the two: ``max(X_task + X_decision, X_PRTR)``;
+* a **hit** call (probability ``H``) — the module is already on the
+  fabric; the stage costs ``X_task + X_decision``.
+
+Eq. (5), normalized by ``T_FRTR``::
+
+    X_total^PRTR = (1 + X_decision)
+                 + n * ( X_control
+                       + M * max(X_task + X_decision, X_PRTR)
+                       + H * (X_task + X_decision) )
+
+The dimensional Eq. (3) is the same expression scaled by ``T_FRTR``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .parameters import ModelParameters, RawParameters, as_array
+
+__all__ = [
+    "prtr_total_normalized",
+    "prtr_total_time",
+    "prtr_per_call_normalized",
+    "missed_stage_normalized",
+    "hit_stage_normalized",
+]
+
+
+def missed_stage_normalized(params: ModelParameters) -> np.ndarray:
+    """Per-call stage cost of a missed task (config overlaps prior work)."""
+    return np.maximum(params.x_task + params.x_decision, params.x_prtr)
+
+
+def hit_stage_normalized(params: ModelParameters) -> np.ndarray:
+    """Per-call stage cost of a pre-fetched (hit) task."""
+    return params.x_task + params.x_decision
+
+
+def prtr_per_call_normalized(params: ModelParameters) -> np.ndarray:
+    """The asymptotic per-call cost (the bracket of Eq. 5)."""
+    m = params.miss_ratio
+    h = params.hit_ratio
+    return (
+        params.x_control
+        + m * missed_stage_normalized(params)
+        + h * hit_stage_normalized(params)
+    )
+
+
+def prtr_total_normalized(params: ModelParameters, n_calls: Any) -> np.ndarray:
+    """Eq. (5): startup term plus ``n`` pipeline stages."""
+    n = as_array(n_calls)
+    if np.any(n <= 0):
+        raise ValueError("n_calls must be > 0")
+    startup = 1.0 + params.x_decision
+    return startup + n * prtr_per_call_normalized(params)
+
+
+def prtr_total_time(raw: RawParameters, n_calls: Any) -> np.ndarray:
+    """Eq. (3) in seconds (normalized Eq. 5 scaled back by ``T_FRTR``)."""
+    return prtr_total_normalized(raw.normalized(), n_calls) * as_array(
+        raw.t_frtr
+    )

@@ -1,0 +1,74 @@
+"""PRTR-over-FRTR speedup — Eqs. (6) and (7), the paper's headline result.
+
+Finite-call speedup (Eq. 6)::
+
+    S(n) = X_total^FRTR(n) / X_total^PRTR(n)
+
+Asymptotic speedup (Eq. 7, ``n -> inf``)::
+
+    S_inf = (1 + X_control + X_task) /
+            ( X_control + M * max(X_task + X_decision, X_PRTR)
+                        + H * (X_task + X_decision) )
+
+Everything is vectorized; pass array-valued :class:`ModelParameters` to
+evaluate whole figure grids in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .frtr import frtr_per_call_normalized, frtr_total_normalized
+from .parameters import ModelParameters, RawParameters
+from .prtr import prtr_per_call_normalized, prtr_total_normalized
+
+__all__ = [
+    "speedup",
+    "asymptotic_speedup",
+    "speedup_from_raw",
+    "convergence_n",
+]
+
+
+def speedup(params: ModelParameters, n_calls: Any) -> np.ndarray:
+    """Eq. (6): finite-``n`` speedup of PRTR relative to FRTR."""
+    return frtr_total_normalized(params, n_calls) / prtr_total_normalized(
+        params, n_calls
+    )
+
+
+def asymptotic_speedup(params: ModelParameters) -> np.ndarray:
+    """Eq. (7): the ``n -> inf`` limit of Eq. (6).
+
+    The PRTR startup term ``(1 + X_decision)`` amortizes away; what remains
+    is the ratio of per-call costs.
+    """
+    return frtr_per_call_normalized(params) / prtr_per_call_normalized(params)
+
+
+def speedup_from_raw(raw: RawParameters, n_calls: Any) -> np.ndarray:
+    """Eq. (6) evaluated from dimensional (seconds) parameters."""
+    return speedup(raw.normalized(), n_calls)
+
+
+def convergence_n(
+    params: ModelParameters, rel_tol: float = 0.01
+) -> np.ndarray:
+    """Smallest ``n`` for which ``S(n)`` is within ``rel_tol`` of ``S_inf``.
+
+    Closed form: with ``a = 1 + X_decision`` (the PRTR startup term) and
+    ``c = prtr_per_call``, ``S(n) = S_inf * n*c / (a + n*c)``, so the
+    relative shortfall is ``a / (a + n*c)`` and::
+
+        n >= a * (1 - tol) / (tol * c)
+
+    Returns the (broadcast) ceiling as a float array.
+    """
+    if not 0 < rel_tol < 1:
+        raise ValueError("rel_tol must be in (0, 1)")
+    a = 1.0 + params.x_decision
+    c = prtr_per_call_normalized(params)
+    n = a * (1.0 - rel_tol) / (rel_tol * c)
+    return np.ceil(np.maximum(n, 1.0))

@@ -1,0 +1,210 @@
+"""Heterogeneous task times: beyond the paper's average-based model.
+
+Section 3.1 characterizes every task by a single average requirement
+``T_task``.  Real call streams mix fast and slow tasks, and Eq. (7) is
+*nonlinear* in the task time (the ``max`` kink), so evaluating the model
+at the mean is not the same as the true long-run speedup:
+
+    S_true = E[FRTR per-call cost] / E[PRTR per-call cost]
+
+with the expectations over the task-time distribution.  Because
+``max(x + X_d, X_PRTR)`` is convex in ``x``, Jensen's inequality gives
+``E[max(...)] >= max(E[...])``: **the average-based model systematically
+over-estimates the PRTR speedup** whenever the distribution straddles the
+partial-configuration time (it is exact when all mass sits on one side of
+the kink and ``H`` doesn't re-weight anything).
+
+This module provides:
+
+* parametric task-time samplers (:func:`sample_task_times`) keyed by mean
+  and coefficient of variation;
+* the exact heterogeneous asymptotic speedup from samples
+  (:func:`heterogeneous_speedup`) and its finite-``n`` analogue;
+* a closed form for uniformly distributed task times
+  (:func:`uniform_heterogeneous_speedup`) used to validate the Monte
+  Carlo path;
+* :func:`jensen_gap`, the over-estimate of the average-based model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .parameters import ModelParameters, as_array
+
+__all__ = [
+    "sample_task_times",
+    "heterogeneous_per_call",
+    "heterogeneous_speedup",
+    "heterogeneous_speedup_finite",
+    "expected_max_uniform",
+    "uniform_heterogeneous_speedup",
+    "jensen_gap",
+    "DISTRIBUTIONS",
+]
+
+DISTRIBUTIONS = ("deterministic", "uniform", "exponential", "lognormal",
+                 "bimodal")
+
+
+def sample_task_times(
+    kind: str,
+    mean: float,
+    cv: float,
+    size: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Draw ``size`` task times with the given mean and coefficient of
+    variation (sigma/mean).
+
+    ``deterministic`` ignores ``cv``; ``exponential`` requires ``cv == 1``
+    (its CV is fixed); ``uniform`` supports ``cv <= 1/sqrt(3)``;
+    ``bimodal`` mixes two spikes at ``mean*(1 -/+ cv)`` (requires
+    ``cv < 1``).  All outputs are strictly positive.
+    """
+    if mean <= 0:
+        raise ValueError("mean must be > 0")
+    if cv < 0:
+        raise ValueError("cv must be >= 0")
+    if size <= 0:
+        raise ValueError("size must be >= 1")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(0 if rng is None else rng)
+
+    if kind == "deterministic":
+        return np.full(size, mean)
+    if kind == "uniform":
+        half = mean * cv * np.sqrt(3.0)
+        if half >= mean:
+            raise ValueError(
+                f"uniform needs cv <= 1/sqrt(3) ~ 0.577 for positivity: {cv}"
+            )
+        return rng.uniform(mean - half, mean + half, size)
+    if kind == "exponential":
+        if not np.isclose(cv, 1.0):
+            raise ValueError("the exponential distribution has cv = 1")
+        return rng.exponential(mean, size) + 1e-300
+    if kind == "lognormal":
+        if cv == 0:
+            return np.full(size, mean)
+        sigma2 = np.log(1.0 + cv**2)
+        mu = np.log(mean) - sigma2 / 2.0
+        return rng.lognormal(mu, np.sqrt(sigma2), size)
+    if kind == "bimodal":
+        if not 0 <= cv < 1:
+            raise ValueError(f"bimodal needs 0 <= cv < 1: {cv}")
+        lo, hi = mean * (1.0 - cv), mean * (1.0 + cv)
+        picks = rng.integers(0, 2, size)
+        return np.where(picks == 0, lo, hi)
+    raise ValueError(f"unknown distribution {kind!r}; have {DISTRIBUTIONS}")
+
+
+def _base_scalars(params: ModelParameters) -> tuple[float, float, float, float]:
+    vals = []
+    for f in ("x_prtr", "hit_ratio", "x_control", "x_decision"):
+        a = as_array(getattr(params, f))
+        if a.size != 1:
+            raise ValueError(
+                f"stochastic analysis needs scalar {f}; got shape {a.shape}"
+            )
+        vals.append(float(a))
+    return tuple(vals)  # type: ignore[return-value]
+
+
+def heterogeneous_per_call(
+    x_task_samples: np.ndarray, params: ModelParameters
+) -> tuple[float, float]:
+    """(E[FRTR per-call], E[PRTR per-call]) over the sample set.
+
+    ``params.x_task`` is ignored; the samples are the task times.
+    """
+    x = np.asarray(x_task_samples, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("need a non-empty 1-D sample array")
+    if np.any(x <= 0):
+        raise ValueError("task-time samples must be > 0")
+    p, h, xc, xd = _base_scalars(params)
+    m = 1.0 - h
+    frtr = 1.0 + xc + x
+    prtr = xc + m * np.maximum(x + xd, p) + h * (x + xd)
+    return float(frtr.mean()), float(prtr.mean())
+
+
+def heterogeneous_speedup(
+    x_task_samples: np.ndarray, params: ModelParameters
+) -> float:
+    """True long-run speedup over a heterogeneous call stream.
+
+    The time-average ratio: total FRTR time over total PRTR time for the
+    same (long) stream equals the ratio of per-call expectations.
+    """
+    frtr, prtr = heterogeneous_per_call(x_task_samples, params)
+    return frtr / prtr
+
+
+def heterogeneous_speedup_finite(
+    x_task_samples: np.ndarray, params: ModelParameters
+) -> float:
+    """Finite-stream speedup: treats the samples as the literal trace.
+
+    Exactly Eq. (6) generalized per call: the PRTR startup term is paid
+    once, every sampled task contributes its own stage cost.
+    """
+    x = np.asarray(x_task_samples, dtype=np.float64)
+    frtr_mean, prtr_mean = heterogeneous_per_call(x, params)
+    _, _, _, xd = _base_scalars(params)
+    n = x.size
+    return (n * frtr_mean) / ((1.0 + xd) + n * prtr_mean)
+
+
+def expected_max_uniform(a: float, b: float, p: float) -> float:
+    """``E[max(X, p)]`` for ``X ~ Uniform(a, b)`` (closed form).
+
+    Piecewise: ``p <= a`` -> mean; ``p >= b`` -> ``p``; else
+    ``[p(p - a) + (b^2 - p^2)/2] / (b - a)``.
+    """
+    if b <= a:
+        raise ValueError("need a < b")
+    if p <= a:
+        return (a + b) / 2.0
+    if p >= b:
+        return p
+    return (p * (p - a) + (b * b - p * p) / 2.0) / (b - a)
+
+
+def uniform_heterogeneous_speedup(
+    mean: float, cv: float, params: ModelParameters
+) -> float:
+    """Closed-form heterogeneous speedup for uniform task times."""
+    half = mean * cv * np.sqrt(3.0)
+    if half >= mean:
+        raise ValueError("uniform needs cv < 1/sqrt(3)")
+    p, h, xc, xd = _base_scalars(params)
+    m = 1.0 - h
+    a, b = mean - half, mean + half
+    if a == b:
+        e_max = max(a + xd, p)
+    else:
+        e_max = expected_max_uniform(a + xd, b + xd, p)
+    frtr = 1.0 + xc + mean
+    prtr = xc + m * e_max + h * (mean + xd)
+    return frtr / prtr
+
+
+def jensen_gap(
+    x_task_samples: np.ndarray, params: ModelParameters
+) -> float:
+    """How much the paper's average-based Eq. (7) over-estimates.
+
+    Returns ``S_mean_based - S_true`` (>= 0 up to Monte-Carlo noise):
+    evaluating the model at the mean task time under-counts the
+    configuration exposure of the fast tasks in the mix.
+    """
+    from .speedup import asymptotic_speedup
+
+    x = np.asarray(x_task_samples, dtype=np.float64)
+    mean_based = float(
+        asymptotic_speedup(params.with_(x_task=float(x.mean())))
+    )
+    true = heterogeneous_speedup(x, params)
+    return mean_based - true

@@ -1,0 +1,194 @@
+"""Parameter-sweep helpers for regenerating the paper's figures.
+
+A *sweep* is a set of named 1-D axes expanded to a broadcastable grid of
+:class:`~repro.model.parameters.ModelParameters`, evaluated in one
+vectorized call.  :func:`figure5_grid` builds exactly the grid behind the
+paper's Figure 5; :func:`figure9_grid` builds the task-time sweeps behind
+Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .parameters import ModelParameters, as_array
+from .speedup import asymptotic_speedup, speedup
+
+__all__ = [
+    "SweepResult",
+    "sweep_asymptotic",
+    "sweep_finite",
+    "log_task_axis",
+    "figure5_grid",
+    "figure9_grid",
+]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A labeled grid evaluation.
+
+    ``axes`` maps axis name to its 1-D values (in grid order);
+    ``values`` has shape ``tuple(len(a) for a in axes.values())``.
+    """
+
+    axes: Mapping[str, np.ndarray]
+    values: np.ndarray
+    name: str = "speedup"
+
+    def __post_init__(self) -> None:
+        expected = tuple(len(v) for v in self.axes.values())
+        if self.values.shape != expected:
+            raise ValueError(
+                f"values shape {self.values.shape} != axes shape {expected}"
+            )
+
+    def series(self, **fixed: Any) -> tuple[np.ndarray, np.ndarray]:
+        """Slice down to one free axis.
+
+        Pass index values for every axis except one; returns
+        ``(free_axis_values, curve)``.
+        """
+        names = list(self.axes)
+        free = [n for n in names if n not in fixed]
+        if len(free) != 1:
+            raise ValueError(
+                f"need exactly one free axis, got {free!r} "
+                f"(fix {sorted(set(names) - set(fixed) - set(free))})"
+            )
+        idx = []
+        for n in names:
+            if n in fixed:
+                axis = self.axes[n]
+                where = np.nonzero(np.isclose(axis, fixed[n]))[0]
+                if len(where) == 0:
+                    raise KeyError(
+                        f"value {fixed[n]!r} not on axis {n!r} ({axis!r})"
+                    )
+                idx.append(int(where[0]))
+            else:
+                idx.append(slice(None))
+        return self.axes[free[0]], self.values[tuple(idx)]
+
+    def to_rows(self) -> list[dict[str, float]]:
+        """Long-format rows (one per grid point) for CSV export."""
+        names = list(self.axes)
+        mesh = np.meshgrid(*self.axes.values(), indexing="ij")
+        rows = []
+        for flat_idx in range(self.values.size):
+            idx = np.unravel_index(flat_idx, self.values.shape)
+            row = {n: float(m[idx]) for n, m in zip(names, mesh)}
+            row[self.name] = float(self.values[idx])
+            rows.append(row)
+        return rows
+
+
+def _grid_params(axes: Mapping[str, Sequence[float]]) -> ModelParameters:
+    """ModelParameters whose fields broadcast to the full grid."""
+    allowed = {"x_task", "x_prtr", "hit_ratio", "x_control", "x_decision"}
+    unknown = set(axes) - allowed
+    if unknown:
+        raise KeyError(f"unknown sweep axes: {sorted(unknown)}")
+    names = list(axes)
+    arrays = [as_array(list(axes[n])) for n in names]
+    shaped = {}
+    for i, (n, a) in enumerate(zip(names, arrays)):
+        if a.ndim != 1:
+            raise ValueError(f"axis {n!r} must be 1-D")
+        shape = [1] * len(names)
+        shape[i] = len(a)
+        shaped[n] = a.reshape(shape)
+    defaults = dict(
+        x_task=1.0, x_prtr=1.0, hit_ratio=0.0, x_control=0.0, x_decision=0.0
+    )
+    defaults.update(shaped)
+    return ModelParameters(**defaults)
+
+
+def sweep_asymptotic(axes: Mapping[str, Sequence[float]]) -> SweepResult:
+    """Evaluate Eq. (7) over the outer product of the given axes."""
+    params = _grid_params(axes)
+    values = np.broadcast_to(
+        asymptotic_speedup(params),
+        tuple(len(axes[n]) for n in axes),
+    ).copy()
+    return SweepResult(
+        axes={n: as_array(list(v)) for n, v in axes.items()},
+        values=values,
+        name="asymptotic_speedup",
+    )
+
+
+def sweep_finite(
+    axes: Mapping[str, Sequence[float]], n_calls: float
+) -> SweepResult:
+    """Evaluate Eq. (6) at fixed ``n_calls`` over the axes grid."""
+    params = _grid_params(axes)
+    values = np.broadcast_to(
+        speedup(params, n_calls),
+        tuple(len(axes[n]) for n in axes),
+    ).copy()
+    return SweepResult(
+        axes={n: as_array(list(v)) for n, v in axes.items()},
+        values=values,
+        name=f"speedup_n{n_calls:g}",
+    )
+
+
+def log_task_axis(
+    lo: float = 1e-3, hi: float = 1e2, points: int = 241
+) -> np.ndarray:
+    """The logarithmic ``X_task`` axis used by Figures 5 and 9."""
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if points < 2:
+        raise ValueError("need at least 2 points")
+    return np.logspace(np.log10(lo), np.log10(hi), points)
+
+
+def figure5_grid(
+    x_prtr_values: Sequence[float] = (0.012, 0.05, 0.17, 0.37, 0.7),
+    hit_ratios: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    x_task: Sequence[float] | None = None,
+) -> SweepResult:
+    """The Figure 5 family: ``S_inf`` vs ``X_task`` per (X_PRTR, H) pair.
+
+    The paper plots the ``X_decision = X_control = 0`` ideal; axes default
+    to the experimentally relevant ``X_PRTR`` values (the published
+    estimated and measured points among them).
+    """
+    axis = log_task_axis() if x_task is None else as_array(list(x_task))
+    return sweep_asymptotic(
+        {
+            "x_task": list(axis),
+            "x_prtr": list(x_prtr_values),
+            "hit_ratio": list(hit_ratios),
+        }
+    )
+
+
+def figure9_grid(
+    x_prtr: float,
+    x_control: float,
+    x_task: Sequence[float] | None = None,
+    hit_ratio: float = 0.0,
+    x_decision: float = 0.0,
+) -> SweepResult:
+    """One Figure 9 panel: the paper's no-prefetch experiment.
+
+    ``H = 0, M = 1`` (every call reconfigures), finite control overhead,
+    zero decision latency — the published Cray XD1 configuration.
+    """
+    axis = log_task_axis() if x_task is None else as_array(list(x_task))
+    return sweep_asymptotic(
+        {
+            "x_task": list(axis),
+            "x_prtr": [x_prtr],
+            "hit_ratio": [hit_ratio],
+            "x_control": [x_control],
+            "x_decision": [x_decision],
+        }
+    )

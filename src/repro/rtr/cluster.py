@@ -1,0 +1,153 @@
+"""Cluster-scale execution: many blades, one bitstream server.
+
+The Cray XD1 is a *parallel* machine — six blades per chassis, twelve
+chassis per system.  At job launch every blade (re)configures its FPGA,
+and all bitstreams come from the same place (the management host / shared
+filesystem).  This module models that **configuration storm**:
+
+* ``n`` independent blades (each a full :class:`~repro.hardware.node.
+  XD1Node`) share one simulator clock;
+* every (re)configuration first fetches its bitstream over a shared
+  :class:`~repro.sim.resources.BandwidthChannel` backplane, then proceeds
+  through the blade's local configuration path;
+* a workload is a list of per-blade traces executed concurrently.
+
+The scaling result this enables: FRTR moves the full bitstream
+(2.4 MB x calls x blades) through the shared server and saturates it as
+the machine grows, while PRTR's partial bitstreams are ~6x smaller *and*
+mostly hidden behind execution — so PRTR's advantage **grows** with
+cluster size.  This is the quantitative footing under the paper's claim
+that PRTR matters most for large HPRC deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..hardware.node import XD1Node
+from ..hardware.prr import Floorplan, dual_prr_floorplan
+from ..sim.engine import Simulator
+from ..sim.resources import BandwidthChannel
+from ..workloads.task import CallTrace
+from .events import RunResult
+from .frtr import FrtrExecutor
+from .prtr import PrtrExecutor
+
+__all__ = ["ClusterResult", "run_cluster", "compare_cluster"]
+
+#: default shared bitstream-server bandwidth: one RapidArray link's worth
+#: (the management path is a single 2 GB/s pipe shared by every blade).
+DEFAULT_SERVER_BANDWIDTH = 2e9
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster run."""
+
+    mode: str
+    blades: list[RunResult]
+    makespan: float
+    server_bytes: float
+    server_busy_time: float
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_blades(self) -> int:
+        return len(self.blades)
+
+    @property
+    def total_calls(self) -> int:
+        return sum(b.n_calls for b in self.blades)
+
+    @property
+    def throughput(self) -> float:
+        if self.makespan <= 0:
+            raise ZeroDivisionError("empty run")
+        return self.total_calls / self.makespan
+
+    @property
+    def server_utilization(self) -> float:
+        return self.server_busy_time / self.makespan if self.makespan else 0.0
+
+    def parallel_efficiency(self, single_blade_makespan: float) -> float:
+        """``T(1) / (n * T(n))`` for a per-blade-constant workload."""
+        if single_blade_makespan <= 0:
+            raise ValueError("need a positive single-blade makespan")
+        return single_blade_makespan / self.makespan
+
+
+def run_cluster(
+    traces: list[CallTrace],
+    mode: str = "prtr",
+    *,
+    floorplan: Floorplan | None = None,
+    server_bandwidth: float = DEFAULT_SERVER_BANDWIDTH,
+    estimated: bool = False,
+    control_time: float | None = None,
+    force_miss: bool = False,
+    bitstream_bytes: int | None = None,
+    node_kwargs: dict[str, Any] | None = None,
+) -> ClusterResult:
+    """Execute one trace per blade, all sharing the bitstream server.
+
+    ``mode`` selects the per-blade executor (``"frtr"`` or ``"prtr"``).
+    """
+    if not traces:
+        raise ValueError("need at least one per-blade trace")
+    if mode not in ("frtr", "prtr"):
+        raise ValueError(f"mode must be 'frtr' or 'prtr': {mode!r}")
+    if server_bandwidth <= 0:
+        raise ValueError("server_bandwidth must be positive")
+    sim = Simulator()
+    server = BandwidthChannel(
+        sim, name="bitstream-server", rate=server_bandwidth
+    )
+    plan = floorplan or dual_prr_floorplan()
+    pendings = []
+    for i, trace in enumerate(traces):
+        node = XD1Node(sim, floorplan=plan, **(node_kwargs or {}))
+        if mode == "frtr":
+            executor = FrtrExecutor(
+                node,
+                estimated=estimated,
+                control_time=control_time,
+                bitstream_source=server,
+            )
+            pendings.append(executor.launch(trace, lane=f"blade{i}"))
+        else:
+            executor = PrtrExecutor(
+                node,
+                estimated=estimated,
+                control_time=control_time,
+                force_miss=force_miss,
+                bitstream_bytes=bitstream_bytes,
+                bitstream_source=server,
+            )
+            pendings.append(executor.launch(trace, lane=f"blade{i}"))
+    start = sim.now
+    sim.run()
+    server.assert_no_overlap()
+    blades = [p.finalize() for p in pendings]
+    return ClusterResult(
+        mode=mode,
+        blades=blades,
+        makespan=sim.now - start,
+        server_bytes=server.bytes_moved,
+        server_busy_time=sum(
+            iv.end - iv.start for iv in server.intervals
+        ),
+    )
+
+
+def compare_cluster(
+    traces: list[CallTrace],
+    **kwargs: Any,
+) -> tuple[ClusterResult, ClusterResult]:
+    """The same per-blade workload under FRTR and PRTR."""
+    frtr = run_cluster(traces, mode="frtr", **{
+        k: v for k, v in kwargs.items()
+        if k not in ("force_miss", "bitstream_bytes")
+    })
+    prtr = run_cluster(traces, mode="prtr", **kwargs)
+    return frtr, prtr

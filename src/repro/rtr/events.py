@@ -1,0 +1,133 @@
+"""Per-call execution records and run results.
+
+Both executors return a :class:`RunResult`: the full timeline, one
+:class:`CallRecord` per function call, aggregate counters, and helpers
+that convert the measurement into the analytical model's parameter space
+for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..model.parameters import RawParameters
+from ..sim.trace import Timeline
+
+__all__ = ["CallRecord", "RunResult"]
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """What happened to one function call."""
+
+    index: int
+    task: str
+    #: True when the module was already resident (no reconfiguration)
+    hit: bool
+    #: stage start/end on the executor's main lane
+    start: float
+    end: float
+    #: seconds of (re)configuration attributed to this call (0 for hits)
+    config_time: float
+    #: which PRR slot ran the task (-1 for FRTR: the whole device)
+    slot: int = -1
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"call record ends before start: {self!r}")
+        if self.config_time < 0:
+            raise ValueError("config_time must be >= 0")
+
+    @property
+    def stage_time(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of an executor run."""
+
+    mode: str  # "frtr" | "prtr"
+    trace_name: str
+    total_time: float
+    records: list[CallRecord]
+    timeline: Timeline
+    #: startup cost before the first stage (decision + initial full config)
+    startup_time: float = 0.0
+    notes: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_time < 0:
+            raise ValueError("total_time must be >= 0")
+        if not self.records:
+            raise ValueError("a run must have at least one call record")
+
+    # -- counters ----------------------------------------------------------
+
+    @property
+    def n_calls(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_configs(self) -> int:
+        return sum(1 for r in self.records if not r.hit)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Achieved ``H = 1 - n_config / n_calls``."""
+        return 1.0 - self.n_configs / self.n_calls
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.n_configs / self.n_calls
+
+    @property
+    def mean_stage_time(self) -> float:
+        return float(np.mean([r.stage_time for r in self.records]))
+
+    def config_overhead(self) -> float:
+        """Total seconds attributed to (re)configuration."""
+        return self.startup_config + sum(r.config_time for r in self.records)
+
+    @property
+    def startup_config(self) -> float:
+        return self.notes.get("startup_config", 0.0)
+
+    # -- model bridging -------------------------------------------------------
+
+    def raw_parameters(
+        self,
+        t_frtr: float,
+        t_prtr: float,
+        t_control: float = 0.0,
+        t_decision: float = 0.0,
+        t_task: Optional[float] = None,
+    ) -> RawParameters:
+        """Package this run's measured ``H`` with platform times for the
+        analytical model (``t_task`` defaults to the trace mean)."""
+        if t_task is None:
+            t_task = self.notes.get("mean_task_time")
+            if t_task is None:
+                raise ValueError("t_task not recorded; pass it explicitly")
+        return RawParameters(
+            t_task=t_task,
+            t_frtr=t_frtr,
+            t_prtr=t_prtr,
+            t_control=t_control,
+            t_decision=t_decision,
+            hit_ratio=self.hit_ratio,
+        )
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "total_time": self.total_time,
+            "n_calls": float(self.n_calls),
+            "n_configs": float(self.n_configs),
+            "hit_ratio": self.hit_ratio,
+            "startup_time": self.startup_time,
+            "config_overhead": self.config_overhead(),
+            "mean_stage_time": self.mean_stage_time,
+        }

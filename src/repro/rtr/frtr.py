@@ -1,0 +1,160 @@
+"""The FRTR executor: every call pays a full reconfiguration (Fig. 3).
+
+The baseline of the whole study.  Per call: download the full bitstream
+through the vendor API (SelectMap), transfer control, run the task.  The
+run total equals Eq. (1) exactly — a property test pins this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..hardware.node import XD1Node
+from ..sim.engine import Delay, Simulator
+from ..sim.resources import BandwidthChannel
+from ..sim.trace import Phase, Timeline
+from ..workloads.task import CallTrace
+from .events import CallRecord, RunResult
+
+__all__ = ["FrtrExecutor", "PendingRun", "run_frtr"]
+
+
+class PendingRun:
+    """Handle for an executor launched into a shared simulator.
+
+    Call :meth:`finalize` after the simulator has drained to obtain the
+    :class:`RunResult`.  Used by the cluster executor to run many blades
+    concurrently on one clock; single-node ``run()`` wraps it.
+    """
+
+    def __init__(self, build: "Any") -> None:
+        self._build = build
+        self._result: RunResult | None = None
+
+    def finalize(self) -> RunResult:
+        if self._result is None:
+            self._result = self._build()
+        return self._result
+
+
+class FrtrExecutor:
+    """Serial full-reconfiguration execution on one node.
+
+    Parameters
+    ----------
+    node:
+        The hardware model (provides the full-configuration time).
+    estimated:
+        Use the wire-only configuration time (Table 2 "estimated") instead
+        of the vendor-API measured model.
+    control_time:
+        Transfer-of-control latency per call (``T_control``).
+    bitstream_source:
+        Optional shared channel bitstreams must be fetched over before
+        each configuration (a cluster's bitstream-distribution backplane).
+        ``None`` means bitstreams are local (the single-node experiments).
+    """
+
+    def __init__(
+        self,
+        node: XD1Node,
+        *,
+        estimated: bool = False,
+        control_time: float | None = None,
+        bitstream_source: BandwidthChannel | None = None,
+    ) -> None:
+        self.node = node
+        self.estimated = estimated
+        self.control_time = (
+            node.params.control_time if control_time is None else control_time
+        )
+        if self.control_time < 0:
+            raise ValueError("control_time must be >= 0")
+        self.bitstream_source = bitstream_source
+
+    def launch(self, trace: CallTrace, lane: str = "main") -> PendingRun:
+        """Spawn the execution process; does not advance the clock."""
+        sim = self.node.sim
+        timeline = Timeline()
+        records: list[CallRecord] = []
+        t_config = self.node.full_config_time(estimated=self.estimated)
+        full_bytes = self.node.full_image.nbytes
+        start = sim.now
+
+        def main() -> Generator[Any, Any, None]:
+            for call in trace:
+                stage_start = sim.now
+                cfg_start = sim.now
+                if self.bitstream_source is not None:
+                    yield from self.bitstream_source.transfer(
+                        full_bytes, owner=f"{lane}:fetch{call.index}"
+                    )
+                # Full reconfiguration (the FPGA is held in reset; nothing
+                # else can run, so a plain delay is faithful).
+                t0 = sim.now
+                yield Delay(t_config)
+                timeline.add(
+                    Phase.CONFIG, cfg_start, sim.now, task=call.name,
+                    note="full", lane=lane,
+                )
+                t0 = sim.now
+                if self.control_time:
+                    yield Delay(self.control_time)
+                timeline.add(
+                    Phase.CONTROL, t0, sim.now, task=call.name, lane=lane
+                )
+                t0 = sim.now
+                yield Delay(call.task.time)
+                timeline.add(
+                    Phase.TASK, t0, sim.now, task=call.name, lane=lane
+                )
+                records.append(
+                    CallRecord(
+                        index=call.index,
+                        task=call.name,
+                        hit=False,
+                        start=stage_start,
+                        end=sim.now,
+                        config_time=sim.now - stage_start
+                        - call.task.time - self.control_time,
+                    )
+                )
+
+        sim.spawn(main(), name=f"frtr:{lane}")
+
+        def build() -> RunResult:
+            total = (records[-1].end - start) if records else 0.0
+            result = RunResult(
+                mode="frtr",
+                trace_name=trace.name,
+                total_time=total,
+                records=records,
+                timeline=timeline,
+                startup_time=0.0,
+            )
+            result.notes["mean_task_time"] = trace.mean_task_time()
+            result.notes["t_config_full"] = t_config
+            return result
+
+        return PendingRun(build)
+
+    def run(self, trace: CallTrace) -> RunResult:
+        """Execute the trace; returns the measured :class:`RunResult`."""
+        pending = self.launch(trace)
+        self.node.sim.run()
+        return pending.finalize()
+
+
+def run_frtr(
+    trace: CallTrace,
+    node: XD1Node | None = None,
+    *,
+    estimated: bool = False,
+    control_time: float | None = None,
+) -> RunResult:
+    """One-shot convenience wrapper (builds a default node if needed)."""
+    if node is None:
+        node = XD1Node(Simulator())
+    return FrtrExecutor(
+        node, estimated=estimated, control_time=control_time
+    ).run(trace)

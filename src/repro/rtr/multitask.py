@@ -1,0 +1,420 @@
+"""Multi-tasking and hardware virtualization on PRRs (Section 5 extension).
+
+The paper's closing argument: "PRTR as compared to FRTR is far more
+beneficial for versatility purposes, multi-tasking applications, and
+hardware virtualization than it is for plain performance."  This module
+implements that scenario so the claim can be measured:
+
+* several **applications** (each a call trace) share one FPGA;
+* under **FRTR**, the device is monolithic — every call from any
+  application reconfigures the whole chip, so execution is one global
+  serial stream (and a context switch between applications is a full
+  reconfiguration even if the module was just loaded);
+* under **PRTR**, the PRRs act as a *shared module cache* (hardware
+  virtualization): calls whose module is resident run immediately on that
+  PRR; misses allocate a PRR (replacement policy) and stream a partial
+  bitstream through the single shared ICAP controller.  With per-PRR
+  memory banks (Section 4.2's dual layout), PRRs execute **concurrently**
+  — spatial multitasking.
+
+Scheduling: each application is a DES process issuing its calls in order
+(optionally after an arrival delay).  A call executes on the PRR holding
+its module; per-PRR queues are FIFO; the ICAP serializes
+reconfigurations.  This is deliberately simple — the point is the
+architectural comparison, not scheduler research.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from ..caching.base import ConfigCache
+from ..caching.policies import LruPolicy
+from ..hardware.bitstream import Bitstream
+from ..hardware.node import XD1Node
+from ..sim.engine import Delay
+from ..sim.resources import MutexResource
+from ..sim.trace import Phase, Timeline
+from ..workloads.task import CallTrace
+
+__all__ = [
+    "AppSpec",
+    "AppResult",
+    "MultitaskResult",
+    "MultitaskFrtrExecutor",
+    "MultitaskPrtrExecutor",
+    "compare_multitask",
+]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One application sharing the node."""
+
+    name: str
+    trace: CallTrace
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("application name must be non-empty")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+
+
+@dataclass
+class AppResult:
+    """Per-application outcome."""
+
+    name: str
+    arrival_time: float
+    completion_time: float
+    n_calls: int
+    n_configs: int
+
+    @property
+    def turnaround(self) -> float:
+        return self.completion_time - self.arrival_time
+
+    def __post_init__(self) -> None:
+        if self.completion_time < self.arrival_time:
+            raise ValueError("completed before it arrived")
+
+
+@dataclass
+class MultitaskResult:
+    """Aggregate outcome of a multi-application run."""
+
+    mode: str
+    apps: list[AppResult]
+    makespan: float
+    timeline: Timeline
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_calls(self) -> int:
+        return sum(a.n_calls for a in self.apps)
+
+    @property
+    def total_configs(self) -> int:
+        return sum(a.n_configs for a in self.apps)
+
+    @property
+    def throughput(self) -> float:
+        """Completed calls per unit time."""
+        if self.makespan <= 0:
+            raise ZeroDivisionError("empty run")
+        return self.total_calls / self.makespan
+
+    @property
+    def mean_turnaround(self) -> float:
+        return sum(a.turnaround for a in self.apps) / len(self.apps)
+
+    @property
+    def max_turnaround(self) -> float:
+        return max(a.turnaround for a in self.apps)
+
+    def unfairness(self) -> float:
+        """max/min turnaround ratio (1.0 = perfectly fair)."""
+        lo = min(a.turnaround for a in self.apps)
+        hi = max(a.turnaround for a in self.apps)
+        return hi / lo if lo > 0 else float("inf")
+
+
+class MultitaskFrtrExecutor:
+    """All applications funnel through one monolithic FRTR device.
+
+    The fabric is a single exclusive resource; every call pays a full
+    reconfiguration, a transfer of control and its task time.  FIFO
+    arbitration in call-arrival order (applications interleave naturally
+    as each finishes its previous call).
+    """
+
+    def __init__(
+        self,
+        node: XD1Node,
+        *,
+        estimated: bool = False,
+        control_time: float | None = None,
+    ) -> None:
+        self.node = node
+        self.estimated = estimated
+        self.control_time = (
+            node.params.control_time if control_time is None else control_time
+        )
+
+    def run(self, apps: list[AppSpec]) -> MultitaskResult:
+        if not apps:
+            raise ValueError("need at least one application")
+        _check_unique_names(apps)
+        sim = self.node.sim
+        timeline = Timeline()
+        fabric = MutexResource(sim, name="fabric")
+        t_config = self.node.full_config_time(estimated=self.estimated)
+        results: dict[str, AppResult] = {}
+
+        def app_proc(spec: AppSpec) -> Generator[Any, Any, None]:
+            if spec.arrival_time:
+                yield Delay(spec.arrival_time)
+            for call in spec.trace:
+                yield from fabric.acquire(f"{spec.name}#{call.index}")
+                try:
+                    t0 = sim.now
+                    yield Delay(t_config)
+                    timeline.add(
+                        Phase.CONFIG, t0, sim.now,
+                        task=call.name, lane="fabric", note=spec.name,
+                    )
+                    if self.control_time:
+                        yield Delay(self.control_time)
+                    t0 = sim.now
+                    yield Delay(call.task.time)
+                    timeline.add(
+                        Phase.TASK, t0, sim.now,
+                        task=call.name, lane="fabric", note=spec.name,
+                    )
+                finally:
+                    fabric.release(f"{spec.name}#{call.index}")
+            results[spec.name] = AppResult(
+                name=spec.name,
+                arrival_time=spec.arrival_time,
+                completion_time=sim.now,
+                n_calls=spec.trace.n_calls,
+                n_configs=spec.trace.n_calls,
+            )
+
+        start = sim.now
+        for spec in apps:
+            sim.spawn(app_proc(spec), name=f"app:{spec.name}")
+        sim.run()
+        fabric.assert_no_overlap()
+        return MultitaskResult(
+            mode="frtr",
+            apps=[results[s.name] for s in apps],
+            makespan=sim.now - start,
+            timeline=timeline,
+            notes={"t_config_full": t_config},
+        )
+
+
+class MultitaskPrtrExecutor:
+    """Spatial multitasking: PRRs as a shared, concurrent module cache.
+
+    * residency tracked by a :class:`ConfigCache` over the PRR slots;
+    * each PRR is an exclusive execution resource (its own memory banks);
+    * the ICAP controller serializes reconfigurations;
+    * a miss allocates a victim PRR (never one whose module is currently
+      executing or queued — we pin busy modules) and reconfigures.
+
+    The initial full configuration loads the static design only; all
+    modules arrive by partial reconfiguration (unlike the single-app
+    executor, there is no well-defined "first module" here).
+    """
+
+    def __init__(
+        self,
+        node: XD1Node,
+        *,
+        estimated: bool = False,
+        control_time: float | None = None,
+        cache: ConfigCache | None = None,
+        bitstream_bytes: int | None = None,
+    ) -> None:
+        if not node.floorplan.n_prrs:
+            raise ValueError("PRTR multitasking needs PRRs")
+        self.node = node
+        self.estimated = estimated
+        self.control_time = (
+            node.params.control_time if control_time is None else control_time
+        )
+        self.cache = cache or ConfigCache(
+            slots=node.floorplan.n_prrs, policy=LruPolicy()
+        )
+        if self.cache.slots != node.floorplan.n_prrs:
+            raise ValueError("cache slots must equal the PRR count")
+        self._bitstream_bytes = bitstream_bytes
+
+    def _bitstream(self, module: str) -> Bitstream:
+        if self._bitstream_bytes is not None:
+            return Bitstream(
+                name=f"prr:{module}", nbytes=self._bitstream_bytes,
+                region="prr0", module=module, kind="module",
+            )
+        return self.node.prr_bitstream(0, module)
+
+    def run(self, apps: list[AppSpec]) -> MultitaskResult:
+        if not apps:
+            raise ValueError("need at least one application")
+        _check_unique_names(apps)
+        sim = self.node.sim
+        timeline = Timeline()
+        prr_mutexes = [
+            MutexResource(sim, name=f"prr{i}")
+            for i in range(self.cache.slots)
+        ]
+        #: modules currently executing or queued -> pin against eviction
+        busy_modules: dict[str, int] = {}
+        #: per-module "configured" signal registry to avoid double configs
+        configuring: dict[str, Any] = {}
+        results: dict[str, AppResult] = {}
+        config_counts: dict[str, int] = {s.name: 0 for s in apps}
+
+        unpin_waiters: list[Any] = []
+
+        def pin(module: str) -> None:
+            busy_modules[module] = busy_modules.get(module, 0) + 1
+
+        def unpin(module: str) -> None:
+            busy_modules[module] -= 1
+            if not busy_modules[module]:
+                del busy_modules[module]
+            waiters, unpin_waiters[:] = list(unpin_waiters), []
+            for sig in waiters:
+                sig.succeed()
+
+        def evictable_exists(module: str) -> bool:
+            """Can a fill for ``module`` proceed right now?"""
+            if not self.cache.is_full:
+                return True
+            pinned = set(busy_modules)
+            return any(m not in pinned for m in self.cache.residents)
+
+        def ensure_resident(
+            module: str, owner: str
+        ) -> Generator[Any, Any, bool]:
+            """Make ``module`` resident; returns True if it was a hit.
+
+            A hit is decided at the *first* check — if the module arrives
+            while we wait (loaded by another application), the call still
+            counts as a miss but skips the redundant reconfiguration
+            (module sharing across applications).
+            """
+            was_hit = self.cache.contains(module)
+            if was_hit:
+                self.cache.stats.hits += 1
+                self.cache.policy.on_access(module)
+                return True
+            self.cache.stats.misses += 1
+            while True:
+                if self.cache.contains(module):
+                    return False  # another app loaded it meanwhile
+                if module in configuring:
+                    yield configuring[module]
+                    continue  # loop: confirm residency (or eviction race)
+                if not evictable_exists(module):
+                    # Every resident is busy; wait for any unpin.
+                    sig = sim.signal(name=f"evict-wait:{module}")
+                    unpin_waiters.append(sig)
+                    yield sig
+                    continue
+                break
+            sig = sim.signal(name=f"cfg:{module}")
+            configuring[module] = sig
+            self.cache.fill(module, pinned=set(busy_modules))
+            t0 = sim.now
+            bs = self._bitstream(module)
+            if self.estimated:
+                yield Delay(self.node.icap_raw.wire_time(bs.nbytes))
+            else:
+                yield from self.node.icap.configure(bs, owner=owner)
+            timeline.add(
+                Phase.CONFIG, t0, sim.now, task=module, lane="icap",
+                note="partial",
+            )
+            del configuring[module]
+            sig.succeed()
+            return False
+
+        def app_proc(spec: AppSpec) -> Generator[Any, Any, None]:
+            if spec.arrival_time:
+                yield Delay(spec.arrival_time)
+            for call in spec.trace:
+                owner = f"{spec.name}#{call.index}"
+                pin(call.name)
+                try:
+                    hit = yield from ensure_resident(call.name, owner)
+                    if not hit:
+                        config_counts[spec.name] += 1
+                    slot = self.cache.slot_of(call.name)
+                    yield from prr_mutexes[slot].acquire(owner)
+                    try:
+                        if self.control_time:
+                            yield Delay(self.control_time)
+                        t0 = sim.now
+                        yield Delay(call.task.time)
+                        timeline.add(
+                            Phase.TASK, t0, sim.now, task=call.name,
+                            lane=f"prr{slot}", note=spec.name,
+                        )
+                    finally:
+                        prr_mutexes[slot].release(owner)
+                finally:
+                    unpin(call.name)
+            results[spec.name] = AppResult(
+                name=spec.name,
+                arrival_time=spec.arrival_time,
+                completion_time=sim.now,
+                n_calls=spec.trace.n_calls,
+                n_configs=config_counts[spec.name],
+            )
+
+        def startup() -> Generator[Any, Any, None]:
+            t0 = sim.now
+            yield Delay(self.node.full_config_time(estimated=self.estimated))
+            timeline.add(Phase.CONFIG, t0, sim.now, note="initial full")
+
+        start = sim.now
+        boot = sim.spawn(startup(), name="startup")
+
+        def gated_app(spec: AppSpec) -> Generator[Any, Any, None]:
+            yield boot.done
+            yield from app_proc(spec)
+
+        for spec in apps:
+            sim.spawn(gated_app(spec), name=f"app:{spec.name}")
+        sim.run()
+        for m in prr_mutexes:
+            m.assert_no_overlap()
+        self.node.icap.icap_mutex.assert_no_overlap()
+        return MultitaskResult(
+            mode="prtr",
+            apps=[results[s.name] for s in apps],
+            makespan=sim.now - start,
+            timeline=timeline,
+            notes={
+                "t_config_full": self.node.full_config_time(
+                    estimated=self.estimated
+                ),
+                "hit_ratio": self.cache.stats.hit_ratio,
+            },
+        )
+
+
+def _check_unique_names(apps: list[AppSpec]) -> None:
+    names = [a.name for a in apps]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate application names: {names}")
+
+
+def compare_multitask(
+    apps: list[AppSpec],
+    *,
+    floorplan=None,
+    estimated: bool = False,
+    control_time: float | None = None,
+    bitstream_bytes: int | None = None,
+) -> tuple[MultitaskResult, MultitaskResult]:
+    """Run the application mix under FRTR and PRTR on fresh nodes."""
+    from .runner import make_node
+
+    frtr = MultitaskFrtrExecutor(
+        make_node(floorplan), estimated=estimated, control_time=control_time
+    ).run(apps)
+    prtr = MultitaskPrtrExecutor(
+        make_node(floorplan),
+        estimated=estimated,
+        control_time=control_time,
+        bitstream_bytes=bitstream_bytes,
+    ).run(apps)
+    return frtr, prtr

@@ -1,0 +1,369 @@
+"""The PRTR executor: pipelined partial reconfiguration (Fig. 4).
+
+Execution follows the paper's model: after an initial pre-fetch decision
+and one full configuration (the static design plus the first module), the
+calls stream through a two-resource pipeline —
+
+* stage *i* runs task *i* on its PRR (serially: transfer of control, the
+  task itself, then the pre-fetch decision about call *i+1*);
+* concurrently, if call *i+1*'s module is not resident, its partial
+  bitstream is pushed through the ICAP controller into another PRR.
+
+The stage ends when both finish: a missed successor costs
+``max(T_task + T_decision, T_PRTR)``, a hit successor nothing — exactly
+the accounting of Eq. (3).  With a single PRR no overlap is possible and
+the executor falls back to serial configure-then-execute.
+
+Hits and misses are decided by PRR residency, tracked by a
+:class:`~repro.caching.base.ConfigCache` whose replacement policy is
+pluggable.  ``force_miss=True`` reproduces the paper's experimental
+configuration (the hypothetical always-missing prefetcher: ``M = 1``).
+
+With ``detailed_io=True`` tasks split into data-in / compute / data-out on
+the node's dual-channel link, and partial reconfiguration *shares the
+inbound channel* — the Section 4.1 architectural constraint (configuration
+can only overlap compute or data-out) emerges from channel serialization
+rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..caching.base import ConfigCache
+from ..caching.policies import LruPolicy
+from ..hardware.bitstream import Bitstream
+from ..hardware.node import XD1Node
+from ..sim.engine import AllOf, Delay, Simulator
+from ..sim.trace import Phase, Timeline
+from ..sim.resources import BandwidthChannel
+from ..workloads.task import CallTrace, FunctionCall
+from .events import CallRecord, RunResult
+from .frtr import PendingRun
+
+__all__ = ["PrtrExecutor", "run_prtr"]
+
+
+class PrtrExecutor:
+    """Pipelined partial-reconfiguration execution on one node.
+
+    Parameters
+    ----------
+    node:
+        Hardware model; its floorplan's PRR count sets the cache slots.
+    estimated:
+        Wire-only configuration times (Table 2 "estimated") instead of the
+        vendor-API + ICAP-controller measured models.
+    control_time, decision_time:
+        ``T_control`` and ``T_decision`` per call.
+    cache:
+        Residency tracker; defaults to LRU over the floorplan's PRRs.
+    bitstream_bytes:
+        Partial bitstream size override (e.g. the published Table 2 value);
+        defaults to the floorplan's geometric size for PRR 0.
+    force_miss:
+        Reconfigure on every call regardless of residency (the paper's
+        ``M = 1`` experiment).
+    detailed_io:
+        Split tasks into data-in/compute/data-out over the link channels.
+    bitstream_source:
+        Optional shared channel every bitstream (initial full image and
+        partials) is fetched over first — the cluster bitstream-server
+        model of :mod:`repro.rtr.cluster`.
+    """
+
+    def __init__(
+        self,
+        node: XD1Node,
+        *,
+        estimated: bool = False,
+        control_time: float | None = None,
+        decision_time: float = 0.0,
+        cache: ConfigCache | None = None,
+        bitstream_bytes: int | None = None,
+        force_miss: bool = False,
+        detailed_io: bool = False,
+        bitstream_source: BandwidthChannel | None = None,
+    ) -> None:
+        if not node.floorplan.n_prrs:
+            raise ValueError(
+                "PRTR needs at least one PRR; use a single/dual PRR floorplan"
+            )
+        self.node = node
+        self.estimated = estimated
+        self.control_time = (
+            node.params.control_time if control_time is None else control_time
+        )
+        self.decision_time = decision_time
+        if self.control_time < 0 or self.decision_time < 0:
+            raise ValueError("overhead times must be >= 0")
+        self.cache = cache or ConfigCache(
+            slots=node.floorplan.n_prrs, policy=LruPolicy()
+        )
+        if self.cache.slots != node.floorplan.n_prrs:
+            raise ValueError(
+                f"cache has {self.cache.slots} slots but the floorplan has "
+                f"{node.floorplan.n_prrs} PRRs"
+            )
+        self._bitstream_bytes = bitstream_bytes
+        self.force_miss = force_miss
+        self.detailed_io = detailed_io
+        #: optional shared backplane bitstreams are fetched over before
+        #: each (re)configuration — the cluster bitstream-server model
+        self.bitstream_source = bitstream_source
+
+    # -- bitstream/config helpers -------------------------------------------
+
+    def bitstream_for(self, module: str) -> Bitstream:
+        if self._bitstream_bytes is not None:
+            return Bitstream(
+                name=f"prr:{module}",
+                nbytes=self._bitstream_bytes,
+                region="prr0",
+                module=module,
+                kind="module",
+            )
+        return self.node.prr_bitstream(0, module)
+
+    def partial_config_time(self, module: str) -> float:
+        """Unloaded partial configuration time for one module."""
+        return self.node.partial_config_time(
+            self.bitstream_for(module), estimated=self.estimated
+        )
+
+    def _configure_partial(
+        self, module: str, owner: str
+    ) -> Generator[Any, Any, None]:
+        bs = self.bitstream_for(module)
+        if self.bitstream_source is not None:
+            yield from self.bitstream_source.transfer(
+                bs.nbytes, owner=f"{owner}:fetch"
+            )
+        if self.estimated:
+            yield Delay(self.node.icap_raw.wire_time(bs.nbytes))
+        else:
+            yield from self.node.icap.configure(bs, owner=owner)
+
+    def _task_body(
+        self, call: FunctionCall, timeline: Timeline, lane: str
+    ) -> Generator[Any, Any, None]:
+        sim = self.node.sim
+        task = call.task
+        if self.detailed_io and (task.data_in_bytes or task.data_out_bytes):
+            t0 = sim.now
+            if task.data_in_bytes:
+                yield from self.node.link.inbound.transfer(
+                    task.data_in_bytes, owner=f"{call.name}#{call.index}:in"
+                )
+                timeline.add(
+                    Phase.DATA_IN, t0, sim.now, task=call.name, lane=lane
+                )
+            t0 = sim.now
+            yield Delay(task.compute_time)
+            timeline.add(Phase.COMPUTE, t0, sim.now, task=call.name, lane=lane)
+            t0 = sim.now
+            if task.data_out_bytes:
+                yield from self.node.link.outbound.transfer(
+                    task.data_out_bytes, owner=f"{call.name}#{call.index}:out"
+                )
+                timeline.add(
+                    Phase.DATA_OUT, t0, sim.now, task=call.name, lane=lane
+                )
+        else:
+            t0 = sim.now
+            yield Delay(task.time)
+            timeline.add(Phase.TASK, t0, sim.now, task=call.name, lane=lane)
+
+    # -- main run -------------------------------------------------------------
+
+    def launch(self, trace: CallTrace, lane: str = "prr") -> PendingRun:
+        """Spawn the execution pipeline; does not advance the clock."""
+        sim = self.node.sim
+        timeline = Timeline()
+        records: list[CallRecord] = []
+        calls = list(trace)
+        n = len(calls)
+        #: hit flag per call, decided at lookahead (residency) time
+        hit: list[bool] = [False] * n
+        config_attr: list[float] = [0.0] * n
+
+        def startup() -> Generator[Any, Any, float]:
+            t_start = sim.now
+            if self.decision_time:
+                t0 = sim.now
+                yield Delay(self.decision_time)
+                timeline.add(Phase.SETUP, t0, sim.now, note="initial decision")
+            t0 = sim.now
+            if self.bitstream_source is not None:
+                yield from self.bitstream_source.transfer(
+                    self.node.full_image.nbytes, owner=f"{lane}:fetch-full"
+                )
+            t_full = self.node.full_config_time(estimated=self.estimated)
+            yield Delay(t_full)
+            timeline.add(Phase.CONFIG, t0, sim.now, note="initial full")
+            # The full bitstream instantiates the first module in PRR 0.
+            self.cache.fill(calls[0].name)
+            hit[0] = not self.force_miss
+            if hit[0]:
+                self.cache.stats.hits += 1
+            else:
+                self.cache.stats.misses += 1
+            return sim.now - t_start
+
+        def main() -> Generator[Any, Any, None]:
+            startup_proc = sim.spawn(startup(), name="prtr-startup")
+            yield startup_proc.done
+            main_result["startup_time"] = startup_proc.result
+            main_result["startup_config"] = startup_proc.result
+
+            for i, call in enumerate(calls):
+                stage_start = sim.now
+                if self.control_time:
+                    t0 = sim.now
+                    yield Delay(self.control_time)
+                    timeline.add(Phase.CONTROL, t0, sim.now, task=call.name)
+
+                # Serial chain: the task, then the pre-fetch decision
+                # about the next call.
+                def chain(
+                    call: FunctionCall = call,
+                ) -> Generator[Any, Any, None]:
+                    yield from self._task_body(call, timeline, lane=lane)
+                    if self.decision_time:
+                        t0 = sim.now
+                        yield Delay(self.decision_time)
+                        timeline.add(
+                            Phase.SETUP, t0, sim.now, task=call.name
+                        )
+
+                branch_task = sim.spawn(chain(), name=f"task{i}")
+
+                branch_cfg = None
+                serial_cfg = False
+                if i + 1 < n:
+                    nxt = calls[i + 1]
+                    resident = self.cache.contains(nxt.name)
+                    is_hit = resident and not self.force_miss
+                    hit[i + 1] = is_hit
+                    if is_hit:
+                        self.cache.stats.hits += 1
+                        self.cache.policy.on_access(nxt.name)
+                    else:
+                        self.cache.stats.misses += 1
+                        overlap_possible = self.cache.slots > 1
+                        if overlap_possible:
+                            if not resident:
+                                self.cache.fill(nxt.name, pinned={call.name})
+
+                            def cfg(
+                                module: str = nxt.name, idx: int = i + 1
+                            ) -> Generator[Any, Any, None]:
+                                c0 = sim.now
+                                yield from self._configure_partial(
+                                    module, owner=f"cfg{idx}"
+                                )
+                                timeline.add(
+                                    Phase.CONFIG,
+                                    c0,
+                                    sim.now,
+                                    task=module,
+                                    lane="icap",
+                                    note="partial",
+                                )
+                                config_attr[idx] = sim.now - c0
+
+                            branch_cfg = sim.spawn(cfg(), name=f"cfg{i+1}")
+                        else:
+                            # Single PRR: the target region is the one
+                            # executing; configure serially after the stage.
+                            serial_cfg = True
+
+                if branch_cfg is not None:
+                    yield AllOf([branch_task.done, branch_cfg.done])
+                else:
+                    yield branch_task.done
+
+                if serial_cfg:
+                    nxt = calls[i + 1]
+                    t0 = sim.now
+                    yield from self._configure_partial(
+                        nxt.name, owner=f"cfg{i+1}"
+                    )
+                    timeline.add(
+                        Phase.CONFIG,
+                        t0,
+                        sim.now,
+                        task=nxt.name,
+                        lane="icap",
+                        note="partial-serial",
+                    )
+                    config_attr[i + 1] = sim.now - t0
+                    if not self.cache.contains(nxt.name):
+                        self.cache.fill(nxt.name)
+
+                records.append(
+                    CallRecord(
+                        index=call.index,
+                        task=call.name,
+                        hit=hit[i],
+                        start=stage_start,
+                        end=sim.now,
+                        config_time=config_attr[i],
+                        slot=(
+                            self.cache.slot_of(call.name)
+                            if self.cache.contains(call.name)
+                            else -1
+                        ),
+                    )
+                )
+
+        main_result: dict[str, float] = {}
+        start = sim.now
+
+        def wrapped() -> Generator[Any, Any, None]:
+            yield from main()
+            main_result["done_at"] = sim.now
+
+        sim.spawn(wrapped(), name=f"prtr:{lane}")
+
+        def build() -> RunResult:
+            total = main_result.get("done_at", start) - start
+            result = RunResult(
+                mode="prtr",
+                trace_name=trace.name,
+                total_time=total,
+                records=records,
+                timeline=timeline,
+                startup_time=main_result.get("startup_time", 0.0),
+            )
+            result.notes["mean_task_time"] = trace.mean_task_time()
+            result.notes["startup_config"] = main_result.get(
+                "startup_config", 0.0
+            )
+            result.notes["t_config_full"] = self.node.full_config_time(
+                estimated=self.estimated
+            )
+            if calls:
+                result.notes["t_config_partial"] = self.partial_config_time(
+                    calls[0].name
+                )
+            return result
+
+        return PendingRun(build)
+
+    def run(self, trace: CallTrace) -> RunResult:
+        """Execute the trace to completion on this node's simulator."""
+        pending = self.launch(trace)
+        self.node.sim.run()
+        return pending.finalize()
+
+
+def run_prtr(
+    trace: CallTrace,
+    node: XD1Node | None = None,
+    **kwargs: Any,
+) -> RunResult:
+    """One-shot convenience wrapper (builds a default dual-PRR node)."""
+    if node is None:
+        node = XD1Node(Simulator())
+    return PrtrExecutor(node, **kwargs).run(trace)

@@ -1,0 +1,91 @@
+"""High-level run API: FRTR vs PRTR comparisons in one call.
+
+:func:`compare` executes the same trace under both regimes on identically
+parameterized (but independent) nodes and reports the measured speedup —
+the simulated analogue of the paper's Figure 9 measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..hardware.node import XD1Node
+from ..hardware.prr import Floorplan, dual_prr_floorplan
+from ..sim.engine import Simulator
+from ..workloads.task import CallTrace
+from .events import RunResult
+from .frtr import FrtrExecutor
+from .prtr import PrtrExecutor
+
+__all__ = ["ComparisonResult", "compare", "make_node"]
+
+
+def make_node(
+    floorplan: Floorplan | None = None, **node_kwargs: Any
+) -> XD1Node:
+    """A fresh node on a fresh simulator (runs must not share clocks)."""
+    return XD1Node(
+        Simulator(),
+        floorplan=floorplan or dual_prr_floorplan(),
+        **node_kwargs,
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Paired FRTR/PRTR measurement for one trace."""
+
+    frtr: RunResult
+    prtr: RunResult
+
+    @property
+    def speedup(self) -> float:
+        """Measured ``S = T_total^FRTR / T_total^PRTR`` (Eq. 6's subject)."""
+        if self.prtr.total_time <= 0:
+            raise ZeroDivisionError("PRTR run has zero total time")
+        return self.frtr.total_time / self.prtr.total_time
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "speedup": self.speedup,
+            "frtr_total": self.frtr.total_time,
+            "prtr_total": self.prtr.total_time,
+            "hit_ratio": self.prtr.hit_ratio,
+            "n_calls": float(self.prtr.n_calls),
+        }
+
+
+def compare(
+    trace: CallTrace,
+    *,
+    floorplan: Floorplan | None = None,
+    estimated: bool = False,
+    control_time: float | None = None,
+    decision_time: float = 0.0,
+    force_miss: bool = False,
+    bitstream_bytes: int | None = None,
+    detailed_io: bool = False,
+    node_kwargs: dict[str, Any] | None = None,
+) -> ComparisonResult:
+    """Run ``trace`` under FRTR and PRTR and return both results.
+
+    Each regime gets its own node and simulator so clocks and resource
+    histories stay independent.
+    """
+    node_kwargs = node_kwargs or {}
+    frtr_node = make_node(floorplan, **node_kwargs)
+    prtr_node = make_node(floorplan, **node_kwargs)
+    frtr = FrtrExecutor(
+        frtr_node, estimated=estimated, control_time=control_time
+    ).run(trace)
+    prtr = PrtrExecutor(
+        prtr_node,
+        estimated=estimated,
+        control_time=control_time,
+        decision_time=decision_time,
+        force_miss=force_miss,
+        bitstream_bytes=bitstream_bytes,
+        detailed_io=detailed_io,
+    ).run(trace)
+    return ComparisonResult(frtr=frtr, prtr=prtr)

@@ -1,0 +1,307 @@
+"""Discrete-event simulation (DES) engine.
+
+The whole hardware model in :mod:`repro.hardware` and the reconfiguration
+executors in :mod:`repro.rtr` are built on this small, deterministic DES
+kernel.  It follows the classic event-list design:
+
+* a :class:`Simulator` owns a monotonically advancing clock and a priority
+  queue of :class:`Event` records;
+* *processes* are plain Python generators that ``yield`` scheduling
+  primitives (:class:`Delay`, :class:`WaitEvent`, :class:`AllOf`) and are
+  resumed by the kernel when the corresponding condition is satisfied.
+
+The engine is intentionally synchronous and single-threaded: determinism is
+a hard requirement because the analytical model of the paper is exact, and
+we validate the simulator against it to float precision.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(sim):
+...     yield Delay(5.0)
+...     log.append(sim.now)
+>>> _ = sim.spawn(proc(sim))
+>>> sim.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Delay",
+    "WaitEvent",
+    "AllOf",
+    "EventSignal",
+    "Process",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling violations (negative delays, dead kernels...)."""
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yield from a process to suspend it for ``duration`` simulated time."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError(f"negative delay: {self.duration!r}")
+
+
+class EventSignal:
+    """A one-shot level-triggered signal processes may wait on.
+
+    Once :meth:`succeed` fires, all current and *future* waiters resume
+    immediately (future waiters resume at their wait time, i.e. a wait on an
+    already-fired signal is a no-op).  A payload value is delivered to each
+    waiter as the value of the ``yield`` expression.
+    """
+
+    __slots__ = ("_sim", "_fired", "_value", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self._fired = False
+        self._value: Any = None
+        self._waiters: list["Process"] = []
+        self.name = name
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"signal {self.name!r} has not fired")
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the signal, resuming every waiter at the current sim time."""
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim._schedule(self._sim.now, proc, value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._fired:
+            self._sim._schedule(self._sim.now, proc, self._value)
+        else:
+            self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self._fired else "pending"
+        return f"<EventSignal {self.name!r} {state}>"
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Yield from a process to suspend it until ``signal`` fires."""
+
+    signal: EventSignal
+
+
+@dataclass(frozen=True)
+class AllOf:
+    """Yield from a process to wait until *all* signals have fired."""
+
+    signals: tuple[EventSignal, ...]
+
+    def __init__(self, signals: Iterable[EventSignal]) -> None:
+        object.__setattr__(self, "signals", tuple(signals))
+
+
+class Process:
+    """A running generator coroutine inside a :class:`Simulator`.
+
+    The generator yields :class:`Delay` / :class:`WaitEvent` / :class:`AllOf`
+    instances (or another :class:`Process` to join it).  When the generator
+    returns, :attr:`done` fires with the generator's return value.
+    """
+
+    __slots__ = ("sim", "gen", "done", "name", "_pending_join")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "proc")
+        self.done = EventSignal(sim, name=f"done:{self.name}")
+
+    @property
+    def finished(self) -> bool:
+        return self.done.fired
+
+    @property
+    def result(self) -> Any:
+        return self.done.value
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        self._dispatch(target)
+
+    def _dispatch(self, target: Any) -> None:
+        sim = self.sim
+        if isinstance(target, Delay):
+            sim._schedule(sim.now + target.duration, self, None)
+        elif isinstance(target, WaitEvent):
+            target.signal._add_waiter(self)
+        elif isinstance(target, Process):
+            target.done._add_waiter(self)
+        elif isinstance(target, AllOf):
+            self._wait_all(target.signals)
+        elif isinstance(target, EventSignal):
+            target._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {target!r}"
+            )
+
+    def _wait_all(self, signals: tuple[EventSignal, ...]) -> None:
+        pending = [s for s in signals if not s.fired]
+        if not pending:
+            self.sim._schedule(self.sim.now, self, None)
+            return
+        remaining = {"n": len(pending)}
+        # Register a lightweight shim implementing the waiter protocol on
+        # each pending signal; the last one to fire resumes the parent.
+        parent = self
+
+        class _Shim:
+            __slots__ = ()
+
+            def _step(self_inner, _value: Any) -> None:
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    parent.sim._schedule(parent.sim.now, parent, None)
+
+        shim = _Shim()
+        for sig in pending:
+            sig._waiters.append(shim)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.finished else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+@dataclass(order=True)
+class Event:
+    """Internal event-queue record; ordered by (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    proc: Any = field(compare=False)
+    value: Any = field(compare=False, default=None)
+
+
+class Simulator:
+    """Deterministic single-threaded discrete-event simulator.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time.  Starts at ``0.0`` and never decreases.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._event_count = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, time: float, proc: Any, value: Any) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now={self.now}"
+            )
+        heapq.heappush(self._queue, Event(time, next(self._seq), proc, value))
+
+    def spawn(
+        self, gen: Generator[Any, Any, Any], name: str = ""
+    ) -> Process:
+        """Register a generator as a process starting at the current time."""
+        proc = Process(self, gen, name=name)
+        self._schedule(self.now, proc, None)
+        return proc
+
+    def signal(self, name: str = "") -> EventSignal:
+        """Create a fresh :class:`EventSignal` bound to this simulator."""
+        return EventSignal(self, name=name)
+
+    def schedule_at(
+        self, time: float, fn: Callable[[], None], name: str = "timer"
+    ) -> Process:
+        """Run ``fn`` as a one-shot process at absolute time ``time``."""
+        if time < self.now:
+            raise SimulationError(f"schedule_at past time {time} < {self.now}")
+
+        def timer() -> Generator[Any, Any, None]:
+            yield Delay(time - self.now)
+            fn()
+
+        return self.spawn(timer(), name=name)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` if the queue is empty."""
+        if not self._queue:
+            return False
+        ev = heapq.heappop(self._queue)
+        if ev.time < self.now:  # pragma: no cover - guarded at insert
+            raise SimulationError("event queue time went backwards")
+        self.now = ev.time
+        self._event_count += 1
+        ev.proc._step(ev.value)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains (or ``until`` is reached).
+
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                if until is not None and self._queue[0].time > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self.now} queued={len(self._queue)}>"

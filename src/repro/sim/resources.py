@@ -1,0 +1,162 @@
+"""Shared-resource primitives for the DES kernel.
+
+Two resource archetypes cover every piece of hardware we model:
+
+* :class:`MutexResource` — an exclusive-ownership device (a configuration
+  port, a memory bank, a PRR).  Requests queue FIFO; holders release
+  explicitly.  Acquisition/holding intervals are recorded for trace
+  validation (no two holders may ever overlap).
+
+* :class:`BandwidthChannel` — a store-and-forward channel moving *bytes* at
+  a fixed rate with an optional fixed per-transfer overhead (an I/O link, a
+  configuration interface).  Transfers on the same channel serialize; the
+  dual-channel RapidArray link of the Cray XD1 is modeled as two independent
+  channels (one per direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from .engine import Delay, EventSignal, SimulationError, Simulator
+
+__all__ = ["MutexResource", "BandwidthChannel", "Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed-open holding interval ``[start, end)`` on a resource."""
+
+    start: float
+    end: float
+    owner: str
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class MutexResource:
+    """Exclusive resource with FIFO queueing and interval accounting."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._holder: Optional[str] = None
+        self._acquired_at: float = 0.0
+        self._waiters: list[tuple[EventSignal, str]] = []
+        self.intervals: list[Interval] = []
+
+    @property
+    def busy(self) -> bool:
+        return self._holder is not None
+
+    @property
+    def holder(self) -> Optional[str]:
+        return self._holder
+
+    def acquire(self, owner: str) -> Generator[Any, Any, None]:
+        """Process helper: ``yield from resource.acquire("me")``."""
+        if self._holder is None:
+            self._grant(owner)
+            return
+        sig = self.sim.signal(name=f"acq:{self.name}:{owner}")
+        self._waiters.append((sig, owner))
+        yield sig
+
+    def release(self, owner: str) -> None:
+        if self._holder != owner:
+            raise SimulationError(
+                f"{owner!r} released {self.name!r} held by {self._holder!r}"
+            )
+        self.intervals.append(
+            Interval(self._acquired_at, self.sim.now, owner)
+        )
+        self._holder = None
+        if self._waiters:
+            sig, next_owner = self._waiters.pop(0)
+            self._grant(next_owner)
+            sig.succeed()
+
+    def _grant(self, owner: str) -> None:
+        self._holder = owner
+        self._acquired_at = self.sim.now
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of ``[0, horizon]`` the resource was held."""
+        horizon = self.sim.now if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        held = sum(iv.end - iv.start for iv in self.intervals)
+        if self._holder is not None:
+            held += self.sim.now - self._acquired_at
+        return held / horizon
+
+    def assert_no_overlap(self) -> None:
+        """Raise if any two recorded holding intervals overlap."""
+        ivs = sorted(self.intervals, key=lambda iv: iv.start)
+        for a, b in zip(ivs, ivs[1:]):
+            if a.overlaps(b):
+                raise SimulationError(
+                    f"overlapping holds on {self.name!r}: {a} vs {b}"
+                )
+
+
+class BandwidthChannel:
+    """Serializing byte channel: ``time = overhead + nbytes / rate``.
+
+    Parameters
+    ----------
+    rate:
+        Sustained throughput in bytes per unit time.
+    overhead:
+        Fixed latency added to every transfer (API call cost, DMA setup...).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate: float,
+        overhead: float = 0.0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"channel rate must be positive: {rate}")
+        if overhead < 0:
+            raise ValueError(f"channel overhead must be >= 0: {overhead}")
+        self.sim = sim
+        self.name = name
+        self.rate = rate
+        self.overhead = overhead
+        self._mutex = MutexResource(sim, name=f"{name}.mutex")
+        self.bytes_moved: float = 0.0
+        self.transfer_count: int = 0
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Pure time model for a transfer of ``nbytes`` (no queueing)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        return self.overhead + nbytes / self.rate
+
+    def transfer(
+        self, nbytes: float, owner: str
+    ) -> Generator[Any, Any, float]:
+        """Process helper: move ``nbytes``; returns completion time."""
+        yield from self._mutex.acquire(owner)
+        try:
+            yield Delay(self.transfer_time(nbytes))
+            self.bytes_moved += nbytes
+            self.transfer_count += 1
+        finally:
+            self._mutex.release(owner)
+        return self.sim.now
+
+    @property
+    def intervals(self) -> list[Interval]:
+        return self._mutex.intervals
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        return self._mutex.utilization(horizon)
+
+    def assert_no_overlap(self) -> None:
+        self._mutex.assert_no_overlap()

@@ -1,0 +1,195 @@
+"""Timeline tracing for simulation runs.
+
+Every executor in :mod:`repro.rtr` records what happened when as a list of
+:class:`Span` records (phase name, task, lane, start, end).  The trace is
+the simulated analogue of the paper's Figures 2-4 execution profiles and is
+what :mod:`repro.analysis.validate` compares against the analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["Span", "Timeline", "Phase"]
+
+
+class Phase:
+    """Canonical phase names used across the executors (Fig. 2)."""
+
+    SETUP = "setup"            # pre-fetch decision (T_decision)
+    CONFIG = "config"          # full or partial (re)configuration
+    CONTROL = "control"        # transfer of control (T_control)
+    DATA_IN = "data_in"        # host -> FPGA input transfer
+    COMPUTE = "compute"        # task computation on the fabric
+    DATA_OUT = "data_out"      # FPGA -> host output transfer
+    TASK = "task"              # aggregated T_task (data_in+compute+data_out)
+
+    ALL = (SETUP, CONFIG, CONTROL, DATA_IN, COMPUTE, DATA_OUT, TASK)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed activity on a named lane of the timeline."""
+
+    phase: str
+    start: float
+    end: float
+    lane: str = "main"
+    task: str = ""
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span ends before it starts: {self!r}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class Timeline:
+    """An append-only collection of :class:`Span` records."""
+
+    spans: list[Span] = field(default_factory=list)
+
+    def add(
+        self,
+        phase: str,
+        start: float,
+        end: float,
+        *,
+        lane: str = "main",
+        task: str = "",
+        note: str = "",
+    ) -> Span:
+        span = Span(phase, start, end, lane=lane, task=task, note=note)
+        self.spans.append(span)
+        return span
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def by_phase(self, phase: str) -> list[Span]:
+        return [s for s in self.spans if s.phase == phase]
+
+    def by_lane(self, lane: str) -> list[Span]:
+        return [s for s in self.spans if s.lane == lane]
+
+    def by_task(self, task: str) -> list[Span]:
+        return [s for s in self.spans if s.task == task]
+
+    def lanes(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.lane, None)
+        return list(seen)
+
+    def total(self, phase: Optional[str] = None) -> float:
+        """Total (summed, possibly overlapping) duration of a phase."""
+        spans = self.spans if phase is None else self.by_phase(phase)
+        return sum(s.duration for s in spans)
+
+    def busy_time(self, lane: Optional[str] = None) -> float:
+        """Union length of spans on a lane (overlaps counted once)."""
+        spans = sorted(
+            self.spans if lane is None else self.by_lane(lane),
+            key=lambda s: s.start,
+        )
+        busy = 0.0
+        cur_start: Optional[float] = None
+        cur_end = 0.0
+        for s in spans:
+            if cur_start is None:
+                cur_start, cur_end = s.start, s.end
+            elif s.start <= cur_end:
+                cur_end = max(cur_end, s.end)
+            else:
+                busy += cur_end - cur_start
+                cur_start, cur_end = s.start, s.end
+        if cur_start is not None:
+            busy += cur_end - cur_start
+        return busy
+
+    @property
+    def makespan(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+    @property
+    def end_time(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+    def assert_lane_exclusive(self, lane: str) -> None:
+        """Raise if two spans on ``lane`` overlap (exclusive-resource check)."""
+        spans = sorted(self.by_lane(lane), key=lambda s: (s.start, s.end))
+        for a, b in zip(spans, spans[1:]):
+            # Touching endpoints (a.end == b.start) are fine.
+            if a.overlaps(b):
+                raise AssertionError(
+                    f"overlapping spans on lane {lane!r}: {a} vs {b}"
+                )
+
+    # -- export ----------------------------------------------------------
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Plain-dict rows, convenient for CSV export or table rendering."""
+        return [
+            {
+                "lane": s.lane,
+                "phase": s.phase,
+                "task": s.task,
+                "start": s.start,
+                "end": s.end,
+                "duration": s.duration,
+                "note": s.note,
+            }
+            for s in sorted(self.spans, key=lambda s: (s.start, s.lane))
+        ]
+
+    def gantt(self, width: int = 72, resolution: Optional[float] = None) -> str:
+        """Render an ASCII Gantt chart, one row per lane.
+
+        Each lane row shows blocks of the first letter of the phase name.
+        Useful for eyeballing overlap structure (the paper's Fig. 3/4).
+        """
+        if not self.spans:
+            return "(empty timeline)"
+        t0 = min(s.start for s in self.spans)
+        t1 = max(s.end for s in self.spans)
+        horizon = max(t1 - t0, 1e-12)
+        scale = (width - 1) / horizon
+        lines = []
+        label_w = max(len(lane) for lane in self.lanes()) + 1
+        for lane in self.lanes():
+            row = [" "] * width
+            for s in self.by_lane(lane):
+                a = int((s.start - t0) * scale)
+                b = max(int((s.end - t0) * scale), a + 1)
+                ch = (s.phase[:1] or "#").upper()
+                for i in range(a, min(b, width)):
+                    row[i] = ch
+            lines.append(f"{lane:<{label_w}}|{''.join(row)}|")
+        lines.append(
+            f"{'':<{label_w}} t0={t0:.6g}  t1={t1:.6g}  "
+            f"(1 col = {horizon / (width - 1):.3g})"
+        )
+        return "\n".join(lines)
+
+
+def merge(timelines: Iterable[Timeline]) -> Timeline:
+    """Combine several timelines into one (spans are shared, not copied)."""
+    out = Timeline()
+    for tl in timelines:
+        out.spans.extend(tl.spans)
+    return out

@@ -1,0 +1,176 @@
+"""Synthetic call-trace generators.
+
+The paper's analysis abstracts workloads into ``(n_calls, H)``; the
+prefetch ablations need *real* traces with controllable locality instead.
+Every generator takes an explicit ``numpy.random.Generator`` (or seed) —
+determinism is non-negotiable for reproducible experiments.
+
+Locality knobs map onto the paper's discussion:
+
+* :func:`uniform_trace` — no locality at all (worst case for caching);
+* :func:`zipf_trace` — skewed popularity (some functions dominate);
+* :func:`markov_trace` — pairwise transition structure (what the
+  association-rule-mining prefetcher of ref. [26] exploits);
+* :func:`phased_trace` — program phases that reuse a small working set
+  ("processing spatial locality", Section 2.1);
+* :func:`pipeline_trace` — a fixed processing pipeline repeated per frame
+  (the image workloads of Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .task import CallTrace, HardwareTask
+
+__all__ = [
+    "rng_from",
+    "uniform_trace",
+    "zipf_trace",
+    "markov_trace",
+    "phased_trace",
+    "pipeline_trace",
+]
+
+
+def rng_from(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Accept a seed, a Generator, or None (fixed default seed)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(0 if seed is None else seed)
+
+
+def _check_library(library: Mapping[str, HardwareTask]) -> list[str]:
+    names = list(library)
+    if not names:
+        raise ValueError("library must not be empty")
+    return names
+
+
+def uniform_trace(
+    library: Mapping[str, HardwareTask],
+    n_calls: int,
+    seed: int | np.random.Generator | None = None,
+) -> CallTrace:
+    """Independent uniform draws over the library."""
+    if n_calls <= 0:
+        raise ValueError("n_calls must be >= 1")
+    rng = rng_from(seed)
+    names = _check_library(library)
+    picks = rng.integers(0, len(names), size=n_calls)
+    return CallTrace(
+        (library[names[i]] for i in picks), name=f"uniform{n_calls}"
+    )
+
+
+def zipf_trace(
+    library: Mapping[str, HardwareTask],
+    n_calls: int,
+    s: float = 1.2,
+    seed: int | np.random.Generator | None = None,
+) -> CallTrace:
+    """Zipf-distributed popularity with exponent ``s`` (rank 1 hottest)."""
+    if n_calls <= 0:
+        raise ValueError("n_calls must be >= 1")
+    if s <= 0:
+        raise ValueError("zipf exponent must be > 0")
+    rng = rng_from(seed)
+    names = _check_library(library)
+    ranks = np.arange(1, len(names) + 1, dtype=np.float64)
+    probs = ranks**-s
+    probs /= probs.sum()
+    picks = rng.choice(len(names), size=n_calls, p=probs)
+    return CallTrace(
+        (library[names[i]] for i in picks), name=f"zipf{s:g}_{n_calls}"
+    )
+
+
+def markov_trace(
+    library: Mapping[str, HardwareTask],
+    n_calls: int,
+    self_loop: float = 0.1,
+    follow: float = 0.7,
+    seed: int | np.random.Generator | None = None,
+) -> CallTrace:
+    """A first-order Markov chain with strong successor structure.
+
+    From task ``i``: probability ``self_loop`` of repeating, ``follow`` of
+    moving to ``i+1 (mod k)`` (its canonical successor), remainder spread
+    uniformly.  High ``follow`` makes the next call highly predictable —
+    the regime where a Markov/ARM prefetcher approaches ``H = 1``.
+    """
+    if n_calls <= 0:
+        raise ValueError("n_calls must be >= 1")
+    if self_loop < 0 or follow < 0 or self_loop + follow > 1:
+        raise ValueError("need self_loop, follow >= 0 and sum <= 1")
+    rng = rng_from(seed)
+    names = _check_library(library)
+    k = len(names)
+    rest = (1.0 - self_loop - follow) / k
+    # Row-stochastic transition matrix, vectorized construction.
+    matrix = np.full((k, k), rest)
+    matrix[np.arange(k), np.arange(k)] += self_loop
+    matrix[np.arange(k), (np.arange(k) + 1) % k] += follow
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    state = int(rng.integers(0, k))
+    picks = np.empty(n_calls, dtype=np.int64)
+    for i in range(n_calls):
+        picks[i] = state
+        state = int(rng.choice(k, p=matrix[state]))
+    return CallTrace(
+        (library[names[i]] for i in picks), name=f"markov_{n_calls}"
+    )
+
+
+def phased_trace(
+    library: Mapping[str, HardwareTask],
+    n_phases: int,
+    phase_length: int,
+    working_set: int,
+    seed: int | np.random.Generator | None = None,
+) -> CallTrace:
+    """Phases of ``phase_length`` calls drawn from a small working set.
+
+    Each phase picks ``working_set`` tasks and calls only those — the
+    paging-style locality hardware-virtualization papers assume.  With a
+    PRR count >= working set, steady-state phases are all hits.
+    """
+    if min(n_phases, phase_length, working_set) <= 0:
+        raise ValueError("all shape parameters must be >= 1")
+    rng = rng_from(seed)
+    names = _check_library(library)
+    if working_set > len(names):
+        raise ValueError(
+            f"working_set {working_set} exceeds library size {len(names)}"
+        )
+    tasks: list[HardwareTask] = []
+    for _ in range(n_phases):
+        members = rng.choice(len(names), size=working_set, replace=False)
+        picks = rng.choice(members, size=phase_length)
+        tasks.extend(library[names[i]] for i in picks)
+    return CallTrace(tasks, name=f"phased_{n_phases}x{phase_length}")
+
+
+def pipeline_trace(
+    library: Mapping[str, HardwareTask],
+    stage_names: Sequence[str],
+    n_frames: int,
+) -> CallTrace:
+    """The Section 4.3 workload shape: a filter pipeline applied per frame.
+
+    ``stage_names`` (e.g. ``["smoothing", "sobel", "median"]``) repeats
+    ``n_frames`` times.  Deterministic — no RNG.
+    """
+    if n_frames <= 0:
+        raise ValueError("n_frames must be >= 1")
+    if not stage_names:
+        raise ValueError("need at least one pipeline stage")
+    missing = [n for n in stage_names if n not in library]
+    if missing:
+        raise KeyError(f"stages not in library: {missing}")
+    tasks = [library[n] for _ in range(n_frames) for n in stage_names]
+    return CallTrace(
+        tasks, name=f"pipeline_{'-'.join(stage_names)}_x{n_frames}"
+    )

@@ -1,0 +1,152 @@
+"""The paper's hardware-function library (Table 1) plus a throughput model.
+
+The study implements three image-processing cores as reconfigurable
+modules, alongside the static infrastructure.  Table 1 publishes their
+resource usage on the XC2VP50; we pin those numbers here and add the
+first-order throughput model used to derive per-call task times:
+
+    T_task(data) = data_in/BW + pixels/(freq * pixels_per_cycle) + data_out/BW
+
+with BW the XD1's usable 1400 MB/s.  The paper varies ``T_task`` "by
+changing the amount of data transferred to/from and processed by the
+task" — :func:`task_for_data_size` is exactly that knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.catalog import XD1_NODE, NodeParameters
+from ..hardware.fpga import Resources
+from .task import HardwareTask
+
+__all__ = [
+    "CoreSpec",
+    "TABLE1_CORES",
+    "STATIC_BLOCKS",
+    "core_resources",
+    "task_for_data_size",
+    "library_tasks",
+]
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """A hardware core: resource demand plus performance characteristics."""
+
+    name: str
+    luts: int
+    ffs: int
+    brams: int
+    freq_hz: float
+    #: pixels consumed per clock at steady state (stream throughput)
+    pixels_per_cycle: float = 1.0
+    #: bytes per input pixel (8-bit grayscale for the paper's filters)
+    bytes_per_pixel: int = 1
+    #: output bytes per input byte
+    output_ratio: float = 1.0
+    reconfigurable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ValueError("freq_hz must be positive")
+        if self.pixels_per_cycle <= 0:
+            raise ValueError("pixels_per_cycle must be positive")
+        if self.bytes_per_pixel <= 0:
+            raise ValueError("bytes_per_pixel must be positive")
+        if self.output_ratio < 0:
+            raise ValueError("output_ratio must be >= 0")
+
+    @property
+    def resources(self) -> Resources:
+        return Resources(luts=self.luts, ffs=self.ffs, brams=self.brams)
+
+
+#: The three reconfigurable cores of Table 1.
+TABLE1_CORES: dict[str, CoreSpec] = {
+    "median": CoreSpec(
+        name="median", luts=3_141, ffs=3_270, brams=0, freq_hz=200e6
+    ),
+    "sobel": CoreSpec(
+        name="sobel", luts=1_159, ffs=1_060, brams=0, freq_hz=200e6
+    ),
+    "smoothing": CoreSpec(
+        name="smoothing", luts=2_053, ffs=1_601, brams=0, freq_hz=200e6
+    ),
+}
+
+#: The static-region blocks of Table 1 (not reconfigured at run time).
+STATIC_BLOCKS: dict[str, CoreSpec] = {
+    "static_region": CoreSpec(
+        name="static_region",
+        luts=3_372,
+        ffs=5_503,
+        brams=25,
+        freq_hz=200e6,
+        reconfigurable=False,
+    ),
+    "pr_controller": CoreSpec(
+        name="pr_controller",
+        luts=418,
+        ffs=432,
+        brams=8,
+        freq_hz=66e6,
+        reconfigurable=False,
+    ),
+}
+
+
+def core_resources(name: str) -> Resources:
+    """Resource vector of any Table 1 entry (core or static block)."""
+    spec = TABLE1_CORES.get(name) or STATIC_BLOCKS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown core {name!r}")
+    return spec.resources
+
+
+def task_for_data_size(
+    core: CoreSpec | str,
+    data_bytes: float,
+    params: NodeParameters = XD1_NODE,
+    overlap_io: bool = False,
+) -> HardwareTask:
+    """Build a :class:`HardwareTask` for a core processing ``data_bytes``.
+
+    ``T_task`` composes input transfer, streaming computation and output
+    transfer.  With ``overlap_io=True`` the three stages pipeline and the
+    slowest dominates (the paper's refs [30, 31] optimization); the default
+    is the sequential sum, matching the paper's conservative folding of
+    I/O into ``T_task``.
+    """
+    if isinstance(core, str):
+        try:
+            core = TABLE1_CORES[core]
+        except KeyError:
+            raise KeyError(f"unknown reconfigurable core {core!r}") from None
+    if data_bytes <= 0:
+        raise ValueError("data_bytes must be > 0")
+    t_in = data_bytes / params.io_bandwidth
+    pixels = data_bytes / core.bytes_per_pixel
+    t_compute = pixels / (core.freq_hz * core.pixels_per_cycle)
+    data_out = data_bytes * core.output_ratio
+    t_out = data_out / params.io_bandwidth
+    time = max(t_in, t_compute, t_out) if overlap_io else t_in + t_compute + t_out
+    return HardwareTask(
+        name=core.name,
+        time=time,
+        data_in_bytes=data_bytes,
+        data_out_bytes=data_out,
+        compute_time=t_compute,
+    )
+
+
+def library_tasks(
+    data_bytes: float,
+    params: NodeParameters = XD1_NODE,
+    overlap_io: bool = False,
+) -> dict[str, HardwareTask]:
+    """All three Table 1 cores at a common data size."""
+    return {
+        name: task_for_data_size(spec, data_bytes, params, overlap_io)
+        for name, spec in TABLE1_CORES.items()
+    }

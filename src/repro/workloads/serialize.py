@@ -1,0 +1,98 @@
+"""Trace and library serialization (JSON).
+
+Reproducibility plumbing: experiments can persist the exact call trace
+they ran (e.g. alongside a CSV of results) and reload it bit-for-bit.
+The format is a plain JSON object — stable, diffable, and free of any
+Python-specific encoding:
+
+```json
+{
+  "format": "repro-trace-v1",
+  "name": "zipf1.2_4000",
+  "tasks": {"median": {"time": 0.0198, "data_in_bytes": 0.0, ...}},
+  "calls": ["median", "sobel", ...]
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .task import CallTrace, HardwareTask
+
+__all__ = ["trace_to_json", "trace_from_json", "save_trace", "load_trace"]
+
+_FORMAT = "repro-trace-v1"
+
+
+def trace_to_json(trace: CallTrace) -> str:
+    """Serialize a trace (library + call sequence) to a JSON string."""
+    tasks: dict[str, dict[str, float]] = {}
+    for call in trace:
+        t = call.task
+        existing = tasks.get(t.name)
+        record = {
+            "time": t.time,
+            "data_in_bytes": t.data_in_bytes,
+            "data_out_bytes": t.data_out_bytes,
+            "compute_time": t.compute_time,
+        }
+        if existing is not None and existing != record:
+            raise ValueError(
+                f"trace uses two different task definitions named "
+                f"{t.name!r}; per-call task variants cannot round-trip "
+                "through the v1 format"
+            )
+        tasks[t.name] = record
+    doc = {
+        "format": _FORMAT,
+        "name": trace.name,
+        "tasks": tasks,
+        "calls": [c.name for c in trace],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def trace_from_json(text: str) -> CallTrace:
+    """Inverse of :func:`trace_to_json`; validates the document."""
+    try:
+        doc: dict[str, Any] = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from None
+    if doc.get("format") != _FORMAT:
+        raise ValueError(
+            f"unsupported trace format {doc.get('format')!r}; "
+            f"expected {_FORMAT!r}"
+        )
+    try:
+        tasks_doc = doc["tasks"]
+        calls = doc["calls"]
+        name = doc["name"]
+    except KeyError as exc:
+        raise ValueError(f"missing field {exc.args[0]!r}") from None
+    library = {
+        task_name: HardwareTask(
+            name=task_name,
+            time=float(spec["time"]),
+            data_in_bytes=float(spec.get("data_in_bytes", 0.0)),
+            data_out_bytes=float(spec.get("data_out_bytes", 0.0)),
+            compute_time=float(spec.get("compute_time", 0.0)),
+        )
+        for task_name, spec in tasks_doc.items()
+    }
+    missing = [c for c in calls if c not in library]
+    if missing:
+        raise ValueError(f"calls reference undefined tasks: {missing[:5]}")
+    return CallTrace([library[c] for c in calls], name=str(name))
+
+
+def save_trace(trace: CallTrace, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_to_json(trace))
+
+
+def load_trace(path: str) -> CallTrace:
+    with open(path, "r", encoding="utf-8") as fh:
+        return trace_from_json(fh.read())

@@ -1,0 +1,119 @@
+"""Unit tests for table rendering and ASCII/CSV figure output."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_plot,
+    format_value,
+    render_comparison,
+    render_table,
+    series_to_csv,
+    write_csv,
+)
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(3.14159, ".3g") == "3.14"
+
+    def test_bools(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_strings(self):
+        assert format_value("x") == "x"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 100, "b": 0.125}]
+        text = render_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "-+-" in lines[2]
+        assert len(lines) == 5
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = render_table(rows, ["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 9}]
+        text = render_table(rows, ["a", "b"])
+        assert text  # no exception; row 1 has empty b
+
+    def test_empty(self):
+        assert "(empty)" in render_table([])
+        assert render_table([], title="X").startswith("X")
+
+
+class TestRenderComparison:
+    def test_rel_err_column(self):
+        rows = [{"quantity": "t", "paper": 10.0, "ours": 11.0}]
+        text = render_comparison(rows)
+        assert "rel_err_%" in text
+        assert "10" in text and "11" in text
+
+    def test_non_numeric_rows_pass_through(self):
+        rows = [{"quantity": "layout", "paper": "dual", "ours": "dual"}]
+        text = render_comparison(rows)
+        assert "dual" in text
+
+
+class TestAsciiPlot:
+    def series(self):
+        x = np.logspace(-2, 2, 50)
+        return {"s1": (x, 1.0 / x), "s2": (x, x * 0.0 + 2.0)}
+
+    def test_contains_legend_and_axes(self):
+        text = ascii_plot(self.series(), title="T", xlabel="xt",
+                          ylabel="sp")
+        assert "legend:" in text
+        assert "s1" in text and "s2" in text
+        assert "xt" in text and "sp" in text
+        assert text.startswith("T")
+
+    def test_handles_empty(self):
+        assert ascii_plot({}) == "(no series)"
+
+    def test_nonfinite_filtered(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([np.nan, np.inf, 1.0])
+        text = ascii_plot({"s": (x, y)}, logx=False)
+        assert "legend" in text
+
+    def test_all_nonfinite(self):
+        x = np.array([1.0])
+        y = np.array([np.nan])
+        assert ascii_plot({"s": (x, y)}) == "(no finite data)"
+
+    def test_log_requires_positive(self):
+        x = np.array([-1.0, 1.0, 10.0])
+        y = np.array([1.0, 2.0, 3.0])
+        text = ascii_plot({"s": (x, y)}, logx=True)
+        assert "legend" in text  # negative x silently dropped
+
+
+class TestCsv:
+    def test_long_format(self):
+        text = series_to_csv({"a": ([1.0, 2.0], [3.0, 4.0])}, x_name="xt")
+        lines = text.strip().splitlines()
+        assert lines[0] == "series,xt,y"
+        assert len(lines) == 3
+        assert lines[1].startswith("a,1.0,")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_to_csv({"a": ([1.0], [1.0, 2.0])})
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), "a,b\n1,2\n")
+        assert path.read_text() == "a,b\n1,2\n"

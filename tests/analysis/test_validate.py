@@ -1,0 +1,113 @@
+"""Unit tests for :mod:`repro.analysis.validate`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ValidationReport,
+    expected_prtr_pipeline_total,
+    relative_error,
+    validate_frtr,
+    validate_prtr,
+)
+from repro.hardware import PUBLISHED_TABLE2
+from repro.rtr import FrtrExecutor, PrtrExecutor, make_node
+from repro.workloads import CallTrace, HardwareTask
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.9, 1.0) == pytest.approx(0.1)
+
+    def test_zero_expected(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == np.inf
+
+
+class TestPipelineFormula:
+    def test_all_hits(self):
+        """n hit stages: startup + n*(control + task + decision)."""
+        total = expected_prtr_pipeline_total(
+            [0.5] * 4, [True] * 4,
+            t_frtr=2.0, t_prtr=0.3, t_control=0.1, t_decision=0.05,
+        )
+        expected = 0.05 + 2.0 + 4 * (0.1 + 0.55)
+        assert total == pytest.approx(expected)
+
+    def test_all_misses_config_dominates(self):
+        """Tiny tasks: every stage (except the last) costs t_prtr."""
+        total = expected_prtr_pipeline_total(
+            [0.01] * 5, [False] * 5, t_frtr=2.0, t_prtr=0.5,
+        )
+        # First call's config ships with the full config; stages 0..3
+        # overlap the next call's config: max(0.01, 0.5) = 0.5; the
+        # last stage has no successor: 0.01.
+        expected = 2.0 + 4 * 0.5 + 0.01
+        assert total == pytest.approx(expected)
+
+    def test_mixed_pattern(self):
+        hits = [True, False, True]
+        tasks = [1.0, 1.0, 1.0]
+        total = expected_prtr_pipeline_total(
+            tasks, hits, t_frtr=2.0, t_prtr=0.5,
+        )
+        # stage0: next (1) missed -> max(1, 0.5) = 1; stage1: next hit ->
+        # 1; stage2: last -> 1.
+        assert total == pytest.approx(2.0 + 3.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_prtr_pipeline_total([1.0], [True, False],
+                                         t_frtr=1.0, t_prtr=0.1)
+
+    def test_empty_trace(self):
+        with pytest.raises(ValueError):
+            expected_prtr_pipeline_total([], [], t_frtr=1.0, t_prtr=0.1)
+
+
+class TestValidateAgainstRuns:
+    def make_trace(self, n=12, task_time=0.05):
+        lib = {f"m{i}": HardwareTask(f"m{i}", task_time) for i in range(3)}
+        return CallTrace(
+            [lib[f"m{i % 3}"] for i in range(n)], name="v"
+        )
+
+    def test_frtr_report_ok(self):
+        node = make_node()
+        result = FrtrExecutor(node, control_time=1e-5).run(self.make_trace())
+        rep = validate_frtr(
+            result, t_frtr=node.full_config_time(), t_control=1e-5,
+            t_task=0.05,
+        )
+        assert rep.ok()
+        assert rep.mode == "frtr"
+
+    def test_prtr_report_ok(self):
+        node = make_node()
+        result = PrtrExecutor(
+            node,
+            control_time=1e-5,
+            bitstream_bytes=PUBLISHED_TABLE2["dual_prr"].bitstream_bytes,
+        ).run(self.make_trace())
+        rep = validate_prtr(
+            result,
+            t_frtr=result.notes["t_config_full"],
+            t_prtr=result.notes["t_config_partial"],
+            t_control=1e-5,
+        )
+        assert rep.pipeline_rel_error < 1e-9
+        assert rep.ok(model_tol=0.25)
+
+    def test_report_not_ok_when_totals_disagree(self):
+        rep = ValidationReport(
+            mode="prtr",
+            measured_total=2.0,
+            pipeline_total=1.0,
+            model_total=1.0,
+            pipeline_rel_error=1.0,
+            model_rel_error=1.0,
+        )
+        assert not rep.ok()

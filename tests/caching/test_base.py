@@ -1,0 +1,131 @@
+"""Unit tests for :mod:`repro.caching.base` (ConfigCache semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import CacheStats, ConfigCache, LruPolicy
+
+
+def cache(slots: int = 2) -> ConfigCache:
+    return ConfigCache(slots=slots, policy=LruPolicy())
+
+
+class TestCacheStats:
+    def test_ratios(self):
+        s = CacheStats(hits=3, misses=1)
+        assert s.accesses == 4
+        assert s.hit_ratio == pytest.approx(0.75)
+        assert s.miss_ratio == pytest.approx(0.25)
+
+    def test_empty_cache_ratios(self):
+        s = CacheStats()
+        assert s.hit_ratio == 0.0
+        assert s.miss_ratio == 0.0
+
+
+class TestConfigCache:
+    def test_needs_positive_slots(self):
+        with pytest.raises(ValueError):
+            ConfigCache(slots=0, policy=LruPolicy())
+
+    def test_cold_lookup_misses(self):
+        c = cache()
+        assert not c.lookup("a")
+        assert c.stats.misses == 1
+        assert c.stats.cold_misses == 1
+
+    def test_fill_then_hit(self):
+        c = cache()
+        c.fill("a")
+        assert c.lookup("a")
+        assert c.stats.hits == 1
+
+    def test_fill_idempotent(self):
+        c = cache()
+        assert c.fill("a") is None
+        assert c.fill("a") is None
+        assert len(c.residents) == 1
+
+    def test_eviction_when_full(self):
+        c = cache(2)
+        c.access("a")
+        c.access("b")
+        evicted_before = c.stats.evictions
+        c.access("c")  # must evict LRU = a
+        assert c.stats.evictions == evicted_before + 1
+        assert not c.contains("a")
+        assert c.contains("b") and c.contains("c")
+
+    def test_slot_reuse_after_eviction(self):
+        c = cache(2)
+        c.fill("a")
+        slot_a = c.slot_of("a")
+        c.fill("b")
+        c.fill("c")  # evicts a, takes its slot
+        assert c.slot_of("c") == slot_a
+
+    def test_contains_does_not_touch_stats(self):
+        c = cache()
+        c.fill("a")
+        c.contains("a")
+        c.contains("zzz")
+        assert c.stats.accesses == 0
+
+    def test_slot_of_missing(self):
+        with pytest.raises(KeyError):
+            cache().slot_of("ghost")
+
+    def test_access_combines_lookup_fill(self):
+        c = cache()
+        assert not c.access("a")  # miss + fill
+        assert c.access("a")      # hit
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_pinned_never_evicted(self):
+        c = cache(2)
+        c.access("a")
+        c.access("b")
+        c.policy.on_access("b")  # make a the LRU victim normally
+        c.fill("c", pinned={"a"})
+        assert c.contains("a")
+        assert not c.contains("b")
+
+    def test_all_pinned_raises(self):
+        c = cache(1)
+        c.fill("a")
+        with pytest.raises(RuntimeError, match="pinned"):
+            c.fill("b", pinned={"a"})
+
+    def test_is_full(self):
+        c = cache(2)
+        assert not c.is_full
+        c.fill("a")
+        c.fill("b")
+        assert c.is_full
+
+    def test_reset_clears_everything(self):
+        c = cache(2)
+        c.access("a")
+        c.access("b")
+        c.access("c")
+        c.reset()
+        assert c.residents == []
+        assert c.stats.accesses == 0
+        assert not c.is_full
+
+    def test_hit_ratio_cyclic_thrash(self):
+        """3 modules on 2 LRU slots cycled -> 0 hits after the colds."""
+        c = cache(2)
+        for name in ["a", "b", "c"] * 20:
+            c.access(name)
+        assert c.stats.hits == 0
+        assert c.stats.hit_ratio == 0.0
+
+    def test_hit_ratio_working_set_fits(self):
+        """2 modules on 2 slots -> only cold misses."""
+        c = cache(2)
+        for name in ["a", "b"] * 20:
+            c.access(name)
+        assert c.stats.misses == 2
+        assert c.stats.cold_misses == 2

@@ -1,0 +1,89 @@
+"""Property-based tests of the caching substrate (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching import (
+    BeladyPolicy,
+    ConfigCache,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    replay,
+)
+from repro.workloads import CallTrace, HardwareTask
+
+names = st.sampled_from([f"m{i}" for i in range(6)])
+traces = st.lists(names, min_size=1, max_size=200)
+slots = st.integers(min_value=1, max_value=6)
+
+
+def run(policy, refs, k):
+    c = ConfigCache(slots=k, policy=policy)
+    for r in refs:
+        c.access(r)
+    return c
+
+
+@given(traces, slots)
+def test_hit_ratio_in_unit_interval(refs, k):
+    c = run(LruPolicy(), refs, k)
+    assert 0.0 <= c.stats.hit_ratio <= 1.0
+    assert c.stats.accesses == len(refs)
+
+
+@given(traces, slots)
+def test_residents_never_exceed_slots(refs, k):
+    c = run(LruPolicy(), refs, k)
+    assert len(c.residents) <= k
+
+
+@given(traces)
+def test_lru_with_full_capacity_only_cold_misses(refs):
+    """Capacity >= #distinct items -> misses == distinct items."""
+    k = len(set(refs))
+    c = run(LruPolicy(), refs, k)
+    assert c.stats.misses == k
+    assert c.stats.cold_misses == k
+
+
+@given(traces, slots)
+@settings(max_examples=150)
+def test_belady_dominates_online_policies(refs, k):
+    """The offline-optimal policy never loses to LRU/FIFO/LFU."""
+    belady = run(BeladyPolicy(refs), refs, k)
+    for policy in (LruPolicy(), FifoPolicy(), LfuPolicy()):
+        online = run(policy, refs, k)
+        assert belady.stats.hits >= online.stats.hits
+
+
+@given(traces, slots)
+def test_evictions_consistent_with_misses(refs, k):
+    """evictions == max(0, misses - slots_filled) for demand caching."""
+    c = run(LruPolicy(), refs, k)
+    filled = min(len(set(refs)), k)
+    # Every miss after the cache fills evicts exactly once.
+    assert c.stats.evictions == c.stats.misses - (
+        c.stats.cold_misses
+    ) + max(0, 0)
+    assert c.stats.cold_misses <= k or not refs
+
+
+@given(traces, slots)
+def test_stack_property_larger_lru_never_worse(refs, k):
+    """LRU inclusion property: a bigger LRU cache never hits less."""
+    small = run(LruPolicy(), refs, k)
+    big = run(LruPolicy(), refs, k + 1)
+    assert big.stats.hits >= small.stats.hits
+
+
+@given(traces, slots)
+def test_replay_matches_direct_cache_when_no_prefetch(refs, k):
+    lib = {n: HardwareTask(n, 1.0) for n in set(refs)}
+    trace = CallTrace([lib[n] for n in refs])
+    direct = run(LruPolicy(), refs, k)
+    via_replay = replay(trace, ConfigCache(k, LruPolicy()))
+    assert via_replay.stats.hits == direct.stats.hits
+    assert via_replay.stats.misses == direct.stats.misses

@@ -1,0 +1,161 @@
+"""Unit tests for the hardware-paging model (ref [27] / Section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching.paging import (
+    PagedCache,
+    PageTable,
+    cooccurrence_counts,
+    group_by_affinity,
+    group_random,
+    group_sequential,
+    paged_hit_ratio,
+)
+from repro.workloads import CallTrace, HardwareTask, markov_trace
+
+
+def lib(k: int = 12) -> dict[str, HardwareTask]:
+    return {f"f{i:02d}": HardwareTask(f"f{i:02d}", 0.01) for i in range(k)}
+
+
+def trace_of(names) -> CallTrace:
+    library = {n: HardwareTask(n, 1.0) for n in set(names)}
+    return CallTrace([library[n] for n in names], name="t")
+
+
+class TestPageTable:
+    def test_lookup(self):
+        table = PageTable((("a", "b"), ("c",)))
+        assert table.page_of("a") == 0
+        assert table.page_of("c") == 1
+        assert table.mates("b") == ("a", "b")
+        assert table.n_pages == 2
+        assert table.functions == ("a", "b", "c")
+
+    def test_missing_function(self):
+        with pytest.raises(KeyError):
+            PageTable((("a",),)).page_of("z")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageTable(())
+        with pytest.raises(ValueError):
+            PageTable(((),))
+        with pytest.raises(ValueError):
+            PageTable((("a",), ("a",)))
+
+
+class TestPagedCache:
+    def test_page_mates_ride_along(self):
+        """A miss on 'a' makes its whole page resident -> 'b' hits."""
+        table = PageTable((("a", "b"), ("c", "d")))
+        cache = PagedCache(table, slots=1)
+        assert not cache.access("a")
+        assert cache.access("b")  # page mate: free hit
+        assert not cache.access("c")  # other page evicts
+        assert cache.access("d")
+
+    def test_resident_functions(self):
+        table = PageTable((("a", "b"), ("c", "d")))
+        cache = PagedCache(table, slots=2)
+        cache.access("a")
+        assert sorted(cache.resident_functions()) == ["a", "b"]
+
+    def test_reset(self):
+        table = PageTable((("a",),))
+        cache = PagedCache(table, slots=1)
+        cache.access("a")
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.resident_functions() == []
+
+
+class TestGroupings:
+    def test_sequential_chunks(self):
+        table = group_sequential(["a", "b", "c", "d", "e"], 2)
+        assert table.pages == (("a", "b"), ("c", "d"), ("e",))
+
+    def test_random_is_permutation(self):
+        fns = [f"f{i}" for i in range(9)]
+        table = group_random(fns, 3, seed=1)
+        assert sorted(table.functions) == sorted(fns)
+
+    def test_random_deterministic(self):
+        fns = [f"f{i}" for i in range(9)]
+        assert group_random(fns, 3, seed=2).pages == group_random(
+            fns, 3, seed=2
+        ).pages
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_sequential(["a"], 0)
+        with pytest.raises(ValueError):
+            group_sequential([], 2)
+        with pytest.raises(ValueError):
+            group_random(["a"], 0)
+        with pytest.raises(ValueError):
+            group_by_affinity(trace_of(["a", "b"]), 0)
+
+    def test_cooccurrence_symmetric_counts(self):
+        counts = cooccurrence_counts(
+            trace_of(["a", "b", "a", "b"]), window=2
+        )
+        assert counts == {("a", "b"): 3}
+        with pytest.raises(ValueError):
+            cooccurrence_counts(trace_of(["a"]), window=1)
+
+    def test_affinity_groups_pairs_together(self):
+        """a/b always co-occur, c/d always co-occur: affinity pages must
+        respect the pairs."""
+        names = ["a", "b"] * 20 + ["c", "d"] * 20 + ["a", "b"] * 5
+        table = group_by_affinity(trace_of(names), page_size=2)
+        pages = {frozenset(p) for p in table.pages}
+        assert frozenset(("a", "b")) in pages
+        assert frozenset(("c", "d")) in pages
+
+    def test_affinity_covers_unseen_functions(self):
+        names = ["a", "b"] * 10
+        table = group_by_affinity(
+            trace_of(names), 2, functions=["a", "b", "zz"]
+        )
+        assert "zz" in table.functions
+
+
+class TestPagedHitRatio:
+    def test_affinity_beats_random_on_structured_trace(self):
+        library = lib()
+        train = markov_trace(library, 2500, self_loop=0.05,
+                             follow=0.75, seed=1)
+        test = markov_trace(library, 2500, self_loop=0.05,
+                            follow=0.75, seed=2)
+        fns = sorted(library)
+        h_aff = paged_hit_ratio(
+            test, group_by_affinity(train, 3, functions=fns), slots=2
+        )
+        h_rand = paged_hit_ratio(
+            test, group_random(fns, 3, seed=5), slots=2
+        )
+        assert h_aff > h_rand + 0.1
+
+    def test_paging_beats_unit_pages_on_local_trace(self):
+        """page_size > 1 exploits locality a function-granular cache
+        cannot (same slot count)."""
+        names = (["a", "b", "c"] * 30) + (["d", "e", "f"] * 30)
+        t = trace_of(names)
+        unit = paged_hit_ratio(
+            t, group_sequential(["a", "b", "c", "d", "e", "f"], 1),
+            slots=2,
+        )
+        paged = paged_hit_ratio(
+            t, group_sequential(["a", "b", "c", "d", "e", "f"], 3),
+            slots=2,
+        )
+        assert paged > unit
+
+    def test_hit_ratio_bounds(self):
+        t = trace_of(["a", "b"] * 5)
+        h = paged_hit_ratio(t, group_sequential(["a", "b"], 2), slots=1)
+        assert 0.0 <= h <= 1.0
+        assert h == pytest.approx(0.9)  # only the first access misses

@@ -1,0 +1,169 @@
+"""Unit tests for the prefetchers and the ARM miner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import (
+    ArmPrefetcher,
+    AssociationRule,
+    MarkovPrefetcher,
+    NonePrefetcher,
+    OraclePrefetcher,
+    SequentialPrefetcher,
+    make_prefetcher,
+)
+
+
+class TestNone:
+    def test_never_predicts(self):
+        p = NonePrefetcher()
+        p.observe("a")
+        assert p.predict(5) == []
+
+
+class TestOracle:
+    def test_predicts_upcoming_distinct(self):
+        p = OraclePrefetcher(["a", "b", "b", "c", "a"])
+        p.observe("a")
+        assert p.predict(1) == ["b"]
+        assert p.predict(3) == ["b", "c", "a"]
+
+    def test_end_of_trace_empty(self):
+        p = OraclePrefetcher(["a"])
+        p.observe("a")
+        assert p.predict(2) == []
+
+    def test_desync_detection(self):
+        p = OraclePrefetcher(["a", "b"])
+        p.observe("a")
+        with pytest.raises(RuntimeError, match="desync"):
+            p.observe("z")
+
+    def test_reset(self):
+        p = OraclePrefetcher(["a", "b"])
+        p.observe("a")
+        p.reset()
+        assert p.predict(1) == ["a"]
+
+
+class TestSequential:
+    def test_predicts_successors_in_order(self):
+        p = SequentialPrefetcher(["a", "b", "c"])
+        p.observe("a")
+        assert p.predict(2) == ["b", "c"]
+        p.observe("c")
+        assert p.predict(1) == ["a"]  # wraps
+
+    def test_no_history_no_prediction(self):
+        p = SequentialPrefetcher(["a", "b"])
+        assert p.predict() == []
+
+    def test_unknown_module_no_prediction(self):
+        p = SequentialPrefetcher(["a", "b"])
+        p.observe("zzz")
+        assert p.predict() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialPrefetcher([])
+
+
+class TestMarkov:
+    def test_learns_dominant_successor(self):
+        p = MarkovPrefetcher()
+        for nxt in ["b", "b", "b", "c"]:
+            p.observe("a")
+            p.observe(nxt)
+        p.observe("a")
+        assert p.predict(1) == ["b"]
+        assert p.predict(2) == ["b", "c"]
+
+    def test_no_history_no_prediction(self):
+        assert MarkovPrefetcher().predict() == []
+
+    def test_deterministic_tie_break(self):
+        p = MarkovPrefetcher()
+        for nxt in ["b", "c"]:  # one observation each
+            p.observe("a")
+            p.observe(nxt)
+        p.observe("a")
+        assert p.predict(1) == ["b"]  # first seen wins
+
+    def test_reset(self):
+        p = MarkovPrefetcher()
+        p.observe("a")
+        p.observe("b")
+        p.reset()
+        assert p.predict() == []
+
+
+class TestArm:
+    def test_mines_cooccurrence_rule(self):
+        p = ArmPrefetcher(window=4, min_support=2, min_confidence=0.3)
+        for _ in range(5):
+            for m in ("load", "fft", "store"):
+                p.observe(m)
+        p.observe("load")
+        predictions = p.predict(2)
+        assert "fft" in predictions
+
+    def test_rule_statistics_sane(self):
+        p = ArmPrefetcher(window=3, min_support=1, min_confidence=0.1)
+        for m in ("a", "b", "a", "b", "a", "b"):
+            p.observe(m)
+        rules = p.rules_for("a")
+        assert rules, "expected at least one rule"
+        for r in rules:
+            assert 0.0 < r.confidence <= 1.0
+            assert r.support >= 1
+            assert r.antecedent == "a"
+
+    def test_min_confidence_filters(self):
+        strict = ArmPrefetcher(window=4, min_support=1, min_confidence=0.99)
+        for m in ("a", "b", "a", "c", "a", "d"):
+            strict.observe(m)
+        # No consequent follows 'a' every single time.
+        assert strict.rules_for("a") == []
+
+    def test_all_rules_antecedents(self):
+        p = ArmPrefetcher(window=3, min_support=1, min_confidence=0.1)
+        for m in ("x", "y") * 4:
+            p.observe(m)
+        rules = p.all_rules()
+        assert {r.antecedent for r in rules} <= {"x", "y"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArmPrefetcher(window=1)
+        with pytest.raises(ValueError):
+            ArmPrefetcher(min_support=0)
+        with pytest.raises(ValueError):
+            ArmPrefetcher(min_confidence=0.0)
+        with pytest.raises(ValueError):
+            AssociationRule("a", "b", support=1, confidence=2.0)
+        with pytest.raises(ValueError):
+            AssociationRule("a", "b", support=-1, confidence=0.5)
+
+    def test_reset(self):
+        p = ArmPrefetcher()
+        for m in ("a", "b") * 5:
+            p.observe(m)
+        p.reset()
+        assert p.predict() == []
+        assert p.all_rules() == []
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert make_prefetcher("none").name == "none"
+        assert make_prefetcher("markov").name == "markov"
+        assert make_prefetcher("arm").name == "arm"
+        assert make_prefetcher("oracle", future=["a"]).name == "oracle"
+        assert make_prefetcher(
+            "sequential", library_order=["a"]
+        ).name == "sequential"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown prefetcher"):
+            make_prefetcher("psychic")

@@ -1,0 +1,205 @@
+"""Unit + property tests for column allocation and defragmentation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching.relocation import (
+    AllocationError,
+    ColumnAllocator,
+    Span,
+)
+
+
+class TestSpan:
+    def test_end(self):
+        assert Span("m", 3, 4).end == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Span("m", -1, 2)
+        with pytest.raises(ValueError):
+            Span("m", 0, 0)
+
+
+class TestBasicAllocation:
+    def test_first_fit_packs_left(self):
+        alloc = ColumnAllocator(20)
+        a = alloc.allocate("a", 5)
+        b = alloc.allocate("b", 5)
+        assert (a.start, b.start) == (0, 5)
+
+    def test_free_reopens_hole(self):
+        alloc = ColumnAllocator(10)
+        alloc.allocate("a", 4)
+        alloc.allocate("b", 6)
+        alloc.free("a")
+        c = alloc.allocate("c", 3)
+        assert c.start == 0
+
+    def test_double_place_rejected(self):
+        alloc = ColumnAllocator(10)
+        alloc.allocate("a", 2)
+        with pytest.raises(ValueError, match="already placed"):
+            alloc.allocate("a", 2)
+
+    def test_unknown_free(self):
+        with pytest.raises(KeyError):
+            ColumnAllocator(5).free("ghost")
+
+    def test_capacity_failure(self):
+        alloc = ColumnAllocator(10)
+        alloc.allocate("a", 8)
+        with pytest.raises(AllocationError) as exc:
+            alloc.allocate("b", 5)
+        assert exc.value.reason == "capacity"
+
+    def test_oversized_module(self):
+        with pytest.raises(AllocationError) as exc:
+            ColumnAllocator(10).allocate("m", 11)
+        assert exc.value.reason == "capacity"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColumnAllocator(0)
+        with pytest.raises(ValueError):
+            ColumnAllocator(10, strategy="worst_fit")
+        with pytest.raises(ValueError):
+            ColumnAllocator(10).allocate("m", 0)
+
+
+class TestFragmentation:
+    def make_fragmented(self) -> ColumnAllocator:
+        """[a:3][hole:3][c:3][hole:3][e:3] — 6 free, largest hole 3."""
+        alloc = ColumnAllocator(15)
+        for i, name in enumerate("abcde"):
+            alloc.allocate(name, 3)
+        alloc.free("b")
+        alloc.free("d")
+        return alloc
+
+    def test_holes_reported(self):
+        alloc = self.make_fragmented()
+        assert alloc.holes() == [(3, 3), (9, 3)]
+        assert alloc.largest_hole() == 3
+        assert alloc.free_columns == 6
+
+    def test_fragmentation_metric(self):
+        alloc = self.make_fragmented()
+        assert alloc.external_fragmentation() == pytest.approx(0.5)
+        empty = ColumnAllocator(10)
+        assert empty.external_fragmentation() == 0.0
+
+    def test_fragmentation_failure_distinguished(self):
+        alloc = self.make_fragmented()
+        with pytest.raises(AllocationError) as exc:
+            alloc.allocate("f", 5)  # 6 free but max hole is 3
+        assert exc.value.reason == "fragmentation"
+
+    def test_defragment_coalesces(self):
+        alloc = self.make_fragmented()
+        moved = alloc.defragment()
+        assert moved == [("c", 3), ("e", 3)]
+        assert alloc.largest_hole() == 6
+        assert alloc.external_fragmentation() == 0.0
+        assert alloc.relocated_columns == 6
+        assert alloc.defrag_count == 1
+
+    def test_defragment_idempotent(self):
+        alloc = self.make_fragmented()
+        alloc.defragment()
+        assert alloc.defragment() == []
+        assert alloc.defrag_count == 1
+
+    def test_allocate_with_defrag(self):
+        alloc = self.make_fragmented()
+        span, traffic = alloc.allocate_with_defrag("f", 5)
+        assert span.width == 5
+        assert traffic == 6  # c and e moved
+
+    def test_allocate_with_defrag_no_cost_when_fits(self):
+        alloc = self.make_fragmented()
+        span, traffic = alloc.allocate_with_defrag("f", 3)
+        assert traffic == 0
+
+    def test_allocate_with_defrag_capacity_still_fails(self):
+        alloc = self.make_fragmented()
+        with pytest.raises(AllocationError):
+            alloc.allocate_with_defrag("f", 7)
+
+
+class TestBestFit:
+    def test_best_fit_prefers_tight_hole(self):
+        alloc = ColumnAllocator(20, strategy="best_fit")
+        alloc.allocate("a", 4)   # [0,4)
+        alloc.allocate("b", 6)   # [4,10)
+        alloc.allocate("c", 4)   # [10,14)  tail hole [14,20) width 6
+        alloc.free("a")          # hole [0,4) width 4
+        d = alloc.allocate("d", 3)
+        assert d.start == 0  # tight 4-hole, not the 6-wide tail
+
+    def test_first_fit_takes_leftmost(self):
+        alloc = ColumnAllocator(20, strategy="first_fit")
+        alloc.allocate("a", 4)
+        alloc.free("a")
+        alloc.allocate("b", 1)
+        assert alloc.span_of("b").start == 0
+
+    def test_best_fit_reduces_fragmentation_on_adversarial_mix(self):
+        """A mixed-size workload where best-fit preserves a big hole that
+        first-fit squanders."""
+        def run(strategy: str) -> int:
+            alloc = ColumnAllocator(16, strategy=strategy)
+            alloc.allocate("a", 6)   # [0,6)
+            alloc.allocate("b", 4)   # [6,10)
+            alloc.allocate("c", 6)   # [10,16)
+            alloc.free("b")          # 4-hole at 6
+            alloc.free("c")          # 6-hole at 10
+            alloc.allocate("d", 4)   # ff -> 6 (4-hole); bf -> same tight
+            return alloc.largest_hole()
+
+        assert run("best_fit") >= run("first_fit")
+
+
+spans = st.lists(
+    st.integers(min_value=1, max_value=6), min_size=1, max_size=15
+)
+
+
+@given(spans)
+@settings(max_examples=150)
+def test_property_no_overlaps_ever(widths):
+    alloc = ColumnAllocator(40)
+    placed = []
+    for i, w in enumerate(widths):
+        try:
+            placed.append(alloc.allocate(f"m{i}", w))
+        except AllocationError:
+            break
+    placed.sort(key=lambda s: s.start)
+    for a, b in zip(placed, placed[1:]):
+        assert a.end <= b.start
+    assert all(s.end <= alloc.total_columns for s in placed)
+
+
+@given(spans, st.sets(st.integers(min_value=0, max_value=14)))
+@settings(max_examples=150)
+def test_property_defrag_preserves_contents(widths, to_free):
+    alloc = ColumnAllocator(60)
+    for i, w in enumerate(widths):
+        try:
+            alloc.allocate(f"m{i}", w)
+        except AllocationError:
+            break
+    for i in to_free:
+        if f"m{i}" in alloc.residents:
+            alloc.free(f"m{i}")
+    before = {m: alloc.span_of(m).width for m in alloc.residents}
+    used_before = alloc.used_columns
+    alloc.defragment()
+    after = {m: alloc.span_of(m).width for m in alloc.residents}
+    assert before == after
+    assert alloc.used_columns == used_before
+    assert alloc.external_fragmentation() == 0.0

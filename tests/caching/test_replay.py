@@ -1,0 +1,115 @@
+"""Unit tests for :mod:`repro.caching.replay`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import (
+    BeladyPolicy,
+    ConfigCache,
+    LruPolicy,
+    MarkovPrefetcher,
+    NonePrefetcher,
+    OraclePrefetcher,
+    replay,
+)
+from repro.workloads import CallTrace, HardwareTask
+
+
+def trace_of(names) -> CallTrace:
+    lib = {n: HardwareTask(n, 1.0) for n in set(names)}
+    return CallTrace([lib[n] for n in names], name="t")
+
+
+class TestReplayBasics:
+    def test_no_prefetch_matches_cache_alone(self):
+        names = ["a", "b", "c"] * 10
+        t = trace_of(names)
+        result = replay(t, ConfigCache(2, LruPolicy()))
+        # Cyclic thrash on 2 LRU slots: zero hits.
+        assert result.hit_ratio == 0.0
+        assert result.prefetches == 0
+
+    def test_oracle_prefetch_reaches_near_one(self):
+        names = ["a", "b", "c"] * 30
+        t = trace_of(names)
+        result = replay(
+            t, ConfigCache(2, LruPolicy()), OraclePrefetcher(names)
+        )
+        # Only the first call can miss; everything else was staged.
+        assert result.stats.misses <= 2
+        assert result.prefetch_accuracy > 0.9
+
+    def test_resets_inputs(self):
+        names = ["a", "b"] * 5
+        t = trace_of(names)
+        cache = ConfigCache(2, LruPolicy())
+        cache.access("junk")
+        pf = MarkovPrefetcher()
+        pf.observe("junk")
+        result = replay(t, cache, pf)
+        assert result.stats.accesses == len(names)
+        assert not cache.contains("junk")
+
+    def test_belady_with_prefetch_rejected(self):
+        names = ["a", "b", "a"]
+        t = trace_of(names)
+        cache = ConfigCache(2, BeladyPolicy(names))
+        with pytest.raises(ValueError, match="Belady"):
+            replay(t, cache, MarkovPrefetcher())
+
+    def test_belady_with_none_prefetcher_ok(self):
+        names = ["a", "b", "c", "a", "b", "c"]
+        t = trace_of(names)
+        result = replay(t, ConfigCache(2, BeladyPolicy(names)))
+        assert result.policy == "belady"
+        assert 0.0 <= result.hit_ratio <= 1.0
+
+    def test_prefetch_width_zero_disables(self):
+        names = ["a", "b"] * 10
+        t = trace_of(names)
+        result = replay(
+            t, ConfigCache(2, LruPolicy()), OraclePrefetcher(names),
+            prefetch_width=0,
+        )
+        assert result.prefetches == 0
+
+    def test_negative_width_rejected(self):
+        t = trace_of(["a"])
+        with pytest.raises(ValueError):
+            replay(t, ConfigCache(1, LruPolicy()), prefetch_width=-1)
+
+
+class TestReplayInvariants:
+    def test_hit_plus_miss_equals_calls(self):
+        names = ["a", "b", "c", "d"] * 25
+        t = trace_of(names)
+        result = replay(
+            t, ConfigCache(2, LruPolicy()), MarkovPrefetcher()
+        )
+        assert result.stats.accesses == len(names)
+        assert 0.0 <= result.hit_ratio <= 1.0
+
+    def test_prefetch_never_decreases_hits_for_oracle(self):
+        names = (["a", "b", "c"] * 20) + (["b", "a"] * 10)
+        t = trace_of(names)
+        base = replay(t, ConfigCache(2, LruPolicy()))
+        boosted = replay(
+            t, ConfigCache(2, LruPolicy()), OraclePrefetcher(names)
+        )
+        assert boosted.stats.hits >= base.stats.hits
+
+    def test_useful_prefetches_bounded(self):
+        names = ["a", "b", "c"] * 15
+        t = trace_of(names)
+        result = replay(
+            t, ConfigCache(2, LruPolicy()), MarkovPrefetcher()
+        )
+        assert 0 <= result.useful_prefetches <= result.prefetches
+        assert 0.0 <= result.prefetch_accuracy <= 1.0
+
+    def test_single_slot_cache_replay(self):
+        names = ["a", "b"] * 10
+        t = trace_of(names)
+        result = replay(t, ConfigCache(1, LruPolicy()))
+        assert result.hit_ratio == 0.0  # alternating on one slot

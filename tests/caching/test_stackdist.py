@@ -1,0 +1,100 @@
+"""Tests for the stack-distance analysis, pinned against real replays."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching import ConfigCache, LruPolicy
+from repro.caching.stackdist import (
+    capacity_for_hit_ratio,
+    lru_hit_ratio,
+    lru_hit_ratios,
+    miss_curve,
+)
+from repro.workloads import CallTrace, HardwareTask
+
+
+def trace_of(names) -> CallTrace:
+    lib = {n: HardwareTask(n, 1.0) for n in set(names)}
+    return CallTrace([lib[n] for n in names], name="t")
+
+
+def replay_hit_ratio(names, slots: int) -> float:
+    cache = ConfigCache(slots=slots, policy=LruPolicy())
+    for n in names:
+        cache.access(n)
+    return cache.stats.hit_ratio
+
+
+class TestAgainstReplay:
+    @pytest.mark.parametrize("slots", [1, 2, 3, 5])
+    def test_cyclic_trace(self, slots):
+        names = ["a", "b", "c"] * 20
+        assert lru_hit_ratio(trace_of(names), slots) == pytest.approx(
+            replay_hit_ratio(names, slots)
+        )
+
+    def test_hand_computed(self):
+        # a b a b : reuses at distance 1 -> hit for k >= 2 only.
+        names = ["a", "b", "a", "b"]
+        t = trace_of(names)
+        assert lru_hit_ratio(t, 1) == 0.0
+        assert lru_hit_ratio(t, 2) == pytest.approx(0.5)
+
+    def test_validation(self):
+        t = trace_of(["a"])
+        with pytest.raises(ValueError):
+            lru_hit_ratio(t, 0)
+        with pytest.raises(ValueError):
+            lru_hit_ratios(t, 0)
+        with pytest.raises(ValueError):
+            capacity_for_hit_ratio(t, 1.5)
+
+
+class TestCurveProperties:
+    def test_monotone_in_capacity(self):
+        names = ["a", "b", "c", "a", "d", "b", "a", "c"] * 5
+        curve = lru_hit_ratios(trace_of(names), 8)
+        assert all(curve[i] <= curve[i + 1] + 1e-15 for i in range(7))
+
+    def test_saturates_at_compulsory_bound(self):
+        names = ["a", "b", "c"] * 10
+        t = trace_of(names)
+        curve = lru_hit_ratios(t, 10)
+        bound = 1.0 - t.n_distinct / t.n_calls
+        assert curve[-1] == pytest.approx(bound)
+
+    def test_miss_curve_complement(self):
+        t = trace_of(["a", "b", "a"] * 4)
+        hit = lru_hit_ratios(t, 4)
+        miss = miss_curve(t, 4)
+        assert all(abs(h + m - 1.0) < 1e-12 for h, m in zip(hit, miss))
+
+
+class TestCapacityPlanner:
+    def test_finds_minimum_capacity(self):
+        names = ["a", "b", "c"] * 30
+        t = trace_of(names)
+        # distance-2 reuses: need 3 slots for ~100% of reuses.
+        assert capacity_for_hit_ratio(t, 0.9) == 3
+        assert capacity_for_hit_ratio(t, 0.0) == 1
+
+    def test_unreachable_target(self):
+        names = ["a", "b", "c", "d"]  # no reuse at all
+        assert capacity_for_hit_ratio(trace_of(names), 0.5) is None
+
+
+names_strategy = st.lists(
+    st.sampled_from([f"m{i}" for i in range(6)]), min_size=1, max_size=150
+)
+
+
+@given(names_strategy, st.integers(min_value=1, max_value=7))
+@settings(max_examples=150, deadline=None)
+def test_property_stack_distance_theorem(names, slots):
+    """The inclusion-property theorem: analytic == replayed, always."""
+    analytic = lru_hit_ratio(trace_of(names), slots)
+    replayed = replay_hit_ratio(names, slots)
+    assert analytic == pytest.approx(replayed, abs=1e-12)

@@ -1,0 +1,98 @@
+"""Tests for the ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    default_ablation_library,
+    granularity_ablation,
+    prefetch_ablation,
+)
+
+
+class TestPrefetchAblation:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return prefetch_ablation(n_calls=600)
+
+    def test_grid_coverage(self, cells):
+        keys = {(c.trace, c.policy, c.prefetcher) for c in cells}
+        # 3 traces x (3 online policies x 4 prefetchers + belady x none)
+        assert len(keys) == 3 * (3 * 4 + 1)
+
+    def test_oracle_dominates(self, cells):
+        by = {(c.trace, c.policy, c.prefetcher): c for c in cells}
+        for trace in ("zipf", "markov", "phased"):
+            for policy in ("lru", "lfu", "fifo"):
+                oracle = by[(trace, policy, "oracle")].hit_ratio
+                for pf in ("none", "markov", "arm"):
+                    assert oracle >= by[(trace, policy, pf)].hit_ratio
+
+    def test_markov_prefetcher_excels_on_markov_trace(self, cells):
+        by = {(c.trace, c.policy, c.prefetcher): c for c in cells}
+        gain = (
+            by[("markov", "lru", "markov")].hit_ratio
+            - by[("markov", "lru", "none")].hit_ratio
+        )
+        assert gain > 0.3
+
+    def test_speedups_increase_with_hit_ratio(self, cells):
+        """Within a trace, predicted speedup is monotone in H (left
+        branch by construction)."""
+        for trace in ("zipf", "markov", "phased"):
+            group = sorted(
+                (c for c in cells if c.trace == trace),
+                key=lambda c: c.hit_ratio,
+            )
+            speeds = [c.predicted_speedup for c in group]
+            assert speeds == sorted(speeds)
+
+    def test_belady_only_with_none(self, cells):
+        belady = [c for c in cells if c.policy == "belady"]
+        assert belady
+        assert all(c.prefetcher == "none" for c in belady)
+
+    def test_hit_ratios_bounded(self, cells):
+        assert all(0.0 <= c.hit_ratio <= 1.0 for c in cells)
+        assert all(0.0 <= c.prefetch_accuracy <= 1.0 for c in cells)
+
+
+class TestGranularityAblation:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return granularity_ablation()
+
+    def test_finer_is_smaller(self, points):
+        xs = [p.x_prtr for p in points]
+        assert xs == sorted(xs, reverse=True)
+
+    def test_optimum_tracks_task_time(self, points):
+        """Small tasks want the finest PRRs; beyond the kink it's flat."""
+        best_small = max(points, key=lambda p: p.speedups[0])
+        assert best_small.n_prrs == max(p.n_prrs for p in points)
+        big = [p.speedups[-1] for p in points]
+        assert max(big) == pytest.approx(min(big), rel=1e-9)
+
+    def test_speedups_parallel_to_task_times(self, points):
+        for p in points:
+            assert len(p.speedups) == 4
+
+    def test_infeasible_counts_skipped(self):
+        pts = granularity_ablation(prr_counts=(1, 100))
+        assert [p.n_prrs for p in pts] == [1]
+
+    def test_all_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            granularity_ablation(prr_counts=(100,))
+
+
+class TestAblationLibrary:
+    def test_shape(self):
+        lib = default_ablation_library(5, task_time=0.1)
+        assert len(lib) == 5
+        assert all(t.time == 0.1 for t in lib.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_ablation_library(0)

@@ -1,0 +1,99 @@
+"""Tests for the Figure 5 / Figure 9 / profile experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig234_profiles, fig5, fig9
+from repro.model import ModelParameters, speedup
+
+
+class TestFig5:
+    def test_all_shape_claims_hold(self):
+        claims = fig5.shape_claims()
+        assert claims and all(claims.values())
+
+    def test_grid_shape(self):
+        res = fig5.run()
+        assert res.values.shape == (241, 5, 5)
+
+    def test_render_and_csv(self):
+        text = fig5.render(x_prtr=0.17)
+        assert "Figure 5" in text and "H=0" in text and "H=1" in text
+        csv = fig5.to_csv(x_prtr=0.17)
+        assert csv.splitlines()[0] == "series,x_task,y"
+        assert len(csv.splitlines()) == 1 + 5 * 241
+
+    def test_curves_ordered_by_hit_ratio_on_left(self):
+        """For tiny tasks, higher H -> higher speedup, strictly."""
+        res = fig5.run((0.17,), (0.0, 0.5, 1.0))
+        x = res.axes["x_task"]
+        idx = int(np.argmin(np.abs(x - 0.01)))
+        column = res.values[idx, 0, :]
+        assert column[0] < column[1] < column[2]
+
+
+class TestFig9Panels:
+    def test_panel_constants(self):
+        a = fig9.panel("estimated")
+        b = fig9.panel("measured")
+        assert a.t_frtr == pytest.approx(0.03609)
+        assert b.t_frtr == pytest.approx(1.67804)
+        assert a.x_prtr == pytest.approx(0.1696, rel=1e-3)
+        assert b.x_prtr == pytest.approx(0.01178, rel=1e-3)
+
+    def test_unknown_panel(self):
+        with pytest.raises(ValueError):
+            fig9.panel("bogus")
+
+    def test_model_curves_finite_below_asymptotic(self):
+        p = fig9.panel("measured")
+        x, s_inf = fig9.model_curve(p)
+        _, s_fin = fig9.model_curve_finite(p, 100)
+        assert np.all(s_fin <= s_inf + 1e-12)
+
+    def test_shape_claims(self):
+        claims = fig9.shape_claims()
+        assert claims and all(claims.values())
+
+    def test_simulated_points_track_eq6(self):
+        p = fig9.panel("measured")
+        n = 60
+        x, s = fig9.simulate_points(
+            p, x_task_points=np.array([0.005, 0.05, 0.5]), n_calls=n
+        )
+        params = ModelParameters(
+            x_task=x, x_prtr=p.x_prtr, hit_ratio=0.0, x_control=p.x_control
+        )
+        predicted = speedup(params, n)
+        np.testing.assert_allclose(s, predicted, rtol=2.0 / n)
+
+    def test_csv_export(self):
+        csv = fig9.to_csv("estimated", n_calls=30)
+        lines = csv.splitlines()
+        assert lines[0] == "series,x_task,y"
+        assert any("simulated" in ln for ln in lines[1:])
+
+
+class TestProfiles:
+    def test_frtr_profile_serial(self):
+        tl = fig234_profiles.frtr_profile()
+        tl.assert_lane_exclusive("main")
+        assert len(tl.by_phase("config")) == 3
+
+    def test_missed_profile_overlaps(self):
+        tl = fig234_profiles.prtr_profile_missed()
+        partials = [s for s in tl.by_lane("icap") if s.note == "partial"]
+        tasks = tl.by_phase("task")
+        assert partials and tasks
+        assert any(c.overlaps(t) for c in partials for t in tasks)
+
+    def test_hit_profile_quiet_icap(self):
+        tl = fig234_profiles.prtr_profile_hit()
+        partials = [s for s in tl.by_lane("icap") if s.note == "partial"]
+        assert len(partials) <= 1
+
+    def test_render_all(self):
+        text = fig234_profiles.render_all()
+        assert "Figure 3" in text and "Figure 4(a)" in text

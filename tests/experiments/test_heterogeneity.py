@@ -1,0 +1,54 @@
+"""Tests for the heterogeneity extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.heterogeneity import run, simulate_point
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run(n_samples=40_000)
+
+    def test_cv_zero_is_exact(self, points):
+        for p in points:
+            if p.cv == 0.0:
+                assert abs(p.jensen_gap) < 1e-9
+
+    def test_gap_monotone_in_cv_per_distribution(self, points):
+        for dist in ("uniform", "lognormal", "bimodal"):
+            gaps = [p.jensen_gap for p in points if p.distribution == dist]
+            assert gaps == sorted(gaps)
+
+    def test_mean_based_never_below_true(self, points):
+        for p in points:
+            assert p.mean_based_speedup >= p.true_speedup - 1e-9
+
+    def test_bimodal_worst_case(self, points):
+        """At equal cv, the two-spike mix straddles the kink hardest."""
+        at_cv = {
+            p.distribution: p.overestimate_pct
+            for p in points
+            if p.cv == 0.5
+        }
+        assert at_cv["bimodal"] > at_cv["uniform"] > 0
+        assert at_cv["bimodal"] > at_cv["lognormal"]
+
+    def test_overestimate_material_at_high_cv(self, points):
+        """The headline: >15% overestimate at cv=0.5 — the average-based
+        model is not safe near the peak."""
+        worst = max(p.overestimate_pct for p in points)
+        assert worst > 15.0
+
+
+class TestSimulatePoint:
+    def test_des_matches_stochastic_prediction(self):
+        out = simulate_point(n_calls=90)
+        assert out["rel_error"] < 2.0 / 90
+
+    def test_deterministic(self):
+        a = simulate_point(n_calls=45, seed=3)
+        b = simulate_point(n_calls=45, seed=3)
+        assert a == b

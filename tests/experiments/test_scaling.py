@@ -1,0 +1,113 @@
+"""Tests for the device catalog and the technology-scaling study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scaling import (
+    DUAL_PRR_SHARE,
+    dual_share_floorplan,
+    run,
+)
+from repro.hardware.devices import (
+    DEVICES,
+    DeviceGeneration,
+    device_entry,
+)
+
+
+class TestDeviceCatalog:
+    def test_xc2vp50_is_the_pinned_instance(self):
+        from repro.hardware import XC2VP50
+
+        assert device_entry("XC2VP50").device is XC2VP50
+
+    def test_family_sizes_monotone(self):
+        sizes = [
+            DEVICES[n].device.full_bitstream_bytes
+            for n in ("XC2VP20", "XC2VP30", "XC2VP50", "XC2VP70",
+                      "XC2VP100")
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_port_generations(self):
+        assert DEVICES["XC2VP50"].ports.icap_bandwidth == pytest.approx(
+            66e6
+        )
+        assert DEVICES["V4LX60"].ports.icap_bandwidth == pytest.approx(
+            400e6
+        )
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            device_entry("XC7Z020")
+
+    def test_generation_validation(self):
+        with pytest.raises(ValueError):
+            DeviceGeneration("x", 0.0, 1.0)
+
+
+class TestFloorplanShare:
+    def test_share_matches_paper_on_xc2vp50(self):
+        plan = dual_share_floorplan(DEVICES["XC2VP50"])
+        assert plan.prr_columns == [12, 12]
+
+    def test_every_device_fits(self):
+        for name in DEVICES:
+            plan = dual_share_floorplan(DEVICES[name])
+            assert plan.n_prrs == 2
+            assert plan.static_columns >= 1
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run()
+
+    def test_grid_complete(self, points):
+        assert len(points) == 7 * 2
+
+    def test_x_prtr_family_invariant_under_wire(self, points):
+        """Within a family at fixed floorplan share, the ratio bound is
+        set by the share, not the device size."""
+        wire = [
+            p for p in points
+            if p.scenario == "wire" and p.family == "virtex2pro"
+        ]
+        xs = [p.x_prtr for p in wire]
+        assert max(xs) - min(xs) < 0.01
+        assert all(abs(x - DUAL_PRR_SHARE) < 0.02 for x in xs)
+
+    def test_wire_peak_is_the_7x_bound(self, points):
+        for p in points:
+            if p.scenario == "wire":
+                assert 6.0 < p.peak_speedup < 7.5
+
+    def test_api_overhead_multiplies_the_peak(self, points):
+        by = {(p.device, p.scenario): p for p in points}
+        for name in ("XC2VP50", "V4LX60"):
+            assert (
+                by[(name, "xd1_api")].peak_speedup
+                > 10 * by[(name, "wire")].peak_speedup
+            )
+
+    def test_new_generation_shrinks_absolute_times(self, points):
+        """V4/V5 wire times collapse ~6x vs Virtex-II Pro at similar
+        bitstream size — the payoff *range* shrinks even though the
+        ratio bound stays."""
+        by = {(p.device, p.scenario): p for p in points}
+        v2 = by[("XC2VP50", "wire")]
+        v4 = by[("V4LX60", "wire")]
+        assert v4.full_bitstream_bytes > v2.full_bitstream_bytes
+        assert v4.t_frtr < v2.t_frtr / 4
+        assert v4.payoff_range_s < v2.payoff_range_s
+
+    def test_xc2vp50_api_matches_table2(self, points):
+        by = {(p.device, p.scenario): p for p in points}
+        p = by[("XC2VP50", "xd1_api")]
+        assert p.t_frtr == pytest.approx(1.67804, rel=1e-6)
+        assert p.t_prtr == pytest.approx(0.01977, rel=0.01)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            run(device_names=("XC2VP50",), scenarios=("bogus",))

@@ -1,0 +1,91 @@
+"""Tests for the Table 1 / Table 2 experiment modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1, table2
+from repro.hardware import PUBLISHED_TABLE2
+
+
+class TestTable1:
+    def test_exact_reproduction(self):
+        """Every cell of Table 1 regenerates exactly."""
+        assert table1.verify_against_published() == []
+
+    def test_row_order_matches_paper(self):
+        rows = table1.table1_rows()
+        assert [r["name"] for r in rows] == [
+            "static_region", "pr_controller", "median", "sobel",
+            "smoothing",
+        ]
+
+    def test_na_brams_for_filters(self):
+        rows = {r["name"]: r for r in table1.table1_rows()}
+        for core in ("median", "sobel", "smoothing"):
+            assert rows[core]["brams"] is None
+
+    def test_render_contains_published_strings(self):
+        text = table1.render()
+        for fragment in ("3,372 (7%)", "418 (0%)", "NA", "Median Filter"):
+            assert fragment in text
+
+    def test_published_dict_is_self_consistent(self):
+        """The pinned PUBLISHED_TABLE1 percentages obey floor arithmetic
+        against the XC2VP50 totals — the device identification check."""
+        from repro.hardware import XC2VP50
+
+        for name, row in table1.PUBLISHED_TABLE1.items():
+            if row["luts_pct"] is not None:
+                assert row["luts_pct"] == (100 * row["luts"]) // XC2VP50.luts
+            if row["brams_pct"] is not None:
+                assert row["brams_pct"] == (
+                    (100 * row["brams"]) // XC2VP50.brams
+                )
+
+
+class TestTable2:
+    def test_within_tolerances(self):
+        assert table2.verify_against_published() == []
+
+    def test_rows_structure(self):
+        rows = table2.table2_rows()
+        assert [r["key"] for r in rows] == ["full", "single_prr", "dual_prr"]
+        full = rows[0]
+        assert full["x_prtr_estimated"] == pytest.approx(1.0)
+        assert full["x_prtr_measured"] == pytest.approx(1.0)
+
+    def test_geometry_sizes_close_to_published(self):
+        for row in table2.table2_rows():
+            pub = PUBLISHED_TABLE2[str(row["key"])].bitstream_bytes
+            rel = abs(float(row["bitstream_bytes"]) - pub) / pub
+            assert rel < 0.015
+
+    def test_published_sizes_mode_times_close(self):
+        for row in table2.table2_rows(use_published_sizes=True):
+            pub = PUBLISHED_TABLE2[str(row["key"])]
+            assert float(row["estimated_s"]) == pytest.approx(
+                pub.estimated_time_s, rel=5e-3
+            )
+            assert float(row["measured_s"]) == pytest.approx(
+                pub.measured_time_s, rel=5e-3
+            )
+
+    def test_x_prtr_ordering(self):
+        """Dual < single < full in both normalized columns."""
+        rows = {r["key"]: r for r in table2.table2_rows()}
+        for col in ("x_prtr_estimated", "x_prtr_measured"):
+            assert (
+                rows["dual_prr"][col]
+                < rows["single_prr"][col]
+                < rows["full"][col]
+            )
+
+    def test_measured_exceeds_estimated(self):
+        """Overheads only add time."""
+        for row in table2.table2_rows():
+            assert row["measured_s"] > row["estimated_s"]
+
+    def test_render_mentions_both_sources(self):
+        text = table2.render()
+        assert "ours" in text and "paper" in text

@@ -1,0 +1,108 @@
+"""Unit tests for :mod:`repro.hardware.bitstream`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import (
+    Bitstream,
+    Region,
+    XC2VP50,
+    difference_based_bitstreams,
+    difference_size,
+    full_bitstream,
+    module_based_bitstreams,
+)
+
+
+def prr(columns: int = 12) -> Region:
+    return Region("prr0", 46, 46 + columns, reconfigurable=True)
+
+
+class TestBitstream:
+    def test_full_is_not_partial(self):
+        bs = full_bitstream(XC2VP50)
+        assert not bs.is_partial
+        assert bs.nbytes == XC2VP50.full_bitstream_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bitstream("x", 0)
+        with pytest.raises(ValueError):
+            Bitstream("x", 10, kind="bogus")
+
+
+class TestModuleBased:
+    def test_n_bitstreams_for_n_modules(self):
+        mods = ["a", "b", "c", "d"]
+        out = module_based_bitstreams(XC2VP50, prr(), mods)
+        assert len(out) == len(mods)
+
+    def test_all_same_size(self):
+        """Module-based partials cover the whole region: equal sizes."""
+        out = module_based_bitstreams(XC2VP50, prr(), ["a", "b", "c"])
+        sizes = {bs.nbytes for bs in out}
+        assert len(sizes) == 1
+
+    def test_size_matches_region_geometry(self):
+        (bs,) = module_based_bitstreams(XC2VP50, prr(12), ["m"])
+        assert bs.nbytes == XC2VP50.partial_bitstream_bytes(12)
+        assert bs.is_partial
+
+    def test_static_region_rejected(self):
+        static = Region("static", 0, 46, reconfigurable=False)
+        with pytest.raises(ValueError, match="not reconfigurable"):
+            module_based_bitstreams(XC2VP50, static, ["m"])
+
+    def test_empty_modules_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            module_based_bitstreams(XC2VP50, prr(), [])
+
+
+class TestDifferenceBased:
+    def test_n_times_n_minus_1_bitstreams(self):
+        """The paper: difference flow needs n(n-1) bitstreams vs n."""
+        mods = ["a", "b", "c"]
+        sims = {
+            (s, d): 0.5 for s in mods for d in mods if s != d
+        }
+        out = difference_based_bitstreams(XC2VP50, prr(), sims)
+        assert len(out) == 3 * 2
+
+    def test_variable_sizes(self):
+        """Difference sizes vary with similarity; module-based don't."""
+        sims = {
+            ("a", "b"): 0.9, ("b", "a"): 0.9,
+            ("a", "c"): 0.1, ("c", "a"): 0.1,
+            ("b", "c"): 0.5, ("c", "b"): 0.5,
+        }
+        out = difference_based_bitstreams(XC2VP50, prr(), sims)
+        sizes = {bs.nbytes for bs in out}
+        assert len(sizes) == 3  # one per similarity level
+
+    def test_identical_designs_cost_only_overhead(self):
+        assert difference_size(XC2VP50, prr(), 1.0) == (
+            XC2VP50.bitstream_overhead_bytes
+        )
+
+    def test_disjoint_designs_cost_full_region(self):
+        full_region = XC2VP50.partial_bitstream_bytes(12)
+        assert difference_size(XC2VP50, prr(12), 0.0) == full_region
+
+    def test_difference_never_exceeds_module_based(self):
+        region = prr(12)
+        module_size = XC2VP50.partial_bitstream_bytes(12)
+        for sim in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert difference_size(XC2VP50, region, sim) <= module_size
+
+    def test_similarity_out_of_range(self):
+        with pytest.raises(ValueError):
+            difference_size(XC2VP50, prr(), 1.5)
+        with pytest.raises(ValueError):
+            difference_size(XC2VP50, prr(), -0.1)
+
+    def test_missing_pair_rejected(self):
+        with pytest.raises(ValueError, match="missing similarity"):
+            difference_based_bitstreams(
+                XC2VP50, prr(), {("a", "b"): 0.5}
+            )

@@ -1,0 +1,154 @@
+"""Unit tests for the BRAM-buffered ICAP controller (paper Fig. 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import (
+    Bitstream,
+    DEFAULT_ICAP_TIMINGS,
+    IcapController,
+    IcapTimings,
+    MB,
+    MS,
+    PUBLISHED_TABLE2,
+    full_bitstream,
+    XC2VP50,
+)
+from repro.sim import BandwidthChannel, Simulator
+
+
+def make_controller(sim=None):
+    sim = sim or Simulator()
+    link = BandwidthChannel(sim, "link.in", rate=1600 * MB)
+    return IcapController(sim, in_link=link), sim
+
+
+def partial(nbytes: int) -> Bitstream:
+    return Bitstream("p", nbytes, region="prr0", kind="module")
+
+
+class TestTimings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IcapTimings(icap_bandwidth=0, chunk_bytes=16, chunk_handshake=0)
+        with pytest.raises(ValueError):
+            IcapTimings(icap_bandwidth=1, chunk_bytes=0, chunk_handshake=0)
+        with pytest.raises(ValueError):
+            IcapTimings(icap_bandwidth=1, chunk_bytes=16, chunk_handshake=-1)
+
+    def test_n_chunks(self):
+        t = DEFAULT_ICAP_TIMINGS
+        assert t.n_chunks(1) == 1
+        assert t.n_chunks(t.chunk_bytes) == 1
+        assert t.n_chunks(t.chunk_bytes + 1) == 2
+
+    def test_calibration_reproduces_single_prr_row(self):
+        """The handshake was solved from this row — closes exactly."""
+        row = PUBLISHED_TABLE2["single_prr"]
+        t = DEFAULT_ICAP_TIMINGS
+        first_fill = t.chunk_bytes / (1600 * MB)
+        predicted = first_fill + t.drain_time(row.bitstream_bytes)
+        assert predicted == pytest.approx(row.measured_time_s, rel=1e-9)
+
+    def test_out_of_sample_predicts_dual_prr_row(self):
+        """The dual-PRR row was NOT used in fitting; the chunked model
+        still predicts its measured time to within 0.1%."""
+        row = PUBLISHED_TABLE2["dual_prr"]
+        t = DEFAULT_ICAP_TIMINGS
+        first_fill = t.chunk_bytes / (1600 * MB)
+        predicted = first_fill + t.drain_time(row.bitstream_bytes)
+        assert predicted == pytest.approx(row.measured_time_s, rel=1e-3)
+
+    def test_effective_bandwidth_below_wire_rate(self):
+        t = DEFAULT_ICAP_TIMINGS
+        eff = t.effective_bandwidth(887_784)
+        assert eff < t.icap_bandwidth
+        # The paper's implied effective controller rate is ~20.4 MB/s.
+        assert 19 * MB < eff < 22 * MB
+
+
+class TestDesConfigure:
+    def test_pure_model_matches_des(self):
+        ctrl, sim = make_controller()
+        bs = partial(PUBLISHED_TABLE2["dual_prr"].bitstream_bytes)
+        expected = ctrl.configure_time(bs)
+        ends = []
+
+        def proc():
+            end = yield from ctrl.configure(bs, owner="cfg")
+            ends.append(end)
+
+        sim.spawn(proc())
+        sim.run()
+        assert ends[0] == pytest.approx(expected, rel=1e-12)
+
+    def test_small_bitstream_single_chunk(self):
+        ctrl, sim = make_controller()
+        bs = partial(100)
+
+        def proc():
+            yield from ctrl.configure(bs, owner="cfg")
+
+        sim.spawn(proc())
+        end = sim.run()
+        t = ctrl.timings
+        expected = (
+            100 / ctrl.in_link.rate + t.chunk_handshake + 100 / t.icap_bandwidth
+        )
+        assert end == pytest.approx(expected, rel=1e-12)
+
+    def test_full_bitstream_rejected(self):
+        ctrl, _ = make_controller()
+        with pytest.raises(ValueError, match="partial"):
+            list(ctrl.configure(full_bitstream(XC2VP50), owner="x"))
+
+    def test_configurations_serialize_on_icap(self):
+        ctrl, sim = make_controller()
+        bs = partial(100_000)
+        single = ctrl.configure_time(bs)
+        ends = []
+
+        def proc(tag):
+            end = yield from ctrl.configure(bs, owner=tag)
+            ends.append(end)
+
+        sim.spawn(proc("a"))
+        sim.spawn(proc("b"))
+        sim.run()
+        assert ends[1] >= 2 * single * 0.99
+        ctrl.icap_mutex.assert_no_overlap()
+        assert ctrl.configurations == 2
+        assert ctrl.bytes_configured == 200_000
+
+    def test_shares_link_with_data_transfers(self):
+        """A long data transfer on the inbound link delays configuration —
+        the Section 4.1 architectural constraint."""
+        ctrl, sim = make_controller()
+        bs = partial(PUBLISHED_TABLE2["dual_prr"].bitstream_bytes)
+        data_time = 50 * MS
+        ends = {}
+
+        def data():
+            yield from ctrl.in_link.transfer(
+                data_time * ctrl.in_link.rate, owner="data-in"
+            )
+            ends["data"] = sim.now
+
+        def cfg():
+            end = yield from ctrl.configure(bs, owner="cfg")
+            ends["cfg"] = end
+
+        sim.spawn(data())
+        sim.spawn(cfg())
+        sim.run()
+        unloaded = ctrl.configure_time(bs)
+        # Config couldn't stream its first chunk until the data was done.
+        assert ends["cfg"] >= data_time + unloaded * 0.9
+
+    def test_chunk_sizes_cover_exact_bytes(self):
+        ctrl, _ = make_controller()
+        for nbytes in (1, 100, 16 * 1024, 16 * 1024 + 1, 404_168):
+            sizes = ctrl._chunk_sizes(nbytes)
+            assert sum(sizes) == nbytes
+            assert all(0 < s <= ctrl.timings.chunk_bytes for s in sizes)

@@ -1,0 +1,171 @@
+"""Tests for the reconfiguration-aware Amdahl model (paper future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.application import (
+    ApplicationProfile,
+    Kernel,
+    amdahl_limit,
+    application_speedup,
+    application_time,
+    breakeven_kernel_time,
+)
+
+#: the published Cray XD1 measured platform
+XD1 = dict(t_frtr=1.67804, t_prtr=0.01977, t_control=1e-5)
+
+
+def profile(
+    t_serial=1.0, calls=100, t_sw=0.1, hw_speedup=20.0
+) -> ApplicationProfile:
+    return ApplicationProfile(
+        name="app",
+        t_serial=t_serial,
+        kernels=(
+            Kernel("k0", calls=calls, t_sw=t_sw, t_hw=t_sw / hw_speedup),
+        ),
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Kernel("k", calls=0, t_sw=1.0, t_hw=0.1)
+        with pytest.raises(ValueError):
+            Kernel("k", calls=1, t_sw=0.0, t_hw=0.1)
+        with pytest.raises(ValueError):
+            ApplicationProfile("a", t_serial=-1.0,
+                               kernels=(Kernel("k", 1, 1.0, 0.1),))
+        with pytest.raises(ValueError):
+            ApplicationProfile("a", t_serial=0.0, kernels=())
+        with pytest.raises(ValueError):
+            ApplicationProfile(
+                "a", 0.0,
+                kernels=(Kernel("k", 1, 1, 0.1), Kernel("k", 1, 1, 0.1)),
+            )
+
+    def test_totals(self):
+        p = profile(t_serial=2.0, calls=10, t_sw=0.5)
+        assert p.t_software_total == pytest.approx(7.0)
+        assert p.accelerable_fraction == pytest.approx(5.0 / 7.0)
+
+
+class TestRegimes:
+    def test_no_rtr_is_plain_amdahl(self):
+        p = profile()
+        s = application_speedup(p, "none", **XD1)
+        # serial 1.0 + 100*(0.005 + 1e-5) ~ 1.5 vs baseline 11.0
+        expected = 11.0 / (1.0 + 100 * (0.005 + 1e-5))
+        assert s == pytest.approx(expected, rel=1e-12)
+
+    def test_amdahl_limit_bounds_everything(self):
+        p = profile()
+        limit = amdahl_limit(p)
+        for regime in ("none", "frtr", "prtr"):
+            assert application_speedup(p, regime, **XD1) < limit
+        assert amdahl_limit(
+            ApplicationProfile("x", 0.0, (Kernel("k", 1, 1.0, 0.1),))
+        ) == np.inf
+
+    def test_frtr_turns_fine_grained_acceleration_into_slowdown(self):
+        """20x-faster hardware, 50 ms kernels: FRTR's 1.68 s per call
+        destroys the gain; PRTR preserves most of it."""
+        p = profile(calls=200, t_sw=0.05)
+        s_frtr = application_speedup(p, "frtr", **XD1)
+        s_prtr = application_speedup(p, "prtr", **XD1)
+        assert s_frtr < 1.0 < s_prtr
+
+    def test_prtr_between_none_and_frtr(self):
+        p = profile()
+        s_none = application_speedup(p, "none", **XD1)
+        s_prtr = application_speedup(p, "prtr", **XD1)
+        s_frtr = application_speedup(p, "frtr", **XD1)
+        assert s_frtr < s_prtr <= s_none
+
+    def test_regimes_converge_for_coarse_kernels(self):
+        """Hour-long kernels: reconfiguration noise vanishes."""
+        p = profile(calls=3, t_sw=3600.0)
+        speeds = [
+            application_speedup(p, r, **XD1)
+            for r in ("none", "frtr", "prtr")
+        ]
+        assert max(speeds) / min(speeds) < 1.01
+
+    def test_prtr_hides_config_behind_long_kernels(self):
+        """Kernels longer than T_PRTR: per-call overhead is only
+        control+decision."""
+        p = profile(calls=10, t_sw=1.0, hw_speedup=10.0)  # t_hw=0.1>Tp
+        t = application_time(p, "prtr", **XD1)
+        expected = (
+            1.0 + 10 * (0.1 + 1e-5) + XD1["t_frtr"]
+        )
+        assert t == pytest.approx(expected, rel=1e-12)
+
+    def test_hit_ratio_reduces_prtr_overhead(self):
+        p = profile(calls=50, t_sw=0.01, hw_speedup=50.0)  # t_hw << Tp
+        t_cold = application_time(p, "prtr", hit_ratio=0.0, **XD1)
+        t_warm = application_time(p, "prtr", hit_ratio=0.9, **XD1)
+        assert t_warm < t_cold
+
+    def test_unknown_regime(self):
+        with pytest.raises(ValueError):
+            application_time(profile(), "magic", **XD1)  # type: ignore
+        with pytest.raises(ValueError):
+            application_time(profile(), "prtr", t_frtr=0.0, t_prtr=0.01)
+
+
+class TestBreakeven:
+    def test_frtr_breakeven_closed_form(self):
+        s = 20.0
+        t = breakeven_kernel_time("frtr", s, **XD1)
+        assert t == pytest.approx(
+            (XD1["t_frtr"] + XD1["t_control"]) / (1 - 1 / s)
+        )
+
+    def test_prtr_breakeven_far_below_frtr(self):
+        s = 20.0
+        t_frtr = breakeven_kernel_time("frtr", s, **XD1)
+        t_prtr = breakeven_kernel_time("prtr", s, **XD1)
+        assert t_prtr < t_frtr / 10
+
+    @pytest.mark.parametrize("regime", ["none", "frtr", "prtr"])
+    @pytest.mark.parametrize("s", [1.5, 5.0, 50.0])
+    def test_breakeven_is_the_boundary(self, regime, s):
+        """Just above the bound offloading wins; just below it loses."""
+        t_star = breakeven_kernel_time(regime, s, **XD1)
+        for factor, wins in ((1.01, True), (0.99, False)):
+            t_sw = t_star * factor
+            if t_sw <= 0:
+                continue
+            p = ApplicationProfile(
+                "b", 0.0, (Kernel("k", 1, t_sw, t_sw / s),)
+            )
+            accel = application_time(p, regime, **XD1)
+            if regime == "prtr":
+                accel -= XD1["t_frtr"]  # exclude the one-time startup
+            assert (accel < t_sw) == wins, (regime, s, factor)
+
+    def test_requires_speedup(self):
+        with pytest.raises(ValueError):
+            breakeven_kernel_time("frtr", 1.0, **XD1)
+
+
+kernel_times = st.floats(min_value=1e-4, max_value=100.0, allow_nan=False)
+speedups = st.floats(min_value=1.1, max_value=200.0, allow_nan=False)
+
+
+@given(kernel_times, speedups, st.integers(1, 500))
+@settings(max_examples=100, deadline=None)
+def test_property_prtr_never_loses_to_frtr(t_sw, s, calls):
+    p = ApplicationProfile(
+        "p", 1.0, (Kernel("k", calls, t_sw, t_sw / s),)
+    )
+    t_frtr = application_time(p, "frtr", **XD1)
+    t_prtr = application_time(p, "prtr", **XD1)
+    # PRTR pays the one-time full config but saves >= per call.
+    assert t_prtr <= t_frtr + XD1["t_frtr"] + 1e-9

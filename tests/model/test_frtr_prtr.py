@@ -1,0 +1,133 @@
+"""Unit tests for the Eq. (1)-(5) total-time models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    ModelParameters,
+    RawParameters,
+    frtr_per_call_normalized,
+    frtr_total_normalized,
+    frtr_total_time,
+    hit_stage_normalized,
+    missed_stage_normalized,
+    prtr_per_call_normalized,
+    prtr_total_normalized,
+    prtr_total_time,
+)
+
+
+def params(**kw) -> ModelParameters:
+    defaults = dict(x_task=0.5, x_prtr=0.1, hit_ratio=0.0,
+                    x_control=0.0, x_decision=0.0)
+    defaults.update(kw)
+    return ModelParameters(**defaults)
+
+
+class TestFrtr:
+    def test_hand_computed_total(self):
+        # n * (1 + Xc + Xt) = 10 * (1 + 0.01 + 0.5) = 15.1
+        p = params(x_control=0.01)
+        assert float(frtr_total_normalized(p, 10)) == pytest.approx(15.1)
+
+    def test_per_call(self):
+        assert float(frtr_per_call_normalized(params())) == pytest.approx(1.5)
+
+    def test_linear_in_n(self):
+        p = params()
+        t1 = frtr_total_normalized(p, 1)
+        t7 = frtr_total_normalized(p, 7)
+        assert float(t7) == pytest.approx(7 * float(t1))
+
+    def test_dimensional_matches_normalized(self):
+        raw = RawParameters(
+            t_task=0.25, t_frtr=2.0, t_prtr=0.3, t_control=0.05
+        )
+        t = float(frtr_total_time(raw, 4))
+        expected = 4 * (2.0 + 0.05 + 0.25)
+        assert t == pytest.approx(expected)
+        # normalized * t_frtr == dimensional
+        xn = float(frtr_total_normalized(raw.normalized(), 4))
+        assert xn * 2.0 == pytest.approx(t)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            frtr_total_normalized(params(), 0)
+        with pytest.raises(ValueError):
+            frtr_total_time(
+                RawParameters(t_task=1.0, t_frtr=1.0, t_prtr=0.5), -1
+            )
+
+
+class TestPrtrStages:
+    def test_missed_stage_task_dominates(self):
+        p = params(x_task=0.5, x_prtr=0.1)
+        assert float(missed_stage_normalized(p)) == pytest.approx(0.5)
+
+    def test_missed_stage_config_dominates(self):
+        p = params(x_task=0.05, x_prtr=0.1)
+        assert float(missed_stage_normalized(p)) == pytest.approx(0.1)
+
+    def test_decision_counts_on_task_side(self):
+        p = params(x_task=0.08, x_prtr=0.1, x_decision=0.05)
+        # task + decision = 0.13 > 0.1
+        assert float(missed_stage_normalized(p)) == pytest.approx(0.13)
+
+    def test_hit_stage(self):
+        p = params(x_decision=0.02)
+        assert float(hit_stage_normalized(p)) == pytest.approx(0.52)
+
+
+class TestPrtrTotal:
+    def test_hand_computed_all_miss(self):
+        # startup 1 + n*(Xc + max(Xt, Xp)) = 1 + 10*(0.01 + 0.5) = 6.1
+        p = params(x_control=0.01)
+        assert float(prtr_total_normalized(p, 10)) == pytest.approx(6.1)
+
+    def test_hand_computed_all_hit(self):
+        p = params(hit_ratio=1.0)
+        # 1 + 10 * (0 + 0.5)
+        assert float(prtr_total_normalized(p, 10)) == pytest.approx(6.0)
+
+    def test_hand_computed_mixed(self):
+        p = params(x_task=0.05, x_prtr=0.1, hit_ratio=0.5)
+        # per call: 0.5*max(0.05,0.1) + 0.5*0.05 = 0.05 + 0.025 = 0.075
+        assert float(prtr_per_call_normalized(p)) == pytest.approx(0.075)
+        assert float(prtr_total_normalized(p, 100)) == pytest.approx(8.5)
+
+    def test_startup_includes_decision(self):
+        p = params(x_decision=0.2)
+        total = float(prtr_total_normalized(p, 1))
+        # 1 + 0.2 startup + 1 * max(0.5 + 0.2, 0.1)
+        assert total == pytest.approx(1.2 + 0.7)
+
+    def test_dimensional_scaling(self):
+        raw = RawParameters(
+            t_task=0.5, t_frtr=2.0, t_prtr=0.2, hit_ratio=0.25
+        )
+        t = float(prtr_total_time(raw, 8))
+        xn = float(prtr_total_normalized(raw.normalized(), 8))
+        assert t == pytest.approx(xn * 2.0)
+
+    def test_prtr_never_slower_than_frtr_plus_startup(self):
+        # X_PRTR <= 1 ensures each PRTR stage <= each FRTR stage.
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            p = params(
+                x_task=float(rng.uniform(0.01, 5.0)),
+                x_prtr=float(rng.uniform(0.01, 1.0)),
+                hit_ratio=float(rng.uniform(0.0, 1.0)),
+                x_control=float(rng.uniform(0.0, 0.1)),
+            )
+            n = int(rng.integers(1, 50))
+            frtr = float(frtr_total_normalized(p, n))
+            prtr = float(prtr_total_normalized(p, n))
+            assert prtr <= frtr + 1.0 + 1e-12  # +startup full config
+
+    def test_vectorized_over_grid(self):
+        p = params(x_task=np.logspace(-2, 1, 50))
+        total = prtr_total_normalized(p, 100)
+        assert total.shape == (50,)
+        assert np.all(np.isfinite(total))

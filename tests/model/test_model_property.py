@@ -1,0 +1,137 @@
+"""Property-based tests of the analytical model (hypothesis).
+
+These pin the paper's structural claims over the *entire* admissible
+parameter space, not just the plotted grids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    ModelParameters,
+    asymptotic_speedup,
+    frtr_total_normalized,
+    large_task_bound,
+    peak_speedup,
+    prtr_total_normalized,
+    speedup,
+)
+
+finite = dict(allow_nan=False, allow_infinity=False)
+x_tasks = st.floats(min_value=1e-4, max_value=1e3, **finite)
+x_prtrs = st.floats(min_value=1e-4, max_value=1.0, **finite)
+hs = st.floats(min_value=0.0, max_value=1.0, **finite)
+overheads = st.floats(min_value=0.0, max_value=0.5, **finite)
+ns = st.integers(min_value=1, max_value=10**6)
+
+
+@st.composite
+def model_params(draw):
+    return ModelParameters(
+        x_task=draw(x_tasks),
+        x_prtr=draw(x_prtrs),
+        hit_ratio=draw(hs),
+        x_control=draw(overheads),
+        x_decision=draw(overheads),
+    )
+
+
+@given(x_tasks.filter(lambda x: x >= 1.0), x_prtrs, hs)
+def test_two_x_bound_for_large_tasks(x_task, x_prtr, h):
+    """The paper's headline: X_task >= 1 (ideal overheads) -> S_inf <= 2,
+    with equality only at X_task = 1 exactly."""
+    p = ModelParameters(x_task=x_task, x_prtr=x_prtr, hit_ratio=h)
+    s = float(asymptotic_speedup(p))
+    assert s <= 2.0
+    if x_task > 1.0:
+        assert s < 2.0
+
+
+@given(x_tasks, x_prtrs, hs)
+def test_large_task_bound_is_an_upper_bound(x_task, x_prtr, h):
+    """1 + 1/X_task bounds S_inf whenever the task dominates the stage."""
+    assume(x_task >= x_prtr)
+    p = ModelParameters(x_task=x_task, x_prtr=x_prtr, hit_ratio=h)
+    assert float(asymptotic_speedup(p)) <= float(large_task_bound(p)) + 1e-12
+
+
+@given(x_tasks, hs)
+def test_h1_speedup_independent_of_x_prtr(x_task, h):
+    """At H=1 the partial configuration time drops out of Eq. (7)."""
+    assume(h == 1.0 or True)
+    p_small = ModelParameters(x_task=x_task, x_prtr=1e-4, hit_ratio=1.0)
+    p_large = ModelParameters(x_task=x_task, x_prtr=1.0, hit_ratio=1.0)
+    a, b = float(asymptotic_speedup(p_small)), float(asymptotic_speedup(p_large))
+    assert abs(a - b) <= 1e-9 * max(a, b)
+
+
+@given(model_params())
+def test_speedup_positive(p):
+    assert float(asymptotic_speedup(p)) > 0.0
+
+
+@given(model_params(), ns, ns)
+def test_speedup_monotone_in_n(p, n1, n2):
+    """Eq. (6) is non-decreasing in the number of calls."""
+    lo, hi = sorted((n1, n2))
+    assert float(speedup(p, lo)) <= float(speedup(p, hi)) + 1e-12
+
+
+@given(model_params(), ns)
+def test_finite_n_below_asymptote(p, n):
+    assert float(speedup(p, n)) <= float(asymptotic_speedup(p)) + 1e-12
+
+
+@given(model_params())
+@settings(max_examples=200)
+def test_peak_dominates_dense_grid(p):
+    """peak_speedup is an upper bound for S_inf over all task times."""
+    grid = np.logspace(-5, 3, 1500)
+    s = asymptotic_speedup(p.with_(x_task=grid))
+    assert float(peak_speedup(p)) >= float(np.max(s)) - 1e-9
+
+
+@given(model_params())
+def test_higher_hit_ratio_never_slower(p):
+    """Total PRTR time is non-increasing in H (misses cost >= hits)."""
+    h = float(np.asarray(p.hit_ratio))
+    better = p.with_(hit_ratio=min(h + 0.1, 1.0))
+    t_base = float(prtr_total_normalized(p, 1000))
+    t_better = float(prtr_total_normalized(better, 1000))
+    assert t_better <= t_base + 1e-9
+
+
+@given(model_params(), ns)
+def test_prtr_beats_frtr_when_decision_small(p, n):
+    """With X_decision <= 1, PRTR never exceeds FRTR + startup."""
+    p = p.with_(x_decision=min(float(np.asarray(p.x_decision)), 1.0))
+    frtr = float(frtr_total_normalized(p, n))
+    prtr = float(prtr_total_normalized(p, n))
+    startup = 1.0 + float(np.asarray(p.x_decision))
+    assert prtr <= frtr + startup + 1e-9
+
+
+@given(model_params())
+def test_speedup_equals_total_ratio(p):
+    """Eq. (6) really is the ratio of Eq. (2) to Eq. (5)."""
+    n = 37
+    direct = float(speedup(p, n))
+    ratio = float(frtr_total_normalized(p, n)) / float(
+        prtr_total_normalized(p, n)
+    )
+    assert abs(direct - ratio) <= 1e-12 * max(1.0, ratio)
+
+
+@given(x_prtrs)
+def test_h0_peak_location(x_prtr):
+    """For H=0 (ideal overheads) the maximizer is X_task = X_PRTR."""
+    p = ModelParameters(x_task=1.0, x_prtr=x_prtr, hit_ratio=0.0)
+    grid = np.unique(np.concatenate([
+        np.logspace(-4, 2, 2000), [x_prtr]
+    ]))
+    s = asymptotic_speedup(p.with_(x_task=grid))
+    best_x = float(grid[int(np.argmax(s))])
+    assert abs(best_x - x_prtr) <= 1e-9

@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.model.parameters`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import ModelParameters, RawParameters
+
+
+class TestModelParameters:
+    def test_scalar_construction(self):
+        p = ModelParameters(x_task=0.5, x_prtr=0.1)
+        assert float(p.x_task) == 0.5
+        assert float(p.miss_ratio) == 1.0
+
+    def test_array_broadcast(self):
+        p = ModelParameters(
+            x_task=np.array([0.1, 1.0, 10.0]),
+            x_prtr=0.2,
+            hit_ratio=np.array([[0.0], [1.0]]),
+        )
+        assert p.shape == (2, 3)
+
+    def test_incompatible_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ModelParameters(
+                x_task=np.ones(3), x_prtr=np.ones(4)
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_x_task_positive(self, bad):
+        with pytest.raises(ValueError, match="x_task"):
+            ModelParameters(x_task=bad, x_prtr=0.1)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_x_prtr_in_unit_interval(self, bad):
+        with pytest.raises(ValueError, match="x_prtr"):
+            ModelParameters(x_task=1.0, x_prtr=bad)
+
+    def test_x_prtr_exactly_one_allowed(self):
+        p = ModelParameters(x_task=1.0, x_prtr=1.0)
+        assert float(p.x_prtr) == 1.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_hit_ratio_bounds(self, bad):
+        with pytest.raises(ValueError, match="hit_ratio"):
+            ModelParameters(x_task=1.0, x_prtr=0.5, hit_ratio=bad)
+
+    @pytest.mark.parametrize("field", ["x_control", "x_decision"])
+    def test_overheads_nonnegative(self, field):
+        with pytest.raises(ValueError, match=field):
+            ModelParameters(x_task=1.0, x_prtr=0.5, **{field: -0.01})
+
+    def test_with_replaces_fields(self):
+        p = ModelParameters(x_task=1.0, x_prtr=0.5)
+        q = p.with_(hit_ratio=0.7)
+        assert float(q.hit_ratio) == 0.7
+        assert float(p.hit_ratio) == 0.0  # original untouched
+
+    def test_array_element_validation(self):
+        with pytest.raises(ValueError):
+            ModelParameters(x_task=np.array([1.0, -2.0]), x_prtr=0.5)
+
+
+class TestRawParameters:
+    def test_normalization(self):
+        raw = RawParameters(
+            t_task=0.5, t_frtr=2.0, t_prtr=0.2, t_control=0.02,
+            t_decision=0.01, hit_ratio=0.3,
+        )
+        p = raw.normalized()
+        assert float(p.x_task) == pytest.approx(0.25)
+        assert float(p.x_prtr) == pytest.approx(0.1)
+        assert float(p.x_control) == pytest.approx(0.01)
+        assert float(p.x_decision) == pytest.approx(0.005)
+        assert float(p.hit_ratio) == 0.3
+
+    def test_t_frtr_positive(self):
+        with pytest.raises(ValueError, match="t_frtr"):
+            RawParameters(t_task=1.0, t_frtr=0.0, t_prtr=0.1)
+
+    def test_t_task_positive(self):
+        with pytest.raises(ValueError, match="t_task"):
+            RawParameters(t_task=0.0, t_frtr=1.0, t_prtr=0.1)
+
+    def test_negative_control_rejected(self):
+        with pytest.raises(ValueError, match="t_control"):
+            RawParameters(
+                t_task=1.0, t_frtr=1.0, t_prtr=0.1, t_control=-1.0
+            )
+
+    def test_normalized_rejects_partial_above_full(self):
+        # T_PRTR > T_FRTR is physically impossible; normalization fails.
+        raw = RawParameters(t_task=1.0, t_frtr=1.0, t_prtr=2.0)
+        with pytest.raises(ValueError, match="x_prtr"):
+            raw.normalized()
+
+    def test_array_normalization(self):
+        raw = RawParameters(
+            t_task=np.array([0.1, 0.2]), t_frtr=1.0, t_prtr=0.1
+        )
+        p = raw.normalized()
+        np.testing.assert_allclose(p.x_task, [0.1, 0.2])

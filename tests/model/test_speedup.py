@@ -1,0 +1,127 @@
+"""Unit tests for Eq. (6)/(7) in :mod:`repro.model.speedup`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    ModelParameters,
+    RawParameters,
+    asymptotic_speedup,
+    convergence_n,
+    speedup,
+    speedup_from_raw,
+)
+
+
+def params(**kw) -> ModelParameters:
+    defaults = dict(x_task=0.5, x_prtr=0.1, hit_ratio=0.0,
+                    x_control=0.0, x_decision=0.0)
+    defaults.update(kw)
+    return ModelParameters(**defaults)
+
+
+class TestAsymptotic:
+    def test_paper_estimated_peak(self):
+        """X_PRTR = 0.17, task at the peak -> (1+0.17)/0.17 ~ 6.88 ('7x')."""
+        p = params(x_task=0.17, x_prtr=0.17)
+        assert float(asymptotic_speedup(p)) == pytest.approx(
+            1.17 / 0.17, rel=1e-12
+        )
+
+    def test_paper_measured_peak(self):
+        """X_PRTR = 19.77/1678.04 -> peak ~ 85.9 (the paper's '87x')."""
+        x = 19.77 / 1678.04
+        p = params(x_task=x, x_prtr=x)
+        s = float(asymptotic_speedup(p))
+        assert 84.0 < s < 87.0
+
+    def test_large_task_formula(self):
+        """X_task >= 1 -> S = 1 + 1/X_task regardless of H and X_PRTR."""
+        for h in (0.0, 0.5, 1.0):
+            for xp in (0.01, 0.5, 1.0):
+                p = params(x_task=4.0, x_prtr=xp, hit_ratio=h)
+                assert float(asymptotic_speedup(p)) == pytest.approx(1.25)
+
+    def test_h1_formula(self):
+        """H = 1 -> S = (1 + X_task)/X_task for any X_PRTR."""
+        p = params(x_task=0.2, hit_ratio=1.0)
+        assert float(asymptotic_speedup(p)) == pytest.approx(6.0)
+
+    def test_control_overhead_reduces_speedup(self):
+        base = float(asymptotic_speedup(params(x_task=0.1)))
+        with_ctrl = float(
+            asymptotic_speedup(params(x_task=0.1, x_control=0.05))
+        )
+        assert with_ctrl < base
+
+    def test_decision_overhead_reduces_speedup(self):
+        base = float(asymptotic_speedup(params(x_task=0.2, hit_ratio=0.5)))
+        worse = float(
+            asymptotic_speedup(
+                params(x_task=0.2, hit_ratio=0.5, x_decision=0.1)
+            )
+        )
+        assert worse < base
+
+    def test_vectorized(self):
+        p = params(x_task=np.logspace(-3, 2, 101))
+        s = asymptotic_speedup(p)
+        assert s.shape == (101,)
+        assert np.all(s > 0)
+
+
+class TestFiniteN:
+    def test_monotone_nondecreasing_in_n(self):
+        p = params()
+        ns = np.array([1, 2, 5, 10, 100, 1000, 10000])
+        s = speedup(p, ns)
+        assert np.all(np.diff(s) >= -1e-15)
+
+    def test_converges_to_asymptote(self):
+        p = params(x_task=0.05, x_prtr=0.1, hit_ratio=0.3)
+        s_inf = float(asymptotic_speedup(p))
+        s_big = float(speedup(p, 1e9))
+        assert s_big == pytest.approx(s_inf, rel=1e-6)
+
+    def test_n1_below_asymptote(self):
+        p = params()
+        assert float(speedup(p, 1)) < float(asymptotic_speedup(p))
+
+    def test_hand_computed(self):
+        p = params(x_task=0.5, x_prtr=0.1)
+        # n=2: FRTR = 2*1.5 = 3; PRTR = 1 + 2*0.5 = 2 -> S = 1.5
+        assert float(speedup(p, 2)) == pytest.approx(1.5)
+
+    def test_from_raw_matches_normalized(self):
+        raw = RawParameters(
+            t_task=0.8, t_frtr=1.6, t_prtr=0.2, t_control=0.01,
+            hit_ratio=0.4,
+        )
+        a = float(speedup_from_raw(raw, 25))
+        b = float(speedup(raw.normalized(), 25))
+        assert a == pytest.approx(b, rel=1e-14)
+
+
+class TestConvergenceN:
+    def test_definition_holds(self):
+        """At the returned n, S(n) is within tol of S_inf; at n/2 it isn't
+        (modulo ceiling)."""
+        p = params(x_task=0.3, x_prtr=0.2, hit_ratio=0.5)
+        tol = 0.01
+        n = float(convergence_n(p, tol))
+        s_inf = float(asymptotic_speedup(p))
+        assert float(speedup(p, n)) >= (1 - tol) * s_inf - 1e-12
+        if n > 2:
+            assert float(speedup(p, max(n / 2 - 1, 1))) < (1 - tol) * s_inf
+
+    def test_tighter_tolerance_needs_more_calls(self):
+        p = params()
+        assert float(convergence_n(p, 0.001)) > float(convergence_n(p, 0.1))
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            convergence_n(params(), 0.0)
+        with pytest.raises(ValueError):
+            convergence_n(params(), 1.0)

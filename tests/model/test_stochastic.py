@@ -1,0 +1,177 @@
+"""Unit + property tests for the heterogeneous task-time extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    ModelParameters,
+    asymptotic_speedup,
+    expected_max_uniform,
+    heterogeneous_per_call,
+    heterogeneous_speedup,
+    heterogeneous_speedup_finite,
+    jensen_gap,
+    sample_task_times,
+    uniform_heterogeneous_speedup,
+)
+
+
+def params(**kw) -> ModelParameters:
+    defaults = dict(x_task=1.0, x_prtr=0.1, hit_ratio=0.0,
+                    x_control=0.0, x_decision=0.0)
+    defaults.update(kw)
+    return ModelParameters(**defaults)
+
+
+class TestSamplers:
+    @pytest.mark.parametrize(
+        "kind,cv",
+        [
+            ("deterministic", 0.0),
+            ("uniform", 0.3),
+            ("exponential", 1.0),
+            ("lognormal", 0.5),
+            ("bimodal", 0.4),
+        ],
+    )
+    def test_mean_and_cv(self, kind, cv):
+        x = sample_task_times(kind, 2.0, cv, 300_000, rng=0)
+        assert np.all(x > 0)
+        assert x.mean() == pytest.approx(2.0, rel=0.02)
+        if cv > 0:
+            assert x.std() / x.mean() == pytest.approx(cv, rel=0.05)
+        else:
+            assert x.std() == 0.0
+
+    def test_deterministic_ignores_cv(self):
+        x = sample_task_times("deterministic", 1.5, 0.9, 10)
+        assert np.all(x == 1.5)
+
+    def test_reproducible(self):
+        a = sample_task_times("lognormal", 1.0, 0.5, 100, rng=7)
+        b = sample_task_times("lognormal", 1.0, 0.5, 100, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_task_times("uniform", 0.0, 0.1, 10)
+        with pytest.raises(ValueError):
+            sample_task_times("uniform", 1.0, -0.1, 10)
+        with pytest.raises(ValueError):
+            sample_task_times("uniform", 1.0, 0.1, 0)
+        with pytest.raises(ValueError):
+            sample_task_times("uniform", 1.0, 0.7, 10)  # > 1/sqrt(3)
+        with pytest.raises(ValueError):
+            sample_task_times("exponential", 1.0, 0.5, 10)
+        with pytest.raises(ValueError):
+            sample_task_times("bimodal", 1.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            sample_task_times("cauchy", 1.0, 0.5, 10)
+
+
+class TestExpectedMaxUniform:
+    def test_below_support(self):
+        assert expected_max_uniform(2.0, 4.0, 1.0) == pytest.approx(3.0)
+
+    def test_above_support(self):
+        assert expected_max_uniform(2.0, 4.0, 5.0) == pytest.approx(5.0)
+
+    def test_inside_support_vs_mc(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(2.0, 4.0, 2_000_000)
+        for p in (2.5, 3.0, 3.9):
+            mc = np.maximum(x, p).mean()
+            assert expected_max_uniform(2.0, 4.0, p) == pytest.approx(
+                mc, rel=1e-3
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_max_uniform(2.0, 2.0, 1.0)
+
+
+class TestHeterogeneousSpeedup:
+    def test_homogeneous_recovers_eq7(self):
+        p = params(x_prtr=0.2, hit_ratio=0.3, x_control=0.01)
+        x = np.full(1000, 0.15)
+        s = heterogeneous_speedup(x, p)
+        expected = float(asymptotic_speedup(p.with_(x_task=0.15)))
+        assert s == pytest.approx(expected, rel=1e-12)
+
+    def test_closed_form_matches_mc(self):
+        p = params(x_prtr=0.1)
+        for cv in (0.1, 0.3, 0.5):
+            x = sample_task_times("uniform", 0.1, cv, 400_000, rng=3)
+            mc = heterogeneous_speedup(x, p)
+            closed = uniform_heterogeneous_speedup(0.1, cv, p)
+            assert mc == pytest.approx(closed, rel=5e-3)
+
+    def test_jensen_gap_nonnegative(self):
+        p = params(x_prtr=0.1)
+        x = sample_task_times("bimodal", 0.1, 0.5, 10_000, rng=0)
+        assert jensen_gap(x, p) >= -1e-12
+
+    def test_gap_zero_away_from_kink(self):
+        """All mass above the kink: max() is linear, model is exact."""
+        p = params(x_prtr=0.01)
+        x = sample_task_times("uniform", 1.0, 0.3, 50_000, rng=0)
+        assert abs(jensen_gap(x, p)) < 1e-9
+
+    def test_gap_grows_with_cv(self):
+        p = params(x_prtr=0.1)
+        gaps = []
+        for cv in (0.1, 0.3, 0.5):
+            x = sample_task_times("uniform", 0.1, cv, 200_000, rng=1)
+            gaps.append(jensen_gap(x, p))
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_finite_below_asymptotic(self):
+        p = params(x_prtr=0.1)
+        x = sample_task_times("lognormal", 0.1, 0.4, 500, rng=2)
+        assert heterogeneous_speedup_finite(x, p) < heterogeneous_speedup(
+            x, p
+        )
+
+    def test_validation(self):
+        p = params()
+        with pytest.raises(ValueError):
+            heterogeneous_per_call(np.array([]), p)
+        with pytest.raises(ValueError):
+            heterogeneous_per_call(np.array([1.0, -1.0]), p)
+        with pytest.raises(ValueError):
+            heterogeneous_per_call(
+                np.ones(5), params(x_prtr=np.array([0.1, 0.2]))
+            )
+        with pytest.raises(ValueError):
+            uniform_heterogeneous_speedup(1.0, 0.6, p)
+
+
+cvs = st.floats(min_value=0.0, max_value=0.55, allow_nan=False)
+means = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+prtrs = st.floats(min_value=1e-3, max_value=1.0, allow_nan=False)
+hs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(means, cvs, prtrs, hs)
+@settings(max_examples=60, deadline=None)
+def test_property_mean_based_never_underestimates(mean, cv, x_prtr, h):
+    """Jensen: the average-based Eq. (7) >= the true mixed speedup."""
+    p = params(x_prtr=x_prtr, hit_ratio=h)
+    x = sample_task_times("uniform", mean, cv, 20_000, rng=5)
+    mean_based = float(asymptotic_speedup(p.with_(x_task=float(x.mean()))))
+    true = heterogeneous_speedup(x, p)
+    assert mean_based >= true - 1e-9 * max(1.0, true)
+
+
+@given(means, cvs, prtrs)
+@settings(max_examples=60, deadline=None)
+def test_property_closed_form_uniform(mean, cv, x_prtr):
+    p = params(x_prtr=x_prtr)
+    x = sample_task_times("uniform", mean, cv, 60_000, rng=9)
+    mc = heterogeneous_speedup(x, p)
+    closed = uniform_heterogeneous_speedup(mean, cv, p)
+    assert mc == pytest.approx(closed, rel=0.02)

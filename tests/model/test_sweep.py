@@ -1,0 +1,122 @@
+"""Unit tests for :mod:`repro.model.sweep`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    ModelParameters,
+    SweepResult,
+    asymptotic_speedup,
+    figure5_grid,
+    figure9_grid,
+    log_task_axis,
+    speedup,
+    sweep_asymptotic,
+    sweep_finite,
+)
+
+
+class TestLogTaskAxis:
+    def test_endpoints_and_length(self):
+        x = log_task_axis(1e-2, 1e2, 41)
+        assert len(x) == 41
+        assert x[0] == pytest.approx(1e-2)
+        assert x[-1] == pytest.approx(1e2)
+
+    def test_log_spacing(self):
+        x = log_task_axis(1e-3, 1e3, 7)
+        ratios = x[1:] / x[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            log_task_axis(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_task_axis(1.0, 0.5)
+        with pytest.raises(ValueError):
+            log_task_axis(1.0, 2.0, 1)
+
+
+class TestSweepAsymptotic:
+    def test_grid_shape_and_values(self):
+        res = sweep_asymptotic(
+            {"x_task": [0.1, 1.0], "x_prtr": [0.1, 0.2, 0.5]}
+        )
+        assert res.values.shape == (2, 3)
+        # Spot-check one cell against a direct evaluation.
+        direct = float(asymptotic_speedup(
+            ModelParameters(x_task=1.0, x_prtr=0.5)
+        ))
+        assert res.values[1, 2] == pytest.approx(direct)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(KeyError, match="unknown sweep axes"):
+            sweep_asymptotic({"bogus": [1.0]})
+
+    def test_series_extraction(self):
+        res = sweep_asymptotic(
+            {"x_task": [0.1, 1.0, 10.0], "hit_ratio": [0.0, 1.0],
+             "x_prtr": [0.2]}
+        )
+        x, y = res.series(hit_ratio=1.0, x_prtr=0.2)
+        assert len(x) == 3 and len(y) == 3
+        direct = asymptotic_speedup(
+            ModelParameters(x_task=np.asarray([0.1, 1.0, 10.0]),
+                            x_prtr=0.2, hit_ratio=1.0)
+        )
+        np.testing.assert_allclose(y, direct)
+
+    def test_series_requires_one_free_axis(self):
+        res = sweep_asymptotic({"x_task": [1.0], "x_prtr": [0.1, 0.2]})
+        with pytest.raises(ValueError, match="one free axis"):
+            res.series()
+
+    def test_series_missing_value(self):
+        res = sweep_asymptotic({"x_task": [1.0, 2.0], "x_prtr": [0.1]})
+        with pytest.raises(KeyError):
+            res.series(x_prtr=0.9)
+
+    def test_to_rows_long_format(self):
+        res = sweep_asymptotic({"x_task": [0.5, 1.0], "x_prtr": [0.1]})
+        rows = res.to_rows()
+        assert len(rows) == 2
+        assert set(rows[0]) == {"x_task", "x_prtr", "asymptotic_speedup"}
+
+
+class TestSweepFinite:
+    def test_finite_below_asymptotic(self):
+        axes = {"x_task": list(np.logspace(-1, 1, 9)), "x_prtr": [0.2]}
+        fin = sweep_finite(axes, n_calls=10)
+        asy = sweep_asymptotic(axes)
+        assert np.all(fin.values <= asy.values + 1e-12)
+
+    def test_matches_direct_eq6(self):
+        fin = sweep_finite({"x_task": [0.5], "x_prtr": [0.25]}, n_calls=7)
+        direct = float(speedup(
+            ModelParameters(x_task=0.5, x_prtr=0.25), 7
+        ))
+        assert fin.values[0, 0] == pytest.approx(direct)
+
+
+class TestFigureGrids:
+    def test_figure5_default_shape(self):
+        res = figure5_grid()
+        assert res.values.shape == (241, 5, 5)
+
+    def test_figure5_axis_names(self):
+        res = figure5_grid()
+        assert list(res.axes) == ["x_task", "x_prtr", "hit_ratio"]
+
+    def test_figure9_grid_is_1d_family(self):
+        res = figure9_grid(x_prtr=0.17, x_control=1e-4)
+        assert res.values.shape[0] == 241
+        assert res.values.shape[1:] == (1, 1, 1, 1)
+
+    def test_sweep_result_shape_validation(self):
+        with pytest.raises(ValueError):
+            SweepResult(
+                axes={"x": np.array([1.0, 2.0])},
+                values=np.zeros((3,)),
+            )

@@ -1,0 +1,145 @@
+"""Unit tests for the cluster executor and the configuration storm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import PUBLISHED_TABLE2
+from repro.rtr.cluster import ClusterResult, compare_cluster, run_cluster
+from repro.workloads import CallTrace, HardwareTask
+
+DUAL_BYTES = PUBLISHED_TABLE2["dual_prr"].bitstream_bytes
+
+
+def blade_trace(n_calls: int = 12, task_time: float = 0.02) -> CallTrace:
+    lib = {f"m{i}": HardwareTask(f"m{i}", task_time) for i in range(3)}
+    return CallTrace(
+        [lib[f"m{i % 3}"] for i in range(n_calls)], name="blade"
+    )
+
+
+def storm_kwargs() -> dict:
+    """Wire-limited configs + a 100 MB/s management network: the regime
+    where the shared bitstream server becomes the bottleneck."""
+    return dict(
+        estimated=True,
+        server_bandwidth=100e6,
+        force_miss=True,
+        bitstream_bytes=DUAL_BYTES,
+        control_time=1e-5,
+    )
+
+
+class TestValidation:
+    def test_empty_traces(self):
+        with pytest.raises(ValueError):
+            run_cluster([])
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_cluster([blade_trace()], mode="hybrid")
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError, match="server_bandwidth"):
+            run_cluster([blade_trace()], server_bandwidth=0.0)
+
+    def test_parallel_efficiency_validation(self):
+        result = run_cluster([blade_trace()], **{
+            k: v for k, v in storm_kwargs().items() if k != "force_miss"
+        } | {"force_miss": True})
+        with pytest.raises(ValueError):
+            result.parallel_efficiency(0.0)
+
+
+class TestSingleBladeConsistency:
+    def test_matches_solo_run_when_server_fast(self):
+        """With an effectively infinite server, a 1-blade cluster equals
+        the single-node executor."""
+        from repro.rtr import PrtrExecutor, make_node
+
+        trace = blade_trace()
+        cluster = run_cluster(
+            [trace], mode="prtr", server_bandwidth=1e15,
+            force_miss=True, bitstream_bytes=DUAL_BYTES,
+            control_time=1e-5,
+        )
+        solo = PrtrExecutor(
+            make_node(), force_miss=True,
+            bitstream_bytes=DUAL_BYTES, control_time=1e-5,
+        ).run(trace)
+        assert cluster.blades[0].total_time == pytest.approx(
+            solo.total_time, rel=1e-6
+        )
+
+
+class TestConcurrency:
+    def test_blades_run_concurrently(self):
+        """With no server bottleneck, n blades take ~1 blade's time."""
+        traces = [blade_trace() for _ in range(6)]
+        result = run_cluster(
+            traces, mode="prtr", server_bandwidth=1e15,
+            force_miss=True, bitstream_bytes=DUAL_BYTES,
+        )
+        single = run_cluster(
+            traces[:1], mode="prtr", server_bandwidth=1e15,
+            force_miss=True, bitstream_bytes=DUAL_BYTES,
+        )
+        # The only skew is the (serialized) near-zero-time fetches on the
+        # 1e15 B/s server: nanoseconds across six blades.
+        assert result.makespan == pytest.approx(
+            single.makespan, rel=1e-6
+        )
+        assert result.total_calls == 6 * 12
+
+    def test_server_accounting(self):
+        result = run_cluster(
+            [blade_trace(6)] * 2, mode="prtr", **storm_kwargs()
+        )
+        # startup full + per-miss partials, per blade.
+        expected_bytes = 2 * (
+            PUBLISHED_TABLE2["full"].bitstream_bytes
+            + 5 * DUAL_BYTES  # call 0 ships with the full image
+        )
+        assert result.server_bytes == pytest.approx(expected_bytes)
+        assert 0.0 <= result.server_utilization <= 1.0
+
+
+class TestConfigurationStorm:
+    def test_frtr_efficiency_collapses(self):
+        base = run_cluster([blade_trace()], mode="frtr", **{
+            k: v for k, v in storm_kwargs().items()
+            if k not in ("force_miss", "bitstream_bytes")
+        })
+        big = run_cluster([blade_trace()] * 12, mode="frtr", **{
+            k: v for k, v in storm_kwargs().items()
+            if k not in ("force_miss", "bitstream_bytes")
+        })
+        eff = big.parallel_efficiency(base.makespan)
+        assert eff < 0.5
+        assert big.server_utilization > 0.9
+
+    def test_prtr_advantage_grows_with_scale(self):
+        speedups = []
+        for n in (1, 12):
+            frtr, prtr = compare_cluster(
+                [blade_trace()] * n, **storm_kwargs()
+            )
+            speedups.append(frtr.makespan / prtr.makespan)
+        assert speedups[1] > speedups[0] * 1.2
+
+    def test_saturated_speedup_approaches_bytes_ratio(self):
+        """When both regimes are server-bound, the speedup tends to the
+        full/partial bitstream size ratio (~5.9)."""
+        frtr, prtr = compare_cluster(
+            [blade_trace()] * 36, **storm_kwargs()
+        )
+        ratio = (
+            PUBLISHED_TABLE2["full"].bitstream_bytes / DUAL_BYTES
+        )
+        s = frtr.makespan / prtr.makespan
+        assert 0.7 * ratio < s < 1.05 * ratio
+
+    def test_mixed_blade_counts_deterministic(self):
+        a = run_cluster([blade_trace()] * 4, mode="prtr", **storm_kwargs())
+        b = run_cluster([blade_trace()] * 4, mode="prtr", **storm_kwargs())
+        assert a.makespan == b.makespan

@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.rtr.events` (RunResult semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtr.events import CallRecord, RunResult
+from repro.sim.trace import Timeline
+
+
+def record(i: int, hit: bool, start: float, end: float) -> CallRecord:
+    return CallRecord(
+        index=i, task=f"m{i}", hit=hit, start=start, end=end,
+        config_time=0.0 if hit else 0.02,
+    )
+
+
+def result(hits: list[bool]) -> RunResult:
+    records = [
+        record(i, h, float(i), float(i) + 1.0) for i, h in enumerate(hits)
+    ]
+    return RunResult(
+        mode="prtr",
+        trace_name="t",
+        total_time=float(len(hits)),
+        records=records,
+        timeline=Timeline(),
+        startup_time=0.5,
+    )
+
+
+class TestRunResult:
+    def test_counters(self):
+        r = result([True, False, True, False, False])
+        assert r.n_calls == 5
+        assert r.n_configs == 3
+        assert r.hit_ratio == pytest.approx(0.4)
+        assert r.miss_ratio == pytest.approx(0.6)
+
+    def test_mean_stage_time(self):
+        r = result([True, False])
+        assert r.mean_stage_time == pytest.approx(1.0)
+
+    def test_config_overhead_sums_misses_and_startup(self):
+        r = result([True, False, False])
+        r.notes["startup_config"] = 0.1
+        assert r.config_overhead() == pytest.approx(0.1 + 2 * 0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="total_time"):
+            RunResult("frtr", "t", -1.0, [record(0, True, 0, 1)],
+                      Timeline())
+        with pytest.raises(ValueError, match="at least one"):
+            RunResult("frtr", "t", 1.0, [], Timeline())
+
+    def test_raw_parameters_carries_hit_ratio(self):
+        r = result([True, True, False, True])
+        raw = r.raw_parameters(
+            t_frtr=2.0, t_prtr=0.1, t_control=1e-5, t_task=0.3
+        )
+        assert float(raw.hit_ratio) == pytest.approx(0.75)
+        assert float(raw.t_task) == 0.3
+
+    def test_raw_parameters_uses_recorded_mean(self):
+        r = result([False])
+        r.notes["mean_task_time"] = 0.7
+        raw = r.raw_parameters(t_frtr=2.0, t_prtr=0.1)
+        assert float(raw.t_task) == pytest.approx(0.7)
+
+    def test_summary_is_floats(self):
+        s = result([True, False]).summary()
+        assert all(isinstance(v, float) for v in s.values())

@@ -1,0 +1,218 @@
+"""Unit tests for the multi-tasking / hardware-virtualization executors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import PUBLISHED_TABLE2, uniform_prr_floorplan
+from repro.rtr import (
+    AppResult,
+    AppSpec,
+    MultitaskFrtrExecutor,
+    MultitaskPrtrExecutor,
+    compare_multitask,
+    make_node,
+)
+from repro.workloads import CallTrace, HardwareTask
+
+DUAL_BYTES = PUBLISHED_TABLE2["dual_prr"].bitstream_bytes
+
+
+def lib(k: int = 6, time: float = 0.03) -> dict[str, HardwareTask]:
+    return {f"m{i}": HardwareTask(f"m{i}", time) for i in range(k)}
+
+
+def app(name, mods, n, library=None, arrival=0.0) -> AppSpec:
+    library = library or lib()
+    return AppSpec(
+        name,
+        CallTrace([library[m] for m in list(mods) * n], name=name),
+        arrival_time=arrival,
+    )
+
+
+def two_apps() -> list[AppSpec]:
+    return [app("A", ["m0", "m1"], 10), app("B", ["m2", "m3"], 10)]
+
+
+class TestSpecs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppSpec("", CallTrace([HardwareTask("m", 1.0)]))
+        with pytest.raises(ValueError):
+            AppSpec("a", CallTrace([HardwareTask("m", 1.0)]),
+                    arrival_time=-1.0)
+        with pytest.raises(ValueError):
+            AppResult("a", arrival_time=5.0, completion_time=1.0,
+                      n_calls=1, n_configs=0)
+
+    def test_duplicate_names_rejected(self):
+        apps = [app("A", ["m0"], 1), app("A", ["m1"], 1)]
+        with pytest.raises(ValueError, match="duplicate"):
+            MultitaskFrtrExecutor(make_node()).run(apps)
+
+    def test_empty_apps_rejected(self):
+        with pytest.raises(ValueError):
+            MultitaskFrtrExecutor(make_node()).run([])
+        with pytest.raises(ValueError):
+            MultitaskPrtrExecutor(make_node()).run([])
+
+
+class TestFrtrMultitask:
+    def test_fully_serial_makespan(self):
+        """FRTR makespan = total calls x (config + control + task)."""
+        node = make_node()
+        apps = two_apps()
+        result = MultitaskFrtrExecutor(node, control_time=0.0).run(apps)
+        t_cfg = node.full_config_time()
+        total_calls = sum(a.trace.n_calls for a in apps)
+        expected = total_calls * (t_cfg + 0.03)
+        assert result.makespan == pytest.approx(expected, rel=1e-12)
+
+    def test_every_call_reconfigures(self):
+        result = MultitaskFrtrExecutor(make_node()).run(two_apps())
+        assert result.total_configs == result.total_calls
+
+    def test_arrival_times_respected(self):
+        library = lib()
+        apps = [
+            app("A", ["m0"], 2, library),
+            app("B", ["m1"], 2, library, arrival=100.0),
+        ]
+        result = MultitaskFrtrExecutor(make_node()).run(apps)
+        b = next(a for a in result.apps if a.name == "B")
+        assert b.completion_time >= 100.0
+        assert b.turnaround < result.makespan
+
+
+class TestPrtrMultitask:
+    def test_concurrent_execution_on_prrs(self):
+        """Two independent apps on two PRRs overlap their tasks: the
+        makespan is far below the serial sum."""
+        library = lib(2, time=0.1)
+        apps = [
+            app("A", ["m0"], 20, library),
+            app("B", ["m1"], 20, library),
+        ]
+        result = MultitaskPrtrExecutor(
+            make_node(), control_time=0.0, bitstream_bytes=DUAL_BYTES
+        ).run(apps)
+        serial_tasks = 2 * 20 * 0.1
+        startup = result.notes["t_config_full"]
+        # Concurrency: makespan ~ startup + configs + 20*0.1, well under
+        # the serial sum.
+        assert result.makespan < startup + serial_tasks * 0.75
+
+    def test_module_sharing_across_apps(self):
+        """Apps calling the same module configure it once (virtualization)."""
+        library = lib(1, time=0.02)
+        apps = [
+            app("A", ["m0"], 15, library),
+            app("B", ["m0"], 15, library),
+        ]
+        result = MultitaskPrtrExecutor(
+            make_node(), bitstream_bytes=DUAL_BYTES
+        ).run(apps)
+        assert result.total_configs == 1
+        assert result.notes["hit_ratio"] > 0.9
+
+    def test_conservation_all_calls_complete(self):
+        apps = [
+            app("A", ["m0", "m1", "m2"], 8),
+            app("B", ["m3", "m4"], 12),
+            app("C", ["m5"], 5),
+        ]
+        result = MultitaskPrtrExecutor(
+            make_node(floorplan=uniform_prr_floorplan(4, 6)),
+            bitstream_bytes=DUAL_BYTES,
+        ).run(apps)
+        assert result.total_calls == 8 * 3 + 12 * 2 + 5
+        by_name = {a.name: a for a in result.apps}
+        assert by_name["A"].n_calls == 24
+
+    def test_more_apps_than_prrs_no_deadlock(self):
+        """3 concurrent apps on 2 PRRs: the pin-wait path must engage
+        and the run must still complete."""
+        library = lib(3, time=0.05)
+        apps = [
+            app("A", ["m0"], 6, library),
+            app("B", ["m1"], 6, library),
+            app("C", ["m2"], 6, library),
+        ]
+        result = MultitaskPrtrExecutor(
+            make_node(), bitstream_bytes=DUAL_BYTES
+        ).run(apps)
+        assert result.total_calls == 18
+        assert result.makespan > 0
+
+    def test_icap_serializes_configs(self):
+        apps = [
+            app("A", ["m0", "m1"], 6),
+            app("B", ["m2", "m3"], 6),
+        ]
+        node = make_node(floorplan=uniform_prr_floorplan(4, 6))
+        result = MultitaskPrtrExecutor(
+            node, bitstream_bytes=DUAL_BYTES
+        ).run(apps)
+        # The CONFIG timeline spans include mutex-wait time and may
+        # overlap on the wall clock; actual ICAP occupancy must not.
+        node.icap.icap_mutex.assert_no_overlap()
+        intervals = sorted(
+            node.icap.icap_mutex.intervals, key=lambda iv: iv.start
+        )
+        assert len(intervals) == result.total_configs
+        for a, b in zip(intervals, intervals[1:]):
+            assert b.start >= a.end - 1e-15
+
+    def test_single_prr_multitask_still_works(self):
+        from repro.hardware import single_prr_floorplan
+
+        apps = [app("A", ["m0"], 3), app("B", ["m1"], 3)]
+        result = MultitaskPrtrExecutor(
+            make_node(floorplan=single_prr_floorplan()),
+            bitstream_bytes=PUBLISHED_TABLE2["single_prr"].bitstream_bytes,
+        ).run(apps)
+        assert result.total_calls == 6
+
+    def test_cache_slot_mismatch(self):
+        from repro.caching import ConfigCache, LruPolicy
+
+        with pytest.raises(ValueError, match="slots"):
+            MultitaskPrtrExecutor(
+                make_node(), cache=ConfigCache(9, LruPolicy())
+            )
+
+
+class TestCompareMultitask:
+    def test_prtr_crushes_frtr(self):
+        """The Section 5 thesis: multi-tasking is where PRTR shines."""
+        apps = [
+            app("A", ["m0", "m1"], 15),
+            app("B", ["m1", "m2"], 15),
+            app("C", ["m3", "m4", "m5"], 10),
+        ]
+        frtr, prtr = compare_multitask(
+            apps,
+            floorplan=uniform_prr_floorplan(4, 6),
+            bitstream_bytes=DUAL_BYTES,
+            control_time=1e-5,
+        )
+        assert frtr.makespan / prtr.makespan > 20
+        assert prtr.throughput > frtr.throughput
+
+    def test_metrics_sane(self):
+        apps = two_apps()
+        frtr, prtr = compare_multitask(
+            apps, bitstream_bytes=DUAL_BYTES
+        )
+        for result in (frtr, prtr):
+            assert result.mean_turnaround <= result.max_turnaround
+            assert result.unfairness() >= 1.0
+            assert result.total_calls == 40
+
+    def test_deterministic(self):
+        apps = [app("A", ["m0", "m1", "m2"], 5), app("B", ["m2", "m0"], 5)]
+        r1 = compare_multitask(apps, bitstream_bytes=DUAL_BYTES)
+        r2 = compare_multitask(apps, bitstream_bytes=DUAL_BYTES)
+        assert r1[1].makespan == r2[1].makespan
+        assert r1[0].makespan == r2[0].makespan

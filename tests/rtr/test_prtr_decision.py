@@ -1,0 +1,109 @@
+"""PRTR executor with non-zero decision latency and bitstream fetching.
+
+The published experiments set ``T_decision = 0``; these tests exercise
+the general paths: the decision term on the serial chain (Eq. 3's
+``max(T_task + T_decision, T_PRTR)``) and the shared bitstream-source
+fetch used by the cluster model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import validate_prtr
+from repro.hardware import PUBLISHED_TABLE2
+from repro.rtr import FrtrExecutor, PrtrExecutor, make_node
+from repro.sim import BandwidthChannel
+from repro.workloads import CallTrace, HardwareTask
+
+DUAL_BYTES = PUBLISHED_TABLE2["dual_prr"].bitstream_bytes
+
+
+def cyclic(task_time: float, n: int, k: int = 3) -> CallTrace:
+    lib = {f"m{i}": HardwareTask(f"m{i}", task_time) for i in range(k)}
+    return CallTrace([lib[f"m{i % k}"] for i in range(n)], name="cyc")
+
+
+class TestDecisionLatency:
+    @pytest.mark.parametrize("decision", [1e-4, 5e-3, 0.05])
+    @pytest.mark.parametrize("task_time", [0.001, 0.0198, 0.3])
+    def test_pipeline_formula_with_decision(self, decision, task_time):
+        """The exact pipeline expectation holds for T_decision > 0 too."""
+        node = make_node()
+        executor = PrtrExecutor(
+            node,
+            control_time=1e-5,
+            decision_time=decision,
+            force_miss=True,
+            bitstream_bytes=DUAL_BYTES,
+        )
+        result = executor.run(cyclic(task_time, 18))
+        rep = validate_prtr(
+            result,
+            t_frtr=result.notes["t_config_full"],
+            t_prtr=result.notes["t_config_partial"],
+            t_control=1e-5,
+            t_decision=decision,
+        )
+        assert rep.pipeline_rel_error < 1e-9
+
+    def test_decision_charged_in_startup(self):
+        node = make_node()
+        executor = PrtrExecutor(
+            node, decision_time=0.01, control_time=0.0,
+            bitstream_bytes=DUAL_BYTES,
+        )
+        result = executor.run(cyclic(0.05, 1, k=1))
+        t_full = result.notes["t_config_full"]
+        # startup decision + full config + one (task + decision) stage
+        assert result.total_time == pytest.approx(
+            0.01 + t_full + 0.05 + 0.01, rel=1e-12
+        )
+
+    def test_decision_slows_hits_too(self):
+        node_a, node_b = make_node(), make_node()
+        trace = cyclic(0.05, 12, k=2)  # all hits after warm-up
+        fast = PrtrExecutor(
+            node_a, control_time=0.0, bitstream_bytes=DUAL_BYTES
+        ).run(trace)
+        slow = PrtrExecutor(
+            node_b, control_time=0.0, decision_time=0.02,
+            bitstream_bytes=DUAL_BYTES,
+        ).run(trace)
+        # One decision per call plus the startup decision.
+        assert slow.total_time - fast.total_time == pytest.approx(
+            0.02 * (12 + 1), rel=1e-9
+        )
+
+
+class TestBitstreamSource:
+    def test_frtr_fetch_adds_serial_time(self):
+        node = make_node()
+        server = BandwidthChannel(
+            node.sim, name="server", rate=100e6
+        )
+        trace = cyclic(0.05, 4)
+        result = FrtrExecutor(
+            node, estimated=True, control_time=0.0,
+            bitstream_source=server,
+        ).run(trace)
+        fetch = PUBLISHED_TABLE2["full"].bitstream_bytes / 100e6
+        t_cfg = node.full_config_time(estimated=True)
+        expected = 4 * (fetch + t_cfg + 0.05)
+        assert result.total_time == pytest.approx(expected, rel=1e-9)
+        assert server.transfer_count == 4
+
+    def test_prtr_fetch_counts_bytes(self):
+        node = make_node()
+        server = BandwidthChannel(node.sim, name="server", rate=1e9)
+        executor = PrtrExecutor(
+            node, estimated=True, force_miss=True,
+            bitstream_bytes=DUAL_BYTES, bitstream_source=server,
+        )
+        result = executor.run(cyclic(0.05, 6))
+        # startup full image + one partial per miss after call 0
+        expected_bytes = (
+            PUBLISHED_TABLE2["full"].bitstream_bytes + 5 * DUAL_BYTES
+        )
+        assert server.bytes_moved == pytest.approx(expected_bytes)
+        assert result.n_configs == 6  # force_miss counts call 0 too

@@ -1,0 +1,90 @@
+"""Property-based tests: the executors against the analytical model."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import validate_frtr, validate_prtr
+from repro.hardware import PUBLISHED_TABLE2
+from repro.rtr import FrtrExecutor, PrtrExecutor, make_node
+from repro.workloads import CallTrace, HardwareTask
+
+DUAL_BYTES = PUBLISHED_TABLE2["dual_prr"].bitstream_bytes
+
+task_times = st.floats(min_value=1e-4, max_value=5.0, allow_nan=False)
+n_calls = st.integers(min_value=1, max_value=40)
+k_modules = st.integers(min_value=1, max_value=5)
+controls = st.floats(min_value=0.0, max_value=1e-3, allow_nan=False)
+
+
+def build_trace(task_time: float, n: int, k: int, seed: int) -> CallTrace:
+    rng = np.random.default_rng(seed)
+    lib = {f"m{i}": HardwareTask(f"m{i}", task_time) for i in range(k)}
+    names = [f"m{int(i)}" for i in rng.integers(0, k, size=n)]
+    return CallTrace([lib[n_] for n_ in names], name="prop")
+
+
+@given(task_times, n_calls, controls)
+@settings(max_examples=40, deadline=None)
+def test_frtr_total_is_exact(task_time, n, control):
+    """FRTR always matches Eq. (1) to float precision."""
+    node = make_node()
+    trace = build_trace(task_time, n, 3, seed=0)
+    result = FrtrExecutor(node, control_time=control).run(trace)
+    rep = validate_frtr(
+        result,
+        t_frtr=node.full_config_time(),
+        t_control=control,
+        t_task=task_time,
+    )
+    assert rep.model_rel_error < 1e-9
+
+
+@given(task_times, n_calls, k_modules, controls, st.integers(0, 10))
+@settings(max_examples=60, deadline=None)
+def test_prtr_total_matches_pipeline_formula(task_time, n, k, control, seed):
+    """PRTR (dual PRR) always matches the exact pipeline expectation,
+    whatever the hit/miss pattern the trace produces."""
+    node = make_node()
+    trace = build_trace(task_time, n, k, seed=seed)
+    executor = PrtrExecutor(
+        node, control_time=control, bitstream_bytes=DUAL_BYTES
+    )
+    result = executor.run(trace)
+    rep = validate_prtr(
+        result,
+        t_frtr=result.notes["t_config_full"],
+        t_prtr=result.notes["t_config_partial"],
+        t_control=control,
+    )
+    assert rep.pipeline_rel_error < 1e-9
+
+
+@given(task_times, st.integers(min_value=6, max_value=40), st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_prtr_never_slower_than_frtr_beyond_startup(task_time, n, seed):
+    """Per-stage PRTR cost <= per-call FRTR cost, so PRTR loses at most
+    the startup configuration."""
+    trace = build_trace(task_time, n, 3, seed=seed)
+    frtr = FrtrExecutor(make_node(), control_time=1e-5).run(trace)
+    prtr = PrtrExecutor(
+        make_node(), control_time=1e-5, bitstream_bytes=DUAL_BYTES
+    ).run(trace)
+    assert prtr.total_time <= frtr.total_time + prtr.startup_time + 1e-9
+
+
+@given(st.integers(2, 5), st.integers(10, 60), st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_hit_ratio_consistency(k, n, seed):
+    """RunResult.hit_ratio == 1 - n_configs/n_calls and lies in [0, 1]."""
+    trace = build_trace(0.01, n, k, seed=seed)
+    result = PrtrExecutor(
+        make_node(), bitstream_bytes=DUAL_BYTES
+    ).run(trace)
+    assert 0.0 <= result.hit_ratio <= 1.0
+    assert result.hit_ratio == 1.0 - result.n_configs / result.n_calls
+    # Miss count bounded by calls; hits at least the repeated calls that
+    # fit in two PRRs is workload-dependent — but records align:
+    assert len(result.records) == n

@@ -1,0 +1,111 @@
+"""Unit tests for the compare runner and RunResult aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import PUBLISHED_TABLE2, single_prr_floorplan
+from repro.model import ModelParameters, speedup
+from repro.rtr import CallRecord, ComparisonResult, compare, make_node
+from repro.workloads import CallTrace, HardwareTask
+
+DUAL = PUBLISHED_TABLE2["dual_prr"]
+FULL = PUBLISHED_TABLE2["full"]
+
+
+def cyclic(task_time: float, n: int) -> CallTrace:
+    lib = {f"m{i}": HardwareTask(f"m{i}", task_time) for i in range(3)}
+    return CallTrace([lib[f"m{i % 3}"] for i in range(n)], name="cyc")
+
+
+class TestCompare:
+    def test_speedup_matches_eq6(self):
+        n = 120
+        t_task = DUAL.measured_time_s  # the curve's peak
+        result = compare(
+            cyclic(t_task, n),
+            force_miss=True,
+            bitstream_bytes=DUAL.bitstream_bytes,
+            control_time=1e-5,
+        )
+        t_full = result.prtr.notes["t_config_full"]
+        t_prtr = result.prtr.notes["t_config_partial"]
+        params = ModelParameters(
+            x_task=t_task / t_full,
+            x_prtr=t_prtr / t_full,
+            hit_ratio=0.0,
+            x_control=1e-5 / t_full,
+        )
+        predicted = float(speedup(params, n))
+        assert result.speedup == pytest.approx(predicted, rel=2.0 / n)
+
+    def test_prtr_wins_at_small_tasks(self):
+        result = compare(
+            cyclic(0.01, 30), force_miss=True,
+            bitstream_bytes=DUAL.bitstream_bytes,
+        )
+        assert result.speedup > 10
+
+    def test_speedup_shrinks_for_huge_tasks(self):
+        result = compare(
+            cyclic(10.0, 12), force_miss=True,
+            bitstream_bytes=DUAL.bitstream_bytes,
+        )
+        assert 1.0 < result.speedup < 2.0
+
+    def test_estimated_mode(self):
+        result = compare(
+            cyclic(0.01, 30), estimated=True, force_miss=True,
+            bitstream_bytes=DUAL.bitstream_bytes,
+        )
+        # Estimated panel: bounded by (1+Xc+Xp)/(Xc+Xp) ~ 6.9.
+        assert 1.0 < result.speedup < 7.0
+
+    def test_custom_floorplan(self):
+        result = compare(
+            cyclic(0.05, 9),
+            floorplan=single_prr_floorplan(),
+            bitstream_bytes=PUBLISHED_TABLE2["single_prr"].bitstream_bytes,
+        )
+        assert result.frtr.total_time > 0
+        assert result.prtr.total_time > 0
+
+    def test_summary(self):
+        result = compare(cyclic(0.05, 6), bitstream_bytes=DUAL.bitstream_bytes)
+        s = result.summary()
+        assert set(s) == {
+            "speedup", "frtr_total", "prtr_total", "hit_ratio", "n_calls"
+        }
+        assert s["n_calls"] == 6.0
+
+    def test_independent_simulators(self):
+        """FRTR and PRTR runs must not share a clock."""
+        result = compare(cyclic(0.05, 4), bitstream_bytes=DUAL.bitstream_bytes)
+        assert result.frtr.records[0].start == 0.0
+        assert result.prtr.records[0].start == pytest.approx(
+            result.prtr.startup_time
+        )
+
+
+class TestCallRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CallRecord(0, "t", True, start=1.0, end=0.5, config_time=0.0)
+        with pytest.raises(ValueError):
+            CallRecord(0, "t", True, start=0.0, end=1.0, config_time=-1.0)
+
+    def test_stage_time(self):
+        r = CallRecord(0, "t", False, start=1.0, end=3.0, config_time=0.5)
+        assert r.stage_time == pytest.approx(2.0)
+
+
+class TestComparisonResult:
+    def test_zero_prtr_time_guard(self):
+        from repro.rtr.events import RunResult
+        from repro.sim.trace import Timeline
+
+        rec = [CallRecord(0, "t", False, 0.0, 1.0, 0.0)]
+        frtr = RunResult("frtr", "t", 1.0, rec, Timeline())
+        prtr = RunResult("prtr", "t", 0.0, rec, Timeline())
+        with pytest.raises(ZeroDivisionError):
+            _ = ComparisonResult(frtr, prtr).speedup

@@ -1,0 +1,91 @@
+"""Edge cases of the DES kernel and executor plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtr.frtr import PendingRun
+from repro.sim import Delay, SimulationError, Simulator
+
+
+class TestReentrancy:
+    def test_run_inside_run_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(1.0)
+            sim.run()  # illegal: the kernel is not reentrant
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError, match="not reentrant"):
+            sim.run()
+
+    def test_run_after_drain_is_fine(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(1.0)
+
+        sim.spawn(proc())
+        sim.run()
+        sim.spawn(proc())
+        assert sim.run() == 2.0
+
+
+class TestStep:
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_processes_one_event(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append("a")
+            yield Delay(1.0)
+            log.append("b")
+
+        sim.spawn(proc())
+        assert sim.step() is True  # spawn event -> runs to first yield
+        assert log == ["a"]
+        assert sim.step() is True
+        assert log == ["a", "b"]
+        assert sim.step() is False
+
+
+class TestPendingRun:
+    def test_finalize_caches_result(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "result"
+
+        pending = PendingRun(build)
+        assert pending.finalize() == "result"
+        assert pending.finalize() == "result"
+        assert calls == [1]
+
+
+class TestProcessReturnValues:
+    def test_generator_return_value_propagates(self):
+        sim = Simulator()
+
+        def child():
+            yield Delay(1.0)
+            return {"answer": 42}
+
+        proc = sim.spawn(child())
+        sim.run()
+        assert proc.result == {"answer": 42}
+
+    def test_immediate_return(self):
+        sim = Simulator()
+
+        def child():
+            return "done"
+            yield  # pragma: no cover - makes it a generator
+
+        proc = sim.spawn(child())
+        sim.run()
+        assert proc.result == "done"

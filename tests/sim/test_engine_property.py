@@ -1,0 +1,100 @@
+"""Property-based tests for the DES kernel (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import BandwidthChannel, Delay, MutexResource, Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(delays)
+def test_completion_times_match_prefix_sums(ds):
+    """A chain of delays completes at the exact prefix sums."""
+    sim = Simulator()
+    stamps = []
+
+    def proc():
+        for d in ds:
+            yield Delay(d)
+            stamps.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    total = 0.0
+    for d, t in zip(ds, stamps):
+        total += d
+        assert abs(t - total) < 1e-9 * max(1.0, total)
+
+
+@given(st.lists(delays, min_size=1, max_size=6))
+def test_clock_monotone_across_processes(groups):
+    """With arbitrary concurrent processes, observed times never decrease."""
+    sim = Simulator()
+    observed = []
+
+    def proc(ds):
+        for d in ds:
+            yield Delay(d)
+            observed.append(sim.now)
+
+    for ds in groups:
+        sim.spawn(proc(ds))
+    sim.run()
+    assert observed == sorted(observed)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_mutex_serializes_total_hold_time(holds):
+    """N holders of an exclusive resource finish after exactly sum(holds)."""
+    sim = Simulator()
+    res = MutexResource(sim, "r")
+
+    def worker(tag, hold):
+        yield from res.acquire(tag)
+        yield Delay(hold)
+        res.release(tag)
+
+    for i, h in enumerate(holds):
+        sim.spawn(worker(f"w{i}", h))
+    end = sim.run()
+    assert abs(end - sum(holds)) < 1e-9 * max(1.0, sum(holds))
+    res.assert_no_overlap()
+    assert len(res.intervals) == len(holds)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(min_value=1.0, max_value=1e9, allow_nan=False),
+)
+@settings(max_examples=50)
+def test_channel_serial_time_is_sum_of_transfers(sizes, rate):
+    """Queued transfers on one channel take exactly the summed wire time."""
+    sim = Simulator()
+    ch = BandwidthChannel(sim, "c", rate=rate)
+
+    def sender(i, nbytes):
+        yield from ch.transfer(nbytes, f"s{i}")
+
+    for i, nbytes in enumerate(sizes):
+        sim.spawn(sender(i, nbytes))
+    end = sim.run()
+    expected = sum(nbytes / rate for nbytes in sizes)
+    assert abs(end - expected) <= 1e-9 * max(1.0, expected)
+    assert ch.transfer_count == len(sizes)

@@ -1,0 +1,170 @@
+"""Unit tests for :mod:`repro.sim.resources`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    BandwidthChannel,
+    Delay,
+    Interval,
+    MutexResource,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestInterval:
+    def test_overlap_detection(self):
+        a = Interval(0.0, 2.0, "a")
+        b = Interval(1.0, 3.0, "b")
+        c = Interval(2.0, 4.0, "c")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)  # touching endpoints do not overlap
+        assert b.overlaps(c)
+
+
+class TestMutexResource:
+    def test_exclusive_holding(self):
+        sim = Simulator()
+        res = MutexResource(sim, "r")
+        order = []
+
+        def worker(tag, hold):
+            yield from res.acquire(tag)
+            order.append((f"{tag}+", sim.now))
+            yield Delay(hold)
+            res.release(tag)
+            order.append((f"{tag}-", sim.now))
+
+        sim.spawn(worker("a", 2.0))
+        sim.spawn(worker("b", 1.0))
+        sim.run()
+        assert order == [("a+", 0.0), ("a-", 2.0), ("b+", 2.0), ("b-", 3.0)]
+        res.assert_no_overlap()
+
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        res = MutexResource(sim, "r")
+        grants = []
+
+        def worker(tag):
+            yield from res.acquire(tag)
+            grants.append(tag)
+            yield Delay(1.0)
+            res.release(tag)
+
+        for tag in "abcde":
+            sim.spawn(worker(tag))
+        sim.run()
+        assert grants == list("abcde")
+
+    def test_release_by_non_holder_raises(self):
+        sim = Simulator()
+        res = MutexResource(sim, "r")
+
+        def worker():
+            yield from res.acquire("me")
+            res.release("someone-else")
+
+        sim.spawn(worker())
+        with pytest.raises(SimulationError, match="released"):
+            sim.run()
+
+    def test_utilization(self):
+        sim = Simulator()
+        res = MutexResource(sim, "r")
+
+        def worker():
+            yield from res.acquire("w")
+            yield Delay(3.0)
+            res.release("w")
+            yield Delay(1.0)  # idle tail
+
+        sim.spawn(worker())
+        sim.run()
+        assert res.utilization() == pytest.approx(3.0 / 4.0)
+
+    def test_utilization_empty(self):
+        sim = Simulator()
+        res = MutexResource(sim, "r")
+        assert res.utilization() == 0.0
+
+    def test_intervals_recorded(self):
+        sim = Simulator()
+        res = MutexResource(sim, "r")
+
+        def worker(tag, start):
+            yield Delay(start)
+            yield from res.acquire(tag)
+            yield Delay(1.0)
+            res.release(tag)
+
+        sim.spawn(worker("a", 0.0))
+        sim.spawn(worker("b", 5.0))
+        sim.run()
+        assert len(res.intervals) == 2
+        assert res.intervals[0] == Interval(0.0, 1.0, "a")
+        assert res.intervals[1] == Interval(5.0, 6.0, "b")
+
+
+class TestBandwidthChannel:
+    def test_transfer_time_model(self):
+        sim = Simulator()
+        ch = BandwidthChannel(sim, "link", rate=100.0, overhead=0.5)
+        assert ch.transfer_time(1000.0) == pytest.approx(0.5 + 10.0)
+        assert ch.transfer_time(0.0) == pytest.approx(0.5)
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            BandwidthChannel(sim, "x", rate=0.0)
+        with pytest.raises(ValueError):
+            BandwidthChannel(sim, "x", rate=1.0, overhead=-1.0)
+        ch = BandwidthChannel(sim, "x", rate=1.0)
+        with pytest.raises(ValueError):
+            ch.transfer_time(-5.0)
+
+    def test_transfers_serialize(self):
+        sim = Simulator()
+        ch = BandwidthChannel(sim, "link", rate=10.0)
+        done = []
+
+        def sender(tag, nbytes):
+            yield from ch.transfer(nbytes, tag)
+            done.append((tag, sim.now))
+
+        sim.spawn(sender("a", 100.0))  # 10 s
+        sim.spawn(sender("b", 50.0))   # 5 s, queued behind a
+        sim.run()
+        assert done == [("a", 10.0), ("b", 15.0)]
+        ch.assert_no_overlap()
+
+    def test_counters(self):
+        sim = Simulator()
+        ch = BandwidthChannel(sim, "link", rate=10.0)
+
+        def sender():
+            yield from ch.transfer(30.0, "s")
+            yield from ch.transfer(20.0, "s")
+
+        sim.spawn(sender())
+        sim.run()
+        assert ch.bytes_moved == 50.0
+        assert ch.transfer_count == 2
+
+    def test_concurrent_channels_independent(self):
+        sim = Simulator()
+        ch_in = BandwidthChannel(sim, "in", rate=10.0)
+        ch_out = BandwidthChannel(sim, "out", rate=10.0)
+        done = []
+
+        def sender(ch, tag):
+            yield from ch.transfer(100.0, tag)
+            done.append((tag, sim.now))
+
+        sim.spawn(sender(ch_in, "in"))
+        sim.spawn(sender(ch_out, "out"))
+        sim.run()
+        # Both finish at t=10: full overlap across channels.
+        assert done == [("in", 10.0), ("out", 10.0)]

@@ -1,0 +1,97 @@
+"""Unit tests for :mod:`repro.sim.trace`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Phase, Span, Timeline
+from repro.sim.trace import merge
+
+
+class TestSpan:
+    def test_duration(self):
+        s = Span("task", 1.0, 3.5)
+        assert s.duration == pytest.approx(2.5)
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError):
+            Span("task", 2.0, 1.0)
+
+    def test_zero_length_span_allowed(self):
+        assert Span("control", 1.0, 1.0).duration == 0.0
+
+    def test_overlap(self):
+        a = Span("task", 0.0, 2.0)
+        b = Span("config", 1.0, 3.0)
+        c = Span("task", 2.0, 4.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestTimeline:
+    def make(self) -> Timeline:
+        tl = Timeline()
+        tl.add(Phase.CONFIG, 0.0, 2.0, task="m")
+        tl.add(Phase.CONTROL, 2.0, 2.1, task="m")
+        tl.add(Phase.TASK, 2.1, 5.0, task="m", lane="prr")
+        tl.add(Phase.CONFIG, 2.1, 4.0, task="s", lane="icap")
+        return tl
+
+    def test_queries(self):
+        tl = self.make()
+        assert len(tl) == 4
+        assert len(tl.by_phase(Phase.CONFIG)) == 2
+        assert len(tl.by_lane("main")) == 2
+        assert len(tl.by_task("m")) == 3
+        assert tl.lanes() == ["main", "prr", "icap"]
+
+    def test_total_sums_durations(self):
+        tl = self.make()
+        assert tl.total(Phase.CONFIG) == pytest.approx(2.0 + 1.9)
+        assert tl.total() == pytest.approx(2.0 + 0.1 + 2.9 + 1.9)
+
+    def test_busy_time_merges_overlaps(self):
+        tl = Timeline()
+        tl.add("a", 0.0, 2.0)
+        tl.add("b", 1.0, 3.0)
+        tl.add("c", 5.0, 6.0)
+        assert tl.busy_time() == pytest.approx(3.0 + 1.0)
+
+    def test_makespan_and_end(self):
+        tl = self.make()
+        assert tl.makespan == pytest.approx(5.0)
+        assert tl.end_time == pytest.approx(5.0)
+        assert Timeline().makespan == 0.0
+
+    def test_lane_exclusive_ok(self):
+        tl = self.make()
+        tl.assert_lane_exclusive("main")  # touching spans are fine
+
+    def test_lane_exclusive_detects_overlap(self):
+        tl = Timeline()
+        tl.add("a", 0.0, 2.0, lane="x")
+        tl.add("b", 1.0, 3.0, lane="x")
+        with pytest.raises(AssertionError, match="overlapping"):
+            tl.assert_lane_exclusive("x")
+
+    def test_to_rows_sorted(self):
+        tl = self.make()
+        rows = tl.to_rows()
+        assert [r["start"] for r in rows] == sorted(r["start"] for r in rows)
+        assert set(rows[0]) == {
+            "lane", "phase", "task", "start", "end", "duration", "note"
+        }
+
+    def test_gantt_renders(self):
+        tl = self.make()
+        text = tl.gantt(width=40)
+        assert "main" in text and "icap" in text
+        assert "C" in text and "T" in text
+
+    def test_gantt_empty(self):
+        assert Timeline().gantt() == "(empty timeline)"
+
+    def test_merge(self):
+        a, b = self.make(), self.make()
+        merged = merge([a, b])
+        assert len(merged) == 8

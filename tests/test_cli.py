@@ -1,0 +1,99 @@
+"""Tests for the command-line interface (``python -m repro ...``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        for cmd in (
+            "table1", "table2", "profiles", "validate",
+            "ablation-prefetch", "ablation-granularity",
+        ):
+            args = build_parser().parse_args([cmd])
+            assert args.command == cmd
+
+    def test_fig5_options(self):
+        args = build_parser().parse_args(
+            ["fig5", "--x-prtr", "0.05", "--csv", "out.csv"]
+        )
+        assert args.x_prtr == 0.05
+        assert args.csv == "out.csv"
+
+    def test_fig9_panel_choices(self):
+        args = build_parser().parse_args(["fig9", "--panel", "measured"])
+        assert args.panel == "measured"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9", "--panel", "wrong"])
+
+
+class TestCommands:
+    def test_table1_exits_zero(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Median Filter" in out
+        assert "match the published" in out
+
+    def test_table2_exits_zero(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Dual PRR" in out
+        assert "Out-of-sample" in out
+
+    def test_fig5_with_csv(self, capsys, tmp_path):
+        csv = tmp_path / "fig5.csv"
+        assert main(["fig5", "--csv", str(csv)]) == 0
+        assert csv.exists()
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_fig9_one_panel(self, capsys, tmp_path):
+        csv = tmp_path / "fig9.csv"
+        rc = main([
+            "fig9", "--panel", "measured", "--calls", "24",
+            "--csv", str(csv),
+        ])
+        assert rc == 0
+        assert (tmp_path / "fig9_measured.csv").exists()
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles", "--width", "50"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_ablation_prefetch_small(self, capsys):
+        assert main(["ablation-prefetch", "--calls", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle" in out and "belady" in out
+
+    def test_ablation_granularity(self, capsys):
+        assert main(["ablation-granularity"]) == 0
+        assert "PRRs" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        assert "VALIDATION PASS" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_generates_and_passes(self, capsys, tmp_path):
+        out_path = tmp_path / "REPORT.md"
+        rc = main(["report", "--calls", "24", "--output", str(out_path)])
+        assert rc == 0
+        text = out_path.read_text()
+        assert "# Reproduction report" in text
+        assert "Table 1" in text and "Figure 9" in text
+        assert "**PASS**" in text and "**FAIL**" not in text
+
+    def test_all_excludes_report(self, capsys):
+        from repro.cli import _COMMANDS
+
+        assert "report" in _COMMANDS  # present as its own command

@@ -1,0 +1,138 @@
+"""Unit tests for :mod:`repro.workloads.generators`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    HardwareTask,
+    markov_trace,
+    phased_trace,
+    pipeline_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+
+def lib(k: int = 6) -> dict[str, HardwareTask]:
+    return {f"t{i}": HardwareTask(f"t{i}", 1.0) for i in range(k)}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "gen,kwargs",
+        [
+            (uniform_trace, {}),
+            (zipf_trace, {"s": 1.5}),
+            (markov_trace, {}),
+        ],
+    )
+    def test_same_seed_same_trace(self, gen, kwargs):
+        a = gen(lib(), 200, seed=42, **kwargs)
+        b = gen(lib(), 200, seed=42, **kwargs)
+        assert [c.name for c in a] == [c.name for c in b]
+
+    def test_different_seeds_differ(self):
+        a = uniform_trace(lib(), 200, seed=1)
+        b = uniform_trace(lib(), 200, seed=2)
+        assert [c.name for c in a] != [c.name for c in b]
+
+    def test_none_seed_is_fixed_default(self):
+        a = uniform_trace(lib(), 50, seed=None)
+        b = uniform_trace(lib(), 50, seed=None)
+        assert [c.name for c in a] == [c.name for c in b]
+
+
+class TestUniform:
+    def test_length_and_membership(self):
+        trace = uniform_trace(lib(4), 100, seed=0)
+        assert len(trace) == 100
+        assert set(trace.task_names()) <= set(lib(4))
+
+    def test_roughly_uniform(self):
+        trace = uniform_trace(lib(4), 8000, seed=0)
+        counts = trace.call_counts()
+        for n in counts.values():
+            assert 1700 < n < 2300  # ~2000 each
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_trace(lib(), 0)
+        with pytest.raises(ValueError):
+            uniform_trace({}, 10)
+
+
+class TestZipf:
+    def test_skew_orders_popularity(self):
+        trace = zipf_trace(lib(6), 6000, s=1.5, seed=0)
+        counts = trace.call_counts()
+        # Library order = rank order: t0 must dominate t5 heavily.
+        assert counts.get("t0", 0) > 3 * counts.get("t5", 1)
+
+    def test_higher_s_more_skew(self):
+        mild = zipf_trace(lib(6), 6000, s=0.5, seed=0).call_counts()
+        steep = zipf_trace(lib(6), 6000, s=2.5, seed=0).call_counts()
+        assert steep["t0"] > mild["t0"]
+
+    def test_invalid_s(self):
+        with pytest.raises(ValueError):
+            zipf_trace(lib(), 10, s=0.0)
+
+
+class TestMarkov:
+    def test_follow_structure_dominates(self):
+        trace = markov_trace(lib(5), 5000, self_loop=0.0, follow=0.9,
+                             seed=0)
+        names = [c.name for c in trace]
+        successor = sum(
+            1 for a, b in zip(names, names[1:])
+            if int(b[1:]) == (int(a[1:]) + 1) % 5
+        )
+        assert successor / (len(names) - 1) > 0.85
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            markov_trace(lib(), 10, self_loop=0.6, follow=0.6)
+        with pytest.raises(ValueError):
+            markov_trace(lib(), 10, self_loop=-0.1)
+
+
+class TestPhased:
+    def test_shape(self):
+        trace = phased_trace(lib(8), n_phases=5, phase_length=20,
+                             working_set=3, seed=0)
+        assert len(trace) == 100
+
+    def test_each_phase_uses_small_working_set(self):
+        trace = phased_trace(lib(8), n_phases=4, phase_length=50,
+                             working_set=2, seed=0)
+        names = [c.name for c in trace]
+        for p in range(4):
+            phase = set(names[p * 50:(p + 1) * 50])
+            assert len(phase) <= 2
+
+    def test_working_set_too_large(self):
+        with pytest.raises(ValueError, match="working_set"):
+            phased_trace(lib(3), 2, 10, working_set=5)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            phased_trace(lib(), 0, 10, 2)
+
+
+class TestPipeline:
+    def test_repeats_stages_per_frame(self):
+        library = lib(4)
+        trace = pipeline_trace(library, ["t0", "t2", "t1"], n_frames=3)
+        assert [c.name for c in trace] == ["t0", "t2", "t1"] * 3
+
+    def test_missing_stage(self):
+        with pytest.raises(KeyError, match="not in library"):
+            pipeline_trace(lib(2), ["t0", "t9"], 2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            pipeline_trace(lib(), ["t0"], 0)
+        with pytest.raises(ValueError):
+            pipeline_trace(lib(), [], 2)

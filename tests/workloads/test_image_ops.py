@@ -1,0 +1,139 @@
+"""Unit tests for :mod:`repro.workloads.image_ops` (vs scipy.ndimage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.workloads import (
+    CORE_FUNCTIONS,
+    apply_core,
+    median_filter,
+    smoothing_filter,
+    sobel_filter,
+    synthetic_image,
+)
+
+
+def image(h=32, w=48, seed=0):
+    return synthetic_image(h, w, seed=seed)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("fn", list(CORE_FUNCTIONS.values()))
+    def test_rejects_non_2d(self, fn):
+        with pytest.raises(ValueError):
+            fn(np.zeros((3, 3, 3), dtype=np.uint8))
+
+    @pytest.mark.parametrize("fn", list(CORE_FUNCTIONS.values()))
+    def test_rejects_wrong_dtype(self, fn):
+        with pytest.raises(TypeError):
+            fn(np.zeros((4, 4), dtype=np.float64))
+
+    @pytest.mark.parametrize("fn", list(CORE_FUNCTIONS.values()))
+    def test_preserves_shape_and_dtype(self, fn):
+        img = image()
+        out = fn(img)
+        assert out.shape == img.shape
+        assert out.dtype == np.uint8
+
+
+class TestMedian:
+    def test_matches_scipy(self):
+        img = image()
+        ours = median_filter(img)
+        ref = ndimage.median_filter(img, size=3, mode="reflect")
+        np.testing.assert_array_equal(ours, ref)
+
+    def test_removes_salt_and_pepper(self):
+        clean = np.full((64, 64), 128, dtype=np.uint8)
+        noisy = clean.copy()
+        rng = np.random.default_rng(0)
+        idx = rng.integers(1, 63, size=(40, 2))
+        noisy[idx[:, 0], idx[:, 1]] = 255
+        out = median_filter(noisy)
+        assert np.count_nonzero(out != 128) < np.count_nonzero(noisy != 128) / 4
+
+    def test_constant_image_unchanged(self):
+        img = np.full((16, 16), 77, dtype=np.uint8)
+        np.testing.assert_array_equal(median_filter(img), img)
+
+
+class TestSmoothing:
+    def test_constant_image_unchanged(self):
+        img = np.full((16, 16), 200, dtype=np.uint8)
+        np.testing.assert_array_equal(smoothing_filter(img), img)
+
+    def test_matches_scipy_uniform_within_rounding(self):
+        img = image()
+        ours = smoothing_filter(img).astype(np.int32)
+        ref = ndimage.uniform_filter(
+            img.astype(np.float64), size=3, mode="reflect"
+        )
+        assert np.max(np.abs(ours - ref)) <= 1.0  # integer rounding only
+
+    def test_reduces_variance(self):
+        img = image(seed=3)
+        assert smoothing_filter(img).std() < img.std()
+
+    def test_exact_rounding_rule(self):
+        # 3x3 block of 1s at the center of zeros: center sum = 9 -> 1.
+        img = np.zeros((5, 5), dtype=np.uint8)
+        img[1:4, 1:4] = 1
+        out = smoothing_filter(img)
+        assert out[2, 2] == 1  # (9 + 4) // 9 = 1
+
+
+class TestSobel:
+    def test_matches_scipy_l1_magnitude(self):
+        img = image()
+        gx = ndimage.sobel(img.astype(np.int32), axis=1, mode="reflect")
+        gy = ndimage.sobel(img.astype(np.int32), axis=0, mode="reflect")
+        ref = np.clip(np.abs(gx) + np.abs(gy), 0, 255).astype(np.uint8)
+        np.testing.assert_array_equal(sobel_filter(img), ref)
+
+    def test_flat_image_zero_response(self):
+        img = np.full((16, 16), 99, dtype=np.uint8)
+        assert sobel_filter(img).max() == 0
+
+    def test_vertical_edge_detected(self):
+        img = np.zeros((16, 16), dtype=np.uint8)
+        img[:, 8:] = 255
+        out = sobel_filter(img)
+        assert out[:, 7:9].min() > 0  # strong response at the edge
+        assert out[:, :6].max() == 0  # silence away from it
+
+
+class TestDispatchAndSynthetic:
+    def test_apply_core_dispatch(self):
+        img = image()
+        np.testing.assert_array_equal(
+            apply_core("median", img), median_filter(img)
+        )
+
+    def test_apply_core_unknown(self):
+        with pytest.raises(KeyError, match="unknown core"):
+            apply_core("fft", image())
+
+    def test_synthetic_image_deterministic(self):
+        np.testing.assert_array_equal(
+            synthetic_image(64, 64, seed=5), synthetic_image(64, 64, seed=5)
+        )
+
+    def test_synthetic_image_shape_dtype(self):
+        img = synthetic_image(17, 31)
+        assert img.shape == (17, 31)
+        assert img.dtype == np.uint8
+
+    def test_synthetic_noise_fraction(self):
+        quiet = synthetic_image(128, 128, noise=0.0)
+        noisy = synthetic_image(128, 128, noise=0.2)
+        diff_fraction = float(np.mean(quiet != noisy))
+        assert 0.1 < diff_fraction < 0.25
+
+    def test_synthetic_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_image(0, 10)
+        with pytest.raises(ValueError):
+            synthetic_image(10, 10, noise=1.5)

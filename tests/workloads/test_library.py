@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.workloads.library` (Table 1 catalog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import MB, XD1_NODE
+from repro.workloads import (
+    CoreSpec,
+    STATIC_BLOCKS,
+    TABLE1_CORES,
+    core_resources,
+    library_tasks,
+    task_for_data_size,
+)
+
+
+class TestCatalog:
+    def test_published_core_resources(self):
+        assert TABLE1_CORES["median"].luts == 3141
+        assert TABLE1_CORES["median"].ffs == 3270
+        assert TABLE1_CORES["sobel"].luts == 1159
+        assert TABLE1_CORES["smoothing"].ffs == 1601
+
+    def test_published_static_resources(self):
+        assert STATIC_BLOCKS["static_region"].brams == 25
+        assert STATIC_BLOCKS["pr_controller"].brams == 8
+        assert STATIC_BLOCKS["pr_controller"].freq_hz == pytest.approx(66e6)
+
+    def test_all_cores_run_at_200mhz(self):
+        for spec in TABLE1_CORES.values():
+            assert spec.freq_hz == pytest.approx(200e6)
+
+    def test_core_resources_lookup(self):
+        r = core_resources("sobel")
+        assert (r.luts, r.ffs, r.brams) == (1159, 1060, 0)
+        r = core_resources("pr_controller")
+        assert r.brams == 8
+
+    def test_unknown_core(self):
+        with pytest.raises(KeyError):
+            core_resources("fft")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CoreSpec("x", 1, 1, 0, freq_hz=0.0)
+        with pytest.raises(ValueError):
+            CoreSpec("x", 1, 1, 0, freq_hz=1e6, pixels_per_cycle=0)
+        with pytest.raises(ValueError):
+            CoreSpec("x", 1, 1, 0, freq_hz=1e6, output_ratio=-1)
+
+
+class TestTaskTimeModel:
+    def test_sequential_composition(self):
+        """T = in/BW + pixels/(f*ppc) + out/BW."""
+        data = 1400 * MB  # 1 s of I/O each way at 1400 MB/s
+        task = task_for_data_size("median", data)
+        t_io = 1.0
+        t_compute = data / 200e6
+        assert task.time == pytest.approx(2 * t_io + t_compute)
+        assert task.data_in_bytes == data
+        assert task.compute_time == pytest.approx(t_compute)
+
+    def test_overlap_mode_takes_max(self):
+        data = 1400 * MB
+        seq = task_for_data_size("median", data, overlap_io=False)
+        ovl = task_for_data_size("median", data, overlap_io=True)
+        assert ovl.time == pytest.approx(data / 200e6)  # compute dominates
+        assert ovl.time < seq.time
+
+    def test_compute_bound_at_200mhz(self):
+        """At 1 B/pixel, 200 MHz compute is slower than 1400 MB/s I/O."""
+        task = task_for_data_size("sobel", 1e6)
+        assert task.compute_time > task.data_in_bytes / (1400 * MB)
+
+    def test_accepts_spec_object(self):
+        spec = TABLE1_CORES["smoothing"]
+        task = task_for_data_size(spec, 1000.0)
+        assert task.name == "smoothing"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            task_for_data_size("fft", 1000.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            task_for_data_size("median", 0.0)
+
+    def test_time_scales_linearly_with_data(self):
+        small = task_for_data_size("median", 1e5)
+        big = task_for_data_size("median", 1e6)
+        assert big.time == pytest.approx(10 * small.time)
+
+    def test_library_tasks_covers_all_cores(self):
+        tasks = library_tasks(1e6)
+        assert set(tasks) == {"median", "sobel", "smoothing"}
+        times = {t.time for t in tasks.values()}
+        assert len(times) == 1  # identical throughput model at same size
+
+    def test_paper_scale_sanity(self):
+        """A 16 MB frame (the full SRAM) takes ~104 ms — larger than the
+        dual-PRR partial config (19.8 ms) but far below T_FRTR (1.68 s),
+        placing the paper's data-intensive tasks mid-curve."""
+        task = task_for_data_size("median", 16 * 1024**2)
+        assert 0.05 < task.time < 0.2

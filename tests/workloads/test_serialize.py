@@ -1,0 +1,103 @@
+"""Tests for trace JSON serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import CallTrace, HardwareTask, zipf_trace
+from repro.workloads.serialize import (
+    load_trace,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+)
+
+
+def lib(k=4):
+    return {f"m{i}": HardwareTask(f"m{i}", 0.01 * (i + 1),
+                                  data_in_bytes=100.0 * i)
+            for i in range(k)}
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        trace = zipf_trace(lib(), 50, seed=1)
+        back = trace_from_json(trace_to_json(trace))
+        assert back.name == trace.name
+        assert [c.name for c in back] == [c.name for c in trace]
+        assert [c.task.time for c in back] == [c.task.time for c in trace]
+
+    def test_preserves_io_fields(self):
+        trace = CallTrace([HardwareTask(
+            "m", 0.5, data_in_bytes=7.0, data_out_bytes=3.0,
+            compute_time=0.2,
+        )], name="io")
+        back = trace_from_json(trace_to_json(trace))
+        t = back[0].task
+        assert (t.data_in_bytes, t.data_out_bytes, t.compute_time) == (
+            7.0, 3.0, 0.2
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = zipf_trace(lib(), 20, seed=2)
+        path = tmp_path / "trace.json"
+        save_trace(trace, str(path))
+        back = load_trace(str(path))
+        assert [c.name for c in back] == [c.name for c in trace]
+
+    def test_statistics_survive(self):
+        trace = zipf_trace(lib(), 200, seed=3)
+        back = trace_from_json(trace_to_json(trace))
+        assert back.mean_task_time() == pytest.approx(
+            trace.mean_task_time()
+        )
+        assert back.reuse_distance_histogram() == (
+            trace.reuse_distance_histogram()
+        )
+
+
+class TestValidation:
+    def test_bad_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            trace_from_json("{nope")
+
+    def test_wrong_format(self):
+        with pytest.raises(ValueError, match="unsupported trace format"):
+            trace_from_json('{"format": "v0"}')
+
+    def test_missing_field(self):
+        with pytest.raises(ValueError, match="missing field"):
+            trace_from_json(
+                '{"format": "repro-trace-v1", "name": "x", "tasks": {}}'
+            )
+
+    def test_undefined_call(self):
+        doc = (
+            '{"format": "repro-trace-v1", "name": "x", '
+            '"tasks": {"a": {"time": 1.0}}, "calls": ["a", "zz"]}'
+        )
+        with pytest.raises(ValueError, match="undefined tasks"):
+            trace_from_json(doc)
+
+    def test_conflicting_task_variants_rejected(self):
+        trace = CallTrace(
+            [HardwareTask("m", 1.0), HardwareTask("m", 2.0)], name="v"
+        )
+        with pytest.raises(ValueError, match="two different"):
+            trace_to_json(trace)
+
+
+names = st.lists(
+    st.sampled_from([f"m{i}" for i in range(5)]), min_size=1, max_size=60
+)
+
+
+@given(names)
+@settings(max_examples=100)
+def test_property_roundtrip_identity(call_names):
+    library = {n: HardwareTask(n, 0.5) for n in set(call_names)}
+    trace = CallTrace([library[n] for n in call_names], name="prop")
+    back = trace_from_json(trace_to_json(trace))
+    assert [c.name for c in back] == call_names

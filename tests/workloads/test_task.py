@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.workloads.task`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import CallTrace, HardwareTask
+
+
+def lib(*names: str, time: float = 1.0) -> dict[str, HardwareTask]:
+    return {n: HardwareTask(n, time) for n in names}
+
+
+class TestHardwareTask:
+    def test_construction(self):
+        t = HardwareTask("median", 0.5, data_in_bytes=100,
+                         data_out_bytes=100, compute_time=0.3)
+        assert t.name == "median"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareTask("", 1.0)
+        with pytest.raises(ValueError):
+            HardwareTask("x", 0.0)
+        with pytest.raises(ValueError):
+            HardwareTask("x", 1.0, data_in_bytes=-1)
+
+    def test_with_time(self):
+        t = HardwareTask("x", 1.0, data_in_bytes=5)
+        u = t.with_time(2.0)
+        assert u.time == 2.0 and u.data_in_bytes == 5
+        assert t.time == 1.0
+
+
+class TestCallTrace:
+    def test_basic_protocol(self):
+        library = lib("a", "b")
+        trace = CallTrace([library["a"], library["b"], library["a"]])
+        assert len(trace) == 3
+        assert trace[0].name == "a"
+        assert [c.index for c in trace] == [0, 1, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CallTrace([])
+
+    def test_task_names_first_appearance_order(self):
+        library = lib("c", "a", "b")
+        trace = CallTrace(
+            [library[n] for n in ("c", "a", "c", "b", "a")]
+        )
+        assert trace.task_names() == ["c", "a", "b"]
+        assert trace.n_distinct == 3
+
+    def test_statistics(self):
+        t1, t2 = HardwareTask("x", 1.0), HardwareTask("y", 3.0)
+        trace = CallTrace([t1, t2, t1, t1])
+        assert trace.mean_task_time() == pytest.approx(1.5)
+        assert trace.total_task_time() == pytest.approx(6.0)
+        assert trace.call_counts() == {"x": 3, "y": 1}
+
+    def test_from_names(self):
+        library = lib("a", "b")
+        trace = CallTrace.from_names(["a", "b", "b"], library)
+        assert [c.name for c in trace] == ["a", "b", "b"]
+
+    def test_from_names_missing(self):
+        with pytest.raises(KeyError, match="not in library"):
+            CallTrace.from_names(["zzz"], lib("a"))
+
+    def test_repeat(self):
+        library = lib("a", "b")
+        trace = CallTrace.from_names(["a", "b"], library).repeat(3)
+        assert [c.name for c in trace] == ["a", "b"] * 3
+        with pytest.raises(ValueError):
+            trace.repeat(0)
+
+    def test_cold_misses(self):
+        library = lib("a", "b", "c")
+        trace = CallTrace.from_names(["a", "b", "a", "c"], library)
+        assert trace.cold_misses() == 3
+
+
+class TestReuseDistance:
+    def test_hand_computed(self):
+        library = lib("a", "b", "c")
+        # a b a : second 'a' has distance 1 (one distinct item between)
+        trace = CallTrace.from_names(["a", "b", "a"], library)
+        assert trace.reuse_distance_histogram() == {1: 1}
+
+    def test_immediate_repeat_distance_zero(self):
+        library = lib("a")
+        trace = CallTrace.from_names(["a", "a", "a"], library)
+        assert trace.reuse_distance_histogram() == {0: 2}
+
+    def test_no_reuse_empty_histogram(self):
+        library = lib("a", "b", "c")
+        trace = CallTrace.from_names(["a", "b", "c"], library)
+        assert trace.reuse_distance_histogram() == {}
+
+    def test_cyclic_pattern(self):
+        library = lib("a", "b", "c")
+        trace = CallTrace.from_names(
+            ["a", "b", "c"] * 4, library
+        )
+        hist = trace.reuse_distance_histogram()
+        # After warmup every access has distance 2.
+        assert hist == {2: 9}
+
+    def test_total_reuses_plus_cold_equals_calls(self):
+        library = lib("a", "b", "c", "d")
+        trace = CallTrace.from_names(
+            ["a", "b", "a", "c", "b", "d", "a", "a"], library
+        )
+        hist = trace.reuse_distance_histogram()
+        assert sum(hist.values()) + trace.cold_misses() == len(trace)
