@@ -169,6 +169,21 @@ class ConfigCache:
             self.fill(module)
         return hit
 
+    def evict(self, module: str) -> None:
+        """Remove ``module`` explicitly (a failed or wiped configuration).
+
+        Unlike capacity evictions this does not count in
+        ``stats.evictions`` — the slot was lost to a fault, not to the
+        replacement policy.
+        """
+        try:
+            slot = self._residents.pop(module)
+        except KeyError:
+            raise KeyError(f"{module!r} is not resident") from None
+        self._free.append(slot)
+        self._free.sort()
+        self.policy.on_evict(module)
+
     def reset(self) -> None:
         self._residents.clear()
         self._free = list(range(self.slots))

@@ -7,6 +7,7 @@
     python -m repro profiles
     python -m repro ablation-prefetch --calls 2000
     python -m repro ablation-granularity
+    python -m repro faults --rates 0,0.01,0.1,0.3
     python -m repro validate
     python -m repro all
 
@@ -137,6 +138,70 @@ def _cmd_ablation_granularity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .analysis import ascii_plot, series_to_csv
+    from .analysis.reliability import (
+        DEFAULT_FAULT_RATES,
+        DEFAULT_HIT_RATIOS,
+        find_crossover,
+        sweep_fault_hit_grid,
+    )
+
+    rates = (
+        [float(r) for r in args.rates.split(",")]
+        if args.rates
+        else list(DEFAULT_FAULT_RATES)
+    )
+    hit_ratios = (
+        [float(h) for h in args.hit_ratios.split(",")]
+        if args.hit_ratios
+        else list(DEFAULT_HIT_RATIOS)
+    )
+    points = sweep_fault_hit_grid(
+        rates, hit_ratios,
+        n_calls=args.calls, task_time=args.task_time, seed=args.seed,
+    )
+    print(render_table(
+        [p.as_row() for p in points],
+        title="Effective speedup under ICAP chunk-abort faults",
+    ))
+    series = {
+        f"H={h:g}": (
+            [p.fault_rate for p in points if p.target_hit_ratio == h],
+            [p.speedup for p in points if p.target_hit_ratio == h],
+        )
+        for h in hit_ratios
+    }
+    print()
+    print(ascii_plot(
+        series,
+        title="effective speedup vs chunk-abort rate",
+        xlabel="chunk abort rate", ylabel="S_eff", logx=True,
+    ))
+    print()
+    claims = {}
+    h_lo, h_hi = min(hit_ratios), max(hit_ratios)
+    zero_rate = [p for p in points if p.fault_rate == 0.0]
+    claims["fault_free_prtr_wins"] = all(p.speedup > 1.0 for p in zero_rate)
+    cross_lo = find_crossover(points, h_lo)
+    claims["crossover_at_low_hit_ratio"] = cross_lo is not None
+    cross_hi = find_crossover(points, h_hi)
+    claims["high_hit_ratio_more_robust"] = cross_hi is None or (
+        cross_lo is not None and cross_hi >= cross_lo
+    )
+    for h in hit_ratios:
+        c = find_crossover(points, h)
+        print(f"  H={h:g}: PRTR->FRTR crossover at rate "
+              f"{'(none in sweep)' if c is None else format(c, 'g')}")
+    print()
+    for name, ok in claims.items():
+        print(f"  claim {name}: {'PASS' if ok else 'FAIL'}")
+    if args.csv:
+        write_csv(args.csv, series_to_csv(series, x_name="chunk_abort_rate"))
+        print(f"\nwrote {args.csv}")
+    return 0 if all(claims.values()) else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -223,6 +288,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "profiles": _cmd_profiles,
     "ablation-prefetch": _cmd_ablation_prefetch,
     "ablation-granularity": _cmd_ablation_granularity,
+    "faults": _cmd_faults,
     "validate": _cmd_validate,
     "report": _cmd_report,
     "all": _cmd_all,
@@ -263,6 +329,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "ablation-granularity", help="PRR granularity ablation"
     )
+    pf = sub.add_parser(
+        "faults", help="effective speedup under injected faults"
+    )
+    pf.add_argument(
+        "--rates", type=str, default="",
+        help="comma-separated chunk-abort rates (default: built-in sweep)",
+    )
+    pf.add_argument(
+        "--hit-ratios", type=str, default="",
+        help="comma-separated target hit ratios (default: 0,0.5,0.9)",
+    )
+    pf.add_argument("--calls", type=int, default=30)
+    pf.add_argument("--task-time", type=float, default=0.1)
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--csv", type=str, default="")
     sub.add_parser("validate", help="model-vs-simulation validation")
     pr = sub.add_parser("report", help="write the full REPORT.md")
     pr.add_argument("--output", type=str, default="REPORT.md")

@@ -16,6 +16,8 @@ Sizes derive from the device's column geometry (see
 
 from __future__ import annotations
 
+import math
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -52,6 +54,45 @@ class Bitstream:
     @property
     def is_partial(self) -> bool:
         return self.region is not None
+
+    # -- integrity metadata ------------------------------------------------
+
+    def _identity(self) -> bytes:
+        return (
+            f"{self.name}:{self.nbytes}:{self.region}:"
+            f"{self.module}:{self.kind}"
+        ).encode()
+
+    @property
+    def crc32(self) -> int:
+        """Deterministic whole-image CRC-32.
+
+        The simulator carries no real configuration payload, so the CRC
+        is derived from the bitstream's identity — stable across runs and
+        processes, which is all the detection layer needs to model a
+        match/mismatch check.
+        """
+        return zlib.crc32(self._identity()) & 0xFFFFFFFF
+
+    def n_chunks(self, chunk_bytes: int) -> int:
+        """How many BRAM chunks the image occupies at ``chunk_bytes``."""
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive: {chunk_bytes}")
+        return max(1, math.ceil(self.nbytes / chunk_bytes))
+
+    def chunk_crc(self, index: int, chunk_bytes: int) -> int:
+        """Deterministic CRC-32 of chunk ``index`` (for per-chunk checks)."""
+        n = self.n_chunks(chunk_bytes)
+        if not 0 <= index < n:
+            raise IndexError(f"chunk {index} out of range [0, {n})")
+        return zlib.crc32(self._identity() + b":%d" % index) & 0xFFFFFFFF
+
+    def chunk_crcs(self, chunk_bytes: int) -> list[int]:
+        """Per-chunk CRC table the ICAP controller's checker verifies."""
+        return [
+            self.chunk_crc(i, chunk_bytes)
+            for i in range(self.n_chunks(chunk_bytes))
+        ]
 
 
 def full_bitstream(device: FpgaDevice, name: str = "full") -> Bitstream:

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator
 
+from ..faults.errors import WriteAbort
+from ..faults.injector import FaultInjector
 from ..sim.engine import Delay, Simulator
 from ..sim.resources import BandwidthChannel
 from .bitstream import Bitstream
@@ -97,6 +99,8 @@ class ConfigPort:
         self.api_overhead = api_overhead or VendorApiOverhead()
         self.supports_partial = supports_partial
         self._channel: BandwidthChannel | None = None
+        self._injector: FaultInjector | None = None
+        self.write_aborts = 0
 
     # -- pure time model -------------------------------------------------
 
@@ -122,8 +126,15 @@ class ConfigPort:
 
     # -- DES integration -------------------------------------------------
 
-    def bind(self, sim: Simulator) -> "ConfigPort":
-        """Attach the port to a simulator (creates the serializing channel)."""
+    def bind(
+        self, sim: Simulator, injector: FaultInjector | None = None
+    ) -> "ConfigPort":
+        """Attach the port to a simulator (creates the serializing channel).
+
+        ``injector`` arms the port's write-abort fault process
+        (``port_abort_rate``); without one, configuration never fails.
+        """
+        self._injector = injector
         self._channel = BandwidthChannel(
             sim, name=f"port:{self.name}", rate=self.bandwidth
         )
@@ -138,11 +149,25 @@ class ConfigPort:
     def configure(
         self, bitstream: Bitstream, owner: str
     ) -> Generator[Any, Any, float]:
-        """DES process: run a configuration through the port."""
+        """DES process: run a configuration through the port.
+
+        With an armed injector the write may abort mid-stream: the
+        partial write's wire time is paid (those bytes moved), then
+        :class:`~repro.faults.errors.WriteAbort` is raised for the
+        caller's recovery policy to handle.
+        """
         self._check(bitstream)
         api = self.api_overhead.time(bitstream.nbytes)
         if api > 0:
             yield Delay(api)
+        if self._injector is not None and self._injector.port_aborted():
+            self.write_aborts += 1
+            frac = self._injector.abort_fraction()
+            yield from self.channel.transfer(bitstream.nbytes * frac, owner)
+            raise WriteAbort(
+                f"port {self.name!r} aborted writing {bitstream.name!r} "
+                f"at {frac:.0%}"
+            )
         yield from self.channel.transfer(bitstream.nbytes, owner)
         return self.channel.sim.now
 

@@ -25,6 +25,9 @@ import math
 from dataclasses import dataclass
 from typing import Any, Generator
 
+from ..faults.detection import CrcChecker
+from ..faults.errors import TransferCorruption, WriteAbort
+from ..faults.injector import FaultInjector
 from ..sim.engine import AllOf, Delay, Simulator
 from ..sim.resources import BandwidthChannel, MutexResource
 from .bitstream import Bitstream
@@ -104,13 +107,30 @@ class IcapController:
         sim: Simulator,
         in_link: BandwidthChannel,
         timings: IcapTimings = DEFAULT_ICAP_TIMINGS,
+        *,
+        injector: FaultInjector | None = None,
+        crc: CrcChecker | None = None,
+        max_chunk_retries: int = 3,
     ) -> None:
+        if max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
         self.sim = sim
         self.in_link = in_link
         self.timings = timings
+        #: fault oracle for chunk-drain write aborts; link-transfer
+        #: corruption is drawn by ``in_link``'s own injector hook
+        self.injector = injector
+        #: per-chunk CRC verification model (free + full-coverage default)
+        self.crc = crc or CrcChecker()
+        #: retransmits tolerated per corrupted chunk before the whole
+        #: configuration attempt fails with :class:`TransferCorruption`
+        self.max_chunk_retries = max_chunk_retries
         self.icap_mutex = MutexResource(sim, name="icap")
         self.configurations = 0
         self.bytes_configured = 0
+        self.chunk_retransmits = 0
+        self.write_aborts = 0
+        self.silent_corruptions = 0
 
     # -- pure time model (no queueing) ------------------------------------
 
@@ -131,6 +151,13 @@ class IcapController:
         the ICAP, the link prefetches chunk ``i+1`` into the second BRAM
         bank.  Both the link channel and the ICAP mutex serialize against
         other users, so contention with data transfers emerges naturally.
+
+        Fault semantics (inert without an injector): each chunk arriving
+        over the link is CRC-checked and retransmitted up to
+        ``max_chunk_retries`` times (:class:`TransferCorruption` when the
+        budget runs out); the state machine may abort mid-drain
+        (:class:`WriteAbort`).  Either fault aborts the whole attempt with
+        the ICAP mutex cleanly released, leaving recovery to the caller.
         """
         if not bitstream.is_partial:
             raise ValueError(
@@ -143,16 +170,37 @@ class IcapController:
         yield from self.icap_mutex.acquire(owner)
         try:
             # Fill the first BRAM bank.
-            yield from self.in_link.transfer(sizes[0], f"{owner}:bs0")
+            yield from self._fill_chunk(bitstream, 0, sizes[0], owner)
             for i, size in enumerate(sizes):
                 drain = t.chunk_handshake + size / t.icap_bandwidth
+                if self.injector is not None and self.injector.chunk_aborted():
+                    # The state machine died partway through the write;
+                    # pay the wasted fraction of the drain, then fail.
+                    self.write_aborts += 1
+                    yield Delay(self.injector.abort_fraction() * drain)
+                    raise WriteAbort(
+                        f"ICAP write abort on chunk {i} of {bitstream.name!r}"
+                    )
                 if i + 1 < len(sizes):
+                    arrived: dict[str, bool] = {}
+
+                    def prefetch(
+                        idx: int = i + 1, nb: int = sizes[i + 1]
+                    ) -> Generator[Any, Any, None]:
+                        _, ok = yield from self.in_link.transfer_ok(
+                            nb, f"{owner}:bs{idx}"
+                        )
+                        arrived["ok"] = ok
+
                     nxt = self.sim.spawn(
-                        self.in_link.transfer(sizes[i + 1], f"{owner}:bs{i+1}"),
-                        name=f"icap-prefetch-{i+1}",
+                        prefetch(), name=f"icap-prefetch-{i+1}"
                     )
                     yield Delay(drain)
                     yield AllOf([nxt.done])
+                    if not arrived.get("ok", True):
+                        yield from self._retransmit(
+                            bitstream, i + 1, sizes[i + 1], owner
+                        )
                 else:
                     yield Delay(drain)
             self.configurations += 1
@@ -160,6 +208,46 @@ class IcapController:
         finally:
             self.icap_mutex.release(owner)
         return self.sim.now
+
+    def _fill_chunk(
+        self, bitstream: Bitstream, idx: int, nbytes: int, owner: str
+    ) -> Generator[Any, Any, None]:
+        """Stream chunk ``idx`` into a BRAM bank, retransmitting on CRC fail."""
+        _, ok = yield from self.in_link.transfer_ok(nbytes, f"{owner}:bs{idx}")
+        if not ok:
+            yield from self._retransmit(bitstream, idx, nbytes, owner)
+
+    def _retransmit(
+        self, bitstream: Bitstream, idx: int, nbytes: int, owner: str
+    ) -> Generator[Any, Any, None]:
+        """Handle a corrupted chunk: CRC verdict, then bounded retransmits.
+
+        The steady-state CRC is pipelined into the drain (free); the
+        checker's ``check_time`` models the *re-verification* of each
+        retransmitted chunk.  A checker with coverage < 1 may miss, in
+        which case the corruption goes through silently (counted).
+        """
+        injector = self.injector or getattr(self.in_link, "injector", None)
+        if not self.crc.detects(injector):
+            self.silent_corruptions += 1
+            return
+        for _attempt in range(self.max_chunk_retries):
+            self.chunk_retransmits += 1
+            check = self.crc.check_time(nbytes)
+            if check:
+                yield Delay(check)
+            _, ok = yield from self.in_link.transfer_ok(
+                nbytes, f"{owner}:bs{idx}:rt"
+            )
+            if ok:
+                return
+            if not self.crc.detects(injector):
+                self.silent_corruptions += 1
+                return
+        raise TransferCorruption(
+            f"chunk {idx} of {bitstream.name!r} failed CRC after "
+            f"{self.max_chunk_retries} retransmits"
+        )
 
     def _chunk_sizes(self, nbytes: int) -> list[int]:
         chunk = self.timings.chunk_bytes

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..faults.detection import CrcChecker
+from ..faults.injector import FaultInjector
 from ..sim.engine import Simulator
 from .bitstream import Bitstream, full_bitstream
 from .catalog import XD1_NODE, FpgaDevice, NodeParameters
@@ -48,6 +50,15 @@ class XD1Node:
         with its calibrated software overhead and partial bitstreams are
         rejected on the external port — forcing the ICAP path, exactly as
         on the real machine.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector` armed on the whole
+        configuration datapath: link transfers into the BRAM buffer, the
+        ICAP controller's chunk drains, and the vendor port's full-device
+        writes.  ``None`` (default) keeps every path fault-free and the
+        node bit-identical to the pre-fault baseline.
+    crc:
+        Per-chunk CRC checker for the ICAP controller (cost/coverage);
+        defaults to a free, full-coverage check.
     """
 
     sim: Simulator
@@ -56,6 +67,8 @@ class XD1Node:
     vendor_api: bool = True
     icap_timings: IcapTimings = DEFAULT_ICAP_TIMINGS
     api_overhead: VendorApiOverhead | None = None
+    fault_injector: FaultInjector | None = None
+    crc: CrcChecker | None = None
 
     def __post_init__(self) -> None:
         if self.floorplan is None:
@@ -67,11 +80,15 @@ class XD1Node:
             io_bandwidth=self.params.io_bandwidth,
             raw_bandwidth=self.params.link_raw_bandwidth,
         )
+        # Arm the inbound (configuration-carrying) channel: bitstream
+        # transfers consult the injector via transfer_ok; plain data
+        # transfers are unaffected.
+        self.link.config_stream.injector = self.fault_injector
         self.selectmap: ConfigPort = selectmap_port(
             self.params.selectmap_bandwidth,
             vendor_api=self.vendor_api,
             api_overhead=self.api_overhead,
-        ).bind(self.sim)
+        ).bind(self.sim, injector=self.fault_injector)
         self.jtag: ConfigPort = jtag_port(self.params.jtag_bandwidth).bind(
             self.sim
         )
@@ -79,7 +96,11 @@ class XD1Node:
             self.params.icap_bandwidth
         ).bind(self.sim)
         self.icap = IcapController(
-            self.sim, in_link=self.link.config_stream, timings=self.icap_timings
+            self.sim,
+            in_link=self.link.config_stream,
+            timings=self.icap_timings,
+            injector=self.fault_injector,
+            crc=self.crc,
         )
         self.memory = MemorySystem(
             self.sim,

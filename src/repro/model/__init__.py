@@ -60,6 +60,7 @@ from .stochastic import (
     heterogeneous_speedup,
     heterogeneous_speedup_finite,
     jensen_gap,
+    resolve_rng,
     sample_task_times,
     uniform_heterogeneous_speedup,
 )
@@ -123,6 +124,7 @@ __all__ = [
     "heterogeneous_speedup",
     "heterogeneous_speedup_finite",
     "jensen_gap",
+    "resolve_rng",
     "sample_task_times",
     "speedup",
     "speedup_from_raw",

@@ -33,6 +33,7 @@ import numpy as np
 from .parameters import ModelParameters, as_array
 
 __all__ = [
+    "resolve_rng",
     "sample_task_times",
     "heterogeneous_per_call",
     "heterogeneous_speedup",
@@ -45,6 +46,29 @@ __all__ = [
 
 DISTRIBUTIONS = ("deterministic", "uniform", "exponential", "lognormal",
                  "bimodal")
+
+
+def resolve_rng(
+    rng: np.random.Generator | int | None = None,
+) -> np.random.Generator:
+    """Resolve ``rng`` into a :class:`numpy.random.Generator`.
+
+    Determinism contract (shared by every stochastic component in the
+    repo — task-time samplers here, the fault injector in
+    :mod:`repro.faults.injector`):
+
+    * ``None`` means **seeded with 0**, not OS entropy.  Every run of the
+      same code with default arguments therefore produces the same draws;
+      nothing in this codebase is ever nondeterministic by default.
+    * an ``int`` is used as the seed of a fresh ``default_rng``;
+    * an existing :class:`~numpy.random.Generator` is returned as-is, so
+      callers can share one stream across components (draw *order* then
+      determines the realization — single-threaded DES keeps that order
+      reproducible).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(0 if rng is None else rng)
 
 
 def sample_task_times(
@@ -68,8 +92,7 @@ def sample_task_times(
         raise ValueError("cv must be >= 0")
     if size <= 0:
         raise ValueError("size must be >= 1")
-    if not isinstance(rng, np.random.Generator):
-        rng = np.random.default_rng(0 if rng is None else rng)
+    rng = resolve_rng(rng)
 
     if kind == "deterministic":
         return np.full(size, mean)

@@ -18,6 +18,7 @@ from .multitask import (
     compare_multitask,
 )
 from .prtr import PrtrExecutor, run_prtr
+from .resilience import ConfigOutcome, resilient
 from .runner import ComparisonResult, compare, make_node
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "CallRecord",
     "ClusterResult",
     "ComparisonResult",
+    "ConfigOutcome",
     "FrtrExecutor",
     "MultitaskFrtrExecutor",
     "MultitaskPrtrExecutor",
@@ -36,6 +38,7 @@ __all__ = [
     "compare_cluster",
     "compare_multitask",
     "make_node",
+    "resilient",
     "run_cluster",
     "run_frtr",
     "run_prtr",

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..faults.injector import FaultConfig, FaultInjector
+from ..faults.recovery import RecoveryPolicy
 from ..hardware.node import XD1Node
 from ..hardware.prr import Floorplan, dual_prr_floorplan
 from ..sim.engine import Simulator
@@ -51,6 +53,10 @@ class ClusterResult:
     server_bytes: float
     server_busy_time: float
     notes: dict[str, float] = field(default_factory=dict)
+    #: indices of blades that degraded (recovery exhausted mid-trace)
+    degraded: list[int] = field(default_factory=list)
+    #: second-wave runs that absorbed a degraded blade's leftover calls
+    redistributed: list[RunResult] = field(default_factory=list)
 
     @property
     def n_blades(self) -> int:
@@ -59,6 +65,18 @@ class ClusterResult:
     @property
     def total_calls(self) -> int:
         return sum(b.n_calls for b in self.blades)
+
+    @property
+    def completed_calls(self) -> int:
+        """Calls that actually ran (degraded blades abandon their tail)."""
+        done = sum(
+            sum(1 for r in b.records if not r.failed) for b in self.blades
+        )
+        done += sum(
+            sum(1 for r in w.records if not r.failed)
+            for w in self.redistributed
+        )
+        return done
 
     @property
     def throughput(self) -> float:
@@ -88,10 +106,23 @@ def run_cluster(
     force_miss: bool = False,
     bitstream_bytes: int | None = None,
     node_kwargs: dict[str, Any] | None = None,
+    fault_config: FaultConfig | None = None,
+    recovery: RecoveryPolicy | None = None,
+    redistribute: bool = True,
 ) -> ClusterResult:
     """Execute one trace per blade, all sharing the bitstream server.
 
     ``mode`` selects the per-blade executor (``"frtr"`` or ``"prtr"``).
+
+    With ``fault_config`` set, every blade gets its own
+    :class:`~repro.faults.injector.FaultInjector` (seeded
+    ``fault_config.seed + blade_index`` so the streams are independent but
+    the whole cluster run stays reproducible), and the shared server
+    channel gets one more for fetch corruption.  ``recovery`` is the
+    per-blade recovery policy; if a blade still degrades and
+    ``redistribute`` is true, its unfinished calls are re-spread
+    round-robin over the surviving blades in a second wave on the same
+    clock — the cluster-level graceful-degradation path.
     """
     if not traces:
         raise ValueError("need at least one per-blade trace")
@@ -103,32 +134,83 @@ def run_cluster(
     server = BandwidthChannel(
         sim, name="bitstream-server", rate=server_bandwidth
     )
+    if fault_config is not None:
+        # The server channel draws from its own stream, seeded past every
+        # blade stream, so fetch corruption is independent of local faults.
+        server.injector = FaultInjector(
+            fault_config.reseeded(fault_config.seed + len(traces))
+        )
     plan = floorplan or dual_prr_floorplan()
+
+    def make_executor(node: XD1Node) -> FrtrExecutor | PrtrExecutor:
+        if mode == "frtr":
+            return FrtrExecutor(
+                node,
+                estimated=estimated,
+                control_time=control_time,
+                bitstream_source=server,
+                recovery=recovery,
+            )
+        return PrtrExecutor(
+            node,
+            estimated=estimated,
+            control_time=control_time,
+            force_miss=force_miss,
+            bitstream_bytes=bitstream_bytes,
+            bitstream_source=server,
+            recovery=recovery,
+        )
+
+    nodes: list[XD1Node] = []
     pendings = []
     for i, trace in enumerate(traces):
-        node = XD1Node(sim, floorplan=plan, **(node_kwargs or {}))
-        if mode == "frtr":
-            executor = FrtrExecutor(
-                node,
-                estimated=estimated,
-                control_time=control_time,
-                bitstream_source=server,
-            )
-            pendings.append(executor.launch(trace, lane=f"blade{i}"))
-        else:
-            executor = PrtrExecutor(
-                node,
-                estimated=estimated,
-                control_time=control_time,
-                force_miss=force_miss,
-                bitstream_bytes=bitstream_bytes,
-                bitstream_source=server,
-            )
-            pendings.append(executor.launch(trace, lane=f"blade{i}"))
+        injector = (
+            FaultInjector(fault_config.reseeded(fault_config.seed + i))
+            if fault_config is not None
+            else None
+        )
+        node = XD1Node(
+            sim, floorplan=plan, fault_injector=injector,
+            **(node_kwargs or {}),
+        )
+        nodes.append(node)
+        pendings.append(make_executor(node).launch(trace, lane=f"blade{i}"))
     start = sim.now
     sim.run()
-    server.assert_no_overlap()
     blades = [p.finalize() for p in pendings]
+
+    # -- graceful degradation: redistribute abandoned work ----------------
+    degraded = [i for i, b in enumerate(blades) if b.degraded]
+    redistributed: list[RunResult] = []
+    notes: dict[str, float] = {}
+    if degraded:
+        notes["n_degraded"] = float(len(degraded))
+        healthy = [i for i in range(len(blades)) if i not in degraded]
+        leftover = [
+            call.task
+            for i in degraded
+            for call in list(traces[i])[blades[i].degraded_at:]
+        ]
+        if healthy and redistribute and leftover:
+            notes["redistributed_calls"] = float(len(leftover))
+            per_blade: dict[int, list[Any]] = {j: [] for j in healthy}
+            for k, task in enumerate(leftover):
+                per_blade[healthy[k % len(healthy)]].append(task)
+            wave = []
+            for j, tasks in per_blade.items():
+                if not tasks:
+                    continue
+                extra = CallTrace(tasks, name=f"redistributed->blade{j}")
+                wave.append(
+                    make_executor(nodes[j]).launch(
+                        extra, lane=f"blade{j}:wave2"
+                    )
+                )
+            sim.run()
+            redistributed = [p.finalize() for p in wave]
+        elif leftover:
+            notes["abandoned_calls"] = float(len(leftover))
+    server.assert_no_overlap()
     return ClusterResult(
         mode=mode,
         blades=blades,
@@ -137,6 +219,9 @@ def run_cluster(
         server_busy_time=sum(
             iv.end - iv.start for iv in server.intervals
         ),
+        notes=notes,
+        degraded=degraded,
+        redistributed=redistributed,
     )
 
 

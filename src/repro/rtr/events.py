@@ -34,12 +34,26 @@ class CallRecord:
     config_time: float
     #: which PRR slot ran the task (-1 for FRTR: the whole device)
     slot: int = -1
+    #: failed (re)configuration attempts recovered from before this call
+    retries: int = 0
+    #: retries that re-fetched the bitstream from the server
+    refetches: int = 0
+    #: partial path abandoned — this call paid a full reconfiguration
+    fallback_full: bool = False
+    #: seconds burned on failed attempts/backoff (subset of config_time)
+    recovery_time: float = 0.0
+    #: the call never ran: recovery exhausted and the blade degraded
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.end < self.start:
             raise ValueError(f"call record ends before start: {self!r}")
         if self.config_time < 0:
             raise ValueError("config_time must be >= 0")
+        if self.retries < 0 or self.refetches < 0:
+            raise ValueError("retry counters must be >= 0")
+        if self.recovery_time < 0:
+            raise ValueError("recovery_time must be >= 0")
 
     @property
     def stage_time(self) -> float:
@@ -74,6 +88,45 @@ class RunResult:
     @property
     def n_configs(self) -> int:
         return sum(1 for r in self.records if not r.hit)
+
+    # -- robustness counters ----------------------------------------------
+
+    @property
+    def n_retries(self) -> int:
+        """Failed configuration attempts recovered from across the run."""
+        return sum(r.retries for r in self.records)
+
+    @property
+    def n_refetches(self) -> int:
+        return sum(r.refetches for r in self.records)
+
+    @property
+    def n_fallbacks(self) -> int:
+        """Calls that abandoned the partial path for a full reconfiguration."""
+        return sum(1 for r in self.records if r.fallback_full)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.records if r.failed)
+
+    @property
+    def recovery_time(self) -> float:
+        """Total simulated seconds burned on failed attempts and backoff."""
+        return self.notes.get("startup_recovery_time", 0.0) + sum(
+            r.recovery_time for r in self.records
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """The run gave up partway: recovery exhausted on some call."""
+        return bool(self.notes.get("degraded", 0.0))
+
+    @property
+    def degraded_at(self) -> int | None:
+        """Index of the first call that never ran (``None`` if healthy)."""
+        if not self.degraded:
+            return None
+        return int(self.notes["degraded_at"])
 
     @property
     def hit_ratio(self) -> float:
@@ -122,7 +175,7 @@ class RunResult:
         )
 
     def summary(self) -> dict[str, float]:
-        return {
+        out = {
             "total_time": self.total_time,
             "n_calls": float(self.n_calls),
             "n_configs": float(self.n_configs),
@@ -131,3 +184,9 @@ class RunResult:
             "config_overhead": self.config_overhead(),
             "mean_stage_time": self.mean_stage_time,
         }
+        if self.n_retries or self.n_fallbacks or self.n_failed:
+            out["n_retries"] = float(self.n_retries)
+            out["n_fallbacks"] = float(self.n_fallbacks)
+            out["n_failed"] = float(self.n_failed)
+            out["recovery_time"] = self.recovery_time
+        return out

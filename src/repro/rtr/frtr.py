@@ -9,12 +9,15 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from ..faults.errors import TransferCorruption, WriteAbort
+from ..faults.recovery import RecoveryPolicy
 from ..hardware.node import XD1Node
 from ..sim.engine import Delay, Simulator
 from ..sim.resources import BandwidthChannel
 from ..sim.trace import Phase, Timeline
 from ..workloads.task import CallTrace
 from .events import CallRecord, RunResult
+from .resilience import resilient
 
 __all__ = ["FrtrExecutor", "PendingRun", "run_frtr"]
 
@@ -53,6 +56,11 @@ class FrtrExecutor:
         Optional shared channel bitstreams must be fetched over before
         each configuration (a cluster's bitstream-distribution backplane).
         ``None`` means bitstreams are local (the single-node experiments).
+    recovery:
+        Optional :class:`~repro.faults.recovery.RecoveryPolicy` applied
+        when a configuration (server fetch or vendor-port write) fails.
+        ``None`` (default) lets injected faults propagate out of
+        ``Simulator.run`` — fail fast.
     """
 
     def __init__(
@@ -62,6 +70,7 @@ class FrtrExecutor:
         estimated: bool = False,
         control_time: float | None = None,
         bitstream_source: BandwidthChannel | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.node = node
         self.estimated = estimated
@@ -71,6 +80,7 @@ class FrtrExecutor:
         if self.control_time < 0:
             raise ValueError("control_time must be >= 0")
         self.bitstream_source = bitstream_source
+        self.recovery = recovery
 
     def launch(self, trace: CallTrace, lane: str = "main") -> PendingRun:
         """Spawn the execution process; does not advance the clock."""
@@ -81,18 +91,64 @@ class FrtrExecutor:
         full_bytes = self.node.full_image.nbytes
         start = sim.now
 
+        notes_extra: dict[str, float] = {}
+
+        def config_attempt(
+            call_index: int, fetch: bool
+        ) -> Generator[Any, Any, None]:
+            """One fetch + full-configuration try (may raise faults)."""
+            if self.bitstream_source is not None and fetch:
+                _, ok = yield from self.bitstream_source.transfer_ok(
+                    full_bytes, owner=f"{lane}:fetch{call_index}"
+                )
+                if not ok:
+                    raise TransferCorruption(
+                        f"full-bitstream fetch for call {call_index} "
+                        "failed its CRC check"
+                    )
+            # Full reconfiguration (the FPGA is held in reset; nothing
+            # else can run, so a plain delay is faithful).
+            inj = self.node.fault_injector
+            if inj is not None and inj.port_aborted():
+                self.node.selectmap.write_aborts += 1
+                yield Delay(inj.abort_fraction() * t_config)
+                raise WriteAbort(
+                    f"vendor-port write aborted on call {call_index}"
+                )
+            yield Delay(t_config)
+
         def main() -> Generator[Any, Any, None]:
             for call in trace:
                 stage_start = sim.now
                 cfg_start = sim.now
-                if self.bitstream_source is not None:
-                    yield from self.bitstream_source.transfer(
-                        full_bytes, owner=f"{lane}:fetch{call.index}"
+                outcome = yield from resilient(
+                    sim,
+                    lambda fetch, idx=call.index: config_attempt(idx, fetch),
+                    self.recovery,
+                    allow_fallback=False,
+                )
+                if outcome.degrade:
+                    timeline.add(
+                        Phase.CONFIG, cfg_start, sim.now, task=call.name,
+                        note="degraded", lane=lane,
                     )
-                # Full reconfiguration (the FPGA is held in reset; nothing
-                # else can run, so a plain delay is faithful).
-                t0 = sim.now
-                yield Delay(t_config)
+                    records.append(
+                        CallRecord(
+                            index=call.index,
+                            task=call.name,
+                            hit=False,
+                            start=stage_start,
+                            end=sim.now,
+                            config_time=sim.now - stage_start,
+                            retries=outcome.retries,
+                            refetches=outcome.refetches,
+                            recovery_time=outcome.recovery_time,
+                            failed=True,
+                        )
+                    )
+                    notes_extra["degraded"] = 1.0
+                    notes_extra["degraded_at"] = float(call.index)
+                    return
                 timeline.add(
                     Phase.CONFIG, cfg_start, sim.now, task=call.name,
                     note="full", lane=lane,
@@ -117,6 +173,9 @@ class FrtrExecutor:
                         end=sim.now,
                         config_time=sim.now - stage_start
                         - call.task.time - self.control_time,
+                        retries=outcome.retries,
+                        refetches=outcome.refetches,
+                        recovery_time=outcome.recovery_time,
                     )
                 )
 
@@ -134,6 +193,7 @@ class FrtrExecutor:
             )
             result.notes["mean_task_time"] = trace.mean_task_time()
             result.notes["t_config_full"] = t_config
+            result.notes.update(notes_extra)
             return result
 
         return PendingRun(build)

@@ -32,6 +32,8 @@ from typing import Any, Generator
 
 from ..caching.base import ConfigCache
 from ..caching.policies import LruPolicy
+from ..faults.errors import TransferCorruption, WriteAbort
+from ..faults.recovery import RecoveryPolicy
 from ..hardware.bitstream import Bitstream
 from ..hardware.node import XD1Node
 from ..sim.engine import AllOf, Delay, Simulator
@@ -40,6 +42,7 @@ from ..sim.resources import BandwidthChannel
 from ..workloads.task import CallTrace, FunctionCall
 from .events import CallRecord, RunResult
 from .frtr import PendingRun
+from .resilience import ConfigOutcome, resilient
 
 __all__ = ["PrtrExecutor", "run_prtr"]
 
@@ -70,6 +73,13 @@ class PrtrExecutor:
         Optional shared channel every bitstream (initial full image and
         partials) is fetched over first — the cluster bitstream-server
         model of :mod:`repro.rtr.cluster`.
+    recovery:
+        Optional :class:`~repro.faults.recovery.RecoveryPolicy` applied
+        when a (re)configuration fails: retries/refetches happen inside
+        the overlapped configuration branch; a ``fallback_full`` action
+        stalls the pipeline after the current stage and reconfigures the
+        whole device (wiping every PRR); ``degrade`` abandons the rest of
+        the trace.  ``None`` (default) lets faults propagate — fail fast.
     """
 
     def __init__(
@@ -84,6 +94,7 @@ class PrtrExecutor:
         force_miss: bool = False,
         detailed_io: bool = False,
         bitstream_source: BandwidthChannel | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         if not node.floorplan.n_prrs:
             raise ValueError(
@@ -111,6 +122,7 @@ class PrtrExecutor:
         #: optional shared backplane bitstreams are fetched over before
         #: each (re)configuration — the cluster bitstream-server model
         self.bitstream_source = bitstream_source
+        self.recovery = recovery
 
     # -- bitstream/config helpers -------------------------------------------
 
@@ -132,17 +144,56 @@ class PrtrExecutor:
         )
 
     def _configure_partial(
-        self, module: str, owner: str
+        self, module: str, owner: str, fetch: bool = True
     ) -> Generator[Any, Any, None]:
+        """One partial-configuration attempt (may raise injected faults).
+
+        ``fetch=False`` skips the bitstream-server pull — a plain retry
+        re-drives the locally buffered copy.
+        """
         bs = self.bitstream_for(module)
-        if self.bitstream_source is not None:
-            yield from self.bitstream_source.transfer(
+        if self.bitstream_source is not None and fetch:
+            _, ok = yield from self.bitstream_source.transfer_ok(
                 bs.nbytes, owner=f"{owner}:fetch"
             )
+            if not ok:
+                raise TransferCorruption(
+                    f"server fetch of {bs.name!r} failed its CRC check"
+                )
         if self.estimated:
-            yield Delay(self.node.icap_raw.wire_time(bs.nbytes))
+            wire = self.node.icap_raw.wire_time(bs.nbytes)
+            inj = self.node.fault_injector
+            if inj is not None and inj.span_aborted(
+                self.node.icap.timings.n_chunks(bs.nbytes)
+            ):
+                self.node.icap.write_aborts += 1
+                yield Delay(inj.abort_fraction() * wire)
+                raise WriteAbort(
+                    f"wire-only write of {bs.name!r} aborted"
+                )
+            yield Delay(wire)
         else:
             yield from self.node.icap.configure(bs, owner=owner)
+
+    def _full_config_attempt(
+        self, owner: str, fetch: bool = True
+    ) -> Generator[Any, Any, None]:
+        """One full-device configuration attempt through the vendor path."""
+        if self.bitstream_source is not None and fetch:
+            _, ok = yield from self.bitstream_source.transfer_ok(
+                self.node.full_image.nbytes, owner=f"{owner}:fetch-full"
+            )
+            if not ok:
+                raise TransferCorruption(
+                    "full-bitstream server fetch failed its CRC check"
+                )
+        t_full = self.node.full_config_time(estimated=self.estimated)
+        inj = self.node.fault_injector
+        if inj is not None and inj.port_aborted():
+            self.node.selectmap.write_aborts += 1
+            yield Delay(inj.abort_fraction() * t_full)
+            raise WriteAbort("vendor-port full configuration aborted")
+        yield Delay(t_full)
 
     def _task_body(
         self, call: FunctionCall, timeline: Timeline, lane: str
@@ -186,20 +237,26 @@ class PrtrExecutor:
         #: hit flag per call, decided at lookahead (residency) time
         hit: list[bool] = [False] * n
         config_attr: list[float] = [0.0] * n
+        #: per-call recovery accounting (filled when faults are recovered)
+        outcomes: dict[int, ConfigOutcome] = {}
+        fallback_attr: list[bool] = [False] * n
 
-        def startup() -> Generator[Any, Any, float]:
+        def startup() -> Generator[Any, Any, tuple[float, ConfigOutcome]]:
             t_start = sim.now
             if self.decision_time:
                 t0 = sim.now
                 yield Delay(self.decision_time)
                 timeline.add(Phase.SETUP, t0, sim.now, note="initial decision")
             t0 = sim.now
-            if self.bitstream_source is not None:
-                yield from self.bitstream_source.transfer(
-                    self.node.full_image.nbytes, owner=f"{lane}:fetch-full"
-                )
-            t_full = self.node.full_config_time(estimated=self.estimated)
-            yield Delay(t_full)
+            outcome = yield from resilient(
+                sim,
+                lambda fetch: self._full_config_attempt(lane, fetch),
+                self.recovery,
+                allow_fallback=False,
+            )
+            if outcome.degrade:
+                timeline.add(Phase.CONFIG, t0, sim.now, note="degraded")
+                return sim.now - t_start, outcome
             timeline.add(Phase.CONFIG, t0, sim.now, note="initial full")
             # The full bitstream instantiates the first module in PRR 0.
             self.cache.fill(calls[0].name)
@@ -208,13 +265,43 @@ class PrtrExecutor:
                 self.cache.stats.hits += 1
             else:
                 self.cache.stats.misses += 1
-            return sim.now - t_start
+            return sim.now - t_start, outcome
+
+        def degrade_run(index: int, outcome: ConfigOutcome) -> None:
+            """Record the call that never ran and flag the run degraded."""
+            records.append(
+                CallRecord(
+                    index=calls[index].index,
+                    task=calls[index].name,
+                    hit=False,
+                    start=sim.now,
+                    end=sim.now,
+                    config_time=0.0,
+                    retries=outcome.retries,
+                    refetches=outcome.refetches,
+                    recovery_time=outcome.recovery_time,
+                    failed=True,
+                )
+            )
+            main_result["degraded"] = 1.0
+            main_result["degraded_at"] = float(index)
 
         def main() -> Generator[Any, Any, None]:
             startup_proc = sim.spawn(startup(), name="prtr-startup")
             yield startup_proc.done
-            main_result["startup_time"] = startup_proc.result
-            main_result["startup_config"] = startup_proc.result
+            startup_time, startup_outcome = startup_proc.result
+            main_result["startup_time"] = startup_time
+            main_result["startup_config"] = startup_time
+            if startup_outcome.retries:
+                main_result["startup_retries"] = float(
+                    startup_outcome.retries
+                )
+                main_result["startup_recovery_time"] = (
+                    startup_outcome.recovery_time
+                )
+            if startup_outcome.degrade:
+                degrade_run(0, startup_outcome)
+                return
 
             for i, call in enumerate(calls):
                 stage_start = sim.now
@@ -259,17 +346,26 @@ class PrtrExecutor:
                                 module: str = nxt.name, idx: int = i + 1
                             ) -> Generator[Any, Any, None]:
                                 c0 = sim.now
-                                yield from self._configure_partial(
-                                    module, owner=f"cfg{idx}"
+                                out = yield from resilient(
+                                    sim,
+                                    lambda fetch, m=module, o=f"cfg{idx}": (
+                                        self._configure_partial(
+                                            m, owner=o, fetch=fetch
+                                        )
+                                    ),
+                                    self.recovery,
+                                    allow_fallback=True,
                                 )
-                                timeline.add(
-                                    Phase.CONFIG,
-                                    c0,
-                                    sim.now,
-                                    task=module,
-                                    lane="icap",
-                                    note="partial",
-                                )
+                                outcomes[idx] = out
+                                if out.ok:
+                                    timeline.add(
+                                        Phase.CONFIG,
+                                        c0,
+                                        sim.now,
+                                        task=module,
+                                        lane="icap",
+                                        note="partial",
+                                    )
                                 config_attr[idx] = sim.now - c0
 
                             branch_cfg = sim.spawn(cfg(), name=f"cfg{i+1}")
@@ -286,21 +382,29 @@ class PrtrExecutor:
                 if serial_cfg:
                     nxt = calls[i + 1]
                     t0 = sim.now
-                    yield from self._configure_partial(
-                        nxt.name, owner=f"cfg{i+1}"
+                    out = yield from resilient(
+                        sim,
+                        lambda fetch, m=nxt.name, o=f"cfg{i+1}": (
+                            self._configure_partial(m, owner=o, fetch=fetch)
+                        ),
+                        self.recovery,
+                        allow_fallback=True,
                     )
-                    timeline.add(
-                        Phase.CONFIG,
-                        t0,
-                        sim.now,
-                        task=nxt.name,
-                        lane="icap",
-                        note="partial-serial",
-                    )
+                    outcomes[i + 1] = out
                     config_attr[i + 1] = sim.now - t0
-                    if not self.cache.contains(nxt.name):
-                        self.cache.fill(nxt.name)
+                    if out.ok:
+                        timeline.add(
+                            Phase.CONFIG,
+                            t0,
+                            sim.now,
+                            task=nxt.name,
+                            lane="icap",
+                            note="partial-serial",
+                        )
+                        if not self.cache.contains(nxt.name):
+                            self.cache.fill(nxt.name)
 
+                out_i = outcomes.get(i)
                 records.append(
                     CallRecord(
                         index=call.index,
@@ -314,8 +418,58 @@ class PrtrExecutor:
                             if self.cache.contains(call.name)
                             else -1
                         ),
+                        retries=out_i.retries if out_i else 0,
+                        refetches=out_i.refetches if out_i else 0,
+                        fallback_full=fallback_attr[i],
+                        recovery_time=out_i.recovery_time if out_i else 0.0,
                     )
                 )
+
+                # Resolve a failed overlapped/serial configuration of the
+                # next call *after* the stage barrier: the fallback full
+                # reconfiguration holds the whole device in reset, so it
+                # cannot overlap execution and stalls the pipeline here.
+                out_next = outcomes.get(i + 1)
+                if out_next is not None and not out_next.ok:
+                    nxt = calls[i + 1]
+                    # Undo the speculative residency fill — the partial
+                    # write never completed.
+                    if self.cache.contains(nxt.name):
+                        self.cache.evict(nxt.name)
+                    if out_next.fallback:
+                        fallback_attr[i + 1] = True
+                        t0 = sim.now
+                        out2 = yield from resilient(
+                            sim,
+                            lambda fetch, o=f"cfg{i+1}-full": (
+                                self._full_config_attempt(o, fetch)
+                            ),
+                            self.recovery,
+                            allow_fallback=False,
+                        )
+                        out_next.retries += out2.retries
+                        out_next.refetches += out2.refetches
+                        out_next.recovery_time += out2.recovery_time
+                        config_attr[i + 1] += sim.now - t0
+                        if out2.degrade:
+                            out_next.degrade = True
+                        else:
+                            timeline.add(
+                                Phase.CONFIG,
+                                t0,
+                                sim.now,
+                                task=nxt.name,
+                                lane=lane,
+                                note="fallback-full",
+                            )
+                            # The full image wipes every PRR and leaves
+                            # the next module instantiated in PRR 0.
+                            for resident in self.cache.residents:
+                                self.cache.evict(resident)
+                            self.cache.fill(nxt.name)
+                    if out_next.degrade:
+                        degrade_run(i + 1, out_next)
+                        return
 
         main_result: dict[str, float] = {}
         start = sim.now
@@ -343,6 +497,14 @@ class PrtrExecutor:
             result.notes["t_config_full"] = self.node.full_config_time(
                 estimated=self.estimated
             )
+            for key in (
+                "startup_retries",
+                "startup_recovery_time",
+                "degraded",
+                "degraded_at",
+            ):
+                if key in main_result:
+                    result.notes[key] = main_result[key]
             if calls:
                 result.notes["t_config_partial"] = self.partial_config_time(
                     calls[0].name

@@ -111,6 +111,11 @@ class BandwidthChannel:
         Sustained throughput in bytes per unit time.
     overhead:
         Fixed latency added to every transfer (API call cost, DMA setup...).
+    injector:
+        Optional fault oracle (:class:`repro.faults.FaultInjector`-shaped:
+        anything with ``transfer_corrupted(nbytes) -> bool``).  Consulted
+        once per :meth:`transfer_ok` call; corrupted transfers still pay
+        their full wire time — the bytes moved, they just arrived wrong.
     """
 
     def __init__(
@@ -119,6 +124,7 @@ class BandwidthChannel:
         name: str,
         rate: float,
         overhead: float = 0.0,
+        injector: Any | None = None,
     ) -> None:
         if rate <= 0:
             raise ValueError(f"channel rate must be positive: {rate}")
@@ -128,9 +134,11 @@ class BandwidthChannel:
         self.name = name
         self.rate = rate
         self.overhead = overhead
+        self.injector = injector
         self._mutex = MutexResource(sim, name=f"{name}.mutex")
         self.bytes_moved: float = 0.0
         self.transfer_count: int = 0
+        self.corrupted_count: int = 0
 
     def transfer_time(self, nbytes: float) -> float:
         """Pure time model for a transfer of ``nbytes`` (no queueing)."""
@@ -141,7 +149,11 @@ class BandwidthChannel:
     def transfer(
         self, nbytes: float, owner: str
     ) -> Generator[Any, Any, float]:
-        """Process helper: move ``nbytes``; returns completion time."""
+        """Process helper: move ``nbytes``; returns completion time.
+
+        Ignores fault injection — use :meth:`transfer_ok` for payloads
+        whose integrity matters (bitstreams).
+        """
         yield from self._mutex.acquire(owner)
         try:
             yield Delay(self.transfer_time(nbytes))
@@ -150,6 +162,24 @@ class BandwidthChannel:
         finally:
             self._mutex.release(owner)
         return self.sim.now
+
+    def transfer_ok(
+        self, nbytes: float, owner: str
+    ) -> Generator[Any, Any, tuple[float, bool]]:
+        """Like :meth:`transfer` but reports integrity.
+
+        Returns ``(completion_time, ok)`` where ``ok`` is ``False`` when
+        the channel's fault injector corrupted the payload in flight.
+        Timing is identical to :meth:`transfer` in every case.
+        """
+        t = yield from self.transfer(nbytes, owner)
+        ok = True
+        if self.injector is not None and self.injector.transfer_corrupted(
+            nbytes
+        ):
+            ok = False
+            self.corrupted_count += 1
+        return t, ok
 
     @property
     def intervals(self) -> list[Interval]:

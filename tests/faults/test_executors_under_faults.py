@@ -1,0 +1,213 @@
+"""Executor-level recovery: each policy exercised end-to-end on the DES."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CrcChecker,
+    DegradePolicy,
+    FallbackPolicy,
+    FaultConfig,
+    FaultInjector,
+    RefetchPolicy,
+    RetryPolicy,
+    WriteAbort,
+)
+from repro.rtr.frtr import FrtrExecutor
+from repro.rtr.prtr import PrtrExecutor
+from repro.rtr.runner import make_node
+from repro.sim import Simulator
+from repro.sim.resources import BandwidthChannel
+from repro.workloads import CallTrace, HardwareTask
+
+
+def make_trace(n_calls: int = 12, task_time: float = 0.05) -> CallTrace:
+    lib = {n: HardwareTask(n, task_time) for n in ("a", "b", "c")}
+    return CallTrace(
+        [lib[n] for n in ("a", "b", "c") * (n_calls // 3)], name="faulty"
+    )
+
+
+def run_prtr(config=None, recovery=None, **kwargs):
+    injector = FaultInjector(config) if config is not None else None
+    node = make_node(fault_injector=injector)
+    executor = PrtrExecutor(
+        node, force_miss=True, recovery=recovery, **kwargs
+    )
+    return executor.run(make_trace()), node
+
+
+class TestZeroRateBitIdentical:
+    def test_prtr_records_identical_to_baseline(self):
+        baseline, _ = run_prtr()
+        with_inert, node = run_prtr(FaultConfig(), recovery=RetryPolicy())
+        assert with_inert.total_time == baseline.total_time
+        assert with_inert.records == baseline.records
+        assert with_inert.summary() == baseline.summary()
+        assert node.icap.write_aborts == 0
+        assert node.fault_injector.stats.total == 0
+
+    def test_frtr_identical_to_baseline(self):
+        trace = make_trace()
+        base = FrtrExecutor(make_node()).run(trace)
+        inert = FrtrExecutor(
+            make_node(fault_injector=FaultInjector(FaultConfig())),
+            recovery=RetryPolicy(),
+        ).run(trace)
+        assert inert.total_time == base.total_time
+        assert inert.records == base.records
+
+
+class TestSameSeedSameRun:
+    def test_faulty_prtr_run_reproduces_exactly(self):
+        config = FaultConfig(chunk_abort_rate=0.01, seed=9)
+        first, _ = run_prtr(config, recovery=RetryPolicy(max_attempts=8))
+        second, _ = run_prtr(config, recovery=RetryPolicy(max_attempts=8))
+        assert first.total_time == second.total_time
+        assert first.records == second.records
+
+    def test_different_seed_different_realization(self):
+        a, na = run_prtr(
+            FaultConfig(chunk_abort_rate=0.02, seed=1),
+            recovery=RetryPolicy(max_attempts=10),
+        )
+        b, nb = run_prtr(
+            FaultConfig(chunk_abort_rate=0.02, seed=2),
+            recovery=RetryPolicy(max_attempts=10),
+        )
+        assert (
+            na.fault_injector.stats.as_dict()
+            != nb.fault_injector.stats.as_dict()
+            or a.records != b.records
+        )
+
+
+class TestRetryPolicy:
+    def test_chunk_aborts_recovered_by_retry(self):
+        result, node = run_prtr(
+            FaultConfig(chunk_abort_rate=0.01, seed=7),
+            recovery=RetryPolicy(max_attempts=8),
+        )
+        assert node.fault_injector.stats.chunk_aborts > 0
+        assert node.icap.write_aborts > 0
+        assert result.n_retries > 0
+        assert result.n_failed == 0 and not result.degraded
+        assert result.recovery_time > 0.0
+
+    def test_no_policy_is_fail_fast(self):
+        with pytest.raises(WriteAbort):
+            run_prtr(FaultConfig(chunk_abort_rate=0.9, seed=0))
+
+
+class TestRefetchPolicy:
+    def test_corrupted_server_fetch_refetches(self):
+        sim = Simulator()
+        from repro.hardware.node import XD1Node
+
+        node = XD1Node(sim)
+        server = BandwidthChannel(
+            sim, name="server", rate=2e9,
+            injector=FaultInjector(FaultConfig(transfer_ber=1e-6, seed=5)),
+        )
+        result = PrtrExecutor(
+            node, force_miss=True, bitstream_source=server,
+            recovery=RefetchPolicy(max_attempts=10),
+        ).run(make_trace())
+        assert server.corrupted_count > 0
+        assert result.n_refetches > 0
+        assert result.n_failed == 0
+
+
+class TestFallbackPolicy:
+    def test_partial_falls_back_to_full(self):
+        result, node = run_prtr(
+            FaultConfig(chunk_abort_rate=0.9, seed=7),
+            recovery=FallbackPolicy(max_attempts=2),
+        )
+        assert result.n_fallbacks > 0
+        assert result.n_failed == 0 and not result.degraded
+        fallbacks = [r for r in result.records if r.fallback_full]
+        # A fallback call paid (roughly) the full configuration time.
+        t_full = node.full_config_time()
+        assert all(r.config_time >= t_full for r in fallbacks)
+        # The pipeline stalls: fallback runs give up PRTR's advantage.
+        fault_free, _ = run_prtr()
+        assert result.total_time > fault_free.total_time
+
+    def test_fallback_wipes_other_prrs(self):
+        # After a fallback-full, only the configured module is resident,
+        # so the *next* distinct call must miss again.
+        result, _ = run_prtr(
+            FaultConfig(chunk_abort_rate=0.9, seed=7),
+            recovery=FallbackPolicy(max_attempts=2),
+        )
+        for r in result.records:
+            assert not r.hit  # force_miss trace: nothing may hit
+
+
+class TestDegradePolicy:
+    def test_degrade_abandons_remaining_trace(self):
+        result, _ = run_prtr(
+            FaultConfig(chunk_abort_rate=0.95, seed=7),
+            recovery=DegradePolicy(max_attempts=2),
+        )
+        assert result.degraded
+        assert result.n_failed == 1
+        assert result.records[-1].failed
+        assert result.degraded_at == result.records[-1].index
+        assert len(result.records) < len(make_trace())
+
+    def test_frtr_degrade(self):
+        trace = make_trace()
+        node = make_node(
+            fault_injector=FaultInjector(
+                FaultConfig(port_abort_rate=0.6, seed=1)
+            )
+        )
+        result = FrtrExecutor(
+            node, recovery=DegradePolicy(max_attempts=2)
+        ).run(trace)
+        assert result.degraded
+        assert result.records[-1].failed
+
+
+class TestFrtrRecovery:
+    def test_port_aborts_recovered(self):
+        trace = make_trace()
+        node = make_node(
+            fault_injector=FaultInjector(
+                FaultConfig(port_abort_rate=0.3, seed=3)
+            )
+        )
+        result = FrtrExecutor(
+            node, recovery=RetryPolicy(max_attempts=10)
+        ).run(trace)
+        assert node.selectmap.write_aborts > 0
+        assert result.n_retries > 0
+        assert not result.degraded
+        # Recovery costs real time against the fault-free baseline.
+        base = FrtrExecutor(make_node()).run(trace)
+        assert result.total_time > base.total_time
+
+
+class TestIcapCrcPath:
+    def test_corrupted_chunks_are_retransmitted(self):
+        result, node = run_prtr(
+            FaultConfig(transfer_ber=3e-6, seed=4),
+            recovery=RetryPolicy(max_attempts=6),
+        )
+        assert node.fault_injector.stats.transfers_corrupted > 0
+        assert node.icap.chunk_retransmits > 0
+        assert node.icap.silent_corruptions == 0
+        assert result.n_failed == 0
+
+    def test_zero_coverage_means_silent_corruption(self):
+        injector = FaultInjector(FaultConfig(transfer_ber=3e-6, seed=4))
+        node = make_node(
+            fault_injector=injector, crc=CrcChecker(coverage=0.0)
+        )
+        result = PrtrExecutor(node, force_miss=True).run(make_trace())
+        assert node.icap.silent_corruptions > 0
+        assert node.icap.chunk_retransmits == 0
+        assert result.n_retries == 0  # nothing detected, nothing recovered

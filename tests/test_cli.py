@@ -82,6 +82,18 @@ class TestCommands:
         assert main(["validate"]) == 0
         assert "VALIDATION PASS" in capsys.readouterr().out
 
+    def test_faults_sweep(self, capsys, tmp_path):
+        csv = tmp_path / "faults.csv"
+        rc = main([
+            "faults", "--rates", "0,0.03,0.2", "--hit-ratios", "0,0.9",
+            "--calls", "12", "--csv", str(csv),
+        ])
+        assert rc == 0
+        assert csv.exists()
+        out = capsys.readouterr().out
+        assert "crossover" in out
+        assert "PASS" in out and "FAIL" not in out
+
 
 class TestReport:
     def test_report_generates_and_passes(self, capsys, tmp_path):
