@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Crash-safe sweep: kill a run mid-grid, resume it, lose nothing.
+
+Demonstrates the :mod:`repro.runtime` execution layer end to end:
+
+1. run the reliability fault sweep with every grid point journaled to
+   ``journal.jsonl`` (atomic write-then-rename checkpoints);
+2. simulate a crash by truncating the journal mid-run — including a
+   torn, half-written final line;
+3. resume: completed points replay from the journal, the rest are
+   recomputed, and the merged result is **bit-identical** to an
+   uninterrupted run (every point re-seeds its own simulators);
+4. show the invariant auditor's report for the finished sweep.
+
+Run:  python examples/crash_safe_sweep.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.runtime import crash_safe_fault_sweep
+from repro.runtime.journal import JOURNAL_NAME, RunJournal
+
+RATES = (0.0, 0.01, 0.05)
+HITS = (0.0, 0.9)
+KW = dict(n_calls=8, task_time=0.05, seed=3)
+
+
+def main() -> None:
+    print("== Crash-safe sweep: journal, kill, resume ==\n")
+    with tempfile.TemporaryDirectory() as tmp:
+        ref_dir = os.path.join(tmp, "reference")
+        run_dir = os.path.join(tmp, "crashed")
+
+        # 1. The uninterrupted reference run.
+        reference = crash_safe_fault_sweep(ref_dir, RATES, HITS, **KW)
+        print(f"reference run : {reference.computed_points} points "
+              f"computed, audit {'OK' if reference.audit.ok else 'BAD'}")
+
+        # 2. A second run, then a simulated crash: keep the header and
+        #    two completed points, and tear the third mid-write.
+        crash_safe_fault_sweep(run_dir, RATES, HITS, **KW)
+        path = os.path.join(run_dir, JOURNAL_NAME)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        torn = lines[3][: len(lines[3]) // 2]
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines[:3] + [torn]) + "\n")
+        journal = RunJournal.load(run_dir)
+        print(f"after 'crash' : {journal.n_points} points survive, "
+              f"{journal.dropped_lines} torn line dropped")
+
+        # 3. Resume: replay what survived, recompute the rest.
+        resumed = crash_safe_fault_sweep(
+            run_dir, RATES, HITS, resume=True, **KW
+        )
+        print(f"resumed run   : replayed {resumed.resumed_points}, "
+              f"recomputed {resumed.computed_points}")
+        identical = resumed.points == reference.points
+        print(f"merged output : "
+              f"{'bit-identical' if identical else 'DIVERGED'} "
+              f"vs the uninterrupted run")
+
+        # 4. The invariant auditor's verdict, as persisted on disk.
+        with open(os.path.join(run_dir, "invariants.json")) as fh:
+            report = json.load(fh)
+        print(f"\ninvariant report ({len(report['checked'])} checks):")
+        for name in report["checked"]:
+            print(f"  {name:24s} OK")
+        assert identical and report["ok"]
+        print("\ncrash-safe resume verified: nothing lost, nothing "
+              "recomputed twice, nothing different.")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,7 +31,7 @@ Quickstart::
     6.88
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .model import (
     ModelParameters,

@@ -126,6 +126,11 @@ class FaultSweepPoint:
     prtr_degraded: bool
     mttr: float
     availability: float
+    #: platform ratios for the invariant auditor's bound checks
+    #: (``X_PRTR = T_PRTR/T_FRTR``, ``X_task = T_task/T_FRTR``); NaN on
+    #: hand-built points that never ran a simulation
+    x_prtr: float = float("nan")
+    x_task: float = float("nan")
 
     def as_row(self) -> dict[str, object]:
         return {
@@ -176,6 +181,8 @@ def effective_speedup_under_faults(
     speedup = (
         frtr.total_time / prtr.total_time if prtr.total_time > 0 else 0.0
     )
+    t_full = prtr.notes["t_config_full"]
+    t_part = prtr.notes.get("t_config_partial", float("nan"))
     return FaultSweepPoint(
         fault_rate=fault_rate,
         target_hit_ratio=hit_ratio,
@@ -188,6 +195,8 @@ def effective_speedup_under_faults(
         prtr_degraded=prtr.degraded,
         mttr=mean_time_to_repair(prtr),
         availability=availability(prtr),
+        x_prtr=t_part / t_full,
+        x_task=task_time / t_full,
     )
 
 

@@ -8,11 +8,18 @@
     python -m repro ablation-prefetch --calls 2000
     python -m repro ablation-granularity
     python -m repro faults --rates 0,0.01,0.1,0.3
+    python -m repro sweep --run-dir runs/night --deadline 3600
+    python -m repro sweep --run-dir runs/night --resume
     python -m repro validate
     python -m repro all
 
 Every subcommand prints the same text tables/plots the benchmark harness
 shows, and optionally writes the figure's data series as CSV.
+
+Exit codes: 0 success, 1 a claim or invariant check failed, 2 usage
+error (bad arguments, missing or already-existing run directory — one
+line on stderr, no traceback), 3 a watchdog deadline interrupted the
+run (resume it with ``--resume``).
 """
 
 from __future__ import annotations
@@ -22,8 +29,19 @@ import sys
 from typing import Callable, Sequence
 
 from .analysis import render_table, write_csv
+from .runtime.invariants import InvariantError
 
 __all__ = ["main", "build_parser"]
+
+
+def _parse_floats(text: str, what: str) -> list[float]:
+    """Parse ``"0,0.5,0.9"`` with a one-line-friendly error message."""
+    try:
+        return [float(part) for part in text.split(",")]
+    except ValueError:
+        raise ValueError(
+            f"--{what} expects comma-separated numbers, got {text!r}"
+        ) from None
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -148,12 +166,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     )
 
     rates = (
-        [float(r) for r in args.rates.split(",")]
+        _parse_floats(args.rates, "rates")
         if args.rates
         else list(DEFAULT_FAULT_RATES)
     )
     hit_ratios = (
-        [float(h) for h in args.hit_ratios.split(",")]
+        _parse_floats(args.hit_ratios, "hit-ratios")
         if args.hit_ratios
         else list(DEFAULT_HIT_RATIOS)
     )
@@ -200,6 +218,78 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         write_csv(args.csv, series_to_csv(series, x_name="chunk_abort_rate"))
         print(f"\nwrote {args.csv}")
     return 0 if all(claims.values()) else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import series_to_csv
+    from .analysis.reliability import (
+        DEFAULT_FAULT_RATES,
+        DEFAULT_HIT_RATIOS,
+    )
+    from .runtime import crash_safe_fault_sweep
+    from .runtime.invariants import set_strict
+
+    rates = (
+        _parse_floats(args.rates, "rates")
+        if args.rates
+        else list(DEFAULT_FAULT_RATES)
+    )
+    hit_ratios = (
+        _parse_floats(args.hit_ratios, "hit-ratios")
+        if args.hit_ratios
+        else list(DEFAULT_HIT_RATIOS)
+    )
+    # --strict-invariants also arms the per-run audits inside every
+    # executor, not just the final sweep-level report.
+    previous = set_strict(args.strict_invariants)
+    try:
+        outcome = crash_safe_fault_sweep(
+            args.run_dir,
+            rates,
+            hit_ratios,
+            n_calls=args.calls,
+            task_time=args.task_time,
+            seed=args.seed,
+            resume=args.resume,
+            deadline_s=args.deadline,
+            progress=(
+                None if args.quiet else (lambda m: print(f"... {m}"))
+            ),
+        )
+    finally:
+        set_strict(previous)
+    print(render_table(
+        [p.as_row() for p in outcome.points],
+        title="Crash-safe fault sweep (journaled)",
+    ))
+    print()
+    print(
+        f"  run dir          : {args.run_dir}\n"
+        f"  journaled points : {outcome.journal.n_points}"
+        f" (replayed {outcome.resumed_points},"
+        f" computed {outcome.computed_points})\n"
+        f"  {outcome.audit.summary_line()}"
+    )
+    if args.csv:
+        series = {
+            f"H={h:g}": (
+                [p.fault_rate for p in outcome.points
+                 if p.target_hit_ratio == h],
+                [p.speedup for p in outcome.points
+                 if p.target_hit_ratio == h],
+            )
+            for h in hit_ratios
+        }
+        write_csv(args.csv, series_to_csv(series, x_name="chunk_abort_rate"))
+        print(f"\nwrote {args.csv}")
+    if outcome.interrupted is not None:
+        print(
+            f"repro: sweep interrupted ({outcome.interrupted}); "
+            f"completed work is journaled — rerun with --resume",
+            file=sys.stderr,
+        )
+        return 3
+    return 0 if outcome.audit.ok else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -269,7 +359,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     rc = 0
     for name, fn in _COMMANDS.items():
-        if name in ("all", "report"):
+        # "sweep" needs a --run-dir and "report" writes a file; neither
+        # belongs in the zero-argument smoke pass.
+        if name in ("all", "report", "sweep"):
             continue
         print("=" * 72)
         print(f"== {name}")
@@ -289,6 +381,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "ablation-prefetch": _cmd_ablation_prefetch,
     "ablation-granularity": _cmd_ablation_granularity,
     "faults": _cmd_faults,
+    "sweep": _cmd_sweep,
     "validate": _cmd_validate,
     "report": _cmd_report,
     "all": _cmd_all,
@@ -296,9 +389,14 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -344,6 +442,39 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--task-time", type=float, default=0.1)
     pf.add_argument("--seed", type=int, default=0)
     pf.add_argument("--csv", type=str, default="")
+
+    ps = sub.add_parser(
+        "sweep",
+        help="crash-safe fault sweep: journaled, resumable, audited",
+    )
+    ps.add_argument(
+        "--run-dir", type=str, required=True,
+        help="directory holding the run journal (journal.jsonl)",
+    )
+    ps.add_argument(
+        "--resume", action="store_true",
+        help="replay completed points from an existing journal",
+    )
+    ps.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on expiry the sweep checkpoints and "
+             "exits with code 3",
+    )
+    ps.add_argument(
+        "--strict-invariants", action="store_true",
+        help="raise on any invariant violation instead of recording it",
+    )
+    ps.add_argument("--rates", type=str, default="",
+                    help="comma-separated chunk-abort rates")
+    ps.add_argument("--hit-ratios", type=str, default="",
+                    help="comma-separated target hit ratios")
+    ps.add_argument("--calls", type=int, default=30)
+    ps.add_argument("--task-time", type=float, default=0.1)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--csv", type=str, default="")
+    ps.add_argument("--quiet", action="store_true",
+                    help="suppress per-point progress lines")
+
     sub.add_parser("validate", help="model-vs-simulation validation")
     pr = sub.add_parser("report", help="write the full REPORT.md")
     pr.add_argument("--output", type=str, default="REPORT.md")
@@ -354,7 +485,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except InvariantError as exc:
+        print(f"repro: invariant violation: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError, OSError) as exc:
+        # Usage-level failures (bad argument values, missing or
+        # pre-existing run directories) get one line, not a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

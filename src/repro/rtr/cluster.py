@@ -29,6 +29,8 @@ from ..faults.injector import FaultConfig, FaultInjector
 from ..faults.recovery import RecoveryPolicy
 from ..hardware.node import XD1Node
 from ..hardware.prr import Floorplan, dual_prr_floorplan
+from ..runtime.invariants import audit_cluster
+from ..runtime.watchdog import Watchdog, WatchdogExpired
 from ..sim.engine import Simulator
 from ..sim.resources import BandwidthChannel
 from ..workloads.task import CallTrace
@@ -57,6 +59,10 @@ class ClusterResult:
     degraded: list[int] = field(default_factory=list)
     #: second-wave runs that absorbed a degraded blade's leftover calls
     redistributed: list[RunResult] = field(default_factory=list)
+    #: a watchdog cancelled the run mid-flight; blades are partial
+    interrupted: bool = False
+    #: cancellation reason (empty for completed runs)
+    interrupt_reason: str = ""
 
     @property
     def n_blades(self) -> int:
@@ -109,10 +115,17 @@ def run_cluster(
     fault_config: FaultConfig | None = None,
     recovery: RecoveryPolicy | None = None,
     redistribute: bool = True,
+    watchdog: Watchdog | None = None,
 ) -> ClusterResult:
     """Execute one trace per blade, all sharing the bitstream server.
 
     ``mode`` selects the per-blade executor (``"frtr"`` or ``"prtr"``).
+
+    ``watchdog`` (a :class:`~repro.runtime.watchdog.Watchdog`) guards
+    the shared clock: when a limit trips, the run cancels gracefully —
+    every blade finalizes the calls it completed, redistribution is
+    skipped, and the result comes back ``interrupted`` instead of the
+    process hanging on a stalled simulation.
 
     With ``fault_config`` set, every blade gets its own
     :class:`~repro.faults.injector.FaultInjector` (seeded
@@ -176,14 +189,20 @@ def run_cluster(
         nodes.append(node)
         pendings.append(make_executor(node).launch(trace, lane=f"blade{i}"))
     start = sim.now
-    sim.run()
-    blades = [p.finalize() for p in pendings]
+    if watchdog is not None:
+        sim.watchdog = watchdog.start(sim)
+    interrupted: str | None = None
+    try:
+        sim.run()
+    except WatchdogExpired as exc:
+        interrupted = str(exc)
+    blades = [p.finalize(interrupted=interrupted) for p in pendings]
 
     # -- graceful degradation: redistribute abandoned work ----------------
     degraded = [i for i, b in enumerate(blades) if b.degraded]
     redistributed: list[RunResult] = []
     notes: dict[str, float] = {}
-    if degraded:
+    if degraded and interrupted is None:
         notes["n_degraded"] = float(len(degraded))
         healthy = [i for i in range(len(blades)) if i not in degraded]
         leftover = [
@@ -206,12 +225,20 @@ def run_cluster(
                         extra, lane=f"blade{j}:wave2"
                     )
                 )
-            sim.run()
-            redistributed = [p.finalize() for p in wave]
+            try:
+                sim.run()
+            except WatchdogExpired as exc:
+                interrupted = str(exc)
+            redistributed = [
+                p.finalize(interrupted=interrupted) for p in wave
+            ]
         elif leftover:
             notes["abandoned_calls"] = float(len(leftover))
+    sim.watchdog = None
     server.assert_no_overlap()
-    return ClusterResult(
+    if interrupted is not None:
+        notes["interrupted"] = 1.0
+    result = ClusterResult(
         mode=mode,
         blades=blades,
         makespan=sim.now - start,
@@ -222,7 +249,12 @@ def run_cluster(
         notes=notes,
         degraded=degraded,
         redistributed=redistributed,
+        interrupted=interrupted is not None,
+        interrupt_reason=interrupted or "",
     )
+    report = audit_cluster(result, sum(len(t) for t in traces))
+    result.notes["invariant_violations"] = float(len(report.violations))
+    return result
 
 
 def compare_cluster(

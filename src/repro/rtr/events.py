@@ -72,11 +72,15 @@ class RunResult:
     #: startup cost before the first stage (decision + initial full config)
     startup_time: float = 0.0
     notes: dict[str, float] = field(default_factory=dict)
+    #: the run was cancelled mid-flight (watchdog); records are partial
+    interrupted: bool = False
+    #: human-readable cancellation reason (empty for completed runs)
+    interrupt_reason: str = ""
 
     def __post_init__(self) -> None:
         if self.total_time < 0:
             raise ValueError("total_time must be >= 0")
-        if not self.records:
+        if not self.records and not self.interrupted:
             raise ValueError("a run must have at least one call record")
 
     # -- counters ----------------------------------------------------------
@@ -130,15 +134,21 @@ class RunResult:
 
     @property
     def hit_ratio(self) -> float:
-        """Achieved ``H = 1 - n_config / n_calls``."""
+        """Achieved ``H = 1 - n_config / n_calls`` (0 for empty runs)."""
+        if not self.records:
+            return 0.0
         return 1.0 - self.n_configs / self.n_calls
 
     @property
     def miss_ratio(self) -> float:
+        if not self.records:
+            return 0.0
         return self.n_configs / self.n_calls
 
     @property
     def mean_stage_time(self) -> float:
+        if not self.records:
+            return 0.0
         return float(np.mean([r.stage_time for r in self.records]))
 
     def config_overhead(self) -> float:
@@ -189,4 +199,6 @@ class RunResult:
             out["n_fallbacks"] = float(self.n_fallbacks)
             out["n_failed"] = float(self.n_failed)
             out["recovery_time"] = self.recovery_time
+        if self.interrupted:
+            out["interrupted"] = 1.0
         return out

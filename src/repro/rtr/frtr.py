@@ -28,15 +28,24 @@ class PendingRun:
     Call :meth:`finalize` after the simulator has drained to obtain the
     :class:`RunResult`.  Used by the cluster executor to run many blades
     concurrently on one clock; single-node ``run()`` wraps it.
+
+    ``finalize(interrupted=reason)`` builds a *partial* result from
+    whatever the run recorded before a watchdog cancelled it — the
+    result is marked :attr:`RunResult.interrupted` and may legitimately
+    hold zero records.
     """
 
     def __init__(self, build: "Any") -> None:
         self._build = build
         self._result: RunResult | None = None
 
-    def finalize(self) -> RunResult:
+    def finalize(self, *, interrupted: str | None = None) -> RunResult:
         if self._result is None:
-            self._result = self._build()
+            self._result = (
+                self._build()
+                if interrupted is None
+                else self._build(interrupted)
+            )
         return self._result
 
 
@@ -181,7 +190,7 @@ class FrtrExecutor:
 
         sim.spawn(main(), name=f"frtr:{lane}")
 
-        def build() -> RunResult:
+        def build(interrupted: str | None = None) -> RunResult:
             total = (records[-1].end - start) if records else 0.0
             result = RunResult(
                 mode="frtr",
@@ -190,6 +199,8 @@ class FrtrExecutor:
                 records=records,
                 timeline=timeline,
                 startup_time=0.0,
+                interrupted=interrupted is not None,
+                interrupt_reason=interrupted or "",
             )
             result.notes["mean_task_time"] = trace.mean_task_time()
             result.notes["t_config_full"] = t_config
@@ -199,10 +210,19 @@ class FrtrExecutor:
         return PendingRun(build)
 
     def run(self, trace: CallTrace) -> RunResult:
-        """Execute the trace; returns the measured :class:`RunResult`."""
+        """Execute the trace; returns the measured :class:`RunResult`.
+
+        The result is audited (:func:`repro.runtime.invariants
+        .audit_and_record`): violations land in ``notes`` — or raise,
+        in strict-invariants mode.
+        """
+        from ..runtime.invariants import audit_and_record
+
         pending = self.launch(trace)
         self.node.sim.run()
-        return pending.finalize()
+        result = pending.finalize()
+        audit_and_record(result)
+        return result
 
 
 def run_frtr(

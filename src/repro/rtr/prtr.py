@@ -480,15 +480,21 @@ class PrtrExecutor:
 
         sim.spawn(wrapped(), name=f"prtr:{lane}")
 
-        def build() -> RunResult:
-            total = main_result.get("done_at", start) - start
+        def build(interrupted: str | None = None) -> RunResult:
+            end = main_result.get("done_at")
+            if end is None:
+                # Cancelled mid-run: the last stage barrier is the
+                # honest partial makespan (zero if nothing finished).
+                end = records[-1].end if records else start
             result = RunResult(
                 mode="prtr",
                 trace_name=trace.name,
-                total_time=total,
+                total_time=end - start,
                 records=records,
                 timeline=timeline,
                 startup_time=main_result.get("startup_time", 0.0),
+                interrupted=interrupted is not None,
+                interrupt_reason=interrupted or "",
             )
             result.notes["mean_task_time"] = trace.mean_task_time()
             result.notes["startup_config"] = main_result.get(
@@ -514,10 +520,19 @@ class PrtrExecutor:
         return PendingRun(build)
 
     def run(self, trace: CallTrace) -> RunResult:
-        """Execute the trace to completion on this node's simulator."""
+        """Execute the trace to completion on this node's simulator.
+
+        The result is audited (:func:`repro.runtime.invariants
+        .audit_and_record`): violations land in ``notes`` — or raise,
+        in strict-invariants mode.
+        """
+        from ..runtime.invariants import audit_and_record
+
         pending = self.launch(trace)
         self.node.sim.run()
-        return pending.finalize()
+        result = pending.finalize()
+        audit_and_record(result)
+        return result
 
 
 def run_prtr(

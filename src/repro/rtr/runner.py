@@ -12,6 +12,7 @@ from typing import Any
 
 from ..hardware.node import XD1Node
 from ..hardware.prr import Floorplan, dual_prr_floorplan
+from ..runtime.invariants import audit_comparison
 from ..sim.engine import Simulator
 from ..workloads.task import CallTrace
 from .events import RunResult
@@ -88,4 +89,9 @@ def compare(
         bitstream_bytes=bitstream_bytes,
         detailed_io=detailed_io,
     ).run(trace)
+    # Paired audit: the measured speedup must respect the model's
+    # (1+X_PRTR)/X_PRTR supremum and large-task 2x bounds.
+    report = audit_comparison(frtr, prtr)
+    prtr.notes["pair_invariant_violations"] = float(len(report.violations))
+    report.raise_if_strict()
     return ComparisonResult(frtr=frtr, prtr=prtr)

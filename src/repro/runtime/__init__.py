@@ -1,0 +1,80 @@
+"""Crash-safe execution layer: journal, watchdog, invariant auditor.
+
+Long-running entry points (model sweeps, reliability grids, cluster
+runs) wrap themselves in three cooperating pieces:
+
+:mod:`repro.runtime.journal`
+    Durable append-only JSONL checkpoints (atomic write-then-rename)
+    with torn-tail-tolerant resume.
+:mod:`repro.runtime.watchdog`
+    Wall-clock deadlines plus DES no-progress detection, hooked into
+    :class:`repro.sim.engine.Simulator`; cancels gracefully via
+    :class:`WatchdogExpired`.
+:mod:`repro.runtime.invariants`
+    Post-run conservation-law audits (clock monotonicity, makespan and
+    hit/miss accounting, the paper's speedup bounds, cluster call
+    conservation), strict or record-only.
+:mod:`repro.runtime.crashsafe`
+    The harnesses tying them together: :func:`run_checkpointed`,
+    :func:`crash_safe_fault_sweep`, :func:`run_interruptible`.
+
+``crashsafe`` is exported lazily: it imports the executors, which in
+turn audit through :mod:`repro.runtime.invariants`, and the lazy hop
+keeps that dependency loop unwound at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .invariants import (
+    INVARIANTS,
+    AuditReport,
+    InvariantError,
+    Violation,
+    audit_and_record,
+    audit_cluster,
+    audit_comparison,
+    audit_run,
+    audit_sweep_points,
+    set_strict,
+    strict_enabled,
+)
+from .journal import JournalError, RunJournal, atomic_write_text
+from .watchdog import Watchdog, WatchdogExpired
+
+_LAZY_CRASHSAFE = (
+    "GridOutcome",
+    "SweepOutcome",
+    "crash_safe_fault_sweep",
+    "run_checkpointed",
+    "run_interruptible",
+)
+
+__all__ = [
+    "INVARIANTS",
+    "AuditReport",
+    "InvariantError",
+    "JournalError",
+    "RunJournal",
+    "Violation",
+    "Watchdog",
+    "WatchdogExpired",
+    "atomic_write_text",
+    "audit_and_record",
+    "audit_cluster",
+    "audit_comparison",
+    "audit_run",
+    "audit_sweep_points",
+    "set_strict",
+    "strict_enabled",
+    *_LAZY_CRASHSAFE,
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY_CRASHSAFE:
+        from . import crashsafe
+
+        return getattr(crashsafe, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,232 @@
+"""Crash-safe execution harnesses: checkpointed sweeps, interruptible DES.
+
+Three layers cooperate (see ``docs/MODEL.md`` section 9):
+
+* :func:`run_checkpointed` — the generic engine: walk a grid of work
+  items, journal every completed point atomically
+  (:class:`~repro.runtime.journal.RunJournal`), honor a wall-clock
+  :class:`~repro.runtime.watchdog.Watchdog` between points, and on
+  resume replay journaled payloads instead of recomputing them.
+* :func:`crash_safe_fault_sweep` — the concrete wrapper for the
+  reliability fault-rate x hit-ratio sweep (the ``repro sweep`` CLI).
+  Every grid point is an independent, internally seeded simulation
+  (:func:`~repro.model.stochastic.resolve_rng` semantics), so a resumed
+  sweep is **bit-identical** to an uninterrupted one regardless of
+  where the crash fell.
+* :func:`run_interruptible` — attach a watchdog to a single executor's
+  DES run; on expiry the partial :class:`~repro.rtr.events.RunResult`
+  comes back marked ``interrupted`` instead of the process hanging.
+
+Completed sweeps are audited (:mod:`repro.runtime.invariants`) and the
+report is written to ``<run_dir>/invariants.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..analysis.reliability import (
+    DEFAULT_FAULT_RATES,
+    DEFAULT_HIT_RATIOS,
+    FaultSweepPoint,
+    effective_speedup_under_faults,
+)
+from .invariants import AuditReport, audit_sweep_points
+from .journal import JournalError, RunJournal, atomic_write_text
+from .watchdog import Watchdog, WatchdogExpired
+
+__all__ = [
+    "GridOutcome",
+    "SweepOutcome",
+    "crash_safe_fault_sweep",
+    "run_checkpointed",
+    "run_interruptible",
+]
+
+
+@dataclass
+class GridOutcome:
+    """Result of one checkpointed grid walk."""
+
+    #: results for every *completed* item, in grid order
+    results: list[Any]
+    #: watchdog reason when the walk was cut short, else ``None``
+    interrupted: str | None
+    #: points replayed from the journal instead of recomputed
+    resumed_points: int
+    #: points computed (and journaled) this walk
+    computed_points: int
+    journal: RunJournal
+
+    @property
+    def complete(self) -> bool:
+        return self.interrupted is None
+
+
+def run_checkpointed(
+    run_dir: str,
+    items: Iterable[Any],
+    fn: Callable[[Any], Any],
+    *,
+    key_of: Callable[[Any], str],
+    encode: Callable[[Any], Any] = lambda r: r,
+    decode: Callable[[Any], Any] = lambda p: p,
+    meta: Mapping[str, Any] | None = None,
+    resume: bool = False,
+    watchdog: Watchdog | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> GridOutcome:
+    """Walk ``items`` through ``fn`` with durable per-item checkpoints.
+
+    With ``resume=True`` the journal in ``run_dir`` is loaded, its
+    ``meta`` is required to match the provided one (resuming under
+    different sweep parameters would merge incompatible grids), and
+    journaled items are decoded instead of recomputed.  The wall-clock
+    watchdog is consulted *between* items; on expiry the walk stops
+    with everything completed so far safely journaled.
+    """
+    meta = dict(meta or {})
+    if resume:
+        journal = RunJournal.load(run_dir)
+        if meta and journal.meta != meta:
+            raise JournalError(
+                f"journal meta in {run_dir!r} does not match this "
+                f"sweep's parameters (journaled {journal.meta!r}, "
+                f"requested {meta!r})"
+            )
+    else:
+        journal = RunJournal.create(run_dir, meta)
+    if watchdog is not None:
+        watchdog.start()
+
+    results: list[Any] = []
+    resumed = computed = 0
+    interrupted: str | None = None
+    for item in items:
+        key = key_of(item)
+        if journal.has(key):
+            results.append(decode(journal.payload(key)))
+            resumed += 1
+            continue
+        if watchdog is not None:
+            try:
+                watchdog.check_wall()
+            except WatchdogExpired as exc:
+                interrupted = str(exc)
+                break
+        result = fn(item)
+        journal.record(key, encode(result))
+        computed += 1
+        results.append(result)
+        if progress is not None:
+            progress(f"{key} done ({journal.n_points} journaled)")
+    if interrupted is None:
+        journal.seal()
+    return GridOutcome(
+        results=results,
+        interrupted=interrupted,
+        resumed_points=resumed,
+        computed_points=computed,
+        journal=journal,
+    )
+
+
+@dataclass
+class SweepOutcome(GridOutcome):
+    """A checkpointed reliability sweep plus its invariant audit."""
+
+    audit: AuditReport = field(default_factory=AuditReport)
+
+    @property
+    def points(self) -> list[FaultSweepPoint]:
+        return self.results
+
+
+def crash_safe_fault_sweep(
+    run_dir: str,
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    hit_ratios: Sequence[float] = DEFAULT_HIT_RATIOS,
+    *,
+    n_calls: int = 30,
+    task_time: float = 0.1,
+    seed: int = 0,
+    resume: bool = False,
+    deadline_s: float | None = None,
+    strict: bool | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SweepOutcome:
+    """The reliability grid with checkpoint/resume and auditing.
+
+    Point order, seeds and numerics are identical to
+    :func:`~repro.analysis.reliability.sweep_fault_hit_grid`; each
+    point's simulators are freshly seeded from ``seed``, so a resumed
+    run merges to a bit-identical point list.
+    """
+    meta = {
+        "kind": "fault_sweep",
+        "rates": [float(r) for r in fault_rates],
+        "hit_ratios": [float(h) for h in hit_ratios],
+        "n_calls": int(n_calls),
+        "task_time": float(task_time),
+        "seed": int(seed),
+    }
+    grid = [(h, rate) for h in hit_ratios for rate in fault_rates]
+    watchdog = (
+        Watchdog(max_wall_s=deadline_s) if deadline_s is not None else None
+    )
+    outcome = run_checkpointed(
+        run_dir,
+        grid,
+        lambda cell: effective_speedup_under_faults(
+            cell[1], cell[0],
+            n_calls=n_calls, task_time=task_time, seed=seed,
+        ),
+        key_of=lambda cell: f"rate={cell[1]!r},H={cell[0]!r}",
+        encode=asdict,
+        decode=lambda payload: FaultSweepPoint(**payload),
+        meta=meta,
+        resume=resume,
+        watchdog=watchdog,
+        progress=progress,
+    )
+    audit = audit_sweep_points(outcome.results)
+    atomic_write_text(
+        os.path.join(run_dir, "invariants.json"),
+        json.dumps(audit.as_dict(), indent=2) + "\n",
+    )
+    sweep = SweepOutcome(
+        results=outcome.results,
+        interrupted=outcome.interrupted,
+        resumed_points=outcome.resumed_points,
+        computed_points=outcome.computed_points,
+        journal=outcome.journal,
+        audit=audit,
+    )
+    audit.raise_if_strict(strict)
+    return sweep
+
+
+def run_interruptible(
+    executor: Any, trace: Any, *, watchdog: Watchdog
+) -> Any:
+    """Run one executor under a DES watchdog; never hangs.
+
+    Returns the full :class:`~repro.rtr.events.RunResult` when the run
+    drains normally, or a partial result marked ``interrupted`` (with
+    ``interrupt_reason`` set to the watchdog's reason) when a limit
+    trips mid-run.
+    """
+    sim = executor.node.sim
+    pending = executor.launch(trace)
+    sim.watchdog = watchdog.start(sim)
+    try:
+        try:
+            sim.run()
+        except WatchdogExpired as exc:
+            return pending.finalize(interrupted=str(exc))
+    finally:
+        sim.watchdog = None
+    return pending.finalize()

@@ -1,0 +1,393 @@
+"""Runtime invariant auditing: conservation laws checked after every run.
+
+The paper's model is exact, so its conservation laws are checkable at
+runtime against every simulated result — not just in the test suite.
+This module is the pluggable post-run auditor:
+
+* :func:`audit_run` — per-:class:`~repro.rtr.events.RunResult` checks
+  (clock monotonicity, makespan accounting, hit/miss accounting,
+  recovery-time containment);
+* :func:`audit_comparison` / :func:`audit_sweep_points` — speedup-bound
+  checks against :mod:`repro.model.bounds` (the ``(1+X_PRTR)/X_PRTR``
+  supremum and the 2x large-task bound);
+* :func:`audit_cluster` — conservation of calls under blade degradation
+  and server-busy accounting.
+
+Strictness is a process-wide mode set by the CLI's
+``--strict-invariants`` (:func:`set_strict`): strict audits raise
+:class:`InvariantError`; the default records violations in the result's
+``notes`` (``invariant_violations``) and carries on.  All checks are
+duck-typed over result objects so this module depends only on
+:mod:`repro.model` — executors can import it without cycles.
+
+Every check is registered in :data:`INVARIANTS` (name -> description);
+``docs/MODEL.md`` renders the same catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..model.bounds import large_task_bound, peak_speedup
+from ..model.parameters import ModelParameters
+
+__all__ = [
+    "INVARIANTS",
+    "AuditReport",
+    "InvariantError",
+    "Violation",
+    "audit_and_record",
+    "audit_cluster",
+    "audit_comparison",
+    "audit_run",
+    "audit_sweep_points",
+    "set_strict",
+    "strict_enabled",
+]
+
+#: the invariant catalog: check name -> what it asserts
+INVARIANTS: dict[str, str] = {
+    "clock-monotonic": (
+        "call records are time-ordered: end >= start per record and "
+        "record i+1 starts no earlier than record i ends"
+    ),
+    "makespan-accounting": (
+        "total_time == startup_time + (last record end - first record "
+        "start) within float tolerance (stages tile the run)"
+    ),
+    "call-accounting": (
+        "hits + misses == calls, hit_ratio in [0, 1], record indices "
+        "unique, hits carry no configuration time"
+    ),
+    "recovery-containment": (
+        "per-record recovery_time <= config_time (recovery is a subset "
+        "of the configuration work it repairs)"
+    ),
+    "degradation-consistency": (
+        "a degraded run ends with its failed record and degraded_at "
+        "names that record"
+    ),
+    "speedup-bound-supremum": (
+        "measured speedup <= peak_speedup(X_PRTR, H) from "
+        "repro.model.bounds (the (1+X_PRTR)/X_PRTR ceiling)"
+    ),
+    "speedup-bound-2x": (
+        "for X_task >= 1, measured speedup <= 1 + 1/X_task <= 2 "
+        "(the paper's large-task 2x bound)"
+    ),
+    "sweep-consistency": (
+        "per sweep point: speedup == T_FRTR/T_PRTR, availability and "
+        "hit ratios in [0, 1], MTTR >= 0"
+    ),
+    "call-conservation": (
+        "cluster runs account for every submitted call: completed + "
+        "failed + abandoned == planned, redistribution conserves calls"
+    ),
+    "server-accounting": (
+        "shared-server busy time fits inside the cluster makespan"
+    ),
+}
+
+_STRICT = False
+
+
+def set_strict(flag: bool) -> bool:
+    """Set the process-wide strict mode; returns the previous value."""
+    global _STRICT
+    previous = _STRICT
+    _STRICT = bool(flag)
+    return previous
+
+
+def strict_enabled() -> bool:
+    return _STRICT
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant check."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.invariant}] {self.message}"
+
+
+class InvariantError(RuntimeError):
+    """Raised in strict mode when an audit finds violations."""
+
+    def __init__(self, violations: Sequence[Violation]) -> None:
+        self.violations = list(violations)
+        head = "; ".join(str(v) for v in self.violations[:3])
+        more = len(self.violations) - 3
+        if more > 0:
+            head += f" (+{more} more)"
+        super().__init__(f"{len(self.violations)} invariant "
+                         f"violation(s): {head}")
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit pass."""
+
+    checked: list[str] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def merge(self, other: "AuditReport") -> "AuditReport":
+        for name in other.checked:
+            if name not in self.checked:
+                self.checked.append(name)
+        self.violations.extend(other.violations)
+        return self
+
+    def raise_if_strict(self, strict: bool | None = None) -> None:
+        strict = _STRICT if strict is None else strict
+        if strict and self.violations:
+            raise InvariantError(self.violations)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "checked": list(self.checked),
+            "ok": self.ok,
+            "violations": [
+                {"invariant": v.invariant, "message": v.message}
+                for v in self.violations
+            ],
+        }
+
+    def summary_line(self) -> str:
+        state = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"invariants: {len(self.checked)} checked, {state}"
+
+
+def _check(
+    report: AuditReport, name: str, ok: bool, message: str
+) -> None:
+    if name not in report.checked:
+        report.checked.append(name)
+    if not ok:
+        report.violations.append(Violation(name, message))
+
+
+# -- per-run checks -------------------------------------------------------
+
+
+def audit_run(result: Any, *, rel_tol: float = 1e-9) -> AuditReport:
+    """Audit one executor :class:`~repro.rtr.events.RunResult`.
+
+    Interrupted partial results only get the ordering checks (their
+    makespan is, by construction, cut short).
+    """
+    report = AuditReport()
+    records = result.records
+    tol = rel_tol * max(1.0, result.total_time)
+
+    ordered = all(r.end >= r.start for r in records) and all(
+        b.start >= a.end - tol for a, b in zip(records, records[1:])
+    )
+    _check(
+        report, "clock-monotonic", ordered,
+        f"records of {result.trace_name!r} are not time-ordered",
+    )
+
+    if records:
+        indices = [r.index for r in records]
+        hits = sum(1 for r in records if r.hit)
+        _check(
+            report, "call-accounting",
+            hits + result.n_configs == result.n_calls
+            and len(set(indices)) == len(indices)
+            and 0.0 <= result.hit_ratio <= 1.0
+            and all(r.config_time == 0.0 for r in records if r.hit),
+            f"hit/miss accounting broken for {result.trace_name!r}",
+        )
+        _check(
+            report, "recovery-containment",
+            all(r.recovery_time <= r.config_time + tol for r in records),
+            f"recovery_time exceeds config_time in {result.trace_name!r}",
+        )
+
+    if getattr(result, "interrupted", False) or not records:
+        return report
+
+    span = records[-1].end - records[0].start
+    expected = result.startup_time + span
+    _check(
+        report, "makespan-accounting",
+        abs(result.total_time - expected) <= tol,
+        f"total_time {result.total_time!r} != startup "
+        f"{result.startup_time!r} + record span {span!r} "
+        f"for {result.trace_name!r}",
+    )
+
+    if result.degraded:
+        _check(
+            report, "degradation-consistency",
+            records[-1].failed
+            and result.degraded_at == records[-1].index,
+            f"degraded run {result.trace_name!r} does not end with its "
+            "failed record",
+        )
+    return report
+
+
+def audit_and_record(
+    result: Any, *, strict: bool | None = None
+) -> AuditReport:
+    """Audit a run and record the outcome in ``result.notes``.
+
+    The default (non-strict) mode stamps ``invariant_violations`` into
+    the notes and returns; strict mode raises :class:`InvariantError`.
+    """
+    report = audit_run(result)
+    result.notes["invariant_violations"] = float(len(report.violations))
+    report.raise_if_strict(strict)
+    return report
+
+
+# -- speedup bounds -------------------------------------------------------
+
+
+def _bound_checks(
+    report: AuditReport,
+    *,
+    speedup: float,
+    x_prtr: float,
+    x_task: float,
+    hit_ratio: float,
+    label: str,
+    rel_tol: float,
+) -> None:
+    if not (np.isfinite(x_prtr) and x_prtr > 0):
+        return
+    params = ModelParameters(
+        x_task=max(x_task, 0.0) if np.isfinite(x_task) else 1.0,
+        x_prtr=x_prtr,
+        hit_ratio=min(max(hit_ratio, 0.0), 1.0),
+    )
+    ceiling = float(peak_speedup(params))
+    _check(
+        report, "speedup-bound-supremum",
+        speedup <= ceiling * (1.0 + rel_tol),
+        f"{label}: speedup {speedup:g} exceeds the "
+        f"(1+X_PRTR)/X_PRTR ceiling {ceiling:g}",
+    )
+    if np.isfinite(x_task) and x_task >= 1.0:
+        two_x = float(large_task_bound(params))
+        _check(
+            report, "speedup-bound-2x",
+            speedup <= min(two_x, 2.0) * (1.0 + rel_tol),
+            f"{label}: speedup {speedup:g} exceeds the large-task "
+            f"bound {min(two_x, 2.0):g} at X_task={x_task:g}",
+        )
+
+
+def audit_comparison(
+    frtr: Any, prtr: Any, *, rel_tol: float = 1e-6
+) -> AuditReport:
+    """Check a paired FRTR/PRTR measurement against the model bounds.
+
+    Platform ratios come from the PRTR run's notes
+    (``t_config_full`` / ``t_config_partial`` / ``mean_task_time``).
+    """
+    report = AuditReport()
+    if prtr.total_time <= 0:
+        return report
+    t_full = prtr.notes.get("t_config_full")
+    t_part = prtr.notes.get("t_config_partial")
+    if not t_full or t_part is None:
+        return report
+    t_task = prtr.notes.get("mean_task_time", float("nan"))
+    _bound_checks(
+        report,
+        speedup=frtr.total_time / prtr.total_time,
+        x_prtr=t_part / t_full,
+        x_task=t_task / t_full if t_full else float("nan"),
+        hit_ratio=prtr.hit_ratio,
+        label=f"compare({prtr.trace_name})",
+        rel_tol=rel_tol,
+    )
+    return report
+
+
+def audit_sweep_points(
+    points: Sequence[Any], *, rel_tol: float = 1e-6
+) -> AuditReport:
+    """Audit a reliability-sweep grid (FaultSweepPoint-shaped rows)."""
+    report = AuditReport()
+    for p in points:
+        label = f"point(rate={p.fault_rate:g}, H={p.target_hit_ratio:g})"
+        implied = (
+            p.frtr_time / p.prtr_time if p.prtr_time > 0 else 0.0
+        )
+        _check(
+            report, "sweep-consistency",
+            abs(p.speedup - implied) <= rel_tol * max(1.0, implied)
+            and 0.0 <= p.availability <= 1.0 + rel_tol
+            and p.mttr >= 0.0
+            and 0.0 <= p.hit_ratio <= 1.0,
+            f"{label}: internal accounting is inconsistent",
+        )
+        _bound_checks(
+            report,
+            speedup=p.speedup,
+            x_prtr=getattr(p, "x_prtr", float("nan")),
+            x_task=getattr(p, "x_task", float("nan")),
+            hit_ratio=p.hit_ratio,
+            label=label,
+            rel_tol=rel_tol,
+        )
+    return report
+
+
+# -- cluster checks -------------------------------------------------------
+
+
+def audit_cluster(
+    result: Any, planned_calls: int, *, rel_tol: float = 1e-9
+) -> AuditReport:
+    """Audit a :class:`~repro.rtr.cluster.ClusterResult`.
+
+    ``planned_calls`` is the total number of calls submitted across all
+    per-blade traces (degraded blades record fewer than they were
+    given, so the result alone cannot reconstruct it).
+    """
+    report = AuditReport()
+    for blade in list(result.blades) + list(result.redistributed):
+        report.merge(audit_run(blade, rel_tol=rel_tol))
+
+    if not getattr(result, "interrupted", False):
+        completed = result.completed_calls
+        redistributed = int(result.notes.get("redistributed_calls", 0.0))
+        abandoned = int(result.notes.get("abandoned_calls", 0.0))
+        wave_calls = sum(w.n_calls for w in result.redistributed)
+        base_ok = sum(
+            sum(1 for r in b.records if not r.failed)
+            for b in result.blades
+        )
+        _check(
+            report, "call-conservation",
+            base_ok + redistributed + abandoned == planned_calls
+            and (not result.redistributed or wave_calls == redistributed)
+            and completed <= planned_calls,
+            f"cluster run accounts for "
+            f"{base_ok + redistributed + abandoned} of "
+            f"{planned_calls} submitted calls",
+        )
+        tol = rel_tol * max(1.0, result.makespan)
+        _check(
+            report, "server-accounting",
+            0.0 <= result.server_busy_time <= result.makespan + tol,
+            f"server busy time {result.server_busy_time:g} exceeds the "
+            f"makespan {result.makespan:g}",
+        )
+    report.raise_if_strict()
+    return report

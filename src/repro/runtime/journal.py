@@ -1,0 +1,216 @@
+"""Durable run journal: append-only JSONL checkpoints for long runs.
+
+A *journal* is the crash-safety substrate of :mod:`repro.runtime`: every
+completed unit of work (a grid point of a sweep, a finished cluster run)
+is recorded as one JSON line in ``<run_dir>/journal.jsonl`` *before* the
+next unit starts.  A run killed at any instant therefore loses at most
+the unit in flight, and ``resume`` replays the journal instead of the
+work.
+
+Durability contract
+-------------------
+* Every mutation rewrites the whole journal to a temporary file in the
+  same directory, flushes, fsyncs, then ``os.replace``-renames it over
+  the live file.  The rename is atomic on POSIX, so a reader (or a
+  resumed run) sees either the old journal or the new one — never a
+  partially written file.
+* The loader additionally tolerates a *torn tail*: if the final line
+  fails to parse as JSON (a crash mid-write through some non-atomic
+  channel, a truncated copy), that line alone is dropped and counted in
+  :attr:`RunJournal.dropped_lines`.  Any earlier malformed line is an
+  error — corruption in the middle of a journal is not a crash artifact.
+* Record keys are unique; re-recording a key raises.  A ``seal`` record
+  marks the run complete; sealed journals refuse further records.
+
+Record grammar (one JSON object per line)::
+
+    {"kind": "header", "version": 1, "meta": {...}}
+    {"kind": "point", "key": "<unique id>", "payload": {...}}
+    {"kind": "seal", "n_points": <int>}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator, Mapping
+
+__all__ = ["JournalError", "RunJournal", "atomic_write_text"]
+
+JOURNAL_NAME = "journal.jsonl"
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """Raised for malformed or misused journals."""
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via write-then-rename (crash atomic)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = os.path.join(directory, f".{os.path.basename(path)}.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _encode(record: Mapping[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class RunJournal:
+    """Append-only checkpoint journal for one run directory.
+
+    Construct via :meth:`create` (fresh run) or :meth:`load` (resume);
+    the bare constructor is internal.
+    """
+
+    def __init__(
+        self,
+        run_dir: str,
+        meta: Mapping[str, Any],
+        points: dict[str, Any],
+        *,
+        sealed: bool = False,
+        dropped_lines: int = 0,
+    ) -> None:
+        self.run_dir = run_dir
+        self.meta = dict(meta)
+        self._points = points
+        self._sealed = sealed
+        #: torn trailing lines dropped while loading (0 or 1)
+        self.dropped_lines = dropped_lines
+
+    # -- construction -----------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.run_dir, JOURNAL_NAME)
+
+    @classmethod
+    def create(
+        cls, run_dir: str, meta: Mapping[str, Any] | None = None
+    ) -> "RunJournal":
+        """Start a fresh journal; refuses to clobber an existing one."""
+        os.makedirs(run_dir, exist_ok=True)
+        journal = cls(run_dir, meta or {}, {})
+        if os.path.exists(journal.path):
+            raise FileExistsError(
+                f"journal already exists in {run_dir!r}; "
+                "pass resume=True (CLI: --resume) to continue it"
+            )
+        journal._flush()
+        return journal
+
+    @classmethod
+    def load(cls, run_dir: str) -> "RunJournal":
+        """Load an existing journal (for resume or inspection)."""
+        path = os.path.join(run_dir, JOURNAL_NAME)
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"no journal found in {run_dir!r}")
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        records: list[dict[str, Any]] = []
+        dropped = 0
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    dropped += 1  # torn tail from a crash mid-write
+                    continue
+                raise JournalError(
+                    f"{path}:{lineno + 1}: malformed journal line"
+                )
+        if not records or records[0].get("kind") != "header":
+            raise JournalError(f"{path}: missing header record")
+        header = records[0]
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{path}: journal version {header.get('version')!r} "
+                f"!= supported {JOURNAL_VERSION}"
+            )
+        points: dict[str, Any] = {}
+        sealed = False
+        for rec in records[1:]:
+            kind = rec.get("kind")
+            if kind == "point":
+                key = rec["key"]
+                if key in points:
+                    raise JournalError(f"{path}: duplicate key {key!r}")
+                points[key] = rec["payload"]
+            elif kind == "seal":
+                sealed = True
+            else:
+                raise JournalError(
+                    f"{path}: unknown record kind {kind!r}"
+                )
+        return cls(
+            run_dir,
+            header.get("meta", {}),
+            points,
+            sealed=sealed,
+            dropped_lines=dropped,
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def n_points(self) -> int:
+        return len(self._points)
+
+    def has(self, key: str) -> bool:
+        return key in self._points
+
+    def payload(self, key: str) -> Any:
+        return self._points[key]
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._points)
+
+    # -- mutation ---------------------------------------------------------
+
+    def record(self, key: str, payload: Any) -> None:
+        """Checkpoint one completed unit of work (atomic on return)."""
+        if self._sealed:
+            raise JournalError("journal is sealed; no further records")
+        if key in self._points:
+            raise JournalError(f"duplicate journal key {key!r}")
+        json.dumps(payload)  # fail fast on unserializable payloads
+        self._points[key] = payload
+        self._flush()
+
+    def seal(self) -> None:
+        """Mark the run complete (idempotent)."""
+        if self._sealed:
+            return
+        self._sealed = True
+        self._flush()
+
+    def _flush(self) -> None:
+        lines = [
+            _encode(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "meta": self.meta,
+                }
+            )
+        ]
+        lines.extend(
+            _encode({"kind": "point", "key": k, "payload": v})
+            for k, v in self._points.items()
+        )
+        if self._sealed:
+            lines.append(
+                _encode({"kind": "seal", "n_points": len(self._points)})
+            )
+        atomic_write_text(self.path, "\n".join(lines) + "\n")

@@ -232,6 +232,10 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._event_count = 0
+        #: optional cancellation hook (:class:`repro.runtime.watchdog.
+        #: Watchdog`-shaped: ``after_event(sim)`` raising to cancel);
+        #: duck-typed so the kernel stays dependency-free
+        self.watchdog: Any = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -295,6 +299,8 @@ class Simulator:
                     self.now = until
                     break
                 self.step()
+                if self.watchdog is not None:
+                    self.watchdog.after_event(self)
         finally:
             self._running = False
         return self.now

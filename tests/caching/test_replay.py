@@ -113,3 +113,57 @@ class TestReplayInvariants:
         t = trace_of(names)
         result = replay(t, ConfigCache(1, LruPolicy()))
         assert result.hit_ratio == 0.0  # alternating on one slot
+
+
+class TestPrefetchAttribution:
+    """The useful-prefetch bookkeeping around evictions."""
+
+    def test_accuracy_is_zero_without_prefetches(self):
+        result = replay(trace_of(["a", "a"]), ConfigCache(2, LruPolicy()))
+        assert result.prefetches == 0
+        assert result.prefetch_accuracy == 0.0
+
+    def test_evicted_prefetch_loses_attribution(self):
+        # Width-2 oracle on 2 LRU slots: "c" is staged at the first call
+        # but evicted before its reference, so the call misses and the
+        # stale marker must not count as useful.
+        names = ["a", "b", "c", "a"]
+        result = replay(
+            trace_of(names), ConfigCache(2, LruPolicy()),
+            OraclePrefetcher(names), prefetch_width=2,
+        )
+        assert result.prefetches == 3
+        assert result.useful_prefetches == 2  # "b" and the refetched "a"
+        assert result.stats.misses == 2  # cold "a" plus the evicted "c"
+        assert result.prefetch_accuracy == pytest.approx(2 / 3)
+
+    def test_single_slot_oracle_hits_through_displacement(self):
+        # One slot: each prefetch displaces the module just used, which
+        # is exactly right when the oracle knows the next reference.
+        names = ["a", "b", "a"]
+        result = replay(
+            trace_of(names), ConfigCache(1, LruPolicy()),
+            OraclePrefetcher(names), prefetch_width=1,
+        )
+        assert result.stats.hits == 2
+        assert result.useful_prefetches == 2
+
+    def test_wide_prefetch_fills_at_most_width_per_call(self):
+        names = ["a", "b", "c", "d"] * 5
+        result = replay(
+            trace_of(names), ConfigCache(3, LruPolicy()),
+            OraclePrefetcher(names), prefetch_width=2,
+        )
+        assert result.prefetches <= 2 * len(names)
+        assert result.useful_prefetches <= result.prefetches
+
+    def test_result_metadata(self):
+        names = ["a", "b"]
+        result = replay(
+            trace_of(names), ConfigCache(2, LruPolicy()),
+            MarkovPrefetcher(),
+        )
+        assert result.trace_name == "t"
+        assert result.slots == 2
+        assert result.policy == "lru"
+        assert result.prefetcher == "markov"

@@ -53,6 +53,13 @@ def test_multitasking(capsys):
     assert "multi-tasking speedup" in out
 
 
+def test_crash_safe_sweep(capsys):
+    out = run_example("crash_safe_sweep.py", capsys)
+    assert "Crash-safe sweep" in out
+    assert "bit-identical" in out
+    assert "DIVERGED" not in out
+
+
 def test_capacity_planning(capsys):
     out = run_example("capacity_planning.py", capsys)
     assert "Recommended design" in out

@@ -1,0 +1,161 @@
+"""Watchdog semantics, including the DES edge cases.
+
+The deterministic contracts under test:
+
+* an event scheduled *exactly at* ``max_sim_time`` still runs — only the
+  first strictly-later event trips the deadline;
+* a zero-delay livelock (events that never advance the clock) trips the
+  ``no-progress`` heuristic at exactly ``stall_events`` events;
+* wall-clock expiry uses ``>=``, so a zero budget trips at the first
+  check (and is host-speed independent via an injected clock).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import pytest
+
+from repro.runtime.watchdog import Watchdog, WatchdogExpired
+from repro.sim.engine import Delay, Simulator
+
+
+def ticking(sim: Simulator, log: list[float], period: float = 1.0):
+    def proc() -> Generator[Any, Any, None]:
+        while True:
+            yield Delay(period)
+            log.append(sim.now)
+
+    return proc()
+
+
+class TestConstruction:
+    def test_needs_at_least_one_limit(self):
+        with pytest.raises(ValueError, match="at least one limit"):
+            Watchdog()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_sim_time": -1.0},
+            {"max_events": 0},
+            {"stall_events": 0},
+            {"max_wall_s": -0.5},
+        ],
+    )
+    def test_rejects_bad_limits(self, kwargs):
+        with pytest.raises(ValueError):
+            Watchdog(**kwargs)
+
+
+class TestSimDeadline:
+    def test_event_exactly_at_deadline_still_runs(self):
+        sim = Simulator()
+        ticks: list[float] = []
+        sim.spawn(ticking(sim, ticks), name="tick")
+        sim.watchdog = Watchdog(max_sim_time=2.0).start(sim)
+        with pytest.raises(WatchdogExpired) as excinfo:
+            sim.run()
+        # The tick at t=2.0 (the boundary) ran; t=3.0 tripped the check.
+        assert 2.0 in ticks
+        assert ticks == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0
+        assert excinfo.value.reason == "sim-deadline"
+        assert sim.watchdog.expired_reason == "sim-deadline"
+
+    def test_run_ending_before_deadline_is_untouched(self):
+        sim = Simulator()
+        ticks: list[float] = []
+
+        def finite() -> Generator[Any, Any, None]:
+            for _ in range(3):
+                yield Delay(0.5)
+                ticks.append(sim.now)
+
+        sim.spawn(finite(), name="finite")
+        sim.watchdog = Watchdog(max_sim_time=10.0).start(sim)
+        sim.run()
+        assert ticks == [0.5, 1.0, 1.5]
+
+
+class TestStallDetection:
+    def test_zero_delay_livelock_trips(self):
+        sim = Simulator()
+
+        def livelock() -> Generator[Any, Any, None]:
+            while True:
+                yield Delay(0.0)
+
+        sim.spawn(livelock(), name="livelock")
+        sim.watchdog = Watchdog(stall_events=25).start(sim)
+        with pytest.raises(WatchdogExpired) as excinfo:
+            sim.run()
+        assert excinfo.value.reason == "no-progress"
+        assert sim.now == 0.0  # the clock never advanced
+
+    def test_clock_advance_resets_the_counter(self):
+        sim = Simulator()
+        ticks: list[float] = []
+        # Alternating zero-delay and real-delay events never accumulate
+        # enough consecutive stalled events to trip.
+        def mixed() -> Generator[Any, Any, None]:
+            for _ in range(20):
+                yield Delay(0.0)
+                yield Delay(0.1)
+                ticks.append(sim.now)
+
+        sim.spawn(mixed(), name="mixed")
+        sim.watchdog = Watchdog(stall_events=3).start(sim)
+        sim.run()
+        assert len(ticks) == 20
+
+
+class TestEventBudget:
+    def test_budget_counts_from_start(self):
+        sim = Simulator()
+        ticks: list[float] = []
+        sim.spawn(ticking(sim, ticks, period=0.25), name="tick")
+        sim.watchdog = Watchdog(max_events=5).start(sim)
+        with pytest.raises(WatchdogExpired) as excinfo:
+            sim.run()
+        assert excinfo.value.reason == "event-budget"
+        assert sim.events_processed == 5
+
+    def test_start_rebases_the_counter(self):
+        sim = Simulator()
+        ticks: list[float] = []
+
+        def burst(n: int) -> Generator[Any, Any, None]:
+            for _ in range(n):
+                yield Delay(1.0)
+                ticks.append(sim.now)
+
+        sim.spawn(burst(4), name="first")
+        sim.run()
+        # Re-arming against the same simulator must not charge the new
+        # budget for the 4 events already processed.
+        sim.spawn(burst(4), name="second")
+        sim.watchdog = Watchdog(max_events=10).start(sim)
+        sim.run()
+        assert len(ticks) == 8
+
+
+class TestWallDeadline:
+    def test_zero_budget_trips_at_first_check(self):
+        wd = Watchdog(max_wall_s=0.0, clock=lambda: 100.0).start()
+        with pytest.raises(WatchdogExpired) as excinfo:
+            wd.check_wall()
+        assert excinfo.value.reason == "wall-deadline"
+
+    def test_fake_clock_controls_expiry(self):
+        times = iter([0.0, 1.0, 2.0, 6.0])
+        wd = Watchdog(max_wall_s=5.0, clock=lambda: next(times))
+        wd.start()  # t=0
+        wd.check_wall()  # t=1: fine
+        wd.check_wall()  # t=2: fine
+        with pytest.raises(WatchdogExpired):
+            wd.check_wall()  # t=6 >= 5
+
+    def test_check_wall_without_wall_limit_is_noop(self):
+        wd = Watchdog(max_sim_time=1.0)
+        wd.check_wall()  # never raises, never needs start()

@@ -95,6 +95,121 @@ class TestCommands:
         assert "PASS" in out and "FAIL" not in out
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+SWEEP_ARGS = [
+    "--rates", "0,0.01", "--hit-ratios", "0", "--calls", "6",
+    "--task-time", "0.05", "--quiet",
+]
+
+
+class TestSweep:
+    def test_end_to_end_writes_journal_and_report(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        csv = tmp_path / "sweep.csv"
+        rc = main(
+            ["sweep", "--run-dir", str(run_dir), "--csv", str(csv)]
+            + SWEEP_ARGS
+        )
+        assert rc == 0
+        assert (run_dir / "journal.jsonl").exists()
+        assert (run_dir / "invariants.json").exists()
+        assert csv.exists()
+        out = capsys.readouterr().out
+        assert "Crash-safe fault sweep" in out
+        assert "invariants: " in out and "OK" in out
+
+    def test_zero_deadline_exits_3_then_resume_completes(
+        self, capsys, tmp_path
+    ):
+        run_dir = str(tmp_path / "run")
+        rc = main(
+            ["sweep", "--run-dir", run_dir, "--deadline", "0"] + SWEEP_ARGS
+        )
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "rerun with --resume" in err
+
+        rc = main(["sweep", "--run-dir", run_dir, "--resume"] + SWEEP_ARGS)
+        assert rc == 0
+        assert "replayed 0, computed 2" in capsys.readouterr().out
+
+    def test_resume_replays_a_finished_run(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "run")
+        assert main(["sweep", "--run-dir", run_dir] + SWEEP_ARGS) == 0
+        capsys.readouterr()
+        assert (
+            main(["sweep", "--run-dir", run_dir, "--resume"] + SWEEP_ARGS)
+            == 0
+        )
+        assert "replayed 2, computed 0" in capsys.readouterr().out
+
+    def test_strict_invariants_flag_accepted(self, capsys, tmp_path):
+        rc = main(
+            ["sweep", "--run-dir", str(tmp_path / "r"),
+             "--strict-invariants"] + SWEEP_ARGS
+        )
+        assert rc == 0
+        # The global strict flag must be restored afterwards.
+        from repro.runtime.invariants import strict_enabled
+
+        assert not strict_enabled()
+
+
+class TestErrorHandling:
+    """Usage failures exit 2 with one stderr line and no traceback."""
+
+    def one_line(self, capsys) -> str:
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1, err
+        assert "Traceback" not in err
+        return lines[0]
+
+    def test_existing_run_dir_without_resume(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "run")
+        assert main(["sweep", "--run-dir", run_dir] + SWEEP_ARGS) == 0
+        capsys.readouterr()
+        rc = main(["sweep", "--run-dir", run_dir] + SWEEP_ARGS)
+        assert rc == 2
+        line = self.one_line(capsys)
+        assert line.startswith("repro: error:") and "--resume" in line
+
+    def test_resume_of_missing_run_dir(self, capsys, tmp_path):
+        rc = main(
+            ["sweep", "--run-dir", str(tmp_path / "nope"), "--resume"]
+            + SWEEP_ARGS
+        )
+        assert rc == 2
+        assert "no journal" in self.one_line(capsys)
+
+    def test_bad_rates_value(self, capsys):
+        assert main(["faults", "--rates", "abc"]) == 2
+        line = self.one_line(capsys)
+        assert "comma-separated numbers" in line and "abc" in line
+
+    def test_bad_sweep_hit_ratios(self, capsys, tmp_path):
+        rc = main(
+            ["sweep", "--run-dir", str(tmp_path / "r"),
+             "--hit-ratios", "x,y"]
+        )
+        assert rc == 2
+        assert "--hit-ratios" in self.one_line(capsys)
+
+    def test_unknown_subcommand_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no-such-command"])
+        assert excinfo.value.code == 2
+
+
 class TestReport:
     def test_report_generates_and_passes(self, capsys, tmp_path):
         out_path = tmp_path / "REPORT.md"
