@@ -17,7 +17,14 @@ Package map
 :mod:`repro.caching`
     Configuration cache policies and prefetchers (the ``H`` machinery).
 :mod:`repro.rtr`
-    FRTR and PRTR executors plus the compare runner.
+    FRTR and PRTR executors plus the compare and cluster runners.
+:mod:`repro.faults`
+    Fault injection, CRC/readback detection, recovery policies.
+:mod:`repro.runtime`
+    Crash-safe journaling, watchdog cancellation, invariant audits.
+:mod:`repro.obs`
+    Opt-in observability: metrics, Chrome-trace export, profiling,
+    utilization rollups (see ``docs/OBSERVABILITY.md``).
 :mod:`repro.analysis`
     Model-vs-simulation validation, Table 2 calibration, tables/plots.
 :mod:`repro.experiments`
@@ -31,7 +38,7 @@ Quickstart::
     6.88
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .model import (
     ModelParameters,

@@ -10,6 +10,8 @@
     python -m repro faults --rates 0,0.01,0.1,0.3
     python -m repro sweep --run-dir runs/night --deadline 3600
     python -m repro sweep --run-dir runs/night --resume
+    python -m repro trace --out trace.json
+    python -m repro metrics --profile
     python -m repro validate
     python -m repro all
 
@@ -292,6 +294,91 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if outcome.audit.ok else 1
 
 
+def _observability_workload(n_calls: int):
+    """The quickstart workload both observability verbs instrument."""
+    from .workloads import CallTrace, HardwareTask
+
+    names = ("median", "sobel", "smoothing")
+    lib = {name: HardwareTask(name, 0.05) for name in names}
+    return CallTrace(
+        [lib[names[i % len(names)]] for i in range(n_calls)],
+        name="quickstart",
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import metrics as obsm
+    from .obs.tracing import (
+        comparison_to_chrome,
+        trace_document,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+    from .rtr.runner import compare
+
+    with obsm.observed():
+        comparison = compare(_observability_workload(args.calls))
+    events = comparison_to_chrome(comparison)
+    problems = validate_chrome_trace(trace_document(events))
+    if problems:
+        for problem in problems:
+            print(f"repro: trace schema: {problem}", file=sys.stderr)
+        return 1
+    write_chrome_trace(args.out, events)
+    n_spans = sum(1 for ev in events if ev["ph"] == "X")
+    print(
+        f"wrote {args.out}: {n_spans} spans across 2 runs "
+        f"(FRTR {comparison.frtr.total_time:.4g} s, "
+        f"PRTR {comparison.prtr.total_time:.4g} s, "
+        f"speedup {comparison.speedup:.2f}x)"
+    )
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+    if args.json:
+        print(json.dumps(obsm.get_registry().snapshot(), indent=2))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import metrics as obsm
+    from .obs.profile import profiled
+    from .obs.report import render_utilization
+    from .rtr.runner import ComparisonResult, make_node
+    from .rtr.frtr import FrtrExecutor
+    from .rtr.prtr import PrtrExecutor
+    from .runtime.invariants import audit_metrics
+
+    trace = _observability_workload(args.calls)
+    with obsm.observed():
+        frtr = FrtrExecutor(make_node()).run(trace)
+        prtr_node = make_node()
+        if args.profile:
+            with profiled(prtr_node.sim) as profiler:
+                prtr = PrtrExecutor(prtr_node).run(trace)
+        else:
+            prtr = PrtrExecutor(prtr_node).run(trace)
+        comparison = ComparisonResult(frtr=frtr, prtr=prtr)
+        snapshot = obsm.snapshot()
+        audit = audit_metrics(snapshot)
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0 if audit.ok else 1
+    print(obsm.render())
+    print()
+    print(render_utilization(prtr))
+    print()
+    print(f"measured speedup      : {comparison.speedup:.2f}x")
+    if args.profile:
+        print()
+        print("DES hot-path profile (PRTR run, wall clock):")
+        print(profiler.render(args.top))
+    print(f"\n{audit.summary_line()}")
+    return 0 if audit.ok else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -359,9 +446,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     rc = 0
     for name, fn in _COMMANDS.items():
-        # "sweep" needs a --run-dir and "report" writes a file; neither
-        # belongs in the zero-argument smoke pass.
-        if name in ("all", "report", "sweep"):
+        # "sweep" needs a --run-dir; "report" and "trace" write files;
+        # none of them belongs in the zero-argument smoke pass.
+        if name in ("all", "report", "sweep", "trace"):
             continue
         print("=" * 72)
         print(f"== {name}")
@@ -382,6 +469,8 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "ablation-granularity": _cmd_ablation_granularity,
     "faults": _cmd_faults,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "validate": _cmd_validate,
     "report": _cmd_report,
     "all": _cmd_all,
@@ -474,6 +563,37 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--csv", type=str, default="")
     ps.add_argument("--quiet", action="store_true",
                     help="suppress per-point progress lines")
+
+    pt = sub.add_parser(
+        "trace",
+        help="export an instrumented FRTR/PRTR run as Chrome trace JSON",
+    )
+    pt.add_argument(
+        "--out", type=str, default="trace.json",
+        help="output path (load it in Perfetto / chrome://tracing)",
+    )
+    pt.add_argument("--calls", type=int, default=30)
+    pt.add_argument(
+        "--json", action="store_true",
+        help="also print the metrics snapshot as JSON",
+    )
+
+    pm = sub.add_parser(
+        "metrics",
+        help="run the quickstart workload instrumented; print counters "
+             "and the utilization rollup",
+    )
+    pm.add_argument("--calls", type=int, default=30)
+    pm.add_argument(
+        "--json", action="store_true",
+        help="print the raw metrics snapshot as JSON instead of tables",
+    )
+    pm.add_argument(
+        "--profile", action="store_true",
+        help="profile the DES hot path (wall clock per event type)",
+    )
+    pm.add_argument("--top", type=int, default=10,
+                    help="profile rows to show")
 
     sub.add_parser("validate", help="model-vs-simulation validation")
     pr = sub.add_parser("report", help="write the full REPORT.md")

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import metrics as obsm
 from .errors import ReconfigurationFault, TransferCorruption
 
 __all__ = [
@@ -113,9 +114,14 @@ class RecoveryPolicy:
     ) -> RecoveryAction:
         """Decide the next step after failed attempt number ``attempt``."""
         if attempt >= self.max_attempts:
-            return RecoveryAction(self.exhausted)
-        kind = "refetch" if self._wants_refetch(fault) else "retry"
-        return RecoveryAction(kind, delay=self.backoff_delay(attempt))
+            action = RecoveryAction(self.exhausted)
+        else:
+            kind = "refetch" if self._wants_refetch(fault) else "retry"
+            action = RecoveryAction(kind, delay=self.backoff_delay(attempt))
+        obsm.counter("repro_recovery_actions_total").inc(
+            action=action.kind
+        )
+        return action
 
     def _wants_refetch(self, fault: ReconfigurationFault) -> bool:
         return self.refetch or isinstance(fault, TransferCorruption)

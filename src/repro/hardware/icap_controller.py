@@ -28,6 +28,7 @@ from typing import Any, Generator
 from ..faults.detection import CrcChecker
 from ..faults.errors import TransferCorruption, WriteAbort
 from ..faults.injector import FaultInjector
+from ..obs import metrics as obsm
 from ..sim.engine import AllOf, Delay, Simulator
 from ..sim.resources import BandwidthChannel, MutexResource
 from .bitstream import Bitstream
@@ -168,6 +169,7 @@ class IcapController:
         sizes = self._chunk_sizes(bitstream.nbytes)
 
         yield from self.icap_mutex.acquire(owner)
+        held_at = self.sim.now
         try:
             # Fill the first BRAM bank.
             yield from self._fill_chunk(bitstream, 0, sizes[0], owner)
@@ -177,6 +179,7 @@ class IcapController:
                     # The state machine died partway through the write;
                     # pay the wasted fraction of the drain, then fail.
                     self.write_aborts += 1
+                    obsm.counter("repro_icap_write_aborts_total").inc()
                     yield Delay(self.injector.abort_fraction() * drain)
                     raise WriteAbort(
                         f"ICAP write abort on chunk {i} of {bitstream.name!r}"
@@ -205,7 +208,14 @@ class IcapController:
                     yield Delay(drain)
             self.configurations += 1
             self.bytes_configured += bitstream.nbytes
+            obsm.counter("repro_icap_configurations_total").inc()
+            obsm.counter("repro_icap_bytes_total").inc(bitstream.nbytes)
         finally:
+            # Busy time covers failed attempts too: the mutex was held
+            # either way, which is what occupancy reports care about.
+            obsm.counter("repro_icap_busy_seconds_total").inc(
+                self.sim.now - held_at
+            )
             self.icap_mutex.release(owner)
         return self.sim.now
 
@@ -233,6 +243,7 @@ class IcapController:
             return
         for _attempt in range(self.max_chunk_retries):
             self.chunk_retransmits += 1
+            obsm.counter("repro_icap_chunk_retransmits_total").inc()
             check = self.crc.check_time(nbytes)
             if check:
                 yield Delay(check)

@@ -29,6 +29,7 @@ from ..faults.injector import FaultConfig, FaultInjector
 from ..faults.recovery import RecoveryPolicy
 from ..hardware.node import XD1Node
 from ..hardware.prr import Floorplan, dual_prr_floorplan
+from ..obs import metrics as obsm
 from ..runtime.invariants import audit_cluster
 from ..runtime.watchdog import Watchdog, WatchdogExpired
 from ..sim.engine import Simulator
@@ -192,10 +193,12 @@ def run_cluster(
     if watchdog is not None:
         sim.watchdog = watchdog.start(sim)
     interrupted: str | None = None
+    interrupt_kind = ""
     try:
         sim.run()
     except WatchdogExpired as exc:
         interrupted = str(exc)
+        interrupt_kind = exc.reason
     blades = [p.finalize(interrupted=interrupted) for p in pendings]
 
     # -- graceful degradation: redistribute abandoned work ----------------
@@ -229,6 +232,7 @@ def run_cluster(
                 sim.run()
             except WatchdogExpired as exc:
                 interrupted = str(exc)
+                interrupt_kind = exc.reason
             redistributed = [
                 p.finalize(interrupted=interrupted) for p in wave
             ]
@@ -252,6 +256,17 @@ def run_cluster(
         interrupted=interrupted is not None,
         interrupt_reason=interrupted or "",
     )
+    if degraded:
+        obsm.counter("repro_cluster_blades_degraded_total").inc(
+            len(degraded)
+        )
+    obsm.counter("repro_cluster_server_bytes_total").inc(
+        server.bytes_moved
+    )
+    if interrupted is not None:
+        obsm.counter("repro_watchdog_expirations_total").inc(
+            reason=interrupt_kind or "unknown"
+        )
     report = audit_cluster(result, sum(len(t) for t in traces))
     result.notes["invariant_violations"] = float(len(report.violations))
     return result

@@ -12,6 +12,7 @@ from typing import Any, Generator
 from ..faults.errors import TransferCorruption, WriteAbort
 from ..faults.recovery import RecoveryPolicy
 from ..hardware.node import XD1Node
+from ..obs import metrics as obsm
 from ..sim.engine import Delay, Simulator
 from ..sim.resources import BandwidthChannel
 from ..sim.trace import Phase, Timeline
@@ -102,6 +103,13 @@ class FrtrExecutor:
 
         notes_extra: dict[str, float] = {}
 
+        # No-op NULL instruments while observability is disabled.
+        m_calls = obsm.counter("repro_calls_total")
+        m_configs = obsm.counter("repro_configurations_total")
+        m_config_s = obsm.histogram("repro_config_seconds")
+        m_stage_s = obsm.histogram("repro_stage_seconds")
+        m_recovery_s = obsm.counter("repro_recovery_seconds_total")
+
         def config_attempt(
             call_index: int, fetch: bool
         ) -> Generator[Any, Any, None]:
@@ -155,6 +163,10 @@ class FrtrExecutor:
                             failed=True,
                         )
                     )
+                    m_calls.inc(mode="frtr", lane=lane)
+                    m_stage_s.observe(sim.now - stage_start, mode="frtr")
+                    if outcome.recovery_time:
+                        m_recovery_s.inc(outcome.recovery_time)
                     notes_extra["degraded"] = 1.0
                     notes_extra["degraded_at"] = float(call.index)
                     return
@@ -162,6 +174,8 @@ class FrtrExecutor:
                     Phase.CONFIG, cfg_start, sim.now, task=call.name,
                     note="full", lane=lane,
                 )
+                m_configs.inc(kind="full")
+                m_config_s.observe(sim.now - cfg_start, kind="full")
                 t0 = sim.now
                 if self.control_time:
                     yield Delay(self.control_time)
@@ -187,6 +201,10 @@ class FrtrExecutor:
                         recovery_time=outcome.recovery_time,
                     )
                 )
+                m_calls.inc(mode="frtr", lane=lane)
+                m_stage_s.observe(sim.now - stage_start, mode="frtr")
+                if outcome.recovery_time:
+                    m_recovery_s.inc(outcome.recovery_time)
 
         sim.spawn(main(), name=f"frtr:{lane}")
 
@@ -197,7 +215,9 @@ class FrtrExecutor:
                 trace_name=trace.name,
                 total_time=total,
                 records=records,
-                timeline=timeline,
+                # Freeze: the executor is done writing; aliased list refs
+                # (the cluster merges many of these) must not corrupt it.
+                timeline=timeline.freeze(),
                 startup_time=0.0,
                 interrupted=interrupted is not None,
                 interrupt_reason=interrupted or "",
@@ -221,6 +241,12 @@ class FrtrExecutor:
         pending = self.launch(trace)
         self.node.sim.run()
         result = pending.finalize()
+        obsm.gauge("repro_run_sim_seconds").set(
+            result.total_time, mode="frtr"
+        )
+        obsm.gauge("repro_run_events").set(
+            self.node.sim.events_processed, mode="frtr"
+        )
         audit_and_record(result)
         return result
 

@@ -35,6 +35,7 @@ from ..caching.policies import LruPolicy
 from ..faults.errors import TransferCorruption, WriteAbort
 from ..faults.recovery import RecoveryPolicy
 from ..hardware.bitstream import Bitstream
+from ..obs import metrics as obsm
 from ..hardware.node import XD1Node
 from ..sim.engine import AllOf, Delay, Simulator
 from ..sim.trace import Phase, Timeline
@@ -241,6 +242,16 @@ class PrtrExecutor:
         outcomes: dict[int, ConfigOutcome] = {}
         fallback_attr: list[bool] = [False] * n
 
+        # Observability instruments — the shared no-op NULL while
+        # observability is disabled, so the hot path stays untouched.
+        m_cache = obsm.counter("repro_cache_events_total")
+        m_prefetch = obsm.counter("repro_prefetch_outcomes_total")
+        m_calls = obsm.counter("repro_calls_total")
+        m_configs = obsm.counter("repro_configurations_total")
+        m_config_s = obsm.histogram("repro_config_seconds")
+        m_stage_s = obsm.histogram("repro_stage_seconds")
+        m_recovery_s = obsm.counter("repro_recovery_seconds_total")
+
         def startup() -> Generator[Any, Any, tuple[float, ConfigOutcome]]:
             t_start = sim.now
             if self.decision_time:
@@ -258,6 +269,8 @@ class PrtrExecutor:
                 timeline.add(Phase.CONFIG, t0, sim.now, note="degraded")
                 return sim.now - t_start, outcome
             timeline.add(Phase.CONFIG, t0, sim.now, note="initial full")
+            m_configs.inc(kind="full")
+            m_config_s.observe(sim.now - t0, kind="full")
             # The full bitstream instantiates the first module in PRR 0.
             self.cache.fill(calls[0].name)
             hit[0] = not self.force_miss
@@ -265,6 +278,7 @@ class PrtrExecutor:
                 self.cache.stats.hits += 1
             else:
                 self.cache.stats.misses += 1
+            m_cache.inc(result="hit" if hit[0] else "miss")
             return sim.now - t_start, outcome
 
         def degrade_run(index: int, outcome: ConfigOutcome) -> None:
@@ -332,6 +346,8 @@ class PrtrExecutor:
                     resident = self.cache.contains(nxt.name)
                     is_hit = resident and not self.force_miss
                     hit[i + 1] = is_hit
+                    m_cache.inc(result="hit" if is_hit else "miss")
+                    m_prefetch.inc(result="hit" if is_hit else "miss")
                     if is_hit:
                         self.cache.stats.hits += 1
                         self.cache.policy.on_access(nxt.name)
@@ -365,6 +381,10 @@ class PrtrExecutor:
                                         task=module,
                                         lane="icap",
                                         note="partial",
+                                    )
+                                    m_configs.inc(kind="partial")
+                                    m_config_s.observe(
+                                        sim.now - c0, kind="partial"
                                     )
                                 config_attr[idx] = sim.now - c0
 
@@ -401,6 +421,8 @@ class PrtrExecutor:
                             lane="icap",
                             note="partial-serial",
                         )
+                        m_configs.inc(kind="partial")
+                        m_config_s.observe(sim.now - t0, kind="partial")
                         if not self.cache.contains(nxt.name):
                             self.cache.fill(nxt.name)
 
@@ -424,6 +446,10 @@ class PrtrExecutor:
                         recovery_time=out_i.recovery_time if out_i else 0.0,
                     )
                 )
+                m_calls.inc(mode="prtr", lane=lane)
+                m_stage_s.observe(sim.now - stage_start, mode="prtr")
+                if out_i is not None and out_i.recovery_time:
+                    m_recovery_s.inc(out_i.recovery_time)
 
                 # Resolve a failed overlapped/serial configuration of the
                 # next call *after* the stage barrier: the fallback full
@@ -462,6 +488,8 @@ class PrtrExecutor:
                                 lane=lane,
                                 note="fallback-full",
                             )
+                            m_configs.inc(kind="full")
+                            m_config_s.observe(sim.now - t0, kind="full")
                             # The full image wipes every PRR and leaves
                             # the next module instantiated in PRR 0.
                             for resident in self.cache.residents:
@@ -491,7 +519,9 @@ class PrtrExecutor:
                 trace_name=trace.name,
                 total_time=end - start,
                 records=records,
-                timeline=timeline,
+                # Freeze: the executor is done writing, and aliased
+                # references must not corrupt the finalized result.
+                timeline=timeline.freeze(),
                 startup_time=main_result.get("startup_time", 0.0),
                 interrupted=interrupted is not None,
                 interrupt_reason=interrupted or "",
@@ -531,6 +561,12 @@ class PrtrExecutor:
         pending = self.launch(trace)
         self.node.sim.run()
         result = pending.finalize()
+        obsm.gauge("repro_run_sim_seconds").set(
+            result.total_time, mode="prtr"
+        )
+        obsm.gauge("repro_run_events").set(
+            self.node.sim.events_processed, mode="prtr"
+        )
         audit_and_record(result)
         return result
 

@@ -12,6 +12,7 @@ from typing import Any
 
 from ..hardware.node import XD1Node
 from ..hardware.prr import Floorplan, dual_prr_floorplan
+from ..obs import metrics as obsm
 from ..runtime.invariants import audit_comparison
 from ..sim.engine import Simulator
 from ..workloads.task import CallTrace
@@ -94,4 +95,7 @@ def compare(
     report = audit_comparison(frtr, prtr)
     prtr.notes["pair_invariant_violations"] = float(len(report.violations))
     report.raise_if_strict()
-    return ComparisonResult(frtr=frtr, prtr=prtr)
+    result = ComparisonResult(frtr=frtr, prtr=prtr)
+    if prtr.total_time > 0:
+        obsm.gauge("repro_compare_speedup").set(result.speedup)
+    return result

@@ -34,6 +34,7 @@ from ..analysis.reliability import (
     FaultSweepPoint,
     effective_speedup_under_faults,
 )
+from ..obs import metrics as obsm
 from .invariants import AuditReport, audit_sweep_points
 from .journal import JournalError, RunJournal, atomic_write_text
 from .watchdog import Watchdog, WatchdogExpired
@@ -63,6 +64,7 @@ class GridOutcome:
 
     @property
     def complete(self) -> bool:
+        """True when the run finished without watchdog interruption."""
         return self.interrupted is None
 
 
@@ -124,7 +126,9 @@ def run_checkpointed(
         if progress is not None:
             progress(f"{key} done ({journal.n_points} journaled)")
     if interrupted is None:
-        journal.seal()
+        # Seal with the observability snapshot (None while disabled, so
+        # uninstrumented journals keep the pre-observability byte format).
+        journal.seal(obsm.snapshot() or None)
     return GridOutcome(
         results=results,
         interrupted=interrupted,
@@ -142,6 +146,7 @@ class SweepOutcome(GridOutcome):
 
     @property
     def points(self) -> list[FaultSweepPoint]:
+        """The merged sweep results (alias of ``results``)."""
         return self.results
 
 

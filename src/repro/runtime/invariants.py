@@ -27,7 +27,7 @@ Every check is registered in :data:`INVARIANTS` (name -> description);
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -42,6 +42,7 @@ __all__ = [
     "audit_and_record",
     "audit_cluster",
     "audit_comparison",
+    "audit_metrics",
     "audit_run",
     "audit_sweep_points",
     "set_strict",
@@ -89,6 +90,11 @@ INVARIANTS: dict[str, str] = {
     "server-accounting": (
         "shared-server busy time fits inside the cluster makespan"
     ),
+    "metrics-conservation": (
+        "observability counters agree with each other: cache hits + "
+        "misses == PRTR calls, ICAP-controller configurations never "
+        "exceed the executors' partial-configuration count"
+    ),
 }
 
 _STRICT = False
@@ -103,6 +109,7 @@ def set_strict(flag: bool) -> bool:
 
 
 def strict_enabled() -> bool:
+    """Whether strict mode (raise on violation) is on."""
     return _STRICT
 
 
@@ -139,9 +146,11 @@ class AuditReport:
 
     @property
     def ok(self) -> bool:
+        """True when no invariant was violated."""
         return not self.violations
 
     def merge(self, other: "AuditReport") -> "AuditReport":
+        """Fold another report into this one (dedups checked names)."""
         for name in other.checked:
             if name not in self.checked:
                 self.checked.append(name)
@@ -149,11 +158,13 @@ class AuditReport:
         return self
 
     def raise_if_strict(self, strict: bool | None = None) -> None:
+        """Raise :class:`InvariantError` on violations in strict mode."""
         strict = _STRICT if strict is None else strict
         if strict and self.violations:
             raise InvariantError(self.violations)
 
     def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (persisted as ``invariants.json``)."""
         return {
             "checked": list(self.checked),
             "ok": self.ok,
@@ -164,6 +175,7 @@ class AuditReport:
         }
 
     def summary_line(self) -> str:
+        """One-line human summary, e.g. ``invariants: 3 checked, OK``."""
         state = "OK" if self.ok else f"{len(self.violations)} violation(s)"
         return f"invariants: {len(self.checked)} checked, {state}"
 
@@ -345,6 +357,59 @@ def audit_sweep_points(
             label=label,
             rel_tol=rel_tol,
         )
+    return report
+
+
+# -- observability checks -------------------------------------------------
+
+
+def audit_metrics(
+    snapshot: Mapping[str, Any] | None = None,
+) -> AuditReport:
+    """Check conservation laws across an observability snapshot.
+
+    ``snapshot`` is the :func:`repro.obs.metrics.snapshot` dump of a
+    *completed* run (degraded or interrupted runs may legitimately count
+    a cache lookahead whose call never finished); ``None`` snapshots the
+    global registry.  An empty snapshot — observability disabled, or
+    nothing recorded — audits clean by construction.
+    """
+    report = AuditReport()
+    if snapshot is None:
+        from ..obs import metrics as obsm
+
+        snapshot = obsm.snapshot()
+    if not snapshot:
+        return report
+
+    def total(name: str, prefix: str = "") -> float | None:
+        metric = snapshot.get(name)
+        if metric is None:
+            return None
+        return sum(
+            v for k, v in metric["series"].items() if k.startswith(prefix)
+        )
+
+    cache_events = total("repro_cache_events_total")
+    prtr_calls = total("repro_calls_total", prefix="mode=prtr")
+    if cache_events is not None and prtr_calls:
+        _check(
+            report, "metrics-conservation",
+            cache_events == prtr_calls,
+            f"cache hits + misses ({cache_events:g}) != PRTR calls "
+            f"({prtr_calls:g})",
+        )
+
+    partial = total("repro_configurations_total", prefix="kind=partial")
+    icap = total("repro_icap_configurations_total")
+    if partial is not None and icap is not None:
+        _check(
+            report, "metrics-conservation",
+            icap <= partial,
+            f"ICAP-controller configurations ({icap:g}) exceed the "
+            f"executors' partial count ({partial:g})",
+        )
+    report.raise_if_strict()
     return report
 
 

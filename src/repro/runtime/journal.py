@@ -26,7 +26,12 @@ Record grammar (one JSON object per line)::
 
     {"kind": "header", "version": 1, "meta": {...}}
     {"kind": "point", "key": "<unique id>", "payload": {...}}
-    {"kind": "seal", "n_points": <int>}
+    {"kind": "seal", "n_points": <int>, "metrics": {...}?}
+
+The optional ``metrics`` field of the seal record is an observability
+snapshot (:func:`repro.obs.metrics.snapshot`) taken when the run
+completed — absent when instrumentation was disabled, so journals from
+uninstrumented runs are byte-identical to the pre-observability format.
 """
 
 from __future__ import annotations
@@ -34,6 +39,8 @@ from __future__ import annotations
 import json
 import os
 from typing import Any, Iterator, Mapping
+
+from ..obs import metrics as obsm
 
 __all__ = ["JournalError", "RunJournal", "atomic_write_text"]
 
@@ -75,6 +82,7 @@ class RunJournal:
         *,
         sealed: bool = False,
         dropped_lines: int = 0,
+        seal_metrics: Mapping[str, Any] | None = None,
     ) -> None:
         self.run_dir = run_dir
         self.meta = dict(meta)
@@ -82,11 +90,16 @@ class RunJournal:
         self._sealed = sealed
         #: torn trailing lines dropped while loading (0 or 1)
         self.dropped_lines = dropped_lines
+        #: observability snapshot stored with the seal record (or None)
+        self.seal_metrics = (
+            dict(seal_metrics) if seal_metrics is not None else None
+        )
 
     # -- construction -----------------------------------------------------
 
     @property
     def path(self) -> str:
+        """Absolute path of the journal file."""
         return os.path.join(self.run_dir, JOURNAL_NAME)
 
     @classmethod
@@ -136,6 +149,7 @@ class RunJournal:
             )
         points: dict[str, Any] = {}
         sealed = False
+        seal_metrics: Mapping[str, Any] | None = None
         for rec in records[1:]:
             kind = rec.get("kind")
             if kind == "point":
@@ -145,6 +159,7 @@ class RunJournal:
                 points[key] = rec["payload"]
             elif kind == "seal":
                 sealed = True
+                seal_metrics = rec.get("metrics")
             else:
                 raise JournalError(
                     f"{path}: unknown record kind {kind!r}"
@@ -155,25 +170,31 @@ class RunJournal:
             points,
             sealed=sealed,
             dropped_lines=dropped,
+            seal_metrics=seal_metrics,
         )
 
     # -- queries ----------------------------------------------------------
 
     @property
     def sealed(self) -> bool:
+        """Whether the run completed and the journal was sealed."""
         return self._sealed
 
     @property
     def n_points(self) -> int:
+        """Number of checkpointed grid points."""
         return len(self._points)
 
     def has(self, key: str) -> bool:
+        """Whether a grid point was already checkpointed."""
         return key in self._points
 
     def payload(self, key: str) -> Any:
+        """The checkpointed payload for ``key`` (KeyError if absent)."""
         return self._points[key]
 
     def keys(self) -> Iterator[str]:
+        """Checkpointed grid-point keys in insertion order."""
         return iter(self._points)
 
     # -- mutation ---------------------------------------------------------
@@ -186,12 +207,21 @@ class RunJournal:
             raise JournalError(f"duplicate journal key {key!r}")
         json.dumps(payload)  # fail fast on unserializable payloads
         self._points[key] = payload
+        obsm.counter("repro_journal_records_total").inc()
         self._flush()
 
-    def seal(self) -> None:
-        """Mark the run complete (idempotent)."""
+    def seal(self, metrics: Mapping[str, Any] | None = None) -> None:
+        """Mark the run complete (idempotent).
+
+        ``metrics`` attaches an observability snapshot to the seal record
+        so a journal is self-describing about the run that produced it.
+        A second ``seal()`` call never overwrites an existing snapshot.
+        """
         if self._sealed:
             return
+        if metrics is not None:
+            json.dumps(metrics)  # fail fast, like record()
+            self.seal_metrics = dict(metrics)
         self._sealed = True
         self._flush()
 
@@ -210,7 +240,11 @@ class RunJournal:
             for k, v in self._points.items()
         )
         if self._sealed:
-            lines.append(
-                _encode({"kind": "seal", "n_points": len(self._points)})
-            )
+            seal: dict[str, Any] = {
+                "kind": "seal",
+                "n_points": len(self._points),
+            }
+            if self.seal_metrics is not None:
+                seal["metrics"] = self.seal_metrics
+            lines.append(_encode(seal))
         atomic_write_text(self.path, "\n".join(lines) + "\n")

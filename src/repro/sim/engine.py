@@ -234,8 +234,13 @@ class Simulator:
         self._event_count = 0
         #: optional cancellation hook (:class:`repro.runtime.watchdog.
         #: Watchdog`-shaped: ``after_event(sim)`` raising to cancel);
-        #: duck-typed so the kernel stays dependency-free
+        #: duck-typed so the kernel stays dependency-free.  The
+        #: :class:`repro.obs.profile.EventProfiler` rides the same slot
+        #: (and chains any real watchdog behind it).
         self.watchdog: Any = None
+        #: the process the most recent event was dispatched to — what a
+        #: watchdog-slot hook (profiler) sees as "the event just run"
+        self.last_process: Any = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -282,6 +287,7 @@ class Simulator:
             raise SimulationError("event queue time went backwards")
         self.now = ev.time
         self._event_count += 1
+        self.last_process = ev.proc
         ev.proc._step(ev.value)
         return True
 

@@ -53,9 +53,18 @@ class Span:
 
 @dataclass
 class Timeline:
-    """An append-only collection of :class:`Span` records."""
+    """An append-only collection of :class:`Span` records.
+
+    :class:`Span` itself is frozen, but the ``spans`` *list* is plain
+    and therefore aliasable: ``Timeline(spans=shared_list)`` (or module
+    callers holding a reference) can mutate a timeline behind its back.
+    Use :meth:`merged` for a defensive copy and :meth:`freeze` to make
+    a timeline reject further mutation through *this* object while
+    decoupling it from any aliased list.
+    """
 
     spans: list[Span] = field(default_factory=list)
+    _frozen: bool = field(default=False, repr=False, compare=False)
 
     def add(
         self,
@@ -67,9 +76,33 @@ class Timeline:
         task: str = "",
         note: str = "",
     ) -> Span:
+        if self._frozen:
+            raise TypeError("cannot add spans to a frozen timeline")
         span = Span(phase, start, end, lane=lane, task=task, note=note)
         self.spans.append(span)
         return span
+
+    # -- defensive copies --------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "Timeline":
+        """Make this timeline immutable (idempotent); returns ``self``.
+
+        The span list is copied, so appends through a previously shared
+        list no longer reach this timeline — the regression this guards
+        is a caller mutating the list a finalized ``RunResult`` holds.
+        """
+        if not self._frozen:
+            self.spans = list(self.spans)
+            self._frozen = True
+        return self
+
+    def merged(self) -> "Timeline":
+        """An independent, mutable copy (spans are shared — frozen)."""
+        return Timeline(spans=list(self.spans))
 
     # -- queries ---------------------------------------------------------
 
@@ -188,7 +221,12 @@ class Timeline:
 
 
 def merge(timelines: Iterable[Timeline]) -> Timeline:
-    """Combine several timelines into one (spans are shared, not copied)."""
+    """Combine several timelines into one independent timeline.
+
+    The frozen :class:`Span` records are shared; the *list* is fresh, so
+    mutating the merged timeline never corrupts its sources (and vice
+    versa).
+    """
     out = Timeline()
     for tl in timelines:
         out.spans.extend(tl.spans)

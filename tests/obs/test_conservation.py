@@ -1,0 +1,120 @@
+"""Conservation laws across the metrics a run emits.
+
+The ``metrics-conservation`` invariant (see
+:mod:`repro.runtime.invariants`) plus end-to-end checks that the
+counters the executors emit agree with the result objects they
+describe — hits + misses == calls is the observable form of the
+paper's hit-ratio accounting (H = hits / calls).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics
+from repro.rtr.cluster import run_cluster
+from repro.rtr.runner import compare
+from repro.runtime.invariants import INVARIANTS, audit_metrics
+from repro.workloads.task import CallTrace, HardwareTask
+
+
+def small_trace(n: int = 12) -> CallTrace:
+    lib = [HardwareTask(name, 0.05) for name in ("a", "b", "c")]
+    return CallTrace([lib[i % 3] for i in range(n)], name="cons")
+
+
+def series_total(snapshot, name, prefix=""):
+    metric = snapshot.get(name, {"series": {}})
+    return sum(
+        v for k, v in metric["series"].items() if k.startswith(prefix)
+    )
+
+
+class TestConservationOnRealRuns:
+    def test_cache_events_equal_prtr_calls(self):
+        with metrics.observed():
+            comparison = compare(small_trace())
+            snap = metrics.snapshot()
+        cache = series_total(snap, "repro_cache_events_total")
+        calls = series_total(snap, "repro_calls_total", "mode=prtr")
+        assert cache == calls == comparison.prtr.n_calls
+        hits = series_total(snap, "repro_cache_events_total", "result=hit")
+        assert hits / calls == pytest.approx(comparison.prtr.hit_ratio)
+
+    def test_configurations_match_result_accounting(self):
+        with metrics.observed():
+            comparison = compare(small_trace())
+            snap = metrics.snapshot()
+        partial = series_total(
+            snap, "repro_configurations_total", "kind=partial"
+        )
+        assert partial == comparison.prtr.n_configs
+        icap = series_total(snap, "repro_icap_configurations_total")
+        assert icap == partial  # measured (non-estimated) path uses ICAP
+        full = series_total(
+            snap, "repro_configurations_total", "kind=full"
+        )
+        # FRTR pays one full config per call; PRTR pays the initial one.
+        assert full == comparison.frtr.n_calls + 1
+
+    def test_audit_passes_on_clean_run(self):
+        with metrics.observed():
+            compare(small_trace())
+            report = audit_metrics()
+        assert report.ok
+        assert report.checked == ["metrics-conservation"]
+
+    def test_cluster_run_audits_clean(self):
+        with metrics.observed():
+            run_cluster([small_trace(4), small_trace(4)])
+            report = audit_metrics()
+        assert report.ok
+
+
+class TestAuditMetricsUnit:
+    def test_registered_in_catalog(self):
+        assert "metrics-conservation" in INVARIANTS
+
+    def test_empty_snapshot_is_clean(self):
+        assert audit_metrics({}).ok
+        assert audit_metrics({}).checked == []
+
+    def test_detects_cache_call_mismatch(self):
+        snapshot = {
+            "repro_cache_events_total": {
+                "kind": "counter", "unit": "events",
+                "series": {"result=hit": 3.0, "result=miss": 4.0},
+            },
+            "repro_calls_total": {
+                "kind": "counter", "unit": "calls",
+                "series": {"mode=prtr,lane=prr": 8.0},
+            },
+        }
+        report = audit_metrics(snapshot)
+        assert not report.ok
+        assert report.violations[0].invariant == "metrics-conservation"
+
+    def test_detects_icap_exceeding_partials(self):
+        snapshot = {
+            "repro_configurations_total": {
+                "kind": "counter", "unit": "configurations",
+                "series": {"kind=partial": 2.0},
+            },
+            "repro_icap_configurations_total": {
+                "kind": "counter", "unit": "configurations",
+                "series": {"": 3.0},
+            },
+        }
+        report = audit_metrics(snapshot)
+        assert not report.ok
+
+    def test_frtr_only_snapshot_skips_cache_check(self):
+        snapshot = {
+            "repro_calls_total": {
+                "kind": "counter", "unit": "calls",
+                "series": {"mode=frtr,lane=main": 5.0},
+            },
+        }
+        report = audit_metrics(snapshot)
+        assert report.ok
+        assert report.checked == []

@@ -1,0 +1,78 @@
+"""Instrumentation must never change simulation results.
+
+Two contracts: the *disabled* path is bit-identical to a build with no
+observability at all (notes carry no new keys, timings are untouched),
+and the *enabled* path measures without perturbing — an instrumented
+run equals an uninstrumented one field for field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.obs import metrics
+from repro.rtr.cluster import run_cluster
+from repro.rtr.runner import compare
+from repro.workloads.task import CallTrace, HardwareTask
+
+
+def small_trace(n: int = 9) -> CallTrace:
+    lib = [HardwareTask(name, 0.05) for name in ("a", "b", "c")]
+    return CallTrace([lib[i % 3] for i in range(n)], name="ident")
+
+
+def run_fingerprint(result) -> dict:
+    return {
+        "mode": result.mode,
+        "total_time": result.total_time,
+        "startup_time": result.startup_time,
+        "records": [asdict(r) for r in result.records],
+        "notes": dict(result.notes),
+        "spans": [
+            (s.phase, s.start, s.end, s.lane, s.task, s.note)
+            for s in result.timeline.spans
+        ],
+    }
+
+
+class TestEnabledEqualsDisabled:
+    def test_compare_results_identical(self):
+        trace = small_trace()
+        assert not metrics.enabled()
+        disabled = compare(trace)
+        with metrics.observed():
+            enabled = compare(trace)
+            assert metrics.snapshot()  # instrumentation did record
+        assert run_fingerprint(disabled.frtr) == run_fingerprint(
+            enabled.frtr
+        )
+        assert run_fingerprint(disabled.prtr) == run_fingerprint(
+            enabled.prtr
+        )
+        assert disabled.speedup == enabled.speedup
+
+    def test_cluster_results_identical(self):
+        traces = [small_trace(4), small_trace(4)]
+        disabled = run_cluster(traces)
+        with metrics.observed():
+            enabled = run_cluster(traces)
+        assert disabled.makespan == enabled.makespan
+        assert disabled.server_bytes == enabled.server_bytes
+        for a, b in zip(disabled.blades, enabled.blades):
+            assert run_fingerprint(a) == run_fingerprint(b)
+
+
+class TestDisabledLeavesNoTrace:
+    def test_no_observability_keys_in_notes(self):
+        comparison = compare(small_trace())
+        for result in (comparison.frtr, comparison.prtr):
+            for key in result.notes:
+                assert not key.startswith("obs"), key
+                assert "metric" not in key, key
+
+    def test_disabled_snapshot_stays_empty_after_runs(self):
+        metrics.reset()
+        compare(small_trace())
+        assert metrics.snapshot() == {}
+        # even the underlying registry saw nothing (NULL absorbed it all)
+        assert metrics.get_registry().snapshot() == {}

@@ -201,6 +201,7 @@ class TestAuditReport:
             "recovery-containment", "degradation-consistency",
             "speedup-bound-supremum", "speedup-bound-2x",
             "sweep-consistency", "call-conservation", "server-accounting",
+            "metrics-conservation",
         ):
             assert name in INVARIANTS
             assert INVARIANTS[name]

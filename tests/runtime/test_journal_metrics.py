@@ -1,0 +1,90 @@
+"""Seal-record metrics snapshots and the journal-records counter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+from repro.runtime.crashsafe import crash_safe_fault_sweep
+from repro.runtime.journal import RunJournal
+
+
+class TestSealMetrics:
+    def test_seal_with_snapshot_round_trips(self, tmp_path):
+        journal = RunJournal.create(str(tmp_path), {"kind": "t"})
+        journal.record("p1", {"x": 1})
+        snapshot = {
+            "repro_journal_records_total": {
+                "kind": "counter", "unit": "records", "series": {"": 1.0},
+            }
+        }
+        journal.seal(snapshot)
+        loaded = RunJournal.load(str(tmp_path))
+        assert loaded.sealed
+        assert loaded.seal_metrics == snapshot
+
+    def test_seal_without_snapshot_keeps_old_format(self, tmp_path):
+        journal = RunJournal.create(str(tmp_path))
+        journal.record("p1", {"x": 1})
+        journal.seal()
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        seal = json.loads(lines[-1])
+        assert seal == {"kind": "seal", "n_points": 1}
+        assert RunJournal.load(str(tmp_path)).seal_metrics is None
+
+    def test_second_seal_does_not_overwrite(self, tmp_path):
+        journal = RunJournal.create(str(tmp_path))
+        journal.seal({"a": 1})
+        journal.seal({"b": 2})
+        assert RunJournal.load(str(tmp_path)).seal_metrics == {"a": 1}
+
+    def test_unserializable_snapshot_fails_fast(self, tmp_path):
+        journal = RunJournal.create(str(tmp_path))
+        with pytest.raises(TypeError):
+            journal.seal({"bad": object()})
+        # the journal is NOT sealed after the failed attempt
+        assert not journal.sealed
+        journal.record("p1", {})
+
+    def test_loader_reads_handwritten_seal_metrics(self, tmp_path):
+        lines = [
+            json.dumps({"kind": "header", "version": 1, "meta": {}}),
+            json.dumps({"kind": "point", "key": "k", "payload": 1}),
+            json.dumps(
+                {"kind": "seal", "n_points": 1, "metrics": {"m": 2.0}}
+            ),
+        ]
+        (tmp_path / "journal.jsonl").write_text("\n".join(lines) + "\n")
+        loaded = RunJournal.load(str(tmp_path))
+        assert loaded.sealed
+        assert loaded.seal_metrics == {"m": 2.0}
+
+
+class TestInstrumentedSweep:
+    def test_sweep_seals_with_metrics_when_enabled(self, tmp_path):
+        with metrics.observed():
+            outcome = crash_safe_fault_sweep(
+                str(tmp_path), fault_rates=[0.0], hit_ratios=[0.5],
+                n_calls=4,
+            )
+        assert outcome.journal.sealed
+        snapshot = outcome.journal.seal_metrics
+        assert snapshot is not None
+        assert "repro_journal_records_total" in snapshot
+        assert snapshot["repro_journal_records_total"]["series"] == {
+            "": 1.0
+        }
+
+    def test_sweep_seal_has_no_metrics_when_disabled(self, tmp_path):
+        assert not metrics.enabled()
+        outcome = crash_safe_fault_sweep(
+            str(tmp_path), fault_rates=[0.0], hit_ratios=[0.5], n_calls=4,
+        )
+        assert outcome.journal.sealed
+        assert outcome.journal.seal_metrics is None
+        seal = json.loads(
+            (tmp_path / "journal.jsonl").read_text().splitlines()[-1]
+        )
+        assert "metrics" not in seal

@@ -95,3 +95,72 @@ class TestTimeline:
         a, b = self.make(), self.make()
         merged = merge([a, b])
         assert len(merged) == 8
+
+
+class TestFreezeAndMerged:
+    """Regression tests for the aliasable-span-list pitfall."""
+
+    def make(self) -> Timeline:
+        tl = Timeline()
+        tl.add(Phase.CONFIG, 0.0, 1.0, task="m")
+        return tl
+
+    def test_freeze_rejects_add(self):
+        tl = self.make().freeze()
+        assert tl.frozen
+        with pytest.raises(TypeError, match="frozen"):
+            tl.add(Phase.TASK, 1.0, 2.0)
+
+    def test_freeze_is_idempotent_and_returns_self(self):
+        tl = self.make()
+        assert tl.freeze() is tl
+        assert tl.freeze() is tl
+        assert len(tl) == 1
+
+    def test_freeze_decouples_aliased_list(self):
+        """The regression: a shared spans list mutated behind the back
+        of a finalized timeline must not reach the frozen copy."""
+        shared: list = []
+        tl = Timeline(spans=shared)
+        tl.add(Phase.CONFIG, 0.0, 1.0)
+        tl.freeze()
+        shared.append(Span(Phase.TASK, 1.0, 2.0))
+        assert len(tl) == 1
+        assert all(s.phase == Phase.CONFIG for s in tl)
+
+    def test_unfrozen_timeline_still_aliases(self):
+        # documents the hazard freeze() exists to close
+        shared: list = []
+        tl = Timeline(spans=shared)
+        shared.append(Span(Phase.TASK, 0.0, 1.0))
+        assert len(tl) == 1
+
+    def test_merged_copy_is_independent_and_mutable(self):
+        tl = self.make().freeze()
+        copy = tl.merged()
+        assert not copy.frozen
+        copy.add(Phase.TASK, 1.0, 2.0)
+        assert len(copy) == 2
+        assert len(tl) == 1
+        # spans themselves are shared (they are frozen dataclasses)
+        assert copy.spans[0] is tl.spans[0]
+
+    def test_executor_results_come_back_frozen(self):
+        from repro.rtr.runner import compare
+        from repro.workloads.task import CallTrace, HardwareTask
+
+        lib = [HardwareTask(n, 0.05) for n in ("a", "b")]
+        trace = CallTrace([lib[i % 2] for i in range(4)], name="t")
+        comparison = compare(trace)
+        assert comparison.frtr.timeline.frozen
+        assert comparison.prtr.timeline.frozen
+        with pytest.raises(TypeError):
+            comparison.prtr.timeline.add(Phase.TASK, 0.0, 1.0)
+
+    def test_merge_of_frozen_sources_is_mutable(self):
+        a = self.make().freeze()
+        b = self.make().freeze()
+        merged = merge([a, b])
+        merged.add(Phase.TASK, 1.0, 2.0)
+        assert len(merged) == 3
+        assert len(a) == len(b) == 1

@@ -224,3 +224,53 @@ class TestReport:
         from repro.cli import _COMMANDS
 
         assert "report" in _COMMANDS  # present as its own command
+
+
+class TestObservabilityVerbs:
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "--out", str(out), "--calls", "9"])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "perfetto" in printed
+        from repro.obs.tracing import validate_chrome_trace
+
+        document = json.loads(out.read_text())
+        assert validate_chrome_trace(document) == []
+        assert document["displayTimeUnit"] == "ms"
+        assert any(
+            ev["ph"] == "X" for ev in document["traceEvents"]
+        )
+
+    def test_trace_leaves_observability_disabled(self, tmp_path):
+        from repro.obs import metrics
+
+        main(["trace", "--out", str(tmp_path / "t.json"), "--calls", "6"])
+        assert not metrics.enabled()
+
+    def test_metrics_prints_counters_and_rollup(self, capsys):
+        rc = main(["metrics", "--calls", "9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro_cache_events_total" in out
+        assert "ICAP occupancy" in out
+        assert "measured speedup" in out
+        assert "invariants: 1 checked, OK" in out
+
+    def test_metrics_json_snapshot(self, capsys):
+        import json
+
+        rc = main(["metrics", "--calls", "6", "--json"])
+        assert rc == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "repro_calls_total" in snapshot
+        assert snapshot["repro_calls_total"]["kind"] == "counter"
+
+    def test_metrics_profile_table(self, capsys):
+        rc = main(["metrics", "--calls", "6", "--profile", "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DES hot-path profile" in out
+        assert "event type" in out

@@ -1,0 +1,151 @@
+"""Documentation gates: catalog pinning, link integrity, docstrings.
+
+The docs are part of the contract — ``docs/OBSERVABILITY.md`` is pinned
+against :data:`repro.obs.metrics.CATALOG` row by row, the invariant
+tables in the docs must cover :data:`repro.runtime.invariants.INVARIANTS`,
+every intra-repo markdown link must resolve, and the stdlib
+docstring-coverage gate (``tools/check_docstrings.py``) must pass.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import CATALOG
+from repro.runtime.invariants import INVARIANTS
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+TOOLS = str(REPO / "tools")
+
+
+def read(path: Path) -> str:
+    assert path.exists(), f"missing documentation file: {path}"
+    return path.read_text(encoding="utf-8")
+
+
+class TestObservabilityDoc:
+    def test_every_catalog_metric_is_documented(self):
+        text = read(DOCS / "OBSERVABILITY.md")
+        missing = [name for name in CATALOG if f"`{name}`" not in text]
+        assert not missing, f"metrics absent from OBSERVABILITY.md: {missing}"
+
+    def test_no_phantom_metrics_documented(self):
+        text = read(DOCS / "OBSERVABILITY.md")
+        documented = set(re.findall(r"`(repro_[a-z0-9_]+)`", text))
+        phantom = documented - set(CATALOG)
+        assert not phantom, f"OBSERVABILITY.md documents unknown: {phantom}"
+
+    def test_catalog_rows_match_kind_and_source(self):
+        text = read(DOCS / "OBSERVABILITY.md")
+        for spec in CATALOG.values():
+            row = next(
+                (
+                    line
+                    for line in text.splitlines()
+                    if line.startswith(f"| `{spec.name}` |")
+                ),
+                None,
+            )
+            assert row is not None, f"no table row for {spec.name}"
+            assert f"| {spec.kind} |" in row, f"kind drift for {spec.name}"
+            assert f"`{spec.source}`" in row, f"source drift for {spec.name}"
+
+
+class TestInvariantDocs:
+    def test_model_doc_lists_every_invariant(self):
+        text = read(DOCS / "MODEL.md")
+        missing = [n for n in INVARIANTS if f"`{n}`" not in text]
+        assert not missing, f"invariants absent from MODEL.md: {missing}"
+
+
+class TestArchitectureDoc:
+    def test_every_subsystem_is_mapped(self):
+        text = read(DOCS / "ARCHITECTURE.md")
+        packages = sorted(
+            p.name
+            for p in (REPO / "src" / "repro").iterdir()
+            if p.is_dir() and (p / "__init__.py").exists()
+        )
+        missing = [p for p in packages if f"repro.{p}" not in text]
+        assert not missing, f"packages absent from ARCHITECTURE.md: {missing}"
+
+    def test_readme_links_the_docs(self):
+        text = read(REPO / "README.md")
+        for target in (
+            "docs/ARCHITECTURE.md",
+            "docs/OBSERVABILITY.md",
+            "docs/MODEL.md",
+        ):
+            assert target in text, f"README does not link {target}"
+
+    def test_readme_cli_examples_cover_new_verbs(self):
+        text = read(REPO / "README.md")
+        for verb in ("sweep", "trace", "metrics"):
+            assert f"python -m repro {verb}" in text, verb
+
+
+class TestDocTools:
+    @pytest.fixture(autouse=True)
+    def _tools_on_path(self, monkeypatch):
+        monkeypatch.syspath_prepend(TOOLS)
+        yield
+
+    def test_doc_links_resolve(self, capsys):
+        import check_doc_links
+
+        files = check_doc_links.default_files(REPO)
+        assert len(files) >= 4  # README + MODEL/ARCHITECTURE/OBSERVABILITY
+        rc = check_doc_links.main([str(f) for f in files])
+        assert rc == 0, capsys.readouterr().out
+
+    def test_link_checker_catches_breakage(self, tmp_path):
+        import check_doc_links
+
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [gone](no-such-file.md) and [a](#nope)\n")
+        problems = check_doc_links.check_file(bad)
+        assert len(problems) == 2
+
+    def test_github_slugs(self):
+        import check_doc_links
+
+        assert check_doc_links.github_slug("Metric catalog") == (
+            "metric-catalog"
+        )
+        assert check_doc_links.github_slug("## `code` & dashes!") == (
+            "-code--dashes"
+        )
+
+    def test_docstring_gate_passes(self, capsys):
+        import check_docstrings
+
+        rc = check_docstrings.main(["--root", str(REPO / "src" / "repro")])
+        assert rc == 0, capsys.readouterr().out
+
+    def test_docstring_gate_fails_below_floor(self, capsys):
+        import check_docstrings
+
+        rc = check_docstrings.main(
+            ["--root", str(REPO / "src" / "repro"), "--min-functions", "100"]
+        )
+        assert rc == 1
+
+    def test_docstring_gate_counts_missing(self, tmp_path):
+        import check_docstrings
+
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(
+            '"""Doc."""\n\ndef documented():\n    """Yes."""\n\n'
+            "def bare():\n    pass\n"
+        )
+        rows = list(check_docstrings.audit_file(pkg / "mod.py"))
+        kinds = [(kind, ok) for kind, ok, _loc in rows]
+        assert ("module", True) in kinds
+        assert ("function", True) in kinds
+        assert ("function", False) in kinds

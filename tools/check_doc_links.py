@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (stdlib only).
+
+Scans ``README.md`` plus every ``docs/*.md`` file for markdown links
+``[text](target)`` and verifies that each *relative* target resolves:
+
+* a path target must exist on disk (relative to the linking file);
+* a ``#fragment`` must match a heading in the target file, using
+  GitHub's anchor slugification (lowercase, spaces to dashes,
+  punctuation dropped).
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped —
+the gate must pass offline.  Exit 1 on any broken link.
+
+Usage::
+
+    python tools/check_doc_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading→anchor slug: lowercase, punctuation dropped."""
+    text = re.sub(r"[`*_~]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading anchors a markdown file exposes."""
+    return {
+        github_slug(m.group(1))
+        for m in HEADING_RE.finditer(path.read_text(encoding="utf-8"))
+    }
+
+
+def check_file(path: Path) -> list[str]:
+    """Return human-readable problems for one markdown file."""
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        line = text.count("\n", 0, match.start()) + 1
+        if base and not dest.exists():
+            problems.append(f"{path}:{line}: broken link target: {target}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if github_slug(fragment) not in anchors_of(dest):
+                problems.append(
+                    f"{path}:{line}: missing anchor #{fragment} in {dest.name}"
+                )
+    return problems
+
+
+def default_files(repo_root: Path) -> list[Path]:
+    """README plus every file under docs/."""
+    files = [repo_root / "README.md"]
+    files.extend(sorted((repo_root / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the checker; return a process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    files = (
+        [Path(a) for a in argv] if argv else default_files(Path.cwd())
+    )
+    problems: list[str] = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: no such file")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} files, {len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
