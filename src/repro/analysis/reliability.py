@@ -214,20 +214,29 @@ def sweep_fault_hit_grid(
     task_time: float = 0.1,
     seed: int = 0,
     recovery: RecoveryPolicy | None = None,
+    workers: int = 1,
 ) -> list[FaultSweepPoint]:
-    """The full grid, row-major over hit ratios then fault rates."""
-    return [
-        effective_speedup_under_faults(
-            rate,
-            h,
+    """The full grid, row-major over hit ratios then fault rates.
+
+    Every point is independently seeded, so ``workers > 1`` evaluates
+    the grid across fork workers with bit-identical results
+    (:func:`repro.runtime.parallel.parallel_map`).
+    """
+    from ..runtime.parallel import parallel_map
+
+    grid = [(h, rate) for h in hit_ratios for rate in fault_rates]
+    return parallel_map(
+        lambda cell: effective_speedup_under_faults(
+            cell[1],
+            cell[0],
             n_calls=n_calls,
             task_time=task_time,
             seed=seed,
             recovery=recovery,
-        )
-        for h in hit_ratios
-        for rate in fault_rates
-    ]
+        ),
+        grid,
+        workers=workers,
+    )
 
 
 def find_crossover(

@@ -99,11 +99,14 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
     )
     ok = True
     for which in panels:
-        print(fig9.render(which, n_calls=args.calls))
+        print(fig9.render(which, n_calls=args.calls, workers=args.workers))
         print()
         if args.csv:
             path = args.csv.replace(".csv", f"_{which}.csv")
-            write_csv(path, fig9.to_csv(which, n_calls=args.calls))
+            write_csv(
+                path,
+                fig9.to_csv(which, n_calls=args.calls, workers=args.workers),
+            )
             print(f"wrote {path}\n")
     claims = fig9.shape_claims()
     for name, passed in claims.items():
@@ -180,6 +183,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     points = sweep_fault_hit_grid(
         rates, hit_ratios,
         n_calls=args.calls, task_time=args.task_time, seed=args.seed,
+        workers=args.workers,
     )
     print(render_table(
         [p.as_row() for p in points],
@@ -254,6 +258,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             resume=args.resume,
             deadline_s=args.deadline,
+            workers=args.workers,
             progress=(
                 None if args.quiet else (lambda m: print(f"... {m}"))
             ),
@@ -503,6 +508,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p9.add_argument("--calls", type=int, default=90)
     p9.add_argument("--csv", type=str, default="")
+    p9.add_argument(
+        "--workers", type=int, default=1,
+        help="fork workers for the DES points (bit-identical results)",
+    )
 
     pp = sub.add_parser("profiles", help="Figures 2-4: execution profiles")
     pp.add_argument("--width", type=int, default=72)
@@ -531,6 +540,10 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--task-time", type=float, default=0.1)
     pf.add_argument("--seed", type=int, default=0)
     pf.add_argument("--csv", type=str, default="")
+    pf.add_argument(
+        "--workers", type=int, default=1,
+        help="fork workers for the grid (bit-identical results)",
+    )
 
     ps = sub.add_parser(
         "sweep",
@@ -561,6 +574,12 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--task-time", type=float, default=0.1)
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument("--csv", type=str, default="")
+    ps.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the grid across fork workers, one segment journal "
+             "each; results and merged journal are bit-identical to "
+             "--workers 1, and kill/--resume works mid-shard",
+    )
     ps.add_argument("--quiet", action="store_true",
                     help="suppress per-point progress lines")
 

@@ -17,9 +17,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.plotting import ascii_plot, series_to_csv
-from ..model.parameters import ModelParameters
+from ..model.parameters import ModelParameters, as_array
 from ..model.speedup import asymptotic_speedup
 from ..model.sweep import SweepResult, figure5_grid, log_task_axis
+from ..runtime.parallel import parallel_map
 
 __all__ = ["run", "render", "to_csv", "shape_claims", "DEFAULT_X_PRTR",
            "DEFAULT_HIT_RATIOS"]
@@ -31,9 +32,38 @@ DEFAULT_HIT_RATIOS: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
 def run(
     x_prtr_values: tuple[float, ...] = DEFAULT_X_PRTR,
     hit_ratios: tuple[float, ...] = DEFAULT_HIT_RATIOS,
+    workers: int = 1,
 ) -> SweepResult:
-    """Evaluate the Figure 5 grid (Eq. 7, ideal overheads)."""
-    return figure5_grid(x_prtr_values, hit_ratios)
+    """Evaluate the Figure 5 grid (Eq. 7, ideal overheads).
+
+    ``workers > 1`` evaluates one ``(X_PRTR, H)`` curve per work item
+    across fork workers and stitches the curves back into the same
+    grid.  Eq. (7) is elementwise, so the stitched values are
+    bit-identical to the vectorized single-process evaluation.
+    """
+    if workers <= 1:
+        return figure5_grid(x_prtr_values, hit_ratios)
+    axis = log_task_axis()
+    cells = [(p, h) for p in x_prtr_values for h in hit_ratios]
+    curves = parallel_map(
+        lambda cell: figure5_grid(
+            (cell[0],), (cell[1],), x_task=axis
+        ).values[:, 0, 0],
+        cells,
+        workers=workers,
+    )
+    values = np.empty((len(axis), len(x_prtr_values), len(hit_ratios)))
+    for idx, curve in enumerate(curves):
+        values[:, idx // len(hit_ratios), idx % len(hit_ratios)] = curve
+    return SweepResult(
+        axes={
+            "x_task": as_array(list(axis)),
+            "x_prtr": as_array(list(x_prtr_values)),
+            "hit_ratio": as_array(list(hit_ratios)),
+        },
+        values=values,
+        name="asymptotic_speedup",
+    )
 
 
 def _series_for(

@@ -31,6 +31,7 @@ from ..model.parameters import ModelParameters
 from ..model.speedup import asymptotic_speedup, speedup
 from ..model.sweep import log_task_axis
 from ..rtr.runner import compare
+from ..runtime.parallel import parallel_map
 from ..workloads.task import CallTrace, HardwareTask
 
 __all__ = ["Fig9Panel", "panel", "simulate_points", "render", "to_csv",
@@ -124,16 +125,20 @@ def simulate_points(
     p: Fig9Panel,
     x_task_points: np.ndarray | None = None,
     n_calls: int = 120,
+    workers: int = 1,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Discrete-event measurements at a handful of task sizes.
 
     Returns ``(x_task, measured_speedup)``.  Uses the published dual-PRR
     bitstream bytes so the ICAP path lands on the panel's ``T_PRTR``.
+    Every task size is an independent DES run, so ``workers > 1`` fans
+    them out across fork workers with bit-identical speedups.
     """
     if x_task_points is None:
         x_task_points = np.logspace(-2.5, 1.0, 8)
-    speedups = []
-    for x in np.asarray(x_task_points, dtype=float):
+    x_values = np.asarray(x_task_points, dtype=float)
+
+    def one_point(x: float) -> float:
         trace = _cyclic_trace(task_time=x * p.t_frtr, n_calls=n_calls)
         result = compare(
             trace,
@@ -142,16 +147,20 @@ def simulate_points(
             force_miss=True,
             bitstream_bytes=PUBLISHED_TABLE2["dual_prr"].bitstream_bytes,
         )
-        speedups.append(result.speedup)
-    return np.asarray(x_task_points, dtype=float), np.asarray(speedups)
+        return result.speedup
+
+    speedups = parallel_map(one_point, list(x_values), workers=workers)
+    return x_values, np.asarray(speedups)
 
 
-def render(which: str = "measured", n_calls: int = 120) -> str:
+def render(
+    which: str = "measured", n_calls: int = 120, workers: int = 1
+) -> str:
     """ASCII overlay: model curve (asymptotic + finite-n) vs sim points."""
     p = panel(which)
     x_model, s_model = model_curve(p)
     _, s_finite = model_curve_finite(p, n_calls)
-    x_sim, s_sim = simulate_points(p, n_calls=n_calls)
+    x_sim, s_sim = simulate_points(p, n_calls=n_calls, workers=workers)
     return ascii_plot(
         {
             "Eq7 (n->inf)": (x_model, s_model),
@@ -166,11 +175,13 @@ def render(which: str = "measured", n_calls: int = 120) -> str:
     )
 
 
-def to_csv(which: str = "measured", n_calls: int = 120) -> str:
+def to_csv(
+    which: str = "measured", n_calls: int = 120, workers: int = 1
+) -> str:
     p = panel(which)
     x_model, s_model = model_curve(p)
     _, s_finite = model_curve_finite(p, n_calls)
-    x_sim, s_sim = simulate_points(p, n_calls=n_calls)
+    x_sim, s_sim = simulate_points(p, n_calls=n_calls, workers=workers)
     return series_to_csv(
         {
             "model_asymptotic": (x_model, s_model),

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..analysis.tables import render_table
 from ..hardware.catalog import XC2VP50, FpgaDevice
+from ..runtime.parallel import parallel_map
 from ..workloads.library import STATIC_BLOCKS, TABLE1_CORES, CoreSpec
 
 __all__ = ["PUBLISHED_TABLE1", "table1_rows", "render", "row_for"]
@@ -69,11 +70,20 @@ def row_for(spec: CoreSpec, device: FpgaDevice = XC2VP50) -> dict[str, object]:
     return row
 
 
-def table1_rows(device: FpgaDevice = XC2VP50) -> list[dict[str, object]]:
-    """All regenerated rows, in the paper's ordering."""
+def table1_rows(
+    device: FpgaDevice = XC2VP50, workers: int = 1
+) -> list[dict[str, object]]:
+    """All regenerated rows, in the paper's ordering.
+
+    Rows are independent, so ``workers > 1`` regenerates them across
+    fork workers (:func:`repro.runtime.parallel.parallel_map`) —
+    identical output, in the same order.
+    """
     order = ["static_region", "pr_controller", "median", "sobel", "smoothing"]
     catalog = {**STATIC_BLOCKS, **TABLE1_CORES}
-    return [row_for(catalog[name], device) for name in order]
+    return parallel_map(
+        lambda name: row_for(catalog[name], device), order, workers=workers
+    )
 
 
 def render(device: FpgaDevice = XC2VP50) -> str:

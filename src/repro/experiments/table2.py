@@ -21,6 +21,7 @@ from ..analysis.calibration import fit_icap_handshake, fit_vendor_api
 from ..analysis.tables import render_table
 from ..hardware.catalog import MB, PUBLISHED_TABLE2, XC2VP50, FpgaDevice
 from ..hardware.prr import dual_prr_floorplan, single_prr_floorplan
+from ..runtime.parallel import parallel_map
 
 __all__ = ["table2_rows", "render", "verify_against_published"]
 
@@ -32,13 +33,17 @@ def _predicted_partial_measured(nbytes: int) -> float:
 
 
 def table2_rows(
-    device: FpgaDevice = XC2VP50, use_published_sizes: bool = False
+    device: FpgaDevice = XC2VP50,
+    use_published_sizes: bool = False,
+    workers: int = 1,
 ) -> list[dict[str, object]]:
     """Regenerated Table 2 rows.
 
     ``use_published_sizes=True`` evaluates the time models on the paper's
     exact byte counts (isolating the timing models from the integer-column
     geometry approximation); the default derives sizes from geometry.
+    After the shared calibration prelude, rows are independent —
+    ``workers > 1`` evaluates them via fork workers, identical output.
     """
     selectmap_bw = 66 * MB
     api = fit_vendor_api()
@@ -61,27 +66,30 @@ def table2_rows(
     full_est = sizes["full"] / selectmap_bw
     full_meas = full_est + api.time(sizes["full"])
 
-    rows = []
-    for key, layout in (
-        ("full", "Full Configuration"),
-        ("single_prr", "Single PRR"),
-        ("dual_prr", "Dual PRR"),
-    ):
+    def one_row(cell: tuple[str, str]) -> dict[str, object]:
+        key, layout = cell
         nbytes = sizes[key]
         est = nbytes / selectmap_bw
         meas = full_meas if key == "full" else _predicted_partial_measured(nbytes)
-        rows.append(
-            {
-                "key": key,
-                "layout": layout,
-                "bitstream_bytes": nbytes,
-                "estimated_s": est,
-                "measured_s": meas,
-                "x_prtr_estimated": est / full_est,
-                "x_prtr_measured": meas / full_meas,
-            }
-        )
-    return rows
+        return {
+            "key": key,
+            "layout": layout,
+            "bitstream_bytes": nbytes,
+            "estimated_s": est,
+            "measured_s": meas,
+            "x_prtr_estimated": est / full_est,
+            "x_prtr_measured": meas / full_meas,
+        }
+
+    return parallel_map(
+        one_row,
+        [
+            ("full", "Full Configuration"),
+            ("single_prr", "Single PRR"),
+            ("dual_prr", "Dual PRR"),
+        ],
+        workers=workers,
+    )
 
 
 def render(device: FpgaDevice = XC2VP50) -> str:

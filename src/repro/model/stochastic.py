@@ -192,7 +192,10 @@ def expected_max_uniform(a: float, b: float, p: float) -> float:
         return (a + b) / 2.0
     if p >= b:
         return p
-    return (p * (p - a) + (b * b - p * p) / 2.0) / (b - a)
+    # (b - p)(b + p)/2, not (b^2 - p^2)/2: the squared form cancels
+    # catastrophically when the support is narrow (b - a near the ulp of
+    # the mean), returning garbage where Monte Carlo stays exact.
+    return (p * (p - a) + (b - p) * (b + p) / 2.0) / (b - a)
 
 
 def uniform_heterogeneous_speedup(

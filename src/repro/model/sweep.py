@@ -55,9 +55,15 @@ class SweepResult:
         names = list(self.axes)
         free = [n for n in names if n not in fixed]
         if len(free) != 1:
+            # Name the axes the caller actually left unfixed — the hint
+            # must list what to pin down (or, over-fixed, what to drop).
+            hint = (
+                f"fix all but one of {free!r}"
+                if len(free) > 1
+                else f"unfix one of {names!r}"
+            )
             raise ValueError(
-                f"need exactly one free axis, got {free!r} "
-                f"(fix {sorted(set(names) - set(fixed) - set(free))})"
+                f"need exactly one free axis, got {free!r} ({hint})"
             )
         idx = []
         for n in names:

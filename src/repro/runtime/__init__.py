@@ -4,8 +4,9 @@ Long-running entry points (model sweeps, reliability grids, cluster
 runs) wrap themselves in three cooperating pieces:
 
 :mod:`repro.runtime.journal`
-    Durable append-only JSONL checkpoints (atomic write-then-rename)
-    with torn-tail-tolerant resume.
+    Durable append-only JSONL checkpoints — one O(1) append+fsync per
+    record — with torn-tail-tolerant resume and per-shard segment
+    journals for parallel sweeps.
 :mod:`repro.runtime.watchdog`
     Wall-clock deadlines plus DES no-progress detection, hooked into
     :class:`repro.sim.engine.Simulator`; cancels gracefully via
@@ -13,7 +14,12 @@ runs) wrap themselves in three cooperating pieces:
 :mod:`repro.runtime.invariants`
     Post-run conservation-law audits (clock monotonicity, makespan and
     hit/miss accounting, the paper's speedup bounds, cluster call
-    conservation), strict or record-only.
+    conservation, parallel shard-merge consistency), strict or
+    record-only.
+:mod:`repro.runtime.parallel`
+    The sharded sweep engine: :func:`parallel_map` over fork workers
+    and :func:`run_sharded`, the journaled walk behind
+    ``run_checkpointed(..., workers=N)``.
 :mod:`repro.runtime.crashsafe`
     The harnesses tying them together: :func:`run_checkpointed`,
     :func:`crash_safe_fault_sweep`, :func:`run_interruptible`.
@@ -36,11 +42,27 @@ from .invariants import (
     audit_cluster,
     audit_comparison,
     audit_run,
+    audit_shard_merge,
     audit_sweep_points,
     set_strict,
     strict_enabled,
 )
-from .journal import JournalError, RunJournal, atomic_write_text
+from .journal import (
+    JournalError,
+    RunJournal,
+    atomic_write_text,
+    list_segments,
+    segment_name,
+)
+from .parallel import (
+    ShardedWalk,
+    ShardStatus,
+    fork_available,
+    merge_snapshots,
+    parallel_map,
+    run_sharded,
+    shard_indices,
+)
 from .watchdog import Watchdog, WatchdogExpired
 
 _LAZY_CRASHSAFE = (
@@ -57,6 +79,8 @@ __all__ = [
     "InvariantError",
     "JournalError",
     "RunJournal",
+    "ShardStatus",
+    "ShardedWalk",
     "Violation",
     "Watchdog",
     "WatchdogExpired",
@@ -65,8 +89,16 @@ __all__ = [
     "audit_cluster",
     "audit_comparison",
     "audit_run",
+    "audit_shard_merge",
     "audit_sweep_points",
+    "fork_available",
+    "list_segments",
+    "merge_snapshots",
+    "parallel_map",
+    "run_sharded",
+    "segment_name",
     "set_strict",
+    "shard_indices",
     "strict_enabled",
     *_LAZY_CRASHSAFE,
 ]

@@ -36,7 +36,13 @@ from ..analysis.reliability import (
 )
 from ..obs import metrics as obsm
 from .invariants import AuditReport, audit_sweep_points
-from .journal import JournalError, RunJournal, atomic_write_text
+from .journal import (
+    JournalError,
+    RunJournal,
+    atomic_write_text,
+    list_segments,
+)
+from .parallel import fork_available, load_segment_points, run_sharded
 from .watchdog import Watchdog, WatchdogExpired
 
 __all__ = [
@@ -61,6 +67,8 @@ class GridOutcome:
     #: points computed (and journaled) this walk
     computed_points: int
     journal: RunJournal
+    #: shard-merge audit when the walk ran in parallel, else ``None``
+    merge_audit: AuditReport | None = None
 
     @property
     def complete(self) -> bool:
@@ -80,6 +88,7 @@ def run_checkpointed(
     resume: bool = False,
     watchdog: Watchdog | None = None,
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
 ) -> GridOutcome:
     """Walk ``items`` through ``fn`` with durable per-item checkpoints.
 
@@ -89,28 +98,85 @@ def run_checkpointed(
     journaled items are decoded instead of recomputed.  The wall-clock
     watchdog is consulted *between* items; on expiry the walk stops
     with everything completed so far safely journaled.
+
+    ``workers > 1`` runs the walk on the sharded engine
+    (:func:`repro.runtime.parallel.run_sharded`): bit-identical results
+    and merged journal, one segment journal per worker while in flight.
+    A run may be killed under one worker count and resumed under any
+    other (including serial) — leftover segments are always absorbed.
     """
     meta = dict(meta or {})
+    items = list(items)
+    keys = [key_of(item) for item in items]
     if resume:
         journal = RunJournal.load(run_dir)
-        if meta and journal.meta != meta:
+        # Compare unconditionally: an empty requested meta must match an
+        # empty journaled meta, not act as a wildcard that would merge a
+        # parameterless resume into any journal.
+        if journal.meta != meta:
             raise JournalError(
                 f"journal meta in {run_dir!r} does not match this "
                 f"sweep's parameters (journaled {journal.meta!r}, "
                 f"requested {meta!r})"
             )
+        if journal.sealed:
+            missing = [key for key in keys if not journal.has(key)]
+            if missing:
+                raise JournalError(
+                    f"journal in {run_dir!r} is sealed but the requested "
+                    f"grid has {len(missing)} point(s) it never recorded "
+                    f"(first: {missing[0]!r}); the grids differ — start "
+                    f"a fresh run directory instead of resuming"
+                )
     else:
         journal = RunJournal.create(run_dir, meta)
+
+    if workers > 1 and fork_available() and not journal.sealed:
+        walk = run_sharded(
+            run_dir,
+            items,
+            fn,
+            key_of=key_of,
+            encode=encode,
+            decode=decode,
+            meta=meta,
+            journal=journal,
+            workers=workers,
+            max_wall_s=(
+                watchdog.max_wall_s if watchdog is not None else None
+            ),
+            wall_clock=watchdog.clock if watchdog is not None else None,
+            progress=progress,
+        )
+        return GridOutcome(
+            results=walk.results,
+            interrupted=walk.interrupted,
+            resumed_points=walk.resumed_points,
+            computed_points=walk.computed_points,
+            journal=walk.journal,
+            merge_audit=walk.merge_audit,
+        )
+
     if watchdog is not None:
         watchdog.start()
+    # Segments left behind by a killed parallel run: absorb their points
+    # into the main journal at the grid position a serial walk would
+    # have written them, so the merged journal stays byte-identical.
+    segment_payloads: dict[str, Any] = {}
+    if resume:
+        _, segment_payloads = load_segment_points(run_dir, meta)
 
     results: list[Any] = []
     resumed = computed = 0
     interrupted: str | None = None
-    for item in items:
-        key = key_of(item)
+    for item, key in zip(items, keys):
         if journal.has(key):
             results.append(decode(journal.payload(key)))
+            resumed += 1
+            continue
+        if key in segment_payloads:
+            journal.record(key, segment_payloads[key])
+            results.append(decode(segment_payloads[key]))
             resumed += 1
             continue
         if watchdog is not None:
@@ -129,6 +195,8 @@ def run_checkpointed(
         # Seal with the observability snapshot (None while disabled, so
         # uninstrumented journals keep the pre-observability byte format).
         journal.seal(obsm.snapshot() or None)
+        for name in list_segments(run_dir).values():
+            os.remove(os.path.join(run_dir, name))
     return GridOutcome(
         results=results,
         interrupted=interrupted,
@@ -162,13 +230,16 @@ def crash_safe_fault_sweep(
     deadline_s: float | None = None,
     strict: bool | None = None,
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
 ) -> SweepOutcome:
     """The reliability grid with checkpoint/resume and auditing.
 
     Point order, seeds and numerics are identical to
     :func:`~repro.analysis.reliability.sweep_fault_hit_grid`; each
     point's simulators are freshly seeded from ``seed``, so a resumed
-    run merges to a bit-identical point list.
+    run merges to a bit-identical point list.  ``workers > 1`` shards
+    the grid across fork workers — point list, audit report and merged
+    journal are all bit-identical to the serial walk.
     """
     meta = {
         "kind": "fault_sweep",
@@ -196,6 +267,7 @@ def crash_safe_fault_sweep(
         resume=resume,
         watchdog=watchdog,
         progress=progress,
+        workers=workers,
     )
     audit = audit_sweep_points(outcome.results)
     atomic_write_text(
@@ -208,6 +280,7 @@ def crash_safe_fault_sweep(
         resumed_points=outcome.resumed_points,
         computed_points=outcome.computed_points,
         journal=outcome.journal,
+        merge_audit=outcome.merge_audit,
         audit=audit,
     )
     audit.raise_if_strict(strict)

@@ -44,6 +44,7 @@ __all__ = [
     "audit_comparison",
     "audit_metrics",
     "audit_run",
+    "audit_shard_merge",
     "audit_sweep_points",
     "set_strict",
     "strict_enabled",
@@ -94,6 +95,11 @@ INVARIANTS: dict[str, str] = {
         "observability counters agree with each other: cache hits + "
         "misses == PRTR calls, ICAP-controller configurations never "
         "exceed the executors' partial-configuration count"
+    ),
+    "shard-merge": (
+        "a parallel sweep's merged journal holds exactly the requested "
+        "grid keys in grid order, worker segments are pairwise "
+        "disjoint, and no segment recorded a key outside the grid"
     ),
 }
 
@@ -357,6 +363,52 @@ def audit_sweep_points(
             label=label,
             rel_tol=rel_tol,
         )
+    return report
+
+
+# -- parallel-merge checks ------------------------------------------------
+
+
+def audit_shard_merge(
+    expected_keys: Sequence[str],
+    merged_keys: Sequence[str],
+    shard_keys: Mapping[int, Sequence[str]],
+) -> AuditReport:
+    """Check a sharded sweep's deterministic merge.
+
+    ``expected_keys`` is the requested grid in walk order,
+    ``merged_keys`` the point keys of the merged journal in insertion
+    order, and ``shard_keys`` maps each worker shard to the keys its
+    segment journal recorded.  The merge is sound iff the merged
+    journal reproduces the grid exactly, segments never overlap, and
+    no segment invented a key.
+    """
+    report = AuditReport()
+    expected = list(expected_keys)
+    merged = list(merged_keys)
+    _check(
+        report, "shard-merge",
+        merged == expected,
+        f"merged journal holds {len(merged)} point(s) that do not "
+        f"match the {len(expected)}-point grid in grid order",
+    )
+    grid = set(expected)
+    seen: dict[str, int] = {}
+    for shard, keys in sorted(shard_keys.items()):
+        for key in keys:
+            if key in seen:
+                _check(
+                    report, "shard-merge", False,
+                    f"key {key!r} recorded by both shard {seen[key]} "
+                    f"and shard {shard}",
+                )
+            seen.setdefault(key, shard)
+            if key not in grid:
+                _check(
+                    report, "shard-merge", False,
+                    f"shard {shard} recorded key {key!r} which is not "
+                    "on the requested grid",
+                )
     return report
 
 

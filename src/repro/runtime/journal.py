@@ -9,16 +9,18 @@ work.
 
 Durability contract
 -------------------
-* Every mutation rewrites the whole journal to a temporary file in the
-  same directory, flushes, fsyncs, then ``os.replace``-renames it over
-  the live file.  The rename is atomic on POSIX, so a reader (or a
-  resumed run) sees either the old journal or the new one — never a
-  partially written file.
-* The loader additionally tolerates a *torn tail*: if the final line
-  fails to parse as JSON (a crash mid-write through some non-atomic
-  channel, a truncated copy), that line alone is dropped and counted in
-  :attr:`RunJournal.dropped_lines`.  Any earlier malformed line is an
-  error — corruption in the middle of a journal is not a crash artifact.
+* The journal is a true append-only file: every mutation appends exactly
+  one line to an open handle, flushes, and fsyncs.  Checkpointing a
+  point is O(1) in the journal size — an n-point sweep performs O(n)
+  journal I/O, one append+fsync per point (:attr:`RunJournal
+  .bytes_written` and :attr:`RunJournal.fsyncs` expose the cost so a
+  regression test can pin it).
+* A crash mid-append leaves at most a *torn tail*: the loader drops a
+  final line that fails to parse as JSON and counts it in
+  :attr:`RunJournal.dropped_lines`; the next append first truncates the
+  file back to the last complete line.  Any earlier malformed line is
+  an error — corruption in the middle of a journal is not a crash
+  artifact.
 * Record keys are unique; re-recording a key raises.  A ``seal`` record
   marks the run complete; sealed journals refuse further records.
 
@@ -27,6 +29,12 @@ Record grammar (one JSON object per line)::
     {"kind": "header", "version": 1, "meta": {...}}
     {"kind": "point", "key": "<unique id>", "payload": {...}}
     {"kind": "seal", "n_points": <int>, "metrics": {...}?}
+
+Parallel sweeps (:mod:`repro.runtime.parallel`) write one *segment*
+journal per worker shard — ``journal-<shard>.jsonl``, same grammar,
+same ``meta`` — and a deterministic merge reassembles them into the
+main ``journal.jsonl`` in grid order.  :func:`segment_name` and
+:func:`list_segments` define the segment naming grammar.
 
 The optional ``metrics`` field of the seal record is an observability
 snapshot (:func:`repro.obs.metrics.snapshot`) taken when the run
@@ -38,14 +46,23 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from typing import Any, Iterator, Mapping
 
 from ..obs import metrics as obsm
 
-__all__ = ["JournalError", "RunJournal", "atomic_write_text"]
+__all__ = [
+    "JournalError",
+    "RunJournal",
+    "atomic_write_text",
+    "list_segments",
+    "segment_name",
+]
 
 JOURNAL_NAME = "journal.jsonl"
 JOURNAL_VERSION = 1
+
+_SEGMENT_RE = re.compile(r"^journal-(\d+)\.jsonl$")
 
 
 class JournalError(ValueError):
@@ -63,6 +80,25 @@ def atomic_write_text(path: str, text: str) -> None:
     os.replace(tmp, path)
 
 
+def segment_name(shard: int) -> str:
+    """The journal file name for one worker shard."""
+    if shard < 0:
+        raise ValueError(f"shard must be >= 0: {shard}")
+    return f"journal-{shard}.jsonl"
+
+
+def list_segments(run_dir: str) -> dict[int, str]:
+    """Map shard id -> segment file name for every segment in a run dir."""
+    if not os.path.isdir(run_dir):
+        return {}
+    found: dict[int, str] = {}
+    for entry in os.listdir(run_dir):
+        match = _SEGMENT_RE.match(entry)
+        if match:
+            found[int(match.group(1))] = entry
+    return dict(sorted(found.items()))
+
+
 def _encode(record: Mapping[str, Any]) -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
@@ -71,7 +107,9 @@ class RunJournal:
     """Append-only checkpoint journal for one run directory.
 
     Construct via :meth:`create` (fresh run) or :meth:`load` (resume);
-    the bare constructor is internal.
+    the bare constructor is internal.  ``name`` selects the file inside
+    the run directory — the main ``journal.jsonl`` by default, or a
+    ``journal-<shard>.jsonl`` segment for parallel workers.
     """
 
     def __init__(
@@ -80,11 +118,14 @@ class RunJournal:
         meta: Mapping[str, Any],
         points: dict[str, Any],
         *,
+        name: str = JOURNAL_NAME,
         sealed: bool = False,
         dropped_lines: int = 0,
         seal_metrics: Mapping[str, Any] | None = None,
+        append_offset: int = 0,
     ) -> None:
         self.run_dir = run_dir
+        self.name = name
         self.meta = dict(meta)
         self._points = points
         self._sealed = sealed
@@ -94,51 +135,85 @@ class RunJournal:
         self.seal_metrics = (
             dict(seal_metrics) if seal_metrics is not None else None
         )
+        # Journal content is pure ASCII (json.dumps escapes), so text
+        # offsets equal byte offsets; a torn tail is clipped by
+        # truncating to this offset before the first append.
+        self._append_offset = append_offset
+        self._needs_newline = False
+        self._fh: Any = None
+        #: bytes appended by this instance (the O(n) I/O guard)
+        self.bytes_written = 0
+        #: fsync calls issued by this instance (one per mutation)
+        self.fsyncs = 0
 
     # -- construction -----------------------------------------------------
 
     @property
     def path(self) -> str:
         """Absolute path of the journal file."""
-        return os.path.join(self.run_dir, JOURNAL_NAME)
+        return os.path.join(self.run_dir, self.name)
 
     @classmethod
     def create(
-        cls, run_dir: str, meta: Mapping[str, Any] | None = None
+        cls,
+        run_dir: str,
+        meta: Mapping[str, Any] | None = None,
+        *,
+        name: str = JOURNAL_NAME,
     ) -> "RunJournal":
         """Start a fresh journal; refuses to clobber an existing one."""
         os.makedirs(run_dir, exist_ok=True)
-        journal = cls(run_dir, meta or {}, {})
+        journal = cls(run_dir, meta or {}, {}, name=name)
         if os.path.exists(journal.path):
             raise FileExistsError(
                 f"journal already exists in {run_dir!r}; "
                 "pass resume=True (CLI: --resume) to continue it"
             )
-        journal._flush()
+        journal._append(
+            _encode(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "meta": journal.meta,
+                }
+            )
+        )
         return journal
 
     @classmethod
-    def load(cls, run_dir: str) -> "RunJournal":
+    def load(
+        cls, run_dir: str, *, name: str = JOURNAL_NAME
+    ) -> "RunJournal":
         """Load an existing journal (for resume or inspection)."""
-        path = os.path.join(run_dir, JOURNAL_NAME)
+        path = os.path.join(run_dir, name)
         if not os.path.exists(path):
             raise FileNotFoundError(f"no journal found in {run_dir!r}")
         with open(path, "r", encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
+            text = fh.read()
+        lines = text.splitlines()
         records: list[dict[str, Any]] = []
         dropped = 0
+        good_end = 0  # offset just past the last parseable line
+        offset = 0
         for lineno, line in enumerate(lines):
+            # +1 for the newline; the final line may be unterminated.
+            line_end = min(offset + len(line) + 1, len(text))
             if not line.strip():
+                good_end = line_end
+                offset = line_end
                 continue
             try:
                 records.append(json.loads(line))
             except json.JSONDecodeError:
                 if lineno == len(lines) - 1:
                     dropped += 1  # torn tail from a crash mid-write
+                    offset = line_end
                     continue
                 raise JournalError(
                     f"{path}:{lineno + 1}: malformed journal line"
                 )
+            good_end = line_end
+            offset = line_end
         if not records or records[0].get("kind") != "header":
             raise JournalError(f"{path}: missing header record")
         header = records[0]
@@ -164,14 +239,22 @@ class RunJournal:
                 raise JournalError(
                     f"{path}: unknown record kind {kind!r}"
                 )
-        return cls(
+        journal = cls(
             run_dir,
             header.get("meta", {}),
             points,
+            name=name,
             sealed=sealed,
             dropped_lines=dropped,
             seal_metrics=seal_metrics,
+            append_offset=good_end,
         )
+        # A valid final line may be unterminated (truncation exactly at
+        # the closing brace); the first append must not concatenate.
+        journal._needs_newline = (
+            good_end == len(text) and bool(text) and not text.endswith("\n")
+        )
+        return journal
 
     # -- queries ----------------------------------------------------------
 
@@ -197,18 +280,22 @@ class RunJournal:
         """Checkpointed grid-point keys in insertion order."""
         return iter(self._points)
 
+    def payloads(self) -> dict[str, Any]:
+        """Key -> raw payload for every checkpointed point (a copy)."""
+        return dict(self._points)
+
     # -- mutation ---------------------------------------------------------
 
     def record(self, key: str, payload: Any) -> None:
-        """Checkpoint one completed unit of work (atomic on return)."""
+        """Checkpoint one completed unit of work (durable on return)."""
         if self._sealed:
             raise JournalError("journal is sealed; no further records")
         if key in self._points:
             raise JournalError(f"duplicate journal key {key!r}")
-        json.dumps(payload)  # fail fast on unserializable payloads
+        line = _encode({"kind": "point", "key": key, "payload": payload})
         self._points[key] = payload
         obsm.counter("repro_journal_records_total").inc()
-        self._flush()
+        self._append(line)
 
     def seal(self, metrics: Mapping[str, Any] | None = None) -> None:
         """Mark the run complete (idempotent).
@@ -219,32 +306,46 @@ class RunJournal:
         """
         if self._sealed:
             return
+        seal: dict[str, Any] = {
+            "kind": "seal",
+            "n_points": len(self._points),
+        }
         if metrics is not None:
-            json.dumps(metrics)  # fail fast, like record()
             self.seal_metrics = dict(metrics)
+        if self.seal_metrics is not None:
+            seal["metrics"] = self.seal_metrics
+        line = _encode(seal)
         self._sealed = True
-        self._flush()
+        self._append(line)
+        self.close()
 
-    def _flush(self) -> None:
-        lines = [
-            _encode(
-                {
-                    "kind": "header",
-                    "version": JOURNAL_VERSION,
-                    "meta": self.meta,
-                }
-            )
-        ]
-        lines.extend(
-            _encode({"kind": "point", "key": k, "payload": v})
-            for k, v in self._points.items()
-        )
-        if self._sealed:
-            seal: dict[str, Any] = {
-                "kind": "seal",
-                "n_points": len(self._points),
-            }
-            if self.seal_metrics is not None:
-                seal["metrics"] = self.seal_metrics
-            lines.append(_encode(seal))
-        atomic_write_text(self.path, "\n".join(lines) + "\n")
+    def close(self) -> None:
+        """Release the append handle (reopened on the next mutation)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def _open_for_append(self) -> Any:
+        """The append handle, clipping any torn tail on first open."""
+        if self._fh is None:
+            if os.path.exists(self.path):
+                if os.path.getsize(self.path) != self._append_offset:
+                    os.truncate(self.path, self._append_offset)
+                self._fh = open(self.path, "a", encoding="utf-8")
+                if self._needs_newline:
+                    self._fh.write("\n")
+                    self._append_offset += 1
+                    self._needs_newline = False
+            else:
+                self._fh = open(self.path, "x", encoding="utf-8")
+        return self._fh
+
+    def _append(self, line: str) -> None:
+        data = line + "\n"
+        fh = self._open_for_append()
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+        self.fsyncs += 1
+        self.bytes_written += len(data)
+        self._append_offset += len(data)

@@ -88,7 +88,9 @@ class Watchdog:
         self.max_events = max_events
         self.stall_events = stall_events
         self.max_wall_s = max_wall_s
-        self._clock = clock
+        #: the injectable time source (read by the parallel engine to
+        #: rebuild per-worker watchdogs with the same clock)
+        self.clock = clock
         self._wall_start: float | None = None
         self._base_events = 0
         self._last_now: float | None = None
@@ -98,7 +100,7 @@ class Watchdog:
 
     def start(self, sim: Any | None = None) -> "Watchdog":
         """Arm the watchdog; call when the guarded run begins."""
-        self._wall_start = self._clock()
+        self._wall_start = self.clock()
         if sim is not None:
             self._base_events = sim.events_processed
             self._last_now = sim.now
@@ -118,7 +120,7 @@ class Watchdog:
             return
         if self._wall_start is None:
             self.start()
-        elapsed = self._clock() - self._wall_start
+        elapsed = self.clock() - self._wall_start
         if elapsed >= self.max_wall_s:
             self._expire(
                 "wall-deadline",

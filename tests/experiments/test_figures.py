@@ -97,3 +97,23 @@ class TestProfiles:
     def test_render_all(self):
         text = fig234_profiles.render_all()
         assert "Figure 3" in text and "Figure 4(a)" in text
+
+
+class TestWorkersIdentity:
+    """``workers > 1`` must not change a single bit of any driver."""
+
+    def test_fig5_grid_bit_identical(self):
+        serial = fig5.run()
+        parallel = fig5.run(workers=4)
+        assert list(serial.axes) == list(parallel.axes)
+        for name in serial.axes:
+            assert np.array_equal(serial.axes[name], parallel.axes[name])
+        assert np.array_equal(serial.values, parallel.values)
+        assert serial.name == parallel.name
+
+    def test_fig9_points_bit_identical(self):
+        p = fig9.panel("estimated")
+        x1, s1 = fig9.simulate_points(p, n_calls=24)
+        x4, s4 = fig9.simulate_points(p, n_calls=24, workers=4)
+        assert np.array_equal(x1, x4)
+        assert np.array_equal(s1, s4)

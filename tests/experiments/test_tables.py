@@ -89,3 +89,11 @@ class TestTable2:
     def test_render_mentions_both_sources(self):
         text = table2.render()
         assert "ours" in text and "paper" in text
+
+
+class TestWorkersIdentity:
+    def test_table1_rows_identical(self):
+        assert table1.table1_rows() == table1.table1_rows(workers=3)
+
+    def test_table2_rows_identical(self):
+        assert table2.table2_rows() == table2.table2_rows(workers=3)

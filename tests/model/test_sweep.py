@@ -73,6 +73,23 @@ class TestSweepAsymptotic:
         with pytest.raises(ValueError, match="one free axis"):
             res.series()
 
+    def test_series_hint_names_the_unfixed_axes(self):
+        # Under-fixed: the hint must name the axes still free (the old
+        # message computed names - fixed - free, which is always empty).
+        res = sweep_asymptotic(
+            {"x_task": [1.0, 2.0], "x_prtr": [0.1, 0.2],
+             "hit_ratio": [0.0, 0.5]}
+        )
+        with pytest.raises(ValueError) as excinfo:
+            res.series(x_prtr=0.1)
+        assert "'x_task'" in str(excinfo.value)
+        assert "'hit_ratio'" in str(excinfo.value)
+
+    def test_series_hint_when_every_axis_fixed(self):
+        res = sweep_asymptotic({"x_task": [1.0], "x_prtr": [0.1]})
+        with pytest.raises(ValueError, match="unfix one of"):
+            res.series(x_task=1.0, x_prtr=0.1)
+
     def test_series_missing_value(self):
         res = sweep_asymptotic({"x_task": [1.0, 2.0], "x_prtr": [0.1]})
         with pytest.raises(KeyError):

@@ -112,6 +112,11 @@ class TestCrashSafeFaultSweep:
         )
         assert outcome.audit.ok
 
+    def test_plain_sweep_workers_bit_identical(self):
+        assert sweep_fault_hit_grid(
+            RATES, HITS, **SWEEP_KW
+        ) == sweep_fault_hit_grid(RATES, HITS, workers=4, **SWEEP_KW)
+
     def test_writes_invariant_report(self, tmp_path):
         run_dir = tmp_path / "run"
         crash_safe_fault_sweep(str(run_dir), RATES, HITS, **SWEEP_KW)
