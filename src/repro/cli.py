@@ -13,6 +13,7 @@
     python -m repro trace --out trace.json
     python -m repro metrics --profile
     python -m repro validate
+    python -m repro lint --json
     python -m repro all
 
 Every subcommand prints the same text tables/plots the benchmark harness
@@ -435,6 +436,39 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import sys as _sys
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    tools = repo_root / "tools"
+    if not (tools / "reprolint" / "engine.py").exists():
+        raise OSError(
+            "repro lint needs a repository checkout "
+            f"(no tools/reprolint under {repo_root})"
+        )
+    if str(tools) not in _sys.path:
+        _sys.path.insert(0, str(tools))
+    import reprolint
+
+    argv = ["--repo-root", str(repo_root)]
+    if args.json:
+        argv.append("--json")
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return reprolint.main(argv)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import generate_report
 
@@ -452,8 +486,9 @@ def _cmd_all(args: argparse.Namespace) -> int:
     rc = 0
     for name, fn in _COMMANDS.items():
         # "sweep" needs a --run-dir; "report" and "trace" write files;
-        # none of them belongs in the zero-argument smoke pass.
-        if name in ("all", "report", "sweep", "trace"):
+        # "lint" needs a source checkout; none of them belongs in the
+        # zero-argument smoke pass.
+        if name in ("all", "report", "sweep", "trace", "lint"):
             continue
         print("=" * 72)
         print(f"== {name}")
@@ -477,6 +512,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
     "report": _cmd_report,
     "all": _cmd_all,
 }
@@ -615,6 +651,38 @@ def build_parser() -> argparse.ArgumentParser:
                     help="profile rows to show")
 
     sub.add_parser("validate", help="model-vs-simulation validation")
+    pl = sub.add_parser(
+        "lint",
+        help="run reprolint, the AST-based domain linter "
+             "(docs/STATIC_ANALYSIS.md)",
+    )
+    pl.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    pl.add_argument(
+        "--baseline", type=str, default="",
+        help="baseline file (default: tools/reprolint/baseline.json)",
+    )
+    pl.add_argument(
+        "--no-baseline", action="store_true",
+        help="report baselined findings too",
+    )
+    pl.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept current findings into the baseline (justify them!)",
+    )
+    pl.add_argument(
+        "--select", type=str, default="",
+        help="comma-separated rule ids to run (e.g. RL001,RL003)",
+    )
+    pl.add_argument(
+        "--ignore", type=str, default="",
+        help="comma-separated rule ids to skip",
+    )
+    pl.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
     pr = sub.add_parser("report", help="write the full REPORT.md")
     pr.add_argument("--output", type=str, default="REPORT.md")
     pr.add_argument("--calls", type=int, default=90)

@@ -296,7 +296,10 @@ def run_sharded(
             try:
                 # A private registry per worker: the sealed snapshot
                 # must describe this shard's work, not inherited state.
-                obsm.get_registry().reset()
+                # The reset intentionally targets the forked child's own
+                # copy-on-write registry; nothing is shared back — the
+                # snapshot travels via the status queue.
+                obsm.get_registry().reset()  # reprolint: disable=RL003
                 watchdog = (
                     Watchdog(
                         max_wall_s=max_wall_s,

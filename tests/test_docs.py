@@ -80,6 +80,7 @@ class TestArchitectureDoc:
             "docs/ARCHITECTURE.md",
             "docs/OBSERVABILITY.md",
             "docs/MODEL.md",
+            "docs/STATIC_ANALYSIS.md",
         ):
             assert target in text, f"README does not link {target}"
 
@@ -87,6 +88,33 @@ class TestArchitectureDoc:
         text = read(REPO / "README.md")
         for verb in ("sweep", "trace", "metrics"):
             assert f"python -m repro {verb}" in text, verb
+
+
+class TestStaticAnalysisDoc:
+    @pytest.fixture(autouse=True)
+    def _tools_on_path(self, monkeypatch):
+        monkeypatch.syspath_prepend(TOOLS)
+        yield
+
+    def test_every_rule_is_documented(self):
+        from reprolint import all_rules
+
+        text = read(DOCS / "STATIC_ANALYSIS.md")
+        for rule in all_rules():
+            assert f"`{rule.id}`" in text, f"no doc row for {rule.id}"
+            assert rule.title in text, f"title drift for {rule.id}"
+
+    def test_no_phantom_rules_documented(self):
+        from reprolint import all_rules
+
+        text = read(DOCS / "STATIC_ANALYSIS.md")
+        documented = set(re.findall(r"`(RL\d{3})`", text))
+        known = {rule.id for rule in all_rules()}
+        assert documented == known, documented ^ known
+
+    def test_architecture_doc_links_the_linter(self):
+        text = read(DOCS / "ARCHITECTURE.md")
+        assert "STATIC_ANALYSIS.md" in text
 
 
 class TestDocTools:

@@ -1,0 +1,22 @@
+"""RL001 fixture: every banned ambient-entropy pattern in one file."""
+
+import random
+import time
+from datetime import datetime
+from time import perf_counter
+
+import numpy as np
+
+
+def stamp():
+    """Four findings: two wall clocks, one stdlib RNG, one numpy RNG."""
+    t0 = time.time()
+    t1 = datetime.now()
+    jitter = random.random()
+    rng = np.random.default_rng()
+    return t0, t1, jitter, rng
+
+
+def resolved_import_clock():
+    """A from-import still resolves to the banned origin."""
+    return perf_counter()

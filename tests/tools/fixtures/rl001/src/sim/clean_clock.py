@@ -1,0 +1,28 @@
+"""RL001 fixture: the sanctioned patterns must not be flagged."""
+
+import time
+
+import numpy as np
+
+
+def resolve_rng(rng=None):
+    """The one place allowed to construct a numpy Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(0 if rng is None else rng)
+
+
+class Watchdog:
+    """Passing ``time.monotonic`` as a value is injection, not a read."""
+
+    def __init__(self, clock=time.monotonic):
+        self.clock = clock
+
+    def elapsed(self, start):
+        """Reading the injected clock is the sanctioned path."""
+        return self.clock() - start
+
+
+def draw(seed):
+    """Randomness via resolve_rng is the sanctioned path."""
+    return resolve_rng(seed).normal()

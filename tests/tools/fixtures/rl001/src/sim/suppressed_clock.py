@@ -1,0 +1,8 @@
+"""RL001 fixture: a hit silenced by an inline suppression."""
+
+import time
+
+
+def stamp():
+    """One suppressed finding (pretend there is a very good reason)."""
+    return time.time()  # reprolint: disable=RL001

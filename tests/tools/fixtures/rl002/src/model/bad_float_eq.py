@@ -1,0 +1,9 @@
+"""RL002 fixture: float-valued expressions compared exactly."""
+
+
+def check(speedup, t_frtr, t_prtr, ratio):
+    """Three findings: division, float literal, float() call."""
+    a = speedup == t_frtr / t_prtr
+    b = ratio != 0.17
+    c = float(speedup) == ratio
+    return a, b, c

@@ -1,0 +1,12 @@
+"""RL002 fixture: tolerant comparison and exact sentinels are fine."""
+
+import math
+
+
+def check(speedup, t_frtr, t_prtr, cv, n):
+    """No findings: isclose, integer sentinel, integer arithmetic."""
+    a = math.isclose(speedup, t_frtr / t_prtr, rel_tol=1e-9)
+    b = cv == 0  # integer-literal sentinel: exact by construction
+    c = n % 2 == 0
+    d = math.floor(speedup) == 2  # math.floor is exact
+    return a, b, c, d

@@ -1,0 +1,30 @@
+"""RL003 fixture: a ``run_sharded``-shaped walk whose worker mutates
+module state — the exact hazard class that breaks serial-vs-parallel
+byte-identity (the writes stay in the forked child's pages)."""
+
+import multiprocessing
+
+RESULT_CACHE = {}
+COMPLETED = 0
+SETTINGS = {"mode": "fast"}
+
+
+def run_sharded(items, workers):
+    """Shard ``items`` across fork workers (buggy on purpose)."""
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+
+    def worker(shard):
+        global COMPLETED
+        for i in range(shard, len(items), workers):
+            RESULT_CACHE[i] = items[i] * 2
+            COMPLETED += 1
+        SETTINGS.update(last_shard=shard)
+        queue.put(shard)
+
+    procs = [ctx.Process(target=worker, args=(s,)) for s in range(workers)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()
+    return RESULT_CACHE

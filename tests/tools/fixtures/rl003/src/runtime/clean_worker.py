@@ -1,0 +1,28 @@
+"""RL003 fixture: a shared-nothing worker — results travel only
+through the queue, all mutation is worker-local."""
+
+import multiprocessing
+
+DEFAULTS = {"mode": "fast"}
+
+
+def run_sharded(items, workers):
+    """Shard ``items`` across fork workers (the sanctioned shape)."""
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+
+    def worker(shard):
+        local = dict(DEFAULTS)  # reading module state is fine
+        pairs = []
+        for i in range(shard, len(items), workers):
+            pairs.append((i, items[i] * 2))
+        local["shard"] = shard  # worker-local mutation is fine
+        queue.put({"shard": shard, "pairs": pairs})
+
+    procs = [ctx.Process(target=worker, args=(s,)) for s in range(workers)]
+    for proc in procs:
+        proc.start()
+    results = [queue.get() for _ in procs]
+    for proc in procs:
+        proc.join()
+    return results

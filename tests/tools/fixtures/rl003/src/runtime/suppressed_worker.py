@@ -1,0 +1,21 @@
+"""RL003 fixture: an intentional post-fork reset, suppressed inline."""
+
+import multiprocessing
+
+REGISTRY = {"counters": {}}
+
+
+def run(workers):
+    """One suppressed finding (per-fork private reset, as documented)."""
+    ctx = multiprocessing.get_context("fork")
+
+    def worker(shard):
+        # the child's own copy-on-write registry, nothing shared back
+        REGISTRY["counters"] = {}  # reprolint: disable=RL003
+        return shard
+
+    procs = [ctx.Process(target=worker, args=(s,)) for s in range(workers)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()

@@ -1,0 +1,19 @@
+"""RL004 fixture: a miniature closed catalog (one entry unreferenced)."""
+
+
+class MetricSpec:
+    """Stub spec: name plus kind."""
+
+    def __init__(self, name, kind, help=""):
+        self.name = name
+        self.kind = kind
+        self.help = help
+
+
+CATALOG = {
+    spec.name: spec
+    for spec in (
+        MetricSpec("fix_cache_events_total", "counter"),
+        MetricSpec("fix_unreferenced_total", "counter"),
+    )
+}

@@ -1,0 +1,9 @@
+"""RL004 fixture: one declared reference, one undeclared name."""
+
+from ..obs import metrics as obsm
+
+
+def run():
+    """One finding: 'fix_typo_total' is not in the catalog."""
+    obsm.counter("fix_cache_events_total").inc()
+    obsm.counter("fix_typo_total").inc()

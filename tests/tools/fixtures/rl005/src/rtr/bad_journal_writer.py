@@ -1,0 +1,18 @@
+"""RL005 fixture: journal files written outside runtime/journal.py."""
+
+import os
+
+
+def sneak_append(run_dir, line):
+    """Two findings: an append-mode open and a flag-mode os.open."""
+    with open(os.path.join(run_dir, "journal.jsonl"), "a") as fh:
+        fh.write(line)
+    fd = os.open(os.path.join(run_dir, "journal-0.jsonl"), os.O_WRONLY)
+    os.write(fd, line.encode())
+    os.close(fd)
+
+
+def fstring_append(run_dir, shard, line):
+    """One finding: the f-string still names a journal segment."""
+    with open(f"{run_dir}/journal-{shard}.jsonl", mode="a") as fh:
+        fh.write(line)

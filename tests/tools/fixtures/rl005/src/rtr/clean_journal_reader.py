@@ -1,0 +1,16 @@
+"""RL005 fixture: reading journals and writing other files is fine."""
+
+import json
+import os
+
+
+def inspect(run_dir):
+    """No findings: read-mode open on a journal is allowed."""
+    with open(os.path.join(run_dir, "journal.jsonl")) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def write_report(run_dir, payload):
+    """No findings: write-mode open on a non-journal path."""
+    with open(os.path.join(run_dir, "invariants.json"), "w") as fh:
+        json.dump(payload, fh)

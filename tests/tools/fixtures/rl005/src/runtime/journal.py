@@ -1,0 +1,7 @@
+"""RL005 fixture: the owner module may write journal files freely."""
+
+
+def append(run_dir, line):
+    """No findings here: runtime/journal.py is the sanctioned owner."""
+    with open(f"{run_dir}/journal.jsonl", "a") as fh:
+        fh.write(line + "\n")

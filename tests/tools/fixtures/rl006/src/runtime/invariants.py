@@ -1,0 +1,6 @@
+"""RL006 fixture: a registry with one undocumented invariant."""
+
+INVARIANTS = {
+    "clock-monotonic": "records are time-ordered",
+    "undocumented-check": "registered here, absent from the doc table",
+}

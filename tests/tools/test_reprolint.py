@@ -1,0 +1,377 @@
+"""reprolint: fixture-driven rule tests, engine mechanics, live-tree gate.
+
+Each rule gets three fixture shapes under ``fixtures/<rule>/``: a
+positive hit, a suppressed hit, and a clean file.  On top of that the
+engine itself is exercised (select/ignore, baseline round-trip, JSON
+output, exit codes), the ``repro lint`` CLI verb is smoke-tested, and a
+meta-test asserts the live tree is lint-clean under the committed
+baseline — the same gate CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+TOOLS = REPO / "tools"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+if str(TOOLS) not in sys.path:  # the linter lives outside src/
+    sys.path.insert(0, str(TOOLS))
+
+from reprolint import (  # noqa: E402
+    Finding,
+    all_rules,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from reprolint import engine as engine_mod  # noqa: E402
+
+
+def lint_fixture(name: str, **kwargs):
+    """Run the engine over one fixture mini-repo."""
+    root = FIXTURES / name
+    return run_lint(root / "src", root, **kwargs)
+
+
+def by_file(result, filename: str) -> list[Finding]:
+    """Findings whose path ends with ``filename``."""
+    return [f for f in result.findings if f.path.endswith(filename)]
+
+
+# -- RL001 determinism -----------------------------------------------------
+
+
+class TestRL001:
+    def test_positive_hits(self):
+        result = lint_fixture("rl001", select=["RL001"])
+        bad = by_file(result, "bad_clock.py")
+        assert len(bad) == 5
+        messages = " ".join(f.message for f in bad)
+        assert "time.time" in messages
+        assert "datetime.datetime.now" in messages
+        assert "random.random" in messages
+        assert "numpy.random.default_rng" in messages
+        # the from-import still resolves to its banned origin
+        assert "time.perf_counter" in messages
+
+    def test_suppressed_hit_counted_not_reported(self):
+        result = lint_fixture("rl001", select=["RL001"])
+        assert not by_file(result, "suppressed_clock.py")
+        assert any(
+            f.path.endswith("suppressed_clock.py")
+            for f in result.suppressed
+        )
+
+    def test_clean_file_has_no_findings(self):
+        result = lint_fixture("rl001", select=["RL001"])
+        assert not by_file(result, "clean_clock.py")
+
+
+# -- RL002 float equality --------------------------------------------------
+
+
+class TestRL002:
+    def test_positive_hits(self):
+        result = lint_fixture("rl002", select=["RL002"])
+        bad = by_file(result, "bad_float_eq.py")
+        assert len(bad) == 3
+
+    def test_clean_file_has_no_findings(self):
+        result = lint_fixture("rl002", select=["RL002"])
+        assert not by_file(result, "clean_float_eq.py")
+
+
+# -- RL003 fork safety -----------------------------------------------------
+
+
+class TestRL003:
+    def test_seeded_run_sharded_regression_is_caught(self):
+        """The acceptance scenario: a run_sharded-shaped walk whose
+        worker mutates module state must be flagged."""
+        result = lint_fixture("rl003", select=["RL003"])
+        bad = by_file(result, "bad_worker.py")
+        assert len(bad) == 3
+        messages = " ".join(f.message for f in bad)
+        assert "global COMPLETED" in messages
+        assert "'RESULT_CACHE'" in messages
+        assert ".update()" in messages and "'SETTINGS'" in messages
+
+    def test_clean_shared_nothing_worker_passes(self):
+        result = lint_fixture("rl003", select=["RL003"])
+        assert not by_file(result, "clean_worker.py")
+
+    def test_suppressed_intentional_reset(self):
+        result = lint_fixture("rl003", select=["RL003"])
+        assert not by_file(result, "suppressed_worker.py")
+        assert any(
+            f.path.endswith("suppressed_worker.py")
+            for f in result.suppressed
+        )
+
+
+# -- RL004 metrics catalog -------------------------------------------------
+
+
+class TestRL004:
+    def test_undeclared_name_and_unreferenced_entry(self):
+        result = lint_fixture("rl004", select=["RL004"])
+        assert len(result.findings) == 2
+        undeclared = by_file(result, "uses_metrics.py")
+        assert len(undeclared) == 1
+        assert "fix_typo_total" in undeclared[0].message
+        unreferenced = by_file(result, "obs/metrics.py")
+        assert len(unreferenced) == 1
+        assert "fix_unreferenced_total" in unreferenced[0].message
+
+    def test_rule_is_inert_without_a_catalog(self):
+        result = lint_fixture("rl001", select=["RL004"])
+        assert not result.findings
+
+
+# -- RL005 journal bypass --------------------------------------------------
+
+
+class TestRL005:
+    def test_positive_hits(self):
+        result = lint_fixture("rl005", select=["RL005"])
+        bad = by_file(result, "bad_journal_writer.py")
+        assert len(bad) == 3  # "a" open, os.open flags, f-string open
+
+    def test_reads_and_other_files_are_clean(self):
+        result = lint_fixture("rl005", select=["RL005"])
+        assert not by_file(result, "clean_journal_reader.py")
+
+    def test_owner_module_is_exempt(self):
+        result = lint_fixture("rl005", select=["RL005"])
+        assert not by_file(result, "runtime/journal.py")
+
+
+# -- RL006 invariant drift -------------------------------------------------
+
+
+class TestRL006:
+    def test_both_drift_directions(self):
+        result = lint_fixture("rl006", select=["RL006"])
+        assert len(result.findings) == 2
+        messages = " ".join(f.message for f in result.findings)
+        assert "undocumented-check" in messages
+        assert "phantom-check" in messages
+
+    def test_registered_and_documented_name_is_clean(self):
+        result = lint_fixture("rl006", select=["RL006"])
+        assert not any(
+            "clock-monotonic" in f.message for f in result.findings
+        )
+
+    def test_metric_dictionary_table_is_not_misparsed(self):
+        result = lint_fixture("rl006", select=["RL006"])
+        assert not any("'H'" in f.message for f in result.findings)
+
+
+# -- engine mechanics ------------------------------------------------------
+
+
+class TestEngine:
+    def test_select_and_ignore(self):
+        everything = lint_fixture("rl001")
+        only = lint_fixture("rl001", select=["RL001"])
+        none = lint_fixture("rl001", ignore=["RL001"])
+        assert {f.rule for f in everything.findings} == {"RL001"}
+        assert len(only.findings) == len(everything.findings)
+        assert not none.findings
+
+    def test_findings_are_sorted_and_carry_context(self):
+        result = lint_fixture("rl001", select=["RL001"])
+        keys = [f.sort_key() for f in result.findings]
+        assert keys == sorted(keys)
+        for finding in result.findings:
+            assert finding.context  # the stripped source line
+
+    def test_baseline_round_trip(self, tmp_path):
+        result = lint_fixture("rl001", select=["RL001"])
+        assert result.findings
+        path = tmp_path / "baseline.json"
+        write_baseline(path, result.findings)
+        entries = load_baseline(path)
+        assert len(entries) == len(result.findings)
+        assert all(e["justification"] for e in entries)
+        new, matched, stale = result.partition(entries)
+        assert not new and not stale
+        assert len(matched) == len(result.findings)
+
+    def test_baseline_does_not_absorb_second_occurrence(self):
+        result = lint_fixture("rl001", select=["RL001"])
+        one = result.findings[0]
+        entries = [
+            {"rule": one.rule, "path": one.path, "context": one.context}
+        ]
+        new, matched, _ = result.partition(entries)
+        assert len(matched) == 1
+        assert len(new) == len(result.findings) - 1
+
+    def test_stale_baseline_entry_is_reported(self):
+        result = lint_fixture("rl001", select=["RL001"])
+        entries = [
+            {"rule": "RL001", "path": "gone.py", "context": "x = 1"}
+        ]
+        new, _, stale = result.partition(entries)
+        assert len(stale) == 1
+        assert len(new) == len(result.findings)
+
+    def test_load_baseline_rejects_garbage(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_parse_error_is_reported_not_fatal(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "broken.py").write_text("def oops(:\n")
+        (src / "fine.py").write_text('"""Doc."""\n')
+        result = run_lint(src, tmp_path)
+        assert len(result.errors) == 1
+        assert result.files == 1
+
+    def test_rule_registry_metadata(self):
+        rules = all_rules()
+        ids = [rule.id for rule in rules]
+        assert ids == sorted(ids)
+        assert ids == [f"RL00{i}" for i in range(1, 7)]
+        for rule in rules:
+            assert rule.title and rule.rationale and rule.example
+
+
+class TestCommandLine:
+    def test_main_exit_codes_and_json(self, tmp_path, capsys, monkeypatch):
+        fixture = FIXTURES / "rl001"
+        rc = engine_mod.main(
+            [
+                "--repo-root", str(fixture),
+                "--root", str(fixture / "src"),
+                "--no-baseline", "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["findings"]
+        assert payload["suppressed"]
+        assert payload["files"] == 3
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        fixture = FIXTURES / "rl001"
+        baseline = tmp_path / "baseline.json"
+        rc = engine_mod.main(
+            [
+                "--repo-root", str(fixture),
+                "--root", str(fixture / "src"),
+                "--baseline", str(baseline),
+                "--write-baseline",
+            ]
+        )
+        assert rc == 0 and baseline.exists()
+        capsys.readouterr()
+        rc = engine_mod.main(
+            [
+                "--repo-root", str(fixture),
+                "--root", str(fixture / "src"),
+                "--baseline", str(baseline),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 finding(s)" in out
+
+    def test_missing_root_is_usage_error(self, tmp_path, capsys):
+        rc = engine_mod.main(
+            ["--repo-root", str(tmp_path), "--root", str(tmp_path / "nope")]
+        )
+        assert rc == 2
+
+    def test_unknown_rule_id_is_usage_error(self, capsys):
+        fixture = FIXTURES / "rl001"
+        rc = engine_mod.main(
+            [
+                "--repo-root", str(fixture),
+                "--root", str(fixture / "src"),
+                "--select", "RL999",
+            ]
+        )
+        assert rc == 2
+        assert "unknown rule id" in capsys.readouterr().err
+        with pytest.raises(ValueError):
+            run_lint(fixture / "src", fixture, ignore=["NOPE"])
+
+    def test_repro_lint_cli_verb(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+    def test_repro_lint_select_listing(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                        "RL006"):
+            assert rule_id in out
+
+
+# -- the live tree ---------------------------------------------------------
+
+
+class TestLiveTree:
+    def test_tree_is_clean_under_committed_baseline(self):
+        """The CI gate: zero unbaselined findings on the real tree."""
+        result = run_lint(REPO / "src" / "repro", REPO)
+        assert not result.errors
+        baseline = load_baseline(
+            TOOLS / "reprolint" / "baseline.json"
+        )
+        new, _, stale = result.partition(baseline)
+        assert not new, [f"{f.path}:{f.line} {f.rule} {f.message}"
+                         for f in new]
+        assert not stale, f"stale baseline entries: {stale}"
+
+    def test_live_tree_suppressions_are_justified(self):
+        """Every inline suppression sits next to a why-comment."""
+        result = run_lint(REPO / "src" / "repro", REPO)
+        for finding in result.suppressed:
+            text = (REPO / finding.path).read_text(encoding="utf-8")
+            lines = text.splitlines()
+            above = "\n".join(lines[max(0, finding.line - 6):
+                                    finding.line - 1])
+            assert "#" in above, (
+                f"suppression at {finding.path}:{finding.line} has no "
+                "justifying comment above it"
+            )
+
+    def test_planted_regression_is_caught(self, tmp_path):
+        """Copy the tree, plant a wall-clock read in the DES kernel,
+        assert the linter newly flags it."""
+        src = tmp_path / "src" / "repro"
+        shutil.copytree(REPO / "src" / "repro", src)
+        engine = src / "sim" / "engine.py"
+        text = engine.read_text(encoding="utf-8")
+        text = text.replace(
+            "import heapq",
+            "import heapq\nimport time as _wall\n\n"
+            "def _leak():\n    return _wall.time()\n",
+            1,
+        )
+        engine.write_text(text, encoding="utf-8")
+        result = run_lint(src, tmp_path)
+        hits = [
+            f for f in result.findings
+            if f.rule == "RL001" and f.path.endswith("sim/engine.py")
+        ]
+        assert len(hits) == 1

@@ -1,0 +1,41 @@
+"""reprolint — AST-based domain linter for the repro codebase.
+
+Six rules enforce the contracts the reproduction's claims rest on:
+determinism (RL001), float-equality hygiene (RL002), fork-safety
+(RL003), metrics-catalog conformance (RL004), journal-bypass (RL005)
+and invariant-registry/doc agreement (RL006).  See
+``docs/STATIC_ANALYSIS.md`` for the rule table and suppression policy.
+
+Run it as ``PYTHONPATH=tools python -m reprolint`` or through the CLI
+as ``python -m repro lint``.
+"""
+
+from .engine import (
+    BASELINE_NAME,
+    Finding,
+    LintResult,
+    Project,
+    SourceModule,
+    default_repo_root,
+    load_baseline,
+    main,
+    run_lint,
+    write_baseline,
+)
+from .rules import RULES, Rule, all_rules
+
+__all__ = [
+    "BASELINE_NAME",
+    "Finding",
+    "LintResult",
+    "Project",
+    "RULES",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "default_repo_root",
+    "load_baseline",
+    "main",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,15 @@
+"""Entry point: ``python -m reprolint`` (or ``python tools/reprolint``)."""
+
+import os
+import sys
+
+if __package__ in (None, ""):  # executed as a directory, not a package
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    from reprolint.engine import main
+else:
+    from .engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,505 @@
+"""The ``reprolint`` rule engine (stdlib only).
+
+``reprolint`` is the domain linter of this repository: every headline
+claim — bit-identical resume, serial-vs-sharded journal byte-identity,
+the ``(1+X_PRTR)/X_PRTR`` and 2x speedup bounds — rests on contracts
+that plain tests cannot see (a stray wall-clock read only corrupts the
+*next* refactor).  The engine walks ``src/repro`` with :mod:`ast`, runs
+every registered rule (:mod:`reprolint.rules`) over each module, and
+reports findings with three escape hatches:
+
+* **inline suppressions** — ``# reprolint: disable=RL001`` on the
+  offending line (comma-separate several ids, ``disable=all`` for all);
+  policy: a suppression must sit next to a comment saying *why*;
+* **a committed baseline** — ``tools/reprolint/baseline.json`` holds
+  findings that are accepted with a written justification; a finding
+  matches a baseline entry by ``(rule, path, context)`` where
+  ``context`` is the stripped source line, so line-number drift does
+  not invalidate the baseline but edits to the flagged code do;
+* **per-rule enable/disable** — ``--select``/``--ignore``.
+
+Exit codes: 0 clean (everything suppressed/baselined), 1 unbaselined
+findings, 2 usage or parse errors.
+
+Usage::
+
+    PYTHONPATH=tools python -m reprolint [--json] [--list-rules]
+        [--select RL001,RL003] [--ignore RL002]
+        [--baseline PATH | --no-baseline] [--write-baseline]
+    PYTHONPATH=src python -m repro lint     # the same engine via the CLI
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "BASELINE_NAME",
+    "Finding",
+    "LintResult",
+    "Project",
+    "SourceModule",
+    "default_repo_root",
+    "load_baseline",
+    "main",
+    "run_lint",
+    "write_baseline",
+]
+
+BASELINE_NAME = "baseline.json"
+BASELINE_VERSION = 1
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-root-relative, posix separators
+    line: int
+    message: str
+    #: the stripped source line — the baseline fingerprint
+    context: str = ""
+
+    def sort_key(self) -> tuple[str, int, str]:
+        """Stable display order: by file, then line, then rule id."""
+        return (self.path, self.line, self.rule)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (the ``--json`` row)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "context": self.context,
+        }
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.context)
+
+
+class SourceModule:
+    """One parsed python file plus its inline-suppression table."""
+
+    def __init__(self, path: Path, rel: str, src_rel: str) -> None:
+        self.path = path
+        #: path relative to the repo root (what findings report)
+        self.rel = rel
+        #: path relative to the scanned source root (what scopes match)
+        self.src_rel = src_rel
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.tree = ast.parse(self.text, filename=str(path))
+        self.suppressions = self._scan_suppressions()
+
+    def _scan_suppressions(self) -> dict[int, set[str]]:
+        table: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                table[lineno] = {
+                    part.strip().upper()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+        return table
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled on physical line ``line``."""
+        rules = self.suppressions.get(line)
+        return rules is not None and (rule_id in rules or "ALL" in rules)
+
+    def line_text(self, line: int) -> str:
+        """The stripped source text of a physical line ('' off-range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule_id: str, node: Any, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at an AST node (or line int)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule_id,
+            path=self.rel,
+            line=line,
+            message=message,
+            context=self.line_text(line),
+        )
+
+
+class Project:
+    """The scanned tree: parsed modules plus doc-file access for rules."""
+
+    def __init__(self, src_root: Path, repo_root: Path) -> None:
+        self.src_root = Path(src_root).resolve()
+        self.repo_root = Path(repo_root).resolve()
+        self.modules: list[SourceModule] = []
+        #: ``(path, message)`` pairs for files that failed to parse
+        self.errors: list[tuple[str, str]] = []
+        self._load()
+
+    def _rel(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.repo_root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _load(self) -> None:
+        for path in sorted(self.src_root.rglob("*.py")):
+            src_rel = path.relative_to(self.src_root).as_posix()
+            try:
+                self.modules.append(
+                    SourceModule(path, self._rel(path), src_rel)
+                )
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                self.errors.append((self._rel(path), str(exc)))
+
+    def module(self, src_rel: str) -> SourceModule | None:
+        """The module at a source-root-relative path, if scanned."""
+        for mod in self.modules:
+            if mod.src_rel == src_rel:
+                return mod
+        return None
+
+    def doc_path(self, rel: str) -> Path:
+        """Absolute path of a repo-root-relative documentation file."""
+        return self.repo_root / rel
+
+    def doc_rel(self, rel: str) -> str:
+        """Repo-root-relative display path for a documentation file."""
+        return self._rel(self.repo_root / rel)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint pass produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    errors: list[tuple[str, str]] = field(default_factory=list)
+    files: int = 0
+
+    def partition(
+        self, baseline: Sequence[Mapping[str, Any]]
+    ) -> tuple[list[Finding], list[Finding], list[Mapping[str, Any]]]:
+        """Split findings into (new, baselined) and list stale entries.
+
+        Matching is multiset-style on :meth:`Finding.baseline_key`: each
+        baseline entry absorbs at most one finding, so a *second*
+        occurrence of an already-baselined pattern is still new.
+        """
+        budget: dict[tuple[str, str, str], int] = {}
+        for entry in baseline:
+            key = (
+                str(entry.get("rule", "")),
+                str(entry.get("path", "")),
+                str(entry.get("context", "")),
+            )
+            budget[key] = budget.get(key, 0) + 1
+        new: list[Finding] = []
+        matched: list[Finding] = []
+        for finding in self.findings:
+            key = finding.baseline_key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        stale: list[Mapping[str, Any]] = []
+        for entry in baseline:
+            key = (
+                str(entry.get("rule", "")),
+                str(entry.get("path", "")),
+                str(entry.get("context", "")),
+            )
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                stale.append(entry)
+        return new, matched, stale
+
+
+def _parse_rule_ids(text: str) -> set[str]:
+    return {part.strip().upper() for part in text.split(",") if part.strip()}
+
+
+def run_lint(
+    src_root: Path,
+    repo_root: Path,
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    rules: Sequence[Any] | None = None,
+) -> LintResult:
+    """Run every (selected) rule over the tree under ``src_root``.
+
+    ``select`` keeps only the named rule ids, ``ignore`` drops the named
+    ones; ``rules`` overrides the registry entirely (tests).  Returns a
+    :class:`LintResult`; baseline handling is the caller's job
+    (:func:`main` does it for the CLI).
+    """
+    from .rules import all_rules
+
+    active = list(rules) if rules is not None else all_rules()
+    known = {rule.id for rule in active}
+    if select is not None:
+        wanted = {r.upper() for r in select}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+        active = [rule for rule in active if rule.id in wanted]
+    if ignore is not None:
+        dropped = {r.upper() for r in ignore}
+        unknown = dropped - known
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+        active = [rule for rule in active if rule.id not in dropped]
+
+    project = Project(src_root, repo_root)
+    result = LintResult(errors=list(project.errors),
+                        files=len(project.modules))
+    raw: list[Finding] = []
+    for rule in active:
+        rule.begin(project)
+    for mod in project.modules:
+        for rule in active:
+            if rule.applies(mod):
+                raw.extend(rule.check_module(mod, project))
+    for rule in active:
+        raw.extend(rule.finalize(project))
+
+    for finding in sorted(raw, key=Finding.sort_key):
+        mod = next(
+            (m for m in project.modules if m.rel == finding.path), None
+        )
+        if mod is not None and mod.suppressed(finding.rule, finding.line):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+# -- baseline --------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> list[dict[str, Any]]:
+    """Read a baseline file; returns its entry list ([] if absent)."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if (
+        not isinstance(data, dict)
+        or data.get("version") != BASELINE_VERSION
+        or not isinstance(data.get("entries"), list)
+    ):
+        raise ValueError(
+            f"{path}: not a reprolint baseline "
+            f"(expected {{'version': {BASELINE_VERSION}, 'entries': [...]}})"
+        )
+    return list(data["entries"])
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as a baseline (justifications TODO).
+
+    Every generated entry carries a placeholder justification — the
+    policy is that a human replaces it before committing.
+    """
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "context": f.context,
+            "justification": "TODO: justify or fix",
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {"version": BASELINE_VERSION, "entries": entries}, indent=2
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def default_repo_root() -> Path:
+    """The repository root, inferred from this file's location."""
+    return Path(__file__).resolve().parents[2]
+
+
+def _render_human(
+    new: Sequence[Finding],
+    matched: Sequence[Finding],
+    stale: Sequence[Mapping[str, Any]],
+    result: LintResult,
+) -> str:
+    lines: list[str] = []
+    for finding in new:
+        lines.append(
+            f"{finding.path}:{finding.line}: {finding.rule} "
+            f"{finding.message}"
+        )
+    for path, message in result.errors:
+        lines.append(f"{path}: parse error: {message}")
+    for entry in stale:
+        lines.append(
+            f"note: stale baseline entry {entry.get('rule')} "
+            f"{entry.get('path')} ({entry.get('context', '')!r}) — "
+            "the finding no longer occurs; remove it"
+        )
+    lines.append(
+        f"reprolint: {len(new)} finding(s) "
+        f"({len(matched)} baselined, {len(result.suppressed)} suppressed) "
+        f"across {result.files} files"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(
+    new: Sequence[Finding],
+    matched: Sequence[Finding],
+    stale: Sequence[Mapping[str, Any]],
+    result: LintResult,
+) -> str:
+    return json.dumps(
+        {
+            "version": 1,
+            "findings": [f.as_dict() for f in new],
+            "baselined": [f.as_dict() for f in matched],
+            "suppressed": [f.as_dict() for f in result.suppressed],
+            "stale_baseline": list(stale),
+            "errors": [
+                {"path": p, "message": m} for p, m in result.errors
+            ],
+            "files": result.files,
+        },
+        indent=2,
+    )
+
+
+def _list_rules() -> str:
+    from .rules import all_rules
+
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "(whole tree)"
+        lines.append(f"{rule.id}  {rule.title}")
+        lines.append(f"       scope: {scope}")
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter as a command; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based domain linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "--repo-root", type=str, default="",
+        help="repository root (default: inferred from this file)",
+    )
+    parser.add_argument(
+        "--root", type=str, default="",
+        help="source root to scan (default: <repo-root>/src/repro)",
+    )
+    parser.add_argument(
+        "--select", type=str, default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", type=str, default="",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline", type=str, default="",
+        help="baseline file (default: tools/reprolint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the committed baseline (report everything)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    repo_root = (
+        Path(args.repo_root).resolve()
+        if args.repo_root
+        else default_repo_root()
+    )
+    src_root = (
+        Path(args.root).resolve() if args.root else repo_root / "src" / "repro"
+    )
+    if not src_root.is_dir():
+        print(f"reprolint: no such source root: {src_root}", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_lint(
+            src_root,
+            repo_root,
+            select=_parse_rule_ids(args.select) or None,
+            ignore=_parse_rule_ids(args.ignore) or None,
+        )
+    except ValueError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else repo_root / "tools" / "reprolint" / BASELINE_NAME
+    )
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(
+            f"reprolint: wrote {len(result.findings)} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'} to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    baseline: list[dict[str, Any]] = []
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+    new, matched, stale = result.partition(baseline)
+
+    render = _render_json if args.json else _render_human
+    print(render(new, matched, stale, result))
+    if result.errors:
+        return 2
+    return 1 if new else 0

@@ -1,0 +1,797 @@
+"""The reprolint rule registry: six domain rules for the RTR stack.
+
+Each rule is a class with an ``id`` (``RL001``..), a ``scope`` (path
+prefixes under the scanned source root; empty means the whole tree),
+and three hooks the engine calls: ``begin(project)`` once,
+``check_module(mod, project)`` per file in scope, and
+``finalize(project)`` once at the end (for cross-file rules).
+
+The rules encode the contracts the reproduction's claims rest on:
+
+* **RL001 determinism** — simulation/model/runtime code must not read
+  wall clocks or unseeded RNGs; randomness flows through
+  ``resolve_rng`` and wall time through the injectable
+  ``Watchdog.clock`` (passing ``time.monotonic`` *as a value* is fine;
+  *calling* it in sim code is not).
+* **RL002 float-equality** — model/analysis code must not compare
+  float-valued expressions with ``==``/``!=``; use ``math.isclose`` or
+  a pinned tolerance.  (Integer-literal sentinel checks like
+  ``cv == 0`` are exact by construction and allowed.)
+* **RL003 fork-safety** — a ``Process(target=...)`` fork worker must
+  not mutate module-level state: after ``fork`` such writes land in the
+  child's copy-on-write pages, invisible to the parent and sibling
+  shards — exactly the hazard that would silently break
+  serial-vs-parallel byte-identity.
+* **RL004 metrics-catalog conformance** — every ``counter``/``gauge``/
+  ``histogram`` name literal must be declared in
+  ``repro.obs.metrics.CATALOG``, and every catalog entry must be
+  emitted somewhere.
+* **RL005 journal-bypass** — nothing outside ``runtime/journal.py``
+  may open a ``journal*.jsonl`` path for writing; the append-only
+  contract (one fsynced line per point, torn-tail clipping) only holds
+  if every byte goes through :class:`repro.runtime.journal.RunJournal`.
+* **RL006 invariant-registry drift** — the invariant names registered
+  in ``runtime/invariants.py`` and the table in ``docs/MODEL.md`` must
+  stay in bijection.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any, Iterable, Iterator
+
+from .engine import Finding, Project, SourceModule
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "DeterminismRule",
+    "FloatEqualityRule",
+    "ForkSafetyRule",
+    "MetricsCatalogRule",
+    "JournalBypassRule",
+    "InvariantDriftRule",
+    "all_rules",
+    "dotted_name",
+    "receiver_root",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def receiver_root(node: ast.AST) -> str | None:
+    """The root Name of an attribute/subscript/call chain, else None."""
+    while True:
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            break
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _import_table(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully dotted origin for every module-level import."""
+    table: dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    table[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+class Rule:
+    """Base rule: metadata plus the three engine hooks."""
+
+    id = "RL000"
+    title = ""
+    rationale = ""
+    example = ""
+    #: path prefixes (relative to the scanned source root) this rule
+    #: applies to; empty tuple means every file
+    scope: tuple[str, ...] = ()
+
+    def applies(self, mod: SourceModule) -> bool:
+        """Whether ``mod`` is inside this rule's scope."""
+        return not self.scope or mod.src_rel.startswith(self.scope)
+
+    def begin(self, project: Project) -> None:
+        """Reset per-run state (called once before any module)."""
+
+    def check_module(
+        self, mod: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        """Per-file findings."""
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        """Cross-file findings, after every module was checked."""
+        return ()
+
+
+# -- RL001 -----------------------------------------------------------------
+
+
+class DeterminismRule(Rule):
+    """No wall clocks or unseeded RNGs in deterministic code."""
+
+    id = "RL001"
+    title = "determinism: no wall-clock or unseeded-RNG calls"
+    rationale = (
+        "sim/, rtr/, model/ and runtime/ must be bit-reproducible; wall "
+        "time is injected via Watchdog.clock and randomness via "
+        "resolve_rng, never read ambiently"
+    )
+    example = "t0 = time.time()   # RL001: inject a clock instead"
+    scope = ("sim/", "rtr/", "model/", "runtime/")
+
+    #: fully resolved call targets that read the wall clock
+    BANNED_CLOCKS = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.clock",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def _resolve(self, dotted: str, imports: dict[str, str]) -> str:
+        root, _, rest = dotted.partition(".")
+        origin = imports.get(root)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+    def _banned(self, resolved: str) -> str | None:
+        if resolved in self.BANNED_CLOCKS:
+            return (
+                f"wall-clock call {resolved}() in deterministic code; "
+                "inject a clock (Watchdog.clock) instead"
+            )
+        if resolved == "random" or resolved.startswith("random."):
+            return (
+                f"stdlib RNG call {resolved}() in deterministic code; "
+                "route randomness through resolve_rng"
+            )
+        if resolved.startswith("numpy.random.") or resolved.startswith(
+            "np.random."
+        ):
+            return (
+                f"direct numpy RNG construction {resolved}() outside "
+                "resolve_rng; pass a seed or Generator through "
+                "resolve_rng instead"
+            )
+        return None
+
+    def check_module(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        imports = _import_table(mod.tree)
+
+        def visit(node: ast.AST, in_resolve_rng: bool) -> Iterator[Finding]:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                in_resolve_rng = in_resolve_rng or (
+                    node.name == "resolve_rng"
+                )
+            if isinstance(node, ast.Call) and not in_resolve_rng:
+                dotted = dotted_name(node.func)
+                if dotted is not None:
+                    message = self._banned(self._resolve(dotted, imports))
+                    if message is not None:
+                        yield mod.finding(self.id, node, message)
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, in_resolve_rng)
+
+        yield from visit(mod.tree, False)
+
+
+# -- RL002 -----------------------------------------------------------------
+
+
+class FloatEqualityRule(Rule):
+    """No ``==``/``!=`` between float-valued expressions."""
+
+    id = "RL002"
+    title = "float-equality: no ==/!= on float-valued expressions"
+    rationale = (
+        "the model and its validation compare computed ratios and "
+        "times; exact equality on derived floats is a latent "
+        "platform/optimization hazard — use math.isclose or a pinned "
+        "tolerance (integer-literal sentinels like `cv == 0` stay "
+        "exact and are allowed)"
+    )
+    example = "if speedup == t_frtr / t_prtr:   # RL002: use math.isclose"
+    scope = ("model/", "analysis/")
+
+    _FLOAT_CALLS = ("float",)
+    _MATH_EXACT = frozenset(
+        {
+            "math.floor",
+            "math.ceil",
+            "math.trunc",
+            "math.gcd",
+            "math.isqrt",
+            "math.comb",
+            "math.perm",
+            "math.factorial",
+            "math.isclose",
+            "math.isnan",
+            "math.isinf",
+            "math.isfinite",
+        }
+    )
+
+    def _floaty(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return self._floaty(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._floaty(node.left) or self._floaty(node.right)
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted in self._FLOAT_CALLS:
+                return True
+            if (
+                dotted
+                and dotted.startswith("math.")
+                and dotted not in self._MATH_EXACT
+            ):
+                return True
+        return False
+
+    def check_module(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                continue
+            sides = [node.left, *node.comparators]
+            if any(self._floaty(side) for side in sides):
+                yield mod.finding(
+                    self.id,
+                    node,
+                    "float-valued expression compared with ==/!=; use "
+                    "math.isclose(...) or a pinned tolerance",
+                )
+
+
+# -- RL003 -----------------------------------------------------------------
+
+
+class ForkSafetyRule(Rule):
+    """Fork workers must not mutate module-level state."""
+
+    id = "RL003"
+    title = "fork-safety: no module-state mutation in fork workers"
+    rationale = (
+        "after fork, writes to module globals land in the child's "
+        "copy-on-write pages — invisible to the parent and sibling "
+        "shards, so results silently diverge from the serial walk; "
+        "workers communicate only via their segment journal and the "
+        "status queue"
+    )
+    example = "def worker(shard):\n    CACHE[shard] = ...   # RL003"
+
+    #: method names that mutate their receiver in this codebase
+    MUTATORS = frozenset(
+        {
+            "append",
+            "extend",
+            "insert",
+            "add",
+            "update",
+            "setdefault",
+            "pop",
+            "popitem",
+            "clear",
+            "remove",
+            "discard",
+            "sort",
+            "reverse",
+            "reset",
+            "inc",
+            "dec",
+            "set",
+            "observe",
+            "record",
+        }
+    )
+    _MUTABLE_VALUES = (
+        ast.List,
+        ast.Dict,
+        ast.Set,
+        ast.ListComp,
+        ast.DictComp,
+        ast.SetComp,
+        ast.Call,
+    )
+
+    def _module_state(self, tree: ast.Module) -> set[str]:
+        """Module-level names bound to (potentially) mutable objects."""
+        names: set[str] = set()
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not isinstance(value, self._MUTABLE_VALUES):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    def _worker_defs(self, tree: ast.Module) -> list[ast.FunctionDef]:
+        """Functions passed as ``target=`` to a ``*Process(...)`` call."""
+        worker_names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func) or ""
+            if not dotted.split(".")[-1].endswith("Process"):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                    worker_names.add(kw.value.id)
+        return [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+            and node.name in worker_names
+        ]
+
+    @staticmethod
+    def _binding_names(target: ast.expr) -> Iterator[str]:
+        """Names a target expression *binds* (``x[i] = ..`` binds none)."""
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from ForkSafetyRule._binding_names(elt)
+        elif isinstance(target, ast.Starred):
+            yield from ForkSafetyRule._binding_names(target.value)
+
+    @classmethod
+    def _locals_of(cls, fn: ast.FunctionDef) -> set[str]:
+        """Names bound inside the worker (params, assigns, loops, ...)."""
+        bound: set[str] = set()
+        args = fn.args
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+        ):
+            bound.add(arg.arg)
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    bound.update(cls._binding_names(target))
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                bound.update(cls._binding_names(node.target))
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                bound.update(cls._binding_names(node.optional_vars))
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                bound.add(node.name)
+            elif isinstance(node, ast.NamedExpr):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and node is not fn:
+                bound.add(node.name)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                bound.difference_update(node.names)
+        return bound
+
+    def check_module(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        workers = self._worker_defs(mod.tree)
+        if not workers:
+            return
+        module_state = self._module_state(mod.tree)
+        module_state.update(_import_table(mod.tree))
+
+        for fn in workers:
+            local = self._locals_of(fn)
+
+            def shared(root: str | None) -> bool:
+                return (
+                    root is not None
+                    and root not in local
+                    and root in module_state
+                )
+
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Global):
+                    yield mod.finding(
+                        self.id,
+                        node,
+                        f"`global {', '.join(node.names)}` inside fork "
+                        f"worker {fn.name!r}: rebinding module state in "
+                        "a forked child never reaches the parent or "
+                        "sibling shards",
+                    )
+                elif isinstance(
+                    node, (ast.Assign, ast.AugAssign, ast.AnnAssign)
+                ):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if isinstance(
+                            target, (ast.Attribute, ast.Subscript)
+                        ) and shared(receiver_root(target)):
+                            yield mod.finding(
+                                self.id,
+                                node,
+                                f"assignment to module-level state "
+                                f"{receiver_root(target)!r} inside fork "
+                                f"worker {fn.name!r}: the write is "
+                                "private to the forked child "
+                                "(copy-on-write) and breaks "
+                                "serial-vs-parallel identity",
+                            )
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        if isinstance(
+                            target, (ast.Attribute, ast.Subscript)
+                        ) and shared(receiver_root(target)):
+                            yield mod.finding(
+                                self.id,
+                                node,
+                                f"deletion from module-level state "
+                                f"{receiver_root(target)!r} inside fork "
+                                f"worker {fn.name!r}",
+                            )
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr in self.MUTATORS and shared(
+                        receiver_root(node.func.value)
+                    ):
+                        yield mod.finding(
+                            self.id,
+                            node,
+                            f"mutating call .{node.func.attr}() on "
+                            f"module-level state "
+                            f"{receiver_root(node.func.value)!r} inside "
+                            f"fork worker {fn.name!r}: the mutation is "
+                            "private to the forked child and invisible "
+                            "to the parent and sibling shards",
+                        )
+
+
+# -- RL004 -----------------------------------------------------------------
+
+
+class MetricsCatalogRule(Rule):
+    """Metric names used and declared must coincide with CATALOG."""
+
+    id = "RL004"
+    title = "metrics-catalog: instrument names match obs.metrics.CATALOG"
+    rationale = (
+        "the catalog is closed — an undeclared name raises at runtime "
+        "only on an instrumented run, so the linter catches it on "
+        "every run; a declared-but-never-emitted metric is doc drift"
+    )
+    example = 'obsm.counter("repro_typo_total").inc()   # RL004'
+
+    CATALOG_MODULE = "obs/metrics.py"
+    FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+    def begin(self, project: Project) -> None:
+        self._catalog: dict[str, int] | None = None
+        self._referenced: set[str] = set()
+        mod = project.module(self.CATALOG_MODULE)
+        if mod is None:
+            return
+        catalog: dict[str, int] = {}
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) == "MetricSpec"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                catalog[node.args[0].value] = node.lineno
+        if catalog:
+            self._catalog = catalog
+
+    def check_module(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if self._catalog is None or mod.src_rel == self.CATALOG_MODULE:
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if name not in self.FACTORIES:
+                continue
+            if not (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            metric = node.args[0].value
+            if metric in self._catalog:
+                self._referenced.add(metric)
+            else:
+                yield mod.finding(
+                    self.id,
+                    node,
+                    f"metric name {metric!r} is not declared in "
+                    "repro.obs.metrics.CATALOG (closed catalog: add a "
+                    "MetricSpec and a docs/OBSERVABILITY.md row)",
+                )
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        if self._catalog is None:
+            return
+        mod = project.module(self.CATALOG_MODULE)
+        assert mod is not None
+        for metric, line in sorted(self._catalog.items()):
+            if metric not in self._referenced:
+                yield mod.finding(
+                    self.id,
+                    line,
+                    f"catalog entry {metric!r} is never emitted by any "
+                    "scanned module; drop the MetricSpec or instrument "
+                    "the source it documents",
+                )
+
+
+# -- RL005 -----------------------------------------------------------------
+
+
+class JournalBypassRule(Rule):
+    """Journal files are written only through runtime/journal.py."""
+
+    id = "RL005"
+    title = "journal-bypass: journal*.jsonl written only via RunJournal"
+    rationale = (
+        "the crash-safety contract (append-only, one fsync per point, "
+        "torn-tail clipping, byte-identical serial-vs-sharded merge) "
+        "holds only if every write goes through "
+        "repro.runtime.journal.RunJournal"
+    )
+    example = 'open(f"{d}/journal.jsonl", "a")   # RL005: use RunJournal'
+
+    OWNER_MODULE = "runtime/journal.py"
+    _JOURNAL_RE = re.compile(r"journal[-\w.{}]*\.jsonl")
+    _WRITE_FUNCS = frozenset({"os.write", "os.truncate", "os.ftruncate"})
+
+    def _journalish(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                if self._JOURNAL_RE.search(sub.value):
+                    return True
+            elif isinstance(sub, ast.JoinedStr):
+                text = "".join(
+                    part.value
+                    for part in sub.values
+                    if isinstance(part, ast.Constant)
+                    and isinstance(part.value, str)
+                )
+                if self._JOURNAL_RE.search(text):
+                    return True
+            elif isinstance(sub, ast.Name) and sub.id == "JOURNAL_NAME":
+                return True
+            elif isinstance(sub, ast.Call):
+                dotted = dotted_name(sub.func) or ""
+                if dotted.split(".")[-1] == "segment_name":
+                    return True
+        return False
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> bool:
+        mode: ast.expr | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if mode is None:
+            return False  # default "r": reads are allowed everywhere
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return any(c in mode.value for c in "awx+")
+        return True  # dynamic mode on a journal path: assume the worst
+
+    def check_module(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if mod.src_rel == self.OWNER_MODULE:
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func) or ""
+            tail = dotted.split(".")[-1]
+            if not self._journalish(node):
+                continue
+            if (
+                tail == "open" and self._write_mode(node)
+            ) or tail == "write_text":
+                yield mod.finding(
+                    self.id,
+                    node,
+                    "journal file opened for writing outside "
+                    "runtime/journal.py; all journal bytes must go "
+                    "through RunJournal (append-only + fsync contract)",
+                )
+            elif dotted in self._WRITE_FUNCS:
+                yield mod.finding(
+                    self.id,
+                    node,
+                    f"{dotted}() on a journal path outside "
+                    "runtime/journal.py; use RunJournal",
+                )
+
+
+# -- RL006 -----------------------------------------------------------------
+
+
+class InvariantDriftRule(Rule):
+    """INVARIANTS registry and the MODEL.md table stay in bijection."""
+
+    id = "RL006"
+    title = "invariant-drift: INVARIANTS registry == MODEL.md table"
+    rationale = (
+        "docs/MODEL.md renders the invariant catalog; a check that is "
+        "registered but undocumented (or documented but unregistered) "
+        "means the audited contract and the written contract disagree"
+    )
+    example = '"new-check": "..."   # RL006 until MODEL.md gains the row'
+
+    REGISTRY_MODULE = "runtime/invariants.py"
+    DOC = "docs/MODEL.md"
+    _HEADER_RE = re.compile(r"^\|\s*invariant\s*\|", re.IGNORECASE)
+    _ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+
+    def _registry(
+        self, project: Project
+    ) -> tuple[SourceModule, dict[str, int]] | None:
+        mod = project.module(self.REGISTRY_MODULE)
+        if mod is None:
+            return None
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "INVARIANTS"
+                    for t in node.targets
+                )
+                and isinstance(node.value, ast.Dict)
+            ):
+                names = {
+                    key.value: key.lineno
+                    for key in node.value.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                }
+                return mod, names
+        return None
+
+    def _doc_rows(self, project: Project) -> dict[str, int] | None:
+        path = project.doc_path(self.DOC)
+        if not path.exists():
+            return None
+        rows: dict[str, int] = {}
+        in_table = False
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if self._HEADER_RE.match(line.strip()):
+                in_table = True
+                continue
+            if not in_table:
+                continue
+            stripped = line.strip()
+            if not stripped.startswith("|"):
+                in_table = False
+                continue
+            match = self._ROW_RE.match(stripped)
+            if match and not set(match.group(1)) <= {"-", " "}:
+                rows[match.group(1)] = lineno
+        return rows if rows else None
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        registry = self._registry(project)
+        rows = self._doc_rows(project)
+        if registry is None or rows is None:
+            return
+        mod, names = registry
+        for name, line in sorted(names.items()):
+            if name not in rows:
+                yield mod.finding(
+                    self.id,
+                    line,
+                    f"invariant {name!r} is registered but missing from "
+                    f"the {self.DOC} invariant table",
+                )
+        doc_rel = project.doc_rel(self.DOC)
+        for name, line in sorted(rows.items()):
+            if name not in names:
+                yield Finding(
+                    rule=self.id,
+                    path=doc_rel,
+                    line=line,
+                    message=(
+                        f"{self.DOC} documents invariant {name!r} which "
+                        "is not registered in "
+                        "repro.runtime.invariants.INVARIANTS"
+                    ),
+                    context=name,
+                )
+
+
+RULES: tuple[type[Rule], ...] = (
+    DeterminismRule,
+    FloatEqualityRule,
+    ForkSafetyRule,
+    MetricsCatalogRule,
+    JournalBypassRule,
+    InvariantDriftRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [cls() for cls in RULES]
