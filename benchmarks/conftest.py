@@ -9,7 +9,42 @@ evaluation section.
 
 from __future__ import annotations
 
+import json
+
 import pytest
+
+
+def pytest_addoption(parser) -> None:
+    """Opt-in throughput artifacts: ``--bench-json DIR``.
+
+    When given, throughput benchmarks (currently the service bench)
+    write machine-readable summaries — e.g. ``BENCH_service.json`` with
+    requests/sec, DES events/sec and serial-vs-workers wall times —
+    into DIR.  Without the flag they only record ``extra_info``.
+    """
+    parser.addoption(
+        "--bench-json", action="store", default="", metavar="DIR",
+        help="directory to write BENCH_*.json throughput summaries into",
+    )
+
+
+@pytest.fixture
+def bench_json_dir(request) -> str:
+    """The ``--bench-json`` directory, or ``""`` when not opted in."""
+    return request.config.getoption("--bench-json")
+
+
+def write_bench_json(directory: str, name: str, payload: dict) -> None:
+    """Write one ``BENCH_<name>.json`` summary (no-op without a dir)."""
+    if not directory:
+        return
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def record(benchmark, **info: object) -> None:

@@ -1,0 +1,79 @@
+"""Benchmark: multi-tenant service throughput (requests/sec, events/sec).
+
+Not a published figure — this measures the harness itself: how many
+service requests and DES events per wall-clock second the open-arrival
+scheduler sustains, and how multi-replication serve runs scale from a
+serial walk to forked workers.  With ``--bench-json DIR`` the numbers
+land in ``DIR/BENCH_service.json`` for trend tracking.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from repro.runtime.parallel import fork_available
+from repro.service import (
+    ServiceConfig,
+    crash_safe_serve,
+    default_tenants,
+    run_service,
+)
+
+from conftest import record, write_bench_json
+
+HORIZON = 8.0
+SEED = 11
+REPLICATIONS = 4
+WORKERS = 2
+
+
+def _serve_walltime(workers: int) -> float:
+    """Wall seconds for one multi-replication serve run."""
+    run_dir = tempfile.mkdtemp(prefix="bench-serve-")
+    try:
+        t0 = time.perf_counter()
+        crash_safe_serve(
+            f"{run_dir}/run",
+            default_tenants(),
+            ServiceConfig(horizon=HORIZON),
+            seed=SEED,
+            replications=REPLICATIONS,
+            workers=workers,
+        )
+        return time.perf_counter() - t0
+    finally:
+        shutil.rmtree(run_dir, ignore_errors=True)
+
+
+def test_bench_service(benchmark, bench_json_dir) -> None:
+    tenants = default_tenants()
+    config = ServiceConfig(horizon=HORIZON)
+
+    t0 = time.perf_counter()
+    result = benchmark(run_service, tenants, config, seed=SEED)
+    single_wall = time.perf_counter() - t0
+
+    wall = benchmark.stats.stats.mean if benchmark.stats else single_wall
+    requests = result.total_completed
+    events = result.notes["events"]
+    serial_wall = _serve_walltime(1)
+    parallel_wall = _serve_walltime(WORKERS) if fork_available() else None
+
+    summary = {
+        "horizon_s": HORIZON,
+        "seed": SEED,
+        "requests_completed": requests,
+        "requests_per_sec": requests / wall if wall else None,
+        "des_events": events,
+        "events_per_sec": events / wall if wall else None,
+        "replications": REPLICATIONS,
+        "serve_serial_wall_s": serial_wall,
+        "serve_workers": WORKERS,
+        "serve_parallel_wall_s": parallel_wall,
+    }
+    record(benchmark, **summary)
+    write_bench_json(bench_json_dir, "service", summary)
+    assert requests > 0
+    assert events > 0

@@ -162,6 +162,25 @@ class ConfigCache:
         self.policy.on_insert(module)
         return evicted
 
+    def place(self, module: str, slot: int) -> None:
+        """Install ``module`` into a specific *free* slot.
+
+        The fault/retirement path: a degraded PRR is taken out of
+        rotation by placing a pinned sentinel into exactly that slot
+        (ordinary :meth:`fill` picks the lowest free slot, which is not
+        necessarily the one that died).  Raises if the slot is occupied
+        or out of range, or if ``module`` is already resident.
+        """
+        if module in self._residents:
+            raise ValueError(f"{module!r} is already resident")
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range 0..{self.slots - 1}")
+        if slot not in self._free:
+            raise ValueError(f"slot {slot} is occupied")
+        self._free.remove(slot)
+        self._residents[module] = slot
+        self.policy.on_insert(module)
+
     def access(self, module: str) -> bool:
         """lookup + fill in one step; returns the hit flag."""
         hit = self.lookup(module)

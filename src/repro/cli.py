@@ -300,6 +300,104 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if outcome.audit.ok else 1
 
 
+def _parse_degrade(text: str) -> tuple[tuple[float, int], ...]:
+    """Parse ``"5:1,20:0"`` into ``((5.0, 1), (20.0, 0))``."""
+    if not text:
+        return ()
+    out = []
+    for part in text.split(","):
+        try:
+            t, slot = part.split(":")
+            out.append((float(t), int(slot)))
+        except ValueError:
+            raise ValueError(
+                f"--degrade-at expects comma-separated time:slot pairs "
+                f"(e.g. 5:1,20:0), got {text!r}"
+            ) from None
+    return tuple(out)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .runtime.invariants import set_strict
+    from .service import (
+        ServiceConfig,
+        crash_safe_serve,
+        default_tenants,
+        load_tenants,
+        run_service,
+        serve_payload,
+    )
+    from .service.slo import render_report, report_json
+
+    tenants = (
+        load_tenants(args.tenants) if args.tenants else default_tenants()
+    )
+    config = ServiceConfig(
+        horizon=args.ticks,
+        admission=not args.no_admission,
+        preemption=not args.no_preempt,
+        degrade_at=_parse_degrade(args.degrade_at),
+        prrs=args.prrs,
+    )
+    previous = set_strict(args.strict_invariants)
+    try:
+        if args.run_dir:
+            outcome = crash_safe_serve(
+                args.run_dir,
+                tenants,
+                config,
+                seed=args.seed,
+                replications=args.replications,
+                resume=args.resume,
+                deadline_s=args.deadline,
+                workers=args.workers,
+                progress=(
+                    None if args.quiet else (lambda m: print(f"... {m}"))
+                ),
+            )
+            if args.json:
+                print(json.dumps(outcome.reports, sort_keys=True, indent=2))
+            else:
+                for rep, report in enumerate(outcome.reports):
+                    print(f"-- replication {rep} " + "-" * 50)
+                    print(render_report(report))
+            print(
+                f"\n  run dir               : {args.run_dir}\n"
+                f"  journaled replications: {outcome.journal.n_points}"
+                f" (replayed {outcome.resumed_points},"
+                f" computed {outcome.computed_points})\n"
+                f"  {outcome.audit.summary_line()}"
+            )
+            if outcome.interrupted is not None:
+                print(
+                    f"repro: serve interrupted ({outcome.interrupted}); "
+                    f"completed replications are journaled — rerun with "
+                    f"--resume",
+                    file=sys.stderr,
+                )
+                return 3
+            return 0 if outcome.audit.ok else 1
+        payload = serve_payload(
+            run_service(tenants, config, seed=args.seed)
+        )
+        if args.json:
+            print(report_json(payload["report"]))
+        else:
+            print(render_report(payload["report"]))
+        if payload["report"]["interrupted"]:
+            print(
+                f"repro: serve interrupted "
+                f"({payload['report']['interrupted']})",
+                file=sys.stderr,
+            )
+            return 3
+        return 0 if payload["audit"]["ok"] else 1
+    finally:
+        set_strict(previous)
+
+
 def _observability_workload(n_calls: int):
     """The quickstart workload both observability verbs instrument."""
     from .workloads import CallTrace, HardwareTask
@@ -486,9 +584,9 @@ def _cmd_all(args: argparse.Namespace) -> int:
     rc = 0
     for name, fn in _COMMANDS.items():
         # "sweep" needs a --run-dir; "report" and "trace" write files;
-        # "lint" needs a source checkout; none of them belongs in the
-        # zero-argument smoke pass.
-        if name in ("all", "report", "sweep", "trace", "lint"):
+        # "lint" needs a source checkout; "serve" runs a long service
+        # horizon; none of them belongs in the zero-argument smoke pass.
+        if name in ("all", "report", "sweep", "serve", "trace", "lint"):
             continue
         print("=" * 72)
         print(f"== {name}")
@@ -509,6 +607,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "ablation-granularity": _cmd_ablation_granularity,
     "faults": _cmd_faults,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "validate": _cmd_validate,
@@ -618,6 +717,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--quiet", action="store_true",
                     help="suppress per-point progress lines")
+
+    pv = sub.add_parser(
+        "serve",
+        help="multi-tenant service mode: open arrivals, admission "
+             "control, preemptive PRR scheduling, per-tenant SLO report",
+    )
+    pv.add_argument(
+        "--ticks", type=float, default=30.0, metavar="SECONDS",
+        help="simulated arrival horizon, measured from service boot",
+    )
+    pv.add_argument(
+        "--tenants", type=str, default="",
+        help="tenant spec JSON (default: built-in gold/silver/bronze)",
+    )
+    pv.add_argument("--seed", type=int, default=0)
+    pv.add_argument(
+        "--run-dir", type=str, default="",
+        help="journal directory: enables crash-safe replications "
+             "(kill + --resume is byte-identical to an unbroken run)",
+    )
+    pv.add_argument(
+        "--resume", action="store_true",
+        help="replay completed replications from an existing journal",
+    )
+    pv.add_argument(
+        "--replications", type=int, default=1,
+        help="independent realizations (replication i seeds from "
+             "seed + i); needs --run-dir for more than one",
+    )
+    pv.add_argument(
+        "--workers", type=int, default=1,
+        help="shard replications across fork workers (bit-identical)",
+    )
+    pv.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on expiry exits 3 with completed "
+             "replications journaled",
+    )
+    pv.add_argument(
+        "--no-admission", action="store_true",
+        help="disable the admission controller (admit everything)",
+    )
+    pv.add_argument(
+        "--no-preempt", action="store_true",
+        help="disable preemptive time-sharing (run-to-completion)",
+    )
+    pv.add_argument(
+        "--degrade-at", type=str, default="", metavar="T:SLOT,...",
+        help="retire PRR slots mid-run, e.g. 5:1 retires slot 1 at t=5",
+    )
+    pv.add_argument(
+        "--prrs", type=int, default=0,
+        help="PRR count (0 = the paper's dual-PRR floorplan)",
+    )
+    pv.add_argument(
+        "--strict-invariants", action="store_true",
+        help="raise on any invariant violation instead of recording it",
+    )
+    pv.add_argument(
+        "--json", action="store_true",
+        help="print the canonical SLO report JSON instead of tables",
+    )
+    pv.add_argument("--quiet", action="store_true",
+                    help="suppress per-replication progress lines")
 
     pt = sub.add_parser(
         "trace",

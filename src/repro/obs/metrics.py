@@ -208,6 +208,47 @@ CATALOG: dict[str, MetricSpec] = {
             unit="expirations", labels=("reason",),
             source="repro.runtime.watchdog",
         ),
+        # -- service -----------------------------------------------------------
+        MetricSpec(
+            "repro_service_decisions_total", "counter",
+            "Admission decisions per tenant, by verdict "
+            "(admit/queue/shed).",
+            unit="decisions", labels=("tenant", "decision"),
+            source="repro.service.admission",
+        ),
+        MetricSpec(
+            "repro_service_shed_total", "counter",
+            "Requests shed per tenant, by reason (rate_limit/"
+            "queue_full/overload/fault).",
+            unit="requests", labels=("tenant", "reason"),
+            source="repro.service.admission",
+        ),
+        MetricSpec(
+            "repro_service_completions_total", "counter",
+            "Service requests completed, per tenant.",
+            unit="requests", labels=("tenant",),
+            source="repro.service.scheduler",
+        ),
+        MetricSpec(
+            "repro_service_preemptions_total", "counter",
+            "Checkpoint/evict preemptions suffered, per tenant.",
+            unit="preemptions", labels=("tenant",),
+            source="repro.service.scheduler",
+        ),
+        MetricSpec(
+            "repro_service_latency_seconds", "histogram",
+            "Arrival-to-completion latency of completed service "
+            "requests, per tenant (the SLO subject).",
+            unit="seconds", labels=("tenant",),
+            source="repro.service.scheduler",
+        ),
+        MetricSpec(
+            "repro_service_backlog_peak", "gauge",
+            "Peak admitted-but-not-granted backlog observed during the "
+            "most recent service run, per tenant.",
+            unit="requests", labels=("tenant",),
+            source="repro.service.scheduler",
+        ),
     )
 }
 

@@ -44,6 +44,7 @@ __all__ = [
     "MultitaskResult",
     "MultitaskFrtrExecutor",
     "MultitaskPrtrExecutor",
+    "PrrFabric",
     "compare_multitask",
 ]
 
@@ -102,23 +103,38 @@ class MultitaskResult:
 
     @property
     def throughput(self) -> float:
-        """Completed calls per unit time."""
-        if self.makespan <= 0:
-            raise ZeroDivisionError("empty run")
+        """Completed calls per unit time (0.0 for an empty run)."""
+        if self.makespan <= 0 or not self.total_calls:
+            return 0.0
         return self.total_calls / self.makespan
 
     @property
     def mean_turnaround(self) -> float:
+        """Average per-application turnaround (0.0 with no applications)."""
+        if not self.apps:
+            return 0.0
         return sum(a.turnaround for a in self.apps) / len(self.apps)
 
     @property
     def max_turnaround(self) -> float:
+        """Worst per-application turnaround (0.0 with no applications)."""
+        if not self.apps:
+            return 0.0
         return max(a.turnaround for a in self.apps)
 
     def unfairness(self) -> float:
-        """max/min turnaround ratio (1.0 = perfectly fair)."""
+        """max/min turnaround ratio (1.0 = perfectly fair).
+
+        Degenerate mixes stay NaN-free: no applications (an all-shed
+        service epoch) is trivially fair (1.0), and a zero minimum with
+        a positive maximum is infinitely unfair.
+        """
+        if not self.apps:
+            return 1.0
         lo = min(a.turnaround for a in self.apps)
         hi = max(a.turnaround for a in self.apps)
+        if hi <= 0:
+            return 1.0
         return hi / lo if lo > 0 else float("inf")
 
 
@@ -198,18 +214,216 @@ class MultitaskFrtrExecutor:
         )
 
 
+class PrrFabric:
+    """The shared PRR-pool machinery: residency, pinning, reconfiguration.
+
+    Extracted from :class:`MultitaskPrtrExecutor` so the multi-tenant
+    service scheduler (:mod:`repro.service.scheduler`) can time-share the
+    exact same pool — the reduction identity (service with one tenant,
+    no admission, no preemption == multitask PRTR) holds because both
+    run *this* code, not a reimplementation.
+
+    Responsibilities:
+
+    * residency tracked by a :class:`ConfigCache` over the PRR slots;
+    * each PRR is an exclusive execution resource
+      (:attr:`prr_mutexes`, its own memory banks per Section 4.2);
+    * the ICAP controller serializes reconfigurations;
+    * a miss allocates a victim PRR — never one whose module is pinned
+      (currently executing or queued) — and streams the partial
+      bitstream;
+    * a configuration fault (:class:`~repro.faults.errors
+      .ReconfigurationFault`) rolls residency back cleanly and
+      propagates, so callers can retry or shed;
+    * a slot can be *retired* (:meth:`retire_slot`) — the
+      degraded-blade analogue for service mode: a pinned sentinel
+      occupies the slot forever, shrinking effective capacity.
+    """
+
+    def __init__(
+        self,
+        node: XD1Node,
+        cache: ConfigCache,
+        timeline: Timeline,
+        *,
+        estimated: bool = False,
+        bitstream_bytes: int | None = None,
+    ) -> None:
+        self.node = node
+        self.cache = cache
+        self.timeline = timeline
+        self.estimated = estimated
+        self._bitstream_bytes = bitstream_bytes
+        sim = node.sim
+        self.prr_mutexes = [
+            MutexResource(sim, name=f"prr{i}") for i in range(cache.slots)
+        ]
+        #: modules currently executing or queued -> pin against eviction
+        self.busy_modules: dict[str, int] = {}
+        #: per-module "configured" signal registry to avoid double configs
+        self.configuring: dict[str, Any] = {}
+        self._unpin_waiters: list[Any] = []
+        #: slots taken out of rotation by :meth:`retire_slot`
+        self.retired: set[int] = set()
+        #: partial configurations streamed (successful fills)
+        self.fills = 0
+
+    @property
+    def sim(self) -> Any:
+        """The simulator the fabric's node lives on."""
+        return self.node.sim
+
+    @property
+    def active_slots(self) -> int:
+        """PRRs still in rotation (total minus retired)."""
+        return self.cache.slots - len(self.retired)
+
+    def bitstream(self, module: str) -> Bitstream:
+        """The partial bitstream configured for ``module``."""
+        if self._bitstream_bytes is not None:
+            return Bitstream(
+                name=f"prr:{module}", nbytes=self._bitstream_bytes,
+                region="prr0", module=module, kind="module",
+            )
+        return self.node.prr_bitstream(0, module)
+
+    def pin(self, module: str) -> None:
+        """Protect ``module`` from eviction while it executes or queues."""
+        self.busy_modules[module] = self.busy_modules.get(module, 0) + 1
+
+    def unpin(self, module: str) -> None:
+        """Drop one pin; wakes fills waiting for an eviction candidate."""
+        self.busy_modules[module] -= 1
+        if not self.busy_modules[module]:
+            del self.busy_modules[module]
+        waiters, self._unpin_waiters[:] = list(self._unpin_waiters), []
+        for sig in waiters:
+            sig.succeed()
+
+    def evictable_exists(self, module: str) -> bool:
+        """Can a fill for ``module`` proceed right now?"""
+        if not self.cache.is_full:
+            return True
+        pinned = set(self.busy_modules)
+        return any(m not in pinned for m in self.cache.residents)
+
+    def ensure_resident(
+        self, module: str, owner: str
+    ) -> Generator[Any, Any, bool]:
+        """Make ``module`` resident; returns True if it was a hit.
+
+        A hit is decided at the *first* check — if the module arrives
+        while we wait (loaded by another application), the call still
+        counts as a miss but skips the redundant reconfiguration
+        (module sharing across applications).  A configuration fault
+        rolls the speculative residency back, wakes any waiters (they
+        re-enter the loop and may retry the fill themselves) and
+        re-raises for the caller's recovery policy.
+        """
+        sim = self.sim
+        was_hit = self.cache.contains(module)
+        if was_hit:
+            self.cache.stats.hits += 1
+            self.cache.policy.on_access(module)
+            return True
+        self.cache.stats.misses += 1
+        while True:
+            if self.cache.contains(module):
+                return False  # another app loaded it meanwhile
+            if module in self.configuring:
+                yield self.configuring[module]
+                continue  # loop: confirm residency (or eviction race)
+            if not self.evictable_exists(module):
+                # Every resident is busy; wait for any unpin.
+                sig = sim.signal(name=f"evict-wait:{module}")
+                self._unpin_waiters.append(sig)
+                yield sig
+                continue
+            break
+        sig = sim.signal(name=f"cfg:{module}")
+        self.configuring[module] = sig
+        self.cache.fill(module, pinned=set(self.busy_modules))
+        t0 = sim.now
+        bs = self.bitstream(module)
+        try:
+            if self.estimated:
+                yield Delay(self.node.icap_raw.wire_time(bs.nbytes))
+            else:
+                yield from self.node.icap.configure(bs, owner=owner)
+        except BaseException:
+            # Roll the speculative residency back so the slot is not
+            # poisoned by a half-written configuration.
+            self.cache.evict(module)
+            del self.configuring[module]
+            sig.succeed()
+            raise
+        self.timeline.add(
+            Phase.CONFIG, t0, sim.now, task=module, lane="icap",
+            note="partial",
+        )
+        del self.configuring[module]
+        self.fills += 1
+        sig.succeed()
+        return False
+
+    def retire_slot(self, slot: int) -> Generator[Any, Any, None]:
+        """Take PRR ``slot`` out of rotation (a degraded blade).
+
+        A DES process: waits for the slot's mutex (any running task
+        finishes first), evicts whatever module lives there once it is
+        neither pinned nor mid-configuration, then installs a
+        permanently pinned sentinel so the replacement policy can never
+        hand the slot out again.
+        """
+        if not 0 <= slot < self.cache.slots:
+            raise ValueError(f"no such PRR slot: {slot}")
+        if slot in self.retired:
+            raise ValueError(f"PRR slot {slot} is already retired")
+        self.retired.add(slot)
+        sentinel = f"__retired{slot}"
+        owner = f"retire:{slot}"
+        yield from self.prr_mutexes[slot].acquire(owner)
+        # The mutex is held forever: nothing can execute here again.
+        while True:
+            victim = next(
+                (
+                    m
+                    for m, s in list(self.cache._residents.items())
+                    if s == slot
+                ),
+                None,
+            )
+            if victim is None:
+                break
+            if victim in self.configuring:
+                yield self.configuring[victim]
+                continue
+            if victim in self.busy_modules:
+                sig = self.sim.signal(name=f"retire-wait:{slot}")
+                self._unpin_waiters.append(sig)
+                yield sig
+                continue
+            self.cache.evict(victim)
+            break
+        self.cache.place(sentinel, slot)
+        self.pin(sentinel)
+
+    def assert_no_overlap(self) -> None:
+        """Post-run sanity: PRR and ICAP mutexes were truly exclusive."""
+        for m in self.prr_mutexes:
+            m.assert_no_overlap()
+        self.node.icap.icap_mutex.assert_no_overlap()
+
+
 class MultitaskPrtrExecutor:
     """Spatial multitasking: PRRs as a shared, concurrent module cache.
 
-    * residency tracked by a :class:`ConfigCache` over the PRR slots;
-    * each PRR is an exclusive execution resource (its own memory banks);
-    * the ICAP controller serializes reconfigurations;
-    * a miss allocates a victim PRR (never one whose module is currently
-      executing or queued — we pin busy modules) and reconfigures.
-
-    The initial full configuration loads the static design only; all
-    modules arrive by partial reconfiguration (unlike the single-app
-    executor, there is no well-defined "first module" here).
+    The pool machinery lives in :class:`PrrFabric`; this executor adds
+    the closed-loop application processes (each replays its trace,
+    issuing the next call when the previous completes) and the initial
+    full configuration that loads the static design only — all modules
+    arrive by partial reconfiguration (unlike the single-app executor,
+    there is no well-defined "first module" here).
     """
 
     def __init__(
@@ -235,109 +449,34 @@ class MultitaskPrtrExecutor:
             raise ValueError("cache slots must equal the PRR count")
         self._bitstream_bytes = bitstream_bytes
 
-    def _bitstream(self, module: str) -> Bitstream:
-        if self._bitstream_bytes is not None:
-            return Bitstream(
-                name=f"prr:{module}", nbytes=self._bitstream_bytes,
-                region="prr0", module=module, kind="module",
-            )
-        return self.node.prr_bitstream(0, module)
-
     def run(self, apps: list[AppSpec]) -> MultitaskResult:
         if not apps:
             raise ValueError("need at least one application")
         _check_unique_names(apps)
         sim = self.node.sim
         timeline = Timeline()
-        prr_mutexes = [
-            MutexResource(sim, name=f"prr{i}")
-            for i in range(self.cache.slots)
-        ]
-        #: modules currently executing or queued -> pin against eviction
-        busy_modules: dict[str, int] = {}
-        #: per-module "configured" signal registry to avoid double configs
-        configuring: dict[str, Any] = {}
+        fabric = PrrFabric(
+            self.node,
+            self.cache,
+            timeline,
+            estimated=self.estimated,
+            bitstream_bytes=self._bitstream_bytes,
+        )
         results: dict[str, AppResult] = {}
         config_counts: dict[str, int] = {s.name: 0 for s in apps}
-
-        unpin_waiters: list[Any] = []
-
-        def pin(module: str) -> None:
-            busy_modules[module] = busy_modules.get(module, 0) + 1
-
-        def unpin(module: str) -> None:
-            busy_modules[module] -= 1
-            if not busy_modules[module]:
-                del busy_modules[module]
-            waiters, unpin_waiters[:] = list(unpin_waiters), []
-            for sig in waiters:
-                sig.succeed()
-
-        def evictable_exists(module: str) -> bool:
-            """Can a fill for ``module`` proceed right now?"""
-            if not self.cache.is_full:
-                return True
-            pinned = set(busy_modules)
-            return any(m not in pinned for m in self.cache.residents)
-
-        def ensure_resident(
-            module: str, owner: str
-        ) -> Generator[Any, Any, bool]:
-            """Make ``module`` resident; returns True if it was a hit.
-
-            A hit is decided at the *first* check — if the module arrives
-            while we wait (loaded by another application), the call still
-            counts as a miss but skips the redundant reconfiguration
-            (module sharing across applications).
-            """
-            was_hit = self.cache.contains(module)
-            if was_hit:
-                self.cache.stats.hits += 1
-                self.cache.policy.on_access(module)
-                return True
-            self.cache.stats.misses += 1
-            while True:
-                if self.cache.contains(module):
-                    return False  # another app loaded it meanwhile
-                if module in configuring:
-                    yield configuring[module]
-                    continue  # loop: confirm residency (or eviction race)
-                if not evictable_exists(module):
-                    # Every resident is busy; wait for any unpin.
-                    sig = sim.signal(name=f"evict-wait:{module}")
-                    unpin_waiters.append(sig)
-                    yield sig
-                    continue
-                break
-            sig = sim.signal(name=f"cfg:{module}")
-            configuring[module] = sig
-            self.cache.fill(module, pinned=set(busy_modules))
-            t0 = sim.now
-            bs = self._bitstream(module)
-            if self.estimated:
-                yield Delay(self.node.icap_raw.wire_time(bs.nbytes))
-            else:
-                yield from self.node.icap.configure(bs, owner=owner)
-            timeline.add(
-                Phase.CONFIG, t0, sim.now, task=module, lane="icap",
-                note="partial",
-            )
-            del configuring[module]
-            sig.succeed()
-            return False
 
         def app_proc(spec: AppSpec) -> Generator[Any, Any, None]:
             if spec.arrival_time:
                 yield Delay(spec.arrival_time)
             for call in spec.trace:
                 owner = f"{spec.name}#{call.index}"
-                pin(call.name)
+                fabric.pin(call.name)
                 try:
-                    hit = yield from ensure_resident(call.name, owner)
+                    hit = yield from fabric.ensure_resident(call.name, owner)
                     if not hit:
                         config_counts[spec.name] += 1
                     slot = self.cache.slot_of(call.name)
-                    yield from prr_mutexes[slot].acquire(owner)
+                    yield from fabric.prr_mutexes[slot].acquire(owner)
                     try:
                         if self.control_time:
                             yield Delay(self.control_time)
@@ -348,9 +487,9 @@ class MultitaskPrtrExecutor:
                             lane=f"prr{slot}", note=spec.name,
                         )
                     finally:
-                        prr_mutexes[slot].release(owner)
+                        fabric.prr_mutexes[slot].release(owner)
                 finally:
-                    unpin(call.name)
+                    fabric.unpin(call.name)
             results[spec.name] = AppResult(
                 name=spec.name,
                 arrival_time=spec.arrival_time,
@@ -374,9 +513,7 @@ class MultitaskPrtrExecutor:
         for spec in apps:
             sim.spawn(gated_app(spec), name=f"app:{spec.name}")
         sim.run()
-        for m in prr_mutexes:
-            m.assert_no_overlap()
-        self.node.icap.icap_mutex.assert_no_overlap()
+        fabric.assert_no_overlap()
         return MultitaskResult(
             mode="prtr",
             apps=[results[s.name] for s in apps],

@@ -42,6 +42,7 @@ from .invariants import (
     audit_cluster,
     audit_comparison,
     audit_run,
+    audit_service,
     audit_shard_merge,
     audit_sweep_points,
     set_strict,
@@ -89,6 +90,7 @@ __all__ = [
     "audit_cluster",
     "audit_comparison",
     "audit_run",
+    "audit_service",
     "audit_shard_merge",
     "audit_sweep_points",
     "fork_available",

@@ -44,6 +44,7 @@ __all__ = [
     "audit_comparison",
     "audit_metrics",
     "audit_run",
+    "audit_service",
     "audit_shard_merge",
     "audit_sweep_points",
     "set_strict",
@@ -100,6 +101,12 @@ INVARIANTS: dict[str, str] = {
         "a parallel sweep's merged journal holds exactly the requested "
         "grid keys in grid order, worker segments are pairwise "
         "disjoint, and no segment recorded a key outside the grid"
+    ),
+    "service-accounting": (
+        "per tenant: admission decisions (admit + queue + shed) == "
+        "arrivals, arrived == completed + shed + in-flight, one latency "
+        "sample per completion (all non-negative), and in-flight is "
+        "zero unless the run was interrupted"
     ),
 }
 
@@ -460,6 +467,56 @@ def audit_metrics(
             icap <= partial,
             f"ICAP-controller configurations ({icap:g}) exceed the "
             f"executors' partial count ({partial:g})",
+        )
+    report.raise_if_strict()
+    return report
+
+
+# -- service checks -------------------------------------------------------
+
+
+def audit_service(result: Any) -> AuditReport:
+    """Audit a :class:`~repro.service.scheduler.ServiceResult`.
+
+    Checks per-tenant call conservation: every arrival got exactly one
+    admission decision, every admitted request is either completed,
+    shed, or (only on interrupted runs) still in flight, and completed
+    requests each left one non-negative latency sample.
+    """
+    report = AuditReport()
+    interrupted = bool(result.interrupted)
+    for t in result.tenants:
+        decisions = sum(t.decisions.values())
+        # Post-admission sheds (e.g. config faults) are counted in
+        # t.shed but never got an arrival-time "shed" decision.
+        decided_sheds = t.decisions.get("shed", 0)
+        post_sheds = t.shed_total - decided_sheds
+        _check(
+            report, "service-accounting",
+            decisions == t.arrived,
+            f"tenant {t.name!r}: {decisions} admission decisions for "
+            f"{t.arrived} arrivals",
+        )
+        _check(
+            report, "service-accounting",
+            t.arrived == t.completed + t.shed_total + t.in_flight
+            and post_sheds >= 0,
+            f"tenant {t.name!r}: arrived {t.arrived} != completed "
+            f"{t.completed} + shed {t.shed_total} + in-flight "
+            f"{t.in_flight}",
+        )
+        _check(
+            report, "service-accounting",
+            len(t.latencies) == t.completed
+            and all(v >= 0.0 for v in t.latencies),
+            f"tenant {t.name!r}: {len(t.latencies)} latency samples for "
+            f"{t.completed} completions (or a negative latency)",
+        )
+        _check(
+            report, "service-accounting",
+            interrupted or t.in_flight == 0,
+            f"tenant {t.name!r}: {t.in_flight} request(s) in flight "
+            "after an uninterrupted drain",
         )
     report.raise_if_strict()
     return report

@@ -1,0 +1,171 @@
+"""Seeded open-workload arrival processes.
+
+Three open arrival kinds drive the service's request streams (the
+``closed`` kind replays a trace inside the scheduler and never touches
+this module):
+
+* **poisson** — homogeneous Poisson: i.i.d. exponential interarrivals
+  at the tenant's mean rate;
+* **bursty** — an on/off modulated Poisson process (a two-state MMPP):
+  exponential on/off phases, arrivals only during on-phases at a rate
+  scaled so the long-run mean equals the nominal rate;
+* **diurnal** — a nonhomogeneous Poisson process with sinusoidal rate
+  ``rate * (1 + sin(2*pi*t/period))``, realized by Lewis-Shedler
+  thinning at the peak rate.
+
+Everything is **lazy**: :func:`arrival_times` and
+:func:`request_stream` are generators, so a horizon holding millions of
+requests never materializes a list.  Determinism: each tenant gets a
+private substream seeded from the master generator in tenant order (see
+:func:`tenant_rng`), so adding a tenant at the end never perturbs the
+streams of earlier tenants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..model.stochastic import resolve_rng
+from .tenants import TenantSpec
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "Arrival",
+    "arrival_times",
+    "request_stream",
+    "tenant_rng",
+]
+
+#: open arrival kinds this module generates
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One generated request: when it arrives and what it runs."""
+
+    time: float
+    module: str
+    work: float
+
+
+def tenant_rng(
+    master: np.random.Generator | int | None, index: int
+) -> np.random.Generator:
+    """The private substream for the ``index``-th tenant.
+
+    Seeds are drawn from the master stream in tenant order, so stream
+    ``i`` depends only on the master seed and ``i`` — never on how many
+    draws later tenants make.
+    """
+    rng = resolve_rng(master)
+    seed = 0
+    for _ in range(index + 1):
+        seed = int(rng.integers(0, 2**63 - 1))
+    return resolve_rng(seed)
+
+
+def _poisson_times(
+    rate: float, horizon: float, rng: np.random.Generator
+) -> Iterator[float]:
+    """Homogeneous Poisson arrival times on ``[0, horizon)``."""
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t >= horizon:
+            return
+        yield t
+
+
+def _bursty_times(
+    spec: TenantSpec, horizon: float, rng: np.random.Generator
+) -> Iterator[float]:
+    """On/off modulated Poisson arrivals with long-run mean ``rate``.
+
+    The on-phase rate is ``rate * (on + off) / on`` scaled further by
+    ``burst_factor`` normalization: bursts are ``burst_factor`` times
+    the nominal rate, and the duty cycle is adjusted so the long-run
+    mean stays ``rate`` (phase lengths keep their configured means,
+    only the burst height obeys ``burst_factor``).
+    """
+    on_rate = spec.rate * spec.burst_factor
+    # Duty cycle that preserves the long-run mean at the given height:
+    # mean = on_rate * on / (on + off)  =>  solve for the off mean.
+    duty = min(1.0, 1.0 / spec.burst_factor)
+    cycle = spec.burst_on / duty if duty > 0 else spec.burst_on
+    off_mean = max(cycle - spec.burst_on, 0.0)
+    t = 0.0
+    while t < horizon:
+        on_end = t + float(rng.exponential(spec.burst_on))
+        while True:
+            t += float(rng.exponential(1.0 / on_rate))
+            if t >= min(on_end, horizon):
+                break
+            yield t
+        t = max(t, on_end)
+        if off_mean > 0:
+            t += float(rng.exponential(off_mean))
+
+
+def _diurnal_times(
+    spec: TenantSpec, horizon: float, rng: np.random.Generator
+) -> Iterator[float]:
+    """Thinned nonhomogeneous Poisson with a sinusoidal daily profile."""
+    peak = 2.0 * spec.rate
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= horizon:
+            return
+        lam = spec.rate * (1.0 + math.sin(2.0 * math.pi * t / spec.period))
+        if float(rng.random()) < lam / peak:
+            yield t
+
+
+def arrival_times(
+    spec: TenantSpec, horizon: float, rng: np.random.Generator
+) -> Iterator[float]:
+    """Lazy, strictly increasing arrival times on ``[0, horizon)``."""
+    if spec.arrival == "poisson":
+        return _poisson_times(spec.rate, horizon, rng)
+    if spec.arrival == "bursty":
+        return _bursty_times(spec, horizon, rng)
+    if spec.arrival == "diurnal":
+        return _diurnal_times(spec, horizon, rng)
+    raise ValueError(
+        f"tenant {spec.name!r}: {spec.arrival!r} is not an open "
+        f"arrival kind (expected one of {ARRIVAL_KINDS})"
+    )
+
+
+def _pick_task(
+    spec: TenantSpec, rng: np.random.Generator
+) -> tuple[str, float]:
+    """Sample one (module, work) pair from the tenant's weighted mix."""
+    total = sum(t.weight for t in spec.tasks)
+    u = float(rng.random()) * total
+    acc = 0.0
+    for t in spec.tasks:
+        acc += t.weight
+        if u < acc:
+            return t.module, t.time
+    last = spec.tasks[-1]
+    return last.module, last.time
+
+
+def request_stream(
+    spec: TenantSpec, horizon: float, rng: np.random.Generator
+) -> Iterator[Arrival]:
+    """Lazy stream of :class:`Arrival` records for one open tenant.
+
+    The module draw immediately follows each time draw on the same
+    substream, so the realization is a pure function of (seed, spec,
+    horizon).
+    """
+    for t in arrival_times(spec, horizon, rng):
+        module, work = _pick_task(spec, rng)
+        yield Arrival(time=t, module=module, work=work)

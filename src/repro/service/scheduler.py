@@ -1,0 +1,540 @@
+"""Preemptive service scheduler time-sharing the PRR pool.
+
+The scheduler runs the service as a DES on one reconfigurable node,
+sharing the exact :class:`~repro.rtr.multitask.PrrFabric` machinery the
+closed-loop multitask executor uses — residency, pinning, the ICAP
+serialization, eviction under pressure.  On top of it, service mode adds:
+
+* **grants** — at most ``active_slots`` requests hold execution grants
+  at once; the rest wait in a priority queue ordered by *effective
+  priority* (static tenant priority plus aging for time spent waiting,
+  tie-broken by global arrival order, so identical runs order
+  identically and no tenant starves);
+* **preemption** — when a strictly higher-priority request waits and no
+  grant is free, the lowest-priority running request is flagged; it
+  checkpoints at its next quantum boundary (a modeled
+  ``checkpoint_cost`` paid while the PRR is held), releases everything,
+  and re-queues to restore later (``restore_cost`` on the next grant);
+* **graceful degradation** — scheduled blade degradations retire PRR
+  slots mid-run (:meth:`~repro.rtr.multitask.PrrFabric.retire_slot`),
+  shrinking capacity without deadlock; repeated reconfiguration faults
+  shed the request (reason ``fault``) instead of wedging a slot;
+* **a watchdog on every run** — runaway or stalled schedules are cut
+  off and reported as ``interrupted`` rather than hanging the process.
+
+Reduction identity: with admission off, preemption off and a single
+closed tenant, every code path that yields to the DES is the same
+sequence the multitask PRTR executor produces — grants are immediate
+(no waiters), no preemption flags are ever set, and the per-call body
+is pin / ensure-resident / acquire / control / task / release / unpin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Sequence
+
+from ..caching.base import ConfigCache
+from ..caching.policies import LruPolicy
+from ..faults.errors import ReconfigurationFault
+from ..faults.injector import FaultInjector
+from ..hardware.prr import uniform_prr_floorplan
+from ..model.stochastic import resolve_rng
+from ..obs import metrics as obsm
+from ..rtr.multitask import PrrFabric
+from ..rtr.runner import make_node
+from ..runtime.watchdog import Watchdog, WatchdogExpired
+from ..sim.engine import Delay
+from ..sim.trace import Phase, Timeline
+from .admission import AdmissionController
+from .arrivals import request_stream, tenant_rng
+from .tenants import ServiceConfig, TenantSpec
+
+__all__ = [
+    "Request",
+    "ServiceExecutor",
+    "ServiceResult",
+    "TenantOutcome",
+    "run_service",
+]
+
+#: slack under which a remaining-time balance counts as finished
+_EPS = 1e-12
+
+
+@dataclass
+class Request:
+    """One in-flight service request and its scheduling state."""
+
+    tenant: str
+    seq: int
+    arrival: float
+    module: str
+    work: float
+    priority: int
+    remaining: float = field(init=False)
+    #: set by the dispatcher: checkpoint at the next quantum boundary
+    preempt_flag: bool = False
+    #: true once checkpointed at least once (pays restore on regrant)
+    preempted: bool = False
+    ready_since: float = 0.0
+    preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        self.remaining = self.work
+
+
+@dataclass
+class TenantOutcome:
+    """Per-tenant accounting over one service run."""
+
+    name: str
+    priority: int
+    slo_latency: float
+    arrived: int = 0
+    #: admission verdicts: admit / queue / shed
+    decisions: dict[str, int] = field(default_factory=dict)
+    #: shed reasons: rate_limit / queue_full / overload / fault
+    shed: dict[str, int] = field(default_factory=dict)
+    completed: int = 0
+    preemptions: int = 0
+    configs: int = 0
+    #: admitted requests still queued or running at run end
+    in_flight: int = 0
+    #: arrival-to-completion latency per completed request
+    latencies: list[float] = field(default_factory=list)
+    backlog_peak: int = 0
+
+    @property
+    def shed_total(self) -> int:
+        """Requests shed across all reasons."""
+        return sum(self.shed.values())
+
+
+@dataclass
+class ServiceResult:
+    """Aggregate outcome of one service run."""
+
+    tenants: list[TenantOutcome]
+    makespan: float
+    horizon: float
+    timeline: Timeline
+    fills: int
+    cache_hits: int
+    cache_misses: int
+    retired: list[int]
+    decision_epochs: dict[str, dict[str, dict[str, int]]]
+    interrupted: str | None = None
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_arrived(self) -> int:
+        """Requests that arrived across all tenants."""
+        return sum(t.arrived for t in self.tenants)
+
+    @property
+    def total_completed(self) -> int:
+        """Requests that completed across all tenants."""
+        return sum(t.completed for t in self.tenants)
+
+    @property
+    def total_shed(self) -> int:
+        """Requests shed across all tenants and reasons."""
+        return sum(t.shed_total for t in self.tenants)
+
+    @property
+    def total_in_flight(self) -> int:
+        """Admitted requests still pending at run end."""
+        return sum(t.in_flight for t in self.tenants)
+
+
+class _Waiter:
+    """A queued grant request plus its wakeup signal."""
+
+    __slots__ = ("req", "signal")
+
+    def __init__(self, req: Request, signal: Any) -> None:
+        self.req = req
+        self.signal = signal
+
+
+class ServiceExecutor:
+    """Run a tenant mix as an open service on one PRR node."""
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        config: ServiceConfig,
+        *,
+        seed: int = 0,
+    ) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        self.tenants = list(tenants)
+        self.config = config
+        self.seed = seed
+        floorplan = (
+            uniform_prr_floorplan(config.prrs, 12) if config.prrs else None
+        )
+        injector = (
+            FaultInjector(config.fault)
+            if config.fault is not None and not config.fault.fault_free
+            else None
+        )
+        self.node = make_node(floorplan, fault_injector=injector)
+        self.sim = self.node.sim
+        self.control_time = self.node.params.control_time
+        self.timeline = Timeline()
+        self.cache = ConfigCache(
+            slots=self.node.floorplan.n_prrs, policy=LruPolicy()
+        )
+        self.fabric = PrrFabric(self.node, self.cache, self.timeline)
+        self.admission = AdmissionController(tenants, config)
+        self.stats = {
+            t.name: TenantOutcome(
+                name=t.name, priority=t.priority, slo_latency=t.slo_latency
+            )
+            for t in tenants
+        }
+        # -- grant state --------------------------------------------------
+        self._granted = 0
+        self._waiting: list[_Waiter] = []
+        self._running: list[Request] = []
+        self._backlog: dict[str, int] = {t.name: 0 for t in tenants}
+        self._seq = 0
+        self._boot: Any = None
+
+    # -- grant machinery ---------------------------------------------------
+
+    def _capacity(self) -> int:
+        """Concurrent grants allowed right now (active PRR slots)."""
+        return self.fabric.active_slots
+
+    def _grant_free(self) -> bool:
+        """Would a grant be issued immediately (no queueing)?"""
+        return not self._waiting and self._granted < self._capacity()
+
+    def _effective_priority(self, req: Request, now: float) -> float:
+        """Static priority plus aging for time spent waiting."""
+        return req.priority + self.config.aging_rate * (
+            now - req.ready_since
+        )
+
+    def _acquire_grant(self, req: Request) -> Generator[Any, Any, None]:
+        """Take a grant, waiting in the priority queue if none is free.
+
+        The fast path returns without yielding so an uncontended
+        request adds no DES events (the reduction-identity invariant).
+        """
+        if self._grant_free():
+            self._granted += 1
+            return
+        req.ready_since = self.sim.now
+        sig = self.sim.signal(name=f"grant:{req.tenant}#{req.seq}")
+        self._waiting.append(_Waiter(req, sig))
+        stats = self.stats[req.tenant]
+        self._backlog[req.tenant] += 1
+        stats.backlog_peak = max(
+            stats.backlog_peak, self._backlog[req.tenant]
+        )
+        self._flag_preemption(req)
+        yield sig
+
+    def _release_grant(self) -> None:
+        """Return a grant and hand it to the best waiter, if any."""
+        self._granted -= 1
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Grant waiting requests while capacity is free.
+
+        Picks the maximum effective priority (aging included),
+        tie-broken by global arrival order — a total, deterministic
+        order.
+        """
+        now = self.sim.now
+        while self._waiting and self._granted < self._capacity():
+            best = min(
+                self._waiting,
+                key=lambda w: (
+                    -self._effective_priority(w.req, now),
+                    w.req.seq,
+                ),
+            )
+            self._waiting.remove(best)
+            self._backlog[best.req.tenant] -= 1
+            self._granted += 1
+            best.signal.succeed()
+
+    def _flag_preemption(self, waiter: Request) -> None:
+        """Mark the weakest running request for checkpointing.
+
+        Only when preemption is on, no grant is free, and the waiter
+        strictly outranks the weakest running request's *static*
+        priority (running tasks do not age).
+        """
+        if not self.config.preemption or not self._running:
+            return
+        if self._granted < self._capacity():
+            return
+        victim = min(self._running, key=lambda r: (r.priority, r.seq))
+        if victim.preempt_flag:
+            return
+        if self._effective_priority(waiter, self.sim.now) > victim.priority:
+            victim.preempt_flag = True
+
+    # -- request execution -------------------------------------------------
+
+    def _run_granted(self, req: Request) -> Generator[Any, Any, str]:
+        """Execute one granted request slice on the fabric.
+
+        Returns ``"done"``, ``"preempted"`` (checkpointed at a quantum
+        boundary) or ``"fault"`` (reconfiguration failed
+        ``max_config_attempts`` times).
+        """
+        owner = f"{req.tenant}#{req.seq}"
+        fabric = self.fabric
+        fabric.pin(req.module)
+        try:
+            attempts = 0
+            while True:
+                try:
+                    hit = yield from fabric.ensure_resident(
+                        req.module, owner
+                    )
+                    break
+                except ReconfigurationFault:
+                    attempts += 1
+                    if attempts >= self.config.max_config_attempts:
+                        return "fault"
+            if not hit:
+                self.stats[req.tenant].configs += 1
+            slot = self.cache.slot_of(req.module)
+            yield from fabric.prr_mutexes[slot].acquire(owner)
+            try:
+                if req.preempted and self.config.restore_cost:
+                    yield Delay(self.config.restore_cost)
+                if self.control_time:
+                    yield Delay(self.control_time)
+                t0 = self.sim.now
+                if not self.config.preemption:
+                    yield Delay(req.remaining)
+                    req.remaining = 0.0
+                else:
+                    while req.remaining > _EPS:
+                        step = min(self.config.quantum, req.remaining)
+                        yield Delay(step)
+                        req.remaining -= step
+                        if req.preempt_flag and req.remaining > _EPS:
+                            break
+                self.timeline.add(
+                    Phase.TASK, t0, self.sim.now, task=req.module,
+                    lane=f"prr{slot}", note=req.tenant,
+                )
+                if req.remaining > _EPS:
+                    if self.config.checkpoint_cost:
+                        yield Delay(self.config.checkpoint_cost)
+                    return "preempted"
+                return "done"
+            finally:
+                fabric.prr_mutexes[slot].release(owner)
+        finally:
+            fabric.unpin(req.module)
+
+    def _lifecycle(self, req: Request) -> Generator[Any, Any, None]:
+        """Grant / execute / re-queue loop for one admitted request."""
+        while True:
+            yield from self._acquire_grant(req)
+            self._running.append(req)
+            try:
+                outcome = yield from self._run_granted(req)
+            finally:
+                self._running.remove(req)
+            self._release_grant()
+            if outcome == "done":
+                self._complete(req)
+                return
+            if outcome == "fault":
+                self._shed_admitted(req, "fault")
+                return
+            req.preempt_flag = False
+            req.preempted = True
+            req.preemptions += 1
+            self.stats[req.tenant].preemptions += 1
+            obsm.counter("repro_service_preemptions_total").inc(
+                tenant=req.tenant
+            )
+
+    def _complete(self, req: Request) -> None:
+        """Completion bookkeeping: latency, SLO inputs, metrics."""
+        stats = self.stats[req.tenant]
+        stats.completed += 1
+        stats.in_flight -= 1
+        latency = self.sim.now - req.arrival
+        stats.latencies.append(latency)
+        obsm.counter("repro_service_completions_total").inc(
+            tenant=req.tenant
+        )
+        obsm.histogram("repro_service_latency_seconds").observe(
+            latency, tenant=req.tenant
+        )
+
+    def _shed_admitted(self, req: Request, reason: str) -> None:
+        """Shed a request that had already been admitted."""
+        stats = self.stats[req.tenant]
+        stats.in_flight -= 1
+        stats.shed[reason] = stats.shed.get(reason, 0) + 1
+        self.admission.shed_post_admission(req.tenant, self.sim.now, reason)
+
+    # -- arrival sources ---------------------------------------------------
+
+    def _admit(self, spec: TenantSpec, module: str, work: float) -> Request | None:
+        """Run one arrival through admission; returns the admitted request.
+
+        ``None`` means the arrival was shed (already accounted).
+        """
+        stats = self.stats[spec.name]
+        stats.arrived += 1
+        decision = self.admission.decide(
+            spec.name,
+            self.sim.now,
+            backlog_of=lambda name: self._backlog[name],
+            total_backlog=sum(self._backlog.values()),
+            grant_free=self._grant_free(),
+        )
+        stats.decisions[decision.verdict] = (
+            stats.decisions.get(decision.verdict, 0) + 1
+        )
+        if decision.verdict == "shed":
+            stats.shed[decision.reason] = (
+                stats.shed.get(decision.reason, 0) + 1
+            )
+            return None
+        self._seq += 1
+        stats.in_flight += 1
+        return Request(
+            tenant=spec.name,
+            seq=self._seq,
+            arrival=self.sim.now,
+            module=module,
+            work=work,
+            priority=spec.priority,
+        )
+
+    def _open_source(
+        self, spec: TenantSpec, rng: Any
+    ) -> Generator[Any, Any, None]:
+        """Generate one open tenant's arrivals until the horizon."""
+        yield self._boot.done
+        t0 = self.sim.now
+        for arrival in request_stream(spec, self.config.horizon, rng):
+            target = t0 + arrival.time
+            if target > self.sim.now:
+                yield Delay(target - self.sim.now)
+            req = self._admit(spec, arrival.module, arrival.work)
+            if req is None:
+                continue
+            self.sim.spawn(
+                self._lifecycle(req), name=f"req:{req.tenant}#{req.seq}"
+            )
+
+    def _closed_source(self, spec: TenantSpec) -> Generator[Any, Any, None]:
+        """Replay a closed tenant's trace, one call at a time.
+
+        The next call is issued when the previous completes — the
+        multitask closed loop, admission and grants permitting.
+        """
+        yield self._boot.done
+        for call in spec.trace:  # type: ignore[union-attr]
+            req = self._admit(spec, call.name, call.task.time)
+            if req is None:
+                continue
+            yield from self._lifecycle(req)
+
+    def _degrade_proc(
+        self, delay: float, slot: int
+    ) -> Generator[Any, Any, None]:
+        """Retire one PRR slot ``delay`` seconds after service boot."""
+        yield self._boot.done
+        if delay:
+            yield Delay(delay)
+        yield from self.fabric.retire_slot(slot)
+
+    def _startup(self) -> Generator[Any, Any, None]:
+        """Initial full configuration loading the static design."""
+        t0 = self.sim.now
+        yield Delay(self.node.full_config_time())
+        self.timeline.add(Phase.CONFIG, t0, self.sim.now,
+                          note="initial full")
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> ServiceResult:
+        """Execute the service to drain (or watchdog interruption)."""
+        sim = self.sim
+        start = sim.now
+        self._boot = sim.spawn(self._startup(), name="startup")
+        master = resolve_rng(self.seed)
+        for index, spec in enumerate(self.tenants):
+            if spec.arrival == "closed":
+                sim.spawn(
+                    self._closed_source(spec), name=f"src:{spec.name}"
+                )
+            else:
+                sim.spawn(
+                    self._open_source(spec, tenant_rng(master, index)),
+                    name=f"src:{spec.name}",
+                )
+        for delay, slot in self.config.degrade_at:
+            sim.spawn(
+                self._degrade_proc(delay, slot),
+                name=f"degrade:prr{slot}",
+            )
+        watchdog = Watchdog(
+            max_events=self.config.max_events,
+            stall_events=self.config.stall_events,
+        ).start(sim)
+        sim.watchdog = watchdog
+        interrupted: str | None = None
+        try:
+            sim.run()
+        except WatchdogExpired as exc:
+            interrupted = str(exc)
+        finally:
+            sim.watchdog = None
+        if interrupted is None:
+            self.fabric.assert_no_overlap()
+        for spec in self.tenants:
+            obsm.gauge("repro_service_backlog_peak").set(
+                self.stats[spec.name].backlog_peak, tenant=spec.name
+            )
+        return ServiceResult(
+            tenants=[self.stats[t.name] for t in self.tenants],
+            makespan=sim.now - start,
+            horizon=self.config.horizon,
+            timeline=self.timeline,
+            fills=self.fabric.fills,
+            cache_hits=self.cache.stats.hits,
+            cache_misses=self.cache.stats.misses,
+            retired=sorted(self.fabric.retired),
+            decision_epochs=self.admission.epochs_as_dict(),
+            interrupted=interrupted,
+            notes={
+                "t_config_full": self.node.full_config_time(),
+                "hit_ratio": self.cache.stats.hit_ratio,
+                "events": float(sim.events_processed),
+            },
+        )
+
+
+def run_service(
+    tenants: Sequence[TenantSpec],
+    config: ServiceConfig,
+    *,
+    seed: int = 0,
+) -> ServiceResult:
+    """Run one service realization; audited by the caller."""
+    return ServiceExecutor(tenants, config, seed=seed).run()

@@ -70,3 +70,10 @@ def test_cluster_storm(capsys):
     out = run_example("cluster_storm.py", capsys)
     assert "Configuration storm" in out
     assert "FRTR efficiency has fallen" in out
+
+
+def test_service_tour(capsys):
+    out = run_example("service_tour.py", capsys)
+    assert "Multi-tenant service mode" in out
+    assert "shed lowest-priority first" in out
+    assert "INTERRUPTED" not in out

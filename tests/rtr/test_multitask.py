@@ -10,6 +10,7 @@ from repro.rtr import (
     AppSpec,
     MultitaskFrtrExecutor,
     MultitaskPrtrExecutor,
+    MultitaskResult,
     compare_multitask,
     make_node,
 )
@@ -216,3 +217,50 @@ class TestCompareMultitask:
         r2 = compare_multitask(apps, bitstream_bytes=DUAL_BYTES)
         assert r1[1].makespan == r2[1].makespan
         assert r1[0].makespan == r2[0].makespan
+
+
+class TestDegenerateStats:
+    """Zero-call / empty-mix guards on the derived statistics."""
+
+    def empty_result(self, apps=()):
+        from repro.sim.trace import Timeline
+
+        return MultitaskResult(
+            mode="prtr", apps=list(apps), makespan=0.0,
+            timeline=Timeline(),
+        )
+
+    def test_no_apps_is_nan_free(self):
+        result = self.empty_result()
+        assert result.throughput == 0.0
+        assert result.mean_turnaround == 0.0
+        assert result.max_turnaround == 0.0
+        assert result.unfairness() == 1.0
+        assert result.total_calls == 0
+
+    def test_zero_turnaround_apps_are_fair(self):
+        from repro.rtr.multitask import AppResult
+
+        instant = AppResult(
+            name="a", arrival_time=1.0, completion_time=1.0,
+            n_calls=0, n_configs=0,
+        )
+        result = self.empty_result([instant])
+        assert result.unfairness() == 1.0
+        assert result.throughput == 0.0
+
+    def test_mixed_zero_and_positive_turnaround_is_inf(self):
+        from repro.rtr.multitask import AppResult
+
+        apps = [
+            AppResult(name="a", arrival_time=0.0, completion_time=0.0,
+                      n_calls=0, n_configs=0),
+            AppResult(name="b", arrival_time=0.0, completion_time=2.0,
+                      n_calls=3, n_configs=1),
+        ]
+        result = MultitaskResult(
+            mode="prtr", apps=apps, makespan=2.0,
+            timeline=self.empty_result().timeline,
+        )
+        assert result.unfairness() == float("inf")
+        assert result.throughput == 1.5

@@ -1,0 +1,108 @@
+"""Admission-controller tests: buckets, bounded queues, overload order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceConfig, TaskMix, TenantSpec
+from repro.service.admission import AdmissionController, TokenBucket
+
+MIX = (TaskMix("m", 0.05),)
+
+
+def tenants(**overrides):
+    base = dict(tasks=MIX, rate=5.0)
+    return [
+        TenantSpec(name="hi", priority=1, **{**base, **overrides}),
+        TenantSpec(name="lo", priority=0, **{**base, **overrides}),
+    ]
+
+
+def decide(ctrl, name, now, *, backlog=None, total=0, free=True):
+    backlog = backlog or {}
+    return ctrl.decide(
+        name, now,
+        backlog_of=lambda n: backlog.get(n, 0),
+        total_backlog=total,
+        grant_free=free,
+    )
+
+
+class TestTokenBucket:
+    def test_zero_rate_always_allows(self):
+        bucket = TokenBucket(rate=0.0, capacity=1.0)
+        assert all(bucket.try_take(t) for t in range(100))
+
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=1.0, capacity=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)  # burst capacity spent
+        assert bucket.try_take(1.0)      # one token back after 1s
+        assert not bucket.try_take(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, capacity=2.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.5)
+
+
+class TestDecisions:
+    def test_admission_off_is_pass_through(self):
+        ctrl = AdmissionController(
+            tenants(), ServiceConfig(admission=False)
+        )
+        assert decide(ctrl, "lo", 0.0, free=True).verdict == "admit"
+        assert decide(ctrl, "lo", 0.0, free=False).verdict == "queue"
+
+    def test_rate_limit_shed(self):
+        specs = tenants(rate_limit=1.0, bucket=1.0)
+        ctrl = AdmissionController(specs, ServiceConfig())
+        assert decide(ctrl, "lo", 0.0).verdict == "admit"
+        d = decide(ctrl, "lo", 0.0)
+        assert (d.verdict, d.reason) == ("shed", "rate_limit")
+
+    def test_queue_full_shed(self):
+        specs = tenants(queue_capacity=2)
+        ctrl = AdmissionController(specs, ServiceConfig())
+        d = decide(ctrl, "lo", 0.0, backlog={"lo": 2}, free=False)
+        assert (d.verdict, d.reason) == ("shed", "queue_full")
+
+    def test_overload_sheds_lowest_priority_first(self):
+        ctrl = AdmissionController(
+            tenants(), ServiceConfig(overload_backlog=4)
+        )
+        backlog = {"hi": 3, "lo": 2}
+        low = decide(ctrl, "lo", 0.0, backlog=backlog, total=5,
+                     free=False)
+        high = decide(ctrl, "hi", 0.0, backlog=backlog, total=5,
+                      free=False)
+        assert (low.verdict, low.reason) == ("shed", "overload")
+        # The highest pending priority keeps being served.
+        assert high.verdict == "queue"
+
+    def test_overload_without_higher_pending_queues(self):
+        ctrl = AdmissionController(
+            tenants(), ServiceConfig(overload_backlog=4)
+        )
+        d = decide(ctrl, "lo", 0.0, backlog={"lo": 5}, total=5,
+                   free=False)
+        # Nothing more important is waiting -> its own queue bound rules.
+        assert d.verdict == "queue"
+
+
+class TestEpochAccounting:
+    def test_epochs_bucket_decisions(self):
+        ctrl = AdmissionController(tenants(), ServiceConfig(epoch=10.0))
+        decide(ctrl, "lo", 1.0)
+        decide(ctrl, "lo", 9.0, free=False)
+        decide(ctrl, "hi", 15.0)
+        epochs = ctrl.epochs_as_dict()
+        assert epochs["0"]["lo"] == {"admit": 1, "queue": 1}
+        assert epochs["1"]["hi"] == {"admit": 1}
+
+    def test_post_admission_shed_accounted(self):
+        ctrl = AdmissionController(tenants(), ServiceConfig())
+        ctrl.shed_post_admission("lo", 3.0, "fault")
+        assert ctrl.epochs_as_dict()["0"]["lo"] == {"shed:fault": 1}

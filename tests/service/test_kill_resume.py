@@ -1,0 +1,94 @@
+"""Kill-and-resume determinism for ``repro serve`` (the CI soak job).
+
+A serve run killed between (or mid-write of) replication checkpoints
+must resume to SLO reports and a journal **byte-identical** to an
+uninterrupted run: every replication reseeds its own simulators from
+``seed + rep``, so nothing leaks across the kill point.
+
+When ``REPRO_ARTIFACT_DIR`` is set (the CI deterministic-soak job), the
+journals and invariant reports under test are copied there for upload.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+
+import pytest
+
+from repro.runtime.journal import JOURNAL_NAME, RunJournal
+from repro.service import ServiceConfig, crash_safe_serve, default_tenants
+
+CONFIG = ServiceConfig(horizon=2.0)
+SERVE_KW = dict(seed=13, replications=4)
+N_REPS = SERVE_KW["replications"]
+
+
+def full_serve(run_dir, **kw):
+    return crash_safe_serve(
+        str(run_dir), default_tenants(), CONFIG, **{**SERVE_KW, **kw}
+    )
+
+
+def export_artifacts(label: str, run_dir) -> None:
+    """Copy journal + invariant report for CI upload (no-op locally)."""
+    target = os.environ.get("REPRO_ARTIFACT_DIR")
+    if not target:
+        return
+    dest = os.path.join(target, label)
+    os.makedirs(dest, exist_ok=True)
+    for name in (JOURNAL_NAME, "invariants.json"):
+        source = os.path.join(str(run_dir), name)
+        if os.path.exists(source):
+            shutil.copy(source, os.path.join(dest, name))
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("serve-reference")
+    outcome = full_serve(run_dir)
+    export_artifacts("serve-reference", run_dir)
+    return outcome, run_dir
+
+
+class TestServeKillAndResume:
+    def test_reference_completes_clean(self, reference):
+        outcome, _ = reference
+        assert outcome.complete
+        assert outcome.computed_points == N_REPS
+        assert outcome.audit.ok
+
+    def test_truncated_journal_resumes_byte_identical(
+        self, reference, tmp_path
+    ):
+        outcome, ref_dir = reference
+        victim = tmp_path / "victim"
+        full_serve(victim)
+        path = victim / JOURNAL_NAME
+        lines = path.read_text().splitlines()
+        assert len(lines) == N_REPS + 2  # header + reps + seal
+
+        # Kill at a seeded replication boundary and tear the next
+        # checkpoint line mid-write (torn JSONL tail).
+        rng = random.Random(0x5EED)
+        survivors = rng.randrange(1, N_REPS)
+        torn = lines[survivors + 1][: len(lines[survivors + 1]) // 2]
+        path.write_text(
+            "\n".join(lines[: survivors + 1] + [torn]) + "\n"
+        )
+        loaded = RunJournal.load(str(victim))
+        assert loaded.dropped_lines == 1
+
+        resumed = full_serve(victim, resume=True)
+        export_artifacts("serve-resumed", victim)
+        assert resumed.complete
+        assert resumed.resumed_points == survivors
+        assert resumed.computed_points == N_REPS - survivors
+        assert resumed.reports == outcome.reports
+        assert path.read_bytes() == (
+            ref_dir / JOURNAL_NAME
+        ).read_bytes()
+        assert (victim / "invariants.json").read_bytes() == (
+            ref_dir / "invariants.json"
+        ).read_bytes()

@@ -375,3 +375,59 @@ class TestLiveTree:
             if f.rule == "RL001" and f.path.endswith("sim/engine.py")
         ]
         assert len(hits) == 1
+
+
+class TestServiceScope:
+    """RL001/RL003 cover the service package (open-arrival scheduler)."""
+
+    def test_rule_scopes_include_service(self):
+        from reprolint.rules import DeterminismRule, ForkSafetyRule
+
+        class Mod:
+            src_rel = "service/scheduler.py"
+
+        assert "service/" in DeterminismRule.scope
+        assert DeterminismRule().applies(Mod())
+        # RL003 has no scope restriction: empty tuple == whole tree.
+        assert ForkSafetyRule.scope == ()
+        assert ForkSafetyRule().applies(Mod())
+
+    def test_planted_wall_clock_in_service_is_caught(self, tmp_path):
+        src = tmp_path / "src" / "repro"
+        shutil.copytree(REPO / "src" / "repro", src)
+        sched = src / "service" / "scheduler.py"
+        text = sched.read_text(encoding="utf-8")
+        text = text.replace(
+            "from __future__ import annotations",
+            "from __future__ import annotations\nimport time as _wall\n"
+            "def _leak():\n    return _wall.time()\n",
+            1,
+        )
+        sched.write_text(text, encoding="utf-8")
+        result = run_lint(src, tmp_path)
+        hits = [
+            f for f in result.findings
+            if f.rule == "RL001"
+            and f.path.endswith("service/scheduler.py")
+        ]
+        assert len(hits) == 1
+
+    def test_planted_unseeded_rng_in_arrivals_is_caught(self, tmp_path):
+        src = tmp_path / "src" / "repro"
+        shutil.copytree(REPO / "src" / "repro", src)
+        arrivals = src / "service" / "arrivals.py"
+        text = arrivals.read_text(encoding="utf-8")
+        text = text.replace(
+            "import math",
+            "import math\nimport random\n\n"
+            "def _leaky_jitter():\n    return random.random()\n",
+            1,
+        )
+        arrivals.write_text(text, encoding="utf-8")
+        result = run_lint(src, tmp_path)
+        hits = [
+            f for f in result.findings
+            if f.rule == "RL001"
+            and f.path.endswith("service/arrivals.py")
+        ]
+        assert len(hits) == 1

@@ -27,7 +27,7 @@ from pathlib import Path
 
 #: Function/method coverage floor, percent (modules and classes are
 #: pinned at 100).  Raise when coverage improves; never lower to merge.
-DEFAULT_MIN_FUNCTIONS = 68.4
+DEFAULT_MIN_FUNCTIONS = 70.5
 
 
 def iter_public_nodes(tree: ast.Module):
