@@ -1,0 +1,91 @@
+"""Benchmark: chaos-mode overhead and goodput under the compound scenario.
+
+Not a published figure — this measures the resilience harness itself:
+how many DES events per wall-clock second the service sustains while
+the ``compound`` scenario injects blade loss, ICAP flapping and a late
+PRR loss, and how much goodput the migration + breaker + brownout
+machinery retains versus the fault-free twin that ``run_chaos`` pairs
+with every realization.  With ``--bench-json DIR`` the numbers land in
+``DIR/BENCH_chaos.json`` for trend tracking.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from repro.chaos import build_scenario, crash_safe_chaos, run_chaos
+from repro.runtime.parallel import fork_available
+from repro.service import ServiceConfig, default_tenants, run_service
+
+from conftest import record, write_bench_json
+
+HORIZON = 8.0
+SEED = 11
+SCENARIO = "compound"
+PRRS = 4
+REPLICATIONS = 4
+WORKERS = 2
+
+
+def _chaos_config() -> ServiceConfig:
+    spec = build_scenario(SCENARIO, seed=SEED, horizon=HORIZON, prrs=PRRS)
+    return ServiceConfig(horizon=HORIZON, prrs=PRRS, chaos=spec)
+
+
+def _chaos_walltime(workers: int) -> float:
+    """Wall seconds for one multi-replication chaos run."""
+    run_dir = tempfile.mkdtemp(prefix="bench-chaos-")
+    try:
+        t0 = time.perf_counter()
+        crash_safe_chaos(
+            f"{run_dir}/run",
+            default_tenants(),
+            _chaos_config(),
+            scenario=SCENARIO,
+            seed=SEED,
+            replications=REPLICATIONS,
+            workers=workers,
+        )
+        return time.perf_counter() - t0
+    finally:
+        shutil.rmtree(run_dir, ignore_errors=True)
+
+
+def test_bench_chaos(benchmark, bench_json_dir) -> None:
+    tenants = default_tenants()
+    config = _chaos_config()
+
+    t0 = time.perf_counter()
+    result = benchmark(run_service, tenants, config, seed=SEED)
+    single_wall = time.perf_counter() - t0
+
+    wall = benchmark.stats.stats.mean if benchmark.stats else single_wall
+    resilience = run_chaos(tenants, config, seed=SEED)["resilience"]
+    events = result.notes["events"]
+    serial_wall = _chaos_walltime(1)
+    parallel_wall = _chaos_walltime(WORKERS) if fork_available() else None
+
+    summary = {
+        "horizon_s": HORIZON,
+        "seed": SEED,
+        "scenario": SCENARIO,
+        "des_events": events,
+        "events_per_sec": events / wall if wall else None,
+        "goodput_retention_pct": 100.0 * resilience["goodput_retention"],
+        "completed": resilience["completed"],
+        "baseline_completed": resilience["baseline_completed"],
+        "outages": resilience["outages"],
+        "migrations": resilience["migrations"],
+        "breaker_transitions": resilience["breaker_transitions"],
+        "replications": REPLICATIONS,
+        "chaos_serial_wall_s": serial_wall,
+        "chaos_workers": WORKERS,
+        "chaos_parallel_wall_s": parallel_wall,
+    }
+    record(benchmark, **summary)
+    write_bench_json(bench_json_dir, "chaos", summary)
+    assert resilience["outages"] > 0
+    assert resilience["completed"] > 0
+    assert 0.0 < resilience["goodput_retention"] <= 1.5

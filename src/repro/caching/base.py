@@ -130,24 +130,43 @@ class ConfigCache:
         return False
 
     def fill(
-        self, module: str, pinned: set[str] | frozenset[str] = frozenset()
+        self,
+        module: str,
+        pinned: set[str] | frozenset[str] = frozenset(),
+        blocked: set[int] | frozenset[int] = frozenset(),
     ) -> Optional[str]:
         """Insert ``module`` (idempotent); returns the evicted module.
 
         ``pinned`` modules may not be evicted (e.g. the module whose PRR
-        is currently executing).  Raises if every resident is pinned.
+        is currently executing).  ``blocked`` slots may not receive the
+        fill nor donate a victim — a failed PRR must not be handed new
+        work while its domain is down.  Raises if every usable resident
+        is pinned or every free slot is blocked.  With ``blocked`` empty
+        the slot choice is byte-identical to the historical behaviour
+        (lowest free slot first).
         """
         if module in self._residents:
             return None
         evicted: Optional[str] = None
-        if self._free:
-            slot = self._free.pop(0)
+        usable_free = (
+            [s for s in self._free if s not in blocked]
+            if blocked
+            else self._free
+        )
+        if usable_free:
+            slot = usable_free[0]
+            self._free.remove(slot)
         else:
-            candidates = [m for m in self.residents if m not in pinned]
+            candidates = [
+                m
+                for m in self.residents
+                if m not in pinned and self._residents[m] not in blocked
+            ]
             if not candidates:
                 raise RuntimeError(
                     f"cannot fill {module!r}: all {self.slots} residents "
-                    f"are pinned ({sorted(pinned)})"
+                    f"are pinned ({sorted(pinned)}) or on blocked slots "
+                    f"({sorted(blocked)})"
                 )
             evicted = self.policy.victim(candidates)
             if evicted not in self._residents:

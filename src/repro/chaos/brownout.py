@@ -1,0 +1,166 @@
+"""SLO-aware brownout controller.
+
+When injected failures shrink capacity, the service can either let every
+tenant's tail latency blow up together or deliberately *brown out*: shed
+the lowest tiers and stretch scheduling quanta (fewer preemption
+checkpoints, less reconfiguration churn) until the tail recovers.  This
+controller makes that call from two sliding-window signals —
+
+* windowed p99 of completed-request latency, and
+* windowed shed rate (terminal sheds / terminal outcomes);
+
+it *enters* brownout when either crosses its enter threshold (with at
+least ``min_samples`` outcomes observed) and *exits* only after both
+have stayed below their exit thresholds continuously for ``hold`` sim
+seconds — classic hysteresis, so a single good completion cannot flap
+the service back to full admission mid-outage.
+
+Like the circuit breaker, the controller is pure: it owns no simulator
+processes and changes state only inside the ``observe_*`` calls the
+scheduler already makes on completion/shed, so determinism and resume
+come for free.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from ..obs import metrics as obsm
+
+__all__ = ["BrownoutController"]
+
+
+def _nearest_rank_p99(values: list[float]) -> float:
+    """Nearest-rank p99 (same method as :mod:`repro.service.slo`).
+
+    Re-implemented locally because :mod:`repro.service.slo` imports the
+    scheduler, which imports this module — a lazy import would hide the
+    cycle, three lines of arithmetic remove it.
+    """
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = max(1, math.ceil(0.99 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class BrownoutController:
+    """Hysteretic load-shedding controller driven by observed outcomes."""
+
+    def __init__(
+        self,
+        *,
+        enter_p99: float = 0.5,
+        exit_p99: float = 0.25,
+        enter_shed: float = 0.25,
+        exit_shed: float = 0.05,
+        window: int = 64,
+        min_samples: int = 16,
+        hold: float = 1.0,
+        max_shed_priority: int = 0,
+        quantum_stretch: float = 2.0,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1: {min_samples}")
+        if hold < 0:
+            raise ValueError(f"hold must be >= 0: {hold}")
+        if quantum_stretch < 1.0:
+            raise ValueError(
+                f"quantum_stretch must be >= 1: {quantum_stretch}"
+            )
+        self.enter_p99 = enter_p99
+        self.exit_p99 = exit_p99
+        self.enter_shed = enter_shed
+        self.exit_shed = exit_shed
+        self.min_samples = min_samples
+        self.hold = hold
+        self.max_shed_priority = max_shed_priority
+        self.quantum_stretch = quantum_stretch
+        self.active = False
+        self._latencies: deque[float] = deque(maxlen=window)
+        #: recent terminal outcomes: True = shed, False = completed
+        self._sheds: deque[bool] = deque(maxlen=window)
+        self._below_since: float | None = None
+        #: ``(time, state)`` with state in {"entered", "exited"}
+        self.epochs: list[tuple[float, str]] = []
+
+    def _windowed_p99(self) -> float:
+        """p99 over the latency window (nan while empty)."""
+        return _nearest_rank_p99(list(self._latencies))
+
+    def _shed_rate(self) -> float:
+        """Shed fraction over the terminal-outcome window."""
+        if not self._sheds:
+            return 0.0
+        return sum(self._sheds) / len(self._sheds)
+
+    def _signals_high(self) -> bool:
+        """Either signal above its *enter* threshold."""
+        p99 = self._windowed_p99()
+        return (
+            p99 == p99 and p99 > self.enter_p99
+        ) or self._shed_rate() > self.enter_shed
+
+    def _signals_low(self) -> bool:
+        """Both signals below their *exit* thresholds."""
+        p99 = self._windowed_p99()
+        p99_ok = not (p99 == p99) or p99 < self.exit_p99
+        return p99_ok and self._shed_rate() < self.exit_shed
+
+    def _update(self, now: float) -> None:
+        """Re-evaluate the FSM after one observation at ``now``."""
+        if not self.active:
+            if (
+                len(self._sheds) >= self.min_samples
+                and self._signals_high()
+            ):
+                self.active = True
+                self._below_since = None
+                self.epochs.append((now, "entered"))
+                obsm.counter(
+                    "repro_chaos_brownout_epochs_total"
+                ).inc(state="entered")
+            return
+        if self._signals_low():
+            if self._below_since is None:
+                self._below_since = now
+            if now - self._below_since >= self.hold:
+                self.active = False
+                self._below_since = None
+                self.epochs.append((now, "exited"))
+                obsm.counter(
+                    "repro_chaos_brownout_epochs_total"
+                ).inc(state="exited")
+        else:
+            self._below_since = None
+
+    def observe_completion(self, now: float, latency: float) -> None:
+        """Feed one completed request's latency into the window."""
+        self._latencies.append(latency)
+        self._sheds.append(False)
+        self._update(now)
+
+    def observe_shed(self, now: float) -> None:
+        """Feed one terminal shed into the window."""
+        self._sheds.append(True)
+        self._update(now)
+
+    def should_shed(self, priority: int) -> bool:
+        """Whether an arrival of ``priority`` is browned out right now."""
+        return self.active and priority <= self.max_shed_priority
+
+    def stretch(self) -> float:
+        """Current quantum multiplier (1.0 outside brownout)."""
+        return self.quantum_stretch if self.active else 1.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe epoch log for the chaos payload."""
+        return {
+            "active": self.active,
+            "epochs": [
+                {"time": t, "state": s} for t, s in self.epochs
+            ],
+        }

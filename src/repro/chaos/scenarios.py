@@ -1,0 +1,206 @@
+"""Named, seeded chaos scenarios.
+
+Every scenario is a pure function ``(rng, horizon, prrs, blades) ->
+ChaosSpec`` registered under a stable name: the same ``(name, seed,
+horizon, prrs, blades)`` tuple always yields the same event schedule, so
+a scenario run is exactly as reproducible as the service run underneath
+it.  The library covers the failure shapes the resilience layer is built
+for:
+
+================  =====================================================
+``none``          no chaos at all — builds to ``None`` so the harness
+                  runs the plain serve path (the rate-0 identity anchor)
+``single-prr-loss``  one PRR slot drops out mid-run and comes back
+``rolling-blades``   every blade power-cycles in turn, never two at once
+``icap-flap``        the configuration port flaps through short outages
+``seu-storm``        a burst of very short single-PRR upsets
+                     (scrub-and-recover timescale)
+``compound``         blade loss + ICAP flapping + a late PRR loss under
+                     sustained tenant load, brownout armed — the
+                     overload-plus-failure stress case
+================  =====================================================
+
+Use :func:`build_scenario` to resolve a name; :data:`SCENARIOS` maps
+names to descriptions for ``repro chaos --list-scenarios`` and for the
+docs-pinning test that keeps ``docs/RESILIENCE.md`` honest.
+"""
+
+from __future__ import annotations
+
+from ..model.stochastic import resolve_rng
+from .spec import ChaosEvent, ChaosSpec
+
+__all__ = ["SCENARIOS", "build_scenario", "scenario_names"]
+
+
+def _single_prr_loss(rng, horizon, prrs, blades):
+    """One random PRR slot fails once for ~25% of the horizon."""
+    slot = int(rng.integers(0, prrs))
+    start = float(rng.uniform(0.2, 0.45)) * horizon
+    duration = float(rng.uniform(0.2, 0.3)) * horizon
+    return ChaosSpec(
+        events=(ChaosEvent(start, f"prr{slot}", duration),),
+        blades=blades,
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+def _rolling_blades(rng, horizon, prrs, blades):
+    """Each blade power-cycles in turn; windows never overlap."""
+    events = []
+    window = 0.6 * horizon / max(blades, 1)
+    start = 0.15 * horizon
+    for b in range(blades):
+        duration = float(rng.uniform(0.4, 0.6)) * window
+        events.append(ChaosEvent(start, f"blade{b}", duration))
+        start += window
+    return ChaosSpec(
+        events=tuple(events),
+        blades=blades,
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+def _icap_flap(rng, horizon, prrs, blades):
+    """The first ICAP port flaps: four short outages with gaps."""
+    events = []
+    t = 0.15 * horizon
+    for _ in range(4):
+        duration = float(rng.uniform(0.02, 0.05)) * horizon
+        events.append(ChaosEvent(t, "icap0", duration))
+        t += duration + float(rng.uniform(0.08, 0.15)) * horizon
+    return ChaosSpec(
+        events=tuple(events),
+        blades=blades,
+        breaker_cooldown=0.02 * horizon,
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+def _seu_storm(rng, horizon, prrs, blades):
+    """Twelve very short single-PRR upsets scattered over the middle.
+
+    Each outage models an SEU detected by scrubbing: the slot is gone
+    only for the scrub-and-reconfigure window, but the resident module's
+    state is lost, so the task restarts from its checkpoint elsewhere.
+    """
+    events = []
+    for _ in range(12):
+        slot = int(rng.integers(0, prrs))
+        start = float(rng.uniform(0.1, 0.85)) * horizon
+        duration = float(rng.uniform(0.005, 0.02)) * horizon
+        events.append(ChaosEvent(start, f"prr{slot}", duration))
+    events.sort(key=lambda e: (e.time, e.domain))
+    return ChaosSpec(
+        events=tuple(events),
+        blades=blades,
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+def _compound(rng, horizon, prrs, blades):
+    """Blade loss + ICAP flaps + late PRR loss, brownout armed.
+
+    Overload emerges from the capacity loss itself: the tenants keep
+    arriving at full rate while half the slots are dark, which is what
+    drives the brownout controller through a full enter/exit epoch.
+    """
+    events = [
+        ChaosEvent(
+            0.2 * horizon,
+            "blade0" if blades > 1 else "prr0",
+            float(rng.uniform(0.2, 0.3)) * horizon,
+        )
+    ]
+    t = 0.55 * horizon
+    for _ in range(3):
+        duration = float(rng.uniform(0.01, 0.03)) * horizon
+        events.append(
+            ChaosEvent(t, f"icap{min(1, blades - 1)}", duration)
+        )
+        t += duration + float(rng.uniform(0.04, 0.08)) * horizon
+    events.append(
+        ChaosEvent(
+            0.8 * horizon,
+            f"prr{prrs - 1}",
+            float(rng.uniform(0.1, 0.15)) * horizon,
+        )
+    )
+    return ChaosSpec(
+        events=tuple(events),
+        blades=blades,
+        breaker_cooldown=0.02 * horizon,
+        brownout_enabled=True,
+        brownout_enter_p99=0.08 * horizon,
+        brownout_exit_p99=0.04 * horizon,
+        brownout_hold=0.03 * horizon,
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+#: scenario name -> (description, builder); ``None`` builder = no chaos
+SCENARIOS: dict = {
+    "none": (
+        "no injected failures — identical to plain `repro serve`",
+        None,
+    ),
+    "single-prr-loss": (
+        "one PRR slot fails mid-run and recovers",
+        _single_prr_loss,
+    ),
+    "rolling-blades": (
+        "every blade power-cycles in turn (correlated PRR+ICAP loss)",
+        _rolling_blades,
+    ),
+    "icap-flap": (
+        "the configuration port flaps through short repeated outages",
+        _icap_flap,
+    ),
+    "seu-storm": (
+        "a burst of very short single-PRR upsets (scrub timescale)",
+        _seu_storm,
+    ),
+    "compound": (
+        "blade loss + ICAP flapping + late PRR loss under full load",
+        _compound,
+    ),
+}
+
+
+def scenario_names() -> list[str]:
+    """Registry names in deterministic (sorted) order."""
+    return sorted(SCENARIOS)
+
+
+def build_scenario(
+    name: str,
+    *,
+    seed: int = 0,
+    horizon: float = 30.0,
+    prrs: int = 4,
+    blades: int = 2,
+) -> ChaosSpec | None:
+    """Resolve ``name`` into a seeded :class:`ChaosSpec`.
+
+    Returns ``None`` for the ``"none"`` scenario so callers can fall
+    through to the plain serve path.  Unknown names raise with the
+    available registry listed.
+    """
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown chaos scenario {name!r}; available: "
+            f"{', '.join(scenario_names())}"
+        )
+    if prrs < 1:
+        raise ValueError(f"prrs must be >= 1: {prrs}")
+    if not 1 <= blades <= prrs:
+        raise ValueError(
+            f"blades must be in 1..{prrs}: {blades}"
+        )
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0: {horizon}")
+    _, builder = SCENARIOS[name]
+    if builder is None:
+        return None
+    rng = resolve_rng(seed)
+    return builder(rng, horizon, prrs, blades)

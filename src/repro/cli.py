@@ -398,6 +398,145 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         set_strict(previous)
 
 
+def _render_resilience(resilience: dict) -> str:
+    """Human summary lines for one chaos realization's resilience."""
+    import math
+
+    lines = [
+        f"resilience: goodput retention "
+        f"{100.0 * resilience['goodput_retention']:.2f}% "
+        f"({resilience['completed']}/{resilience['baseline_completed']} "
+        f"vs fault-free), {resilience['outages']} outage(s), "
+        f"{resilience['migrations']} migration(s), "
+        f"{resilience['breaker_transitions']} breaker transition(s), "
+        f"{resilience['brownout_epochs']} brownout epoch(s)",
+    ]
+    if resilience["mttr"]:
+        mttr = ", ".join(
+            f"{domain}={value:.4f}s"
+            for domain, value in resilience["mttr"].items()
+        )
+        lines.append(f"mttr: {mttr}")
+    under = resilience["latency_under_failure"]
+    base = resilience["latency_baseline"]
+
+    def _cell(v: float) -> str:
+        return "-" if (isinstance(v, float) and math.isnan(v)) else f"{v:.4f}"
+
+    lines.append(
+        f"latency p50/p99/p999: {_cell(under['p50'])}/"
+        f"{_cell(under['p99'])}/{_cell(under['p999'])} under failure, "
+        f"{_cell(base['p50'])}/{_cell(base['p99'])}/{_cell(base['p999'])} "
+        f"fault-free"
+    )
+    avail = ", ".join(
+        f"{name}={100.0 * value:.2f}%"
+        for name, value in resilience["availability"].items()
+    )
+    lines.append(f"availability: {avail}")
+    return "\n".join(lines)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .chaos import build_scenario, scenario_names
+    from .chaos.harness import crash_safe_chaos, run_chaos
+    from .chaos.scenarios import SCENARIOS
+    from .runtime.invariants import set_strict
+    from .service import ServiceConfig, default_tenants, load_tenants
+    from .service.slo import render_report
+
+    if args.list_scenarios:
+        width = max(len(name) for name in scenario_names())
+        for name in scenario_names():
+            print(f"{name:<{width}}  {SCENARIOS[name][0]}")
+        return 0
+    spec = build_scenario(
+        args.scenario,
+        seed=args.seed,
+        horizon=args.ticks,
+        prrs=args.prrs,
+        blades=args.blades,
+    )
+    tenants = (
+        load_tenants(args.tenants) if args.tenants else default_tenants()
+    )
+    config = ServiceConfig(
+        horizon=args.ticks, prrs=args.prrs, chaos=spec
+    )
+    previous = set_strict(args.strict_invariants)
+    try:
+        if args.run_dir:
+            outcome = crash_safe_chaos(
+                args.run_dir,
+                tenants,
+                config,
+                scenario=args.scenario,
+                seed=args.seed,
+                replications=args.replications,
+                resume=args.resume,
+                deadline_s=args.deadline,
+                workers=args.workers,
+                progress=(
+                    None if args.quiet else (lambda m: print(f"... {m}"))
+                ),
+            )
+            if args.json:
+                print(json.dumps(
+                    outcome.results, sort_keys=True, indent=2
+                ))
+            else:
+                for rep, payload in enumerate(outcome.results):
+                    print(f"-- replication {rep} " + "-" * 50)
+                    print(render_report(payload["report"]))
+                    if "resilience" in payload:
+                        print(_render_resilience(payload["resilience"]))
+            print(
+                f"\n  scenario              : {args.scenario}\n"
+                f"  run dir               : {args.run_dir}\n"
+                f"  journaled replications: {outcome.journal.n_points}"
+                f" (replayed {outcome.resumed_points},"
+                f" computed {outcome.computed_points})\n"
+                f"  {outcome.audit.summary_line()}"
+            )
+            if outcome.interrupted is not None:
+                print(
+                    f"repro: chaos interrupted ({outcome.interrupted}); "
+                    f"completed replications are journaled — rerun with "
+                    f"--resume",
+                    file=sys.stderr,
+                )
+                return 3
+            return 0 if outcome.audit.ok else 1
+        if spec is None:
+            # The "none" scenario without a run dir is exactly one plain
+            # service realization — same code path as `repro serve`.
+            from .service import run_service, serve_payload
+
+            payload = serve_payload(
+                run_service(tenants, config, seed=args.seed)
+            )
+        else:
+            payload = run_chaos(tenants, config, seed=args.seed)
+        if args.json:
+            print(json.dumps(payload, sort_keys=True, indent=2))
+        else:
+            print(render_report(payload["report"]))
+            if "resilience" in payload:
+                print(_render_resilience(payload["resilience"]))
+        if payload["report"]["interrupted"]:
+            print(
+                f"repro: chaos interrupted "
+                f"({payload['report']['interrupted']})",
+                file=sys.stderr,
+            )
+            return 3
+        return 0 if payload["audit"]["ok"] else 1
+    finally:
+        set_strict(previous)
+
+
 def _observability_workload(n_calls: int):
     """The quickstart workload both observability verbs instrument."""
     from .workloads import CallTrace, HardwareTask
@@ -584,9 +723,11 @@ def _cmd_all(args: argparse.Namespace) -> int:
     rc = 0
     for name, fn in _COMMANDS.items():
         # "sweep" needs a --run-dir; "report" and "trace" write files;
-        # "lint" needs a source checkout; "serve" runs a long service
-        # horizon; none of them belongs in the zero-argument smoke pass.
-        if name in ("all", "report", "sweep", "serve", "trace", "lint"):
+        # "lint" needs a source checkout; "serve" and "chaos" run long
+        # service horizons; none belongs in the zero-argument smoke pass.
+        if name in (
+            "all", "report", "sweep", "serve", "chaos", "trace", "lint"
+        ):
             continue
         print("=" * 72)
         print(f"== {name}")
@@ -608,6 +749,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "faults": _cmd_faults,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "validate": _cmd_validate,
@@ -780,6 +922,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the canonical SLO report JSON instead of tables",
     )
     pv.add_argument("--quiet", action="store_true",
+                    help="suppress per-replication progress lines")
+
+    pc = sub.add_parser(
+        "chaos",
+        help="chaos-resilient service mode: named seeded failure "
+             "scenarios vs a fault-free baseline (availability, MTTR, "
+             "goodput retention, tail latency under failure)",
+    )
+    pc.add_argument(
+        "--scenario", type=str, default="compound",
+        help="scenario name (see --list-scenarios; 'none' is bit-"
+             "identical to plain serve)",
+    )
+    pc.add_argument(
+        "--list-scenarios", action="store_true",
+        help="print the scenario library and exit",
+    )
+    pc.add_argument(
+        "--ticks", type=float, default=30.0, metavar="SECONDS",
+        help="simulated arrival horizon (scenario events scale to it)",
+    )
+    pc.add_argument(
+        "--tenants", type=str, default="",
+        help="tenant spec JSON (default: built-in gold/silver/bronze)",
+    )
+    pc.add_argument("--seed", type=int, default=0)
+    pc.add_argument(
+        "--prrs", type=int, default=4,
+        help="PRR count (chaos needs an explicit floorplan, >= 1)",
+    )
+    pc.add_argument(
+        "--blades", type=int, default=2,
+        help="blades the PRRs spread over (failure-domain topology)",
+    )
+    pc.add_argument(
+        "--run-dir", type=str, default="",
+        help="journal directory: enables crash-safe replications "
+             "(kill + --resume is byte-identical to an unbroken run)",
+    )
+    pc.add_argument(
+        "--resume", action="store_true",
+        help="replay completed replications from an existing journal",
+    )
+    pc.add_argument(
+        "--replications", type=int, default=1,
+        help="independent realizations (replication i seeds from "
+             "seed + i); needs --run-dir for more than one",
+    )
+    pc.add_argument(
+        "--workers", type=int, default=1,
+        help="shard replications across fork workers (bit-identical)",
+    )
+    pc.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on expiry exits 3 with completed "
+             "replications journaled",
+    )
+    pc.add_argument(
+        "--strict-invariants", action="store_true",
+        help="raise on any invariant violation instead of recording it",
+    )
+    pc.add_argument(
+        "--json", action="store_true",
+        help="print the canonical realization payload JSON",
+    )
+    pc.add_argument("--quiet", action="store_true",
                     help="suppress per-replication progress lines")
 
     pt = sub.add_parser(

@@ -23,6 +23,7 @@ from .detection import CrcChecker, ScrubCycle, Scrubber
 from .errors import (
     BladeDegraded,
     ConfigMemoryUpset,
+    DomainOutage,
     ReconfigurationFault,
     TransferCorruption,
     WriteAbort,
@@ -42,6 +43,7 @@ __all__ = [
     "ConfigMemoryUpset",
     "CrcChecker",
     "DegradePolicy",
+    "DomainOutage",
     "FallbackPolicy",
     "FaultConfig",
     "FaultInjector",

@@ -18,6 +18,7 @@ __all__ = [
     "WriteAbort",
     "ConfigMemoryUpset",
     "BladeDegraded",
+    "DomainOutage",
 ]
 
 
@@ -35,6 +36,23 @@ class WriteAbort(ReconfigurationFault):
 
 class ConfigMemoryUpset(ReconfigurationFault):
     """A single-event upset flipped frames of a configured region."""
+
+
+class DomainOutage(ReconfigurationFault):
+    """A failure domain is down and cannot service the request.
+
+    Raised by the chaos runtime when a configuration is attempted while
+    the domain's circuit breaker is open, so callers fail fast instead of
+    queueing work against hardware that is known to be dead.
+    """
+
+    def __init__(self, domain: str, reason: str = "") -> None:
+        self.domain = domain
+        self.reason = reason
+        super().__init__(
+            f"failure domain {domain!r} unavailable"
+            + (f": {reason}" if reason else "")
+        )
 
 
 class BladeDegraded(ReconfigurationFault):

@@ -44,6 +44,7 @@ from .devices import (
     DeviceGeneration,
     device_entry,
 )
+from .domains import DomainTopology, FailureDomain
 from .config_port import (
     CRAY_API_OVERHEAD,
     ConfigPort,
@@ -76,7 +77,9 @@ __all__ = [
     "DEFAULT_ICAP_TIMINGS",
     "DEVICES",
     "DeviceGeneration",
+    "DomainTopology",
     "DualChannelLink",
+    "FailureDomain",
     "Fifo",
     "Floorplan",
     "Fpga",

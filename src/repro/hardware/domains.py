@@ -1,0 +1,171 @@
+"""Failure-domain topology of one reconfigurable service node.
+
+Chaos scenarios do not fail individual simulator objects — they fail
+*domains*: a PRR slot, the blade that powers a group of slots, an ICAP
+configuration port, or the interconnect tying the blades together.  A
+fault injected into a domain takes down exactly that domain and every
+domain beneath it (a blade power event kills the blade's PRRs *and* its
+ICAP port), which is how correlated failures enter the model.
+
+The topology is a static tree built once per service run:
+
+.. code-block:: text
+
+    interconnect
+    ├── blade0
+    │   ├── icap0          (the node's configuration port)
+    │   ├── prr0
+    │   └── prr1
+    └── blade1
+        ├── icap1
+        ├── prr2
+        └── prr3
+
+The simulated node streams every partial bitstream through one physical
+ICAP path, so any failed domain whose closure contains an ``icap`` or
+``interconnect`` domain blocks *all* partial reconfiguration while it is
+down; PRR-slot domains only take their own slot out of rotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DomainTopology", "FailureDomain"]
+
+#: domain kinds in the fault tree
+DOMAIN_KINDS = ("interconnect", "blade", "icap", "prr")
+
+
+@dataclass(frozen=True)
+class FailureDomain:
+    """One node of the fault tree.
+
+    Attributes
+    ----------
+    name:
+        Topology-unique identifier (``"blade0"``, ``"prr3"``, ...).
+    kind:
+        One of :data:`DOMAIN_KINDS`.
+    parent:
+        Name of the enclosing domain; ``None`` only for the root.
+    slots:
+        PRR slot indices owned *directly* by this domain (non-empty only
+        for ``prr`` domains; use
+        :meth:`DomainTopology.slots_down` for the closure).
+    """
+
+    name: str
+    kind: str
+    parent: str | None = None
+    slots: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("failure domain name must be non-empty")
+        if self.kind not in DOMAIN_KINDS:
+            raise ValueError(
+                f"unknown domain kind {self.kind!r}; "
+                f"expected one of {DOMAIN_KINDS}"
+            )
+
+
+class DomainTopology:
+    """The static fault tree over one node's PRR slots and ICAP ports.
+
+    Built via :meth:`build`; queried by the chaos runtime for the blast
+    radius of one failed domain (:meth:`slots_down`,
+    :meth:`blocks_config`).
+    """
+
+    def __init__(self, domains: dict[str, FailureDomain]) -> None:
+        self.domains = dict(domains)
+        roots = [d for d in self.domains.values() if d.parent is None]
+        if len(roots) != 1:
+            raise ValueError(
+                f"topology needs exactly one root domain, got "
+                f"{[d.name for d in roots]}"
+            )
+        self.root = roots[0].name
+        self._children: dict[str, list[str]] = {n: [] for n in self.domains}
+        for d in self.domains.values():
+            if d.parent is not None:
+                if d.parent not in self.domains:
+                    raise ValueError(
+                        f"domain {d.name!r} has unknown parent "
+                        f"{d.parent!r}"
+                    )
+                self._children[d.parent].append(d.name)
+
+    @classmethod
+    def build(cls, n_slots: int, blades: int = 1) -> "DomainTopology":
+        """The canonical tree: interconnect -> blades -> {icap, prrs}.
+
+        ``n_slots`` PRR slots are split contiguously across ``blades``
+        (earlier blades absorb the remainder); every blade also carries
+        one ICAP-port domain.
+        """
+        if n_slots < 1:
+            raise ValueError(f"need at least one PRR slot: {n_slots}")
+        if not 1 <= blades <= n_slots:
+            raise ValueError(
+                f"blades must be in 1..{n_slots} (one slot minimum "
+                f"per blade): {blades}"
+            )
+        domains = {
+            "interconnect": FailureDomain("interconnect", "interconnect")
+        }
+        base, extra = divmod(n_slots, blades)
+        slot = 0
+        for b in range(blades):
+            blade = f"blade{b}"
+            domains[blade] = FailureDomain(blade, "blade", "interconnect")
+            icap = f"icap{b}"
+            domains[icap] = FailureDomain(icap, "icap", blade)
+            for _ in range(base + (1 if b < extra else 0)):
+                name = f"prr{slot}"
+                domains[name] = FailureDomain(
+                    name, "prr", blade, slots=(slot,)
+                )
+                slot += 1
+        return cls(domains)
+
+    def domain(self, name: str) -> FailureDomain:
+        """Look up one domain; unknown names get an actionable error."""
+        try:
+            return self.domains[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown failure domain {name!r}; topology has "
+                f"{sorted(self.domains)}"
+            ) from None
+
+    def closure(self, name: str) -> list[str]:
+        """``name`` plus every descendant, in deterministic DFS order."""
+        self.domain(name)
+        out: list[str] = []
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(reversed(self._children[current]))
+        return out
+
+    def slots_down(self, name: str) -> tuple[int, ...]:
+        """All PRR slots lost when ``name`` fails (sorted closure)."""
+        slots: set[int] = set()
+        for member in self.closure(name):
+            slots.update(self.domains[member].slots)
+        return tuple(sorted(slots))
+
+    def blocks_config(self, name: str) -> bool:
+        """Whether failing ``name`` stalls the partial-bitstream path.
+
+        True when the closure contains an ``icap`` or ``interconnect``
+        domain — the node has one physical configuration path, so any
+        ICAP-class outage blocks every partial reconfiguration.
+        """
+        return any(
+            self.domains[member].kind in ("icap", "interconnect")
+            for member in self.closure(name)
+        )

@@ -249,6 +249,27 @@ CATALOG: dict[str, MetricSpec] = {
             unit="requests", labels=("tenant",),
             source="repro.service.scheduler",
         ),
+        # -- chaos -------------------------------------------------------------
+        MetricSpec(
+            "repro_chaos_breaker_transitions_total", "counter",
+            "Circuit-breaker state transitions per failure domain, by "
+            "destination state (closed/open/half_open).",
+            unit="transitions", labels=("domain", "to"),
+            source="repro.chaos.breakers",
+        ),
+        MetricSpec(
+            "repro_chaos_migrations_total", "counter",
+            "Checkpoint migrations off failed PRR slots, per tenant.",
+            unit="migrations", labels=("tenant",),
+            source="repro.service.scheduler",
+        ),
+        MetricSpec(
+            "repro_chaos_brownout_epochs_total", "counter",
+            "Brownout controller epoch transitions, by state "
+            "(entered/exited).",
+            unit="transitions", labels=("state",),
+            source="repro.chaos.brownout",
+        ),
     )
 }
 

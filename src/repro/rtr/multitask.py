@@ -237,7 +237,11 @@ class PrrFabric:
       propagates, so callers can retry or shed;
     * a slot can be *retired* (:meth:`retire_slot`) — the
       degraded-blade analogue for service mode: a pinned sentinel
-      occupies the slot forever, shrinking effective capacity.
+      occupies the slot forever, shrinking effective capacity;
+    * a slot can be temporarily *blocked* (:meth:`block_slot` /
+      :meth:`unblock_slot`) while its failure domain is down — the
+      reversible outage primitive the chaos runtime
+      (:mod:`repro.chaos`) drives.
     """
 
     def __init__(
@@ -265,6 +269,9 @@ class PrrFabric:
         self._unpin_waiters: list[Any] = []
         #: slots taken out of rotation by :meth:`retire_slot`
         self.retired: set[int] = set()
+        #: slots temporarily dark while their failure domain is down
+        #: (:meth:`block_slot` / :meth:`unblock_slot`, chaos runtime)
+        self.blocked_slots: set[int] = set()
         #: partial configurations streamed (successful fills)
         self.fills = 0
 
@@ -275,8 +282,8 @@ class PrrFabric:
 
     @property
     def active_slots(self) -> int:
-        """PRRs still in rotation (total minus retired)."""
-        return self.cache.slots - len(self.retired)
+        """PRRs still in rotation (total minus retired minus blocked)."""
+        return self.cache.slots - len(self.retired | self.blocked_slots)
 
     def bitstream(self, module: str) -> Bitstream:
         """The partial bitstream configured for ``module``."""
@@ -300,8 +307,36 @@ class PrrFabric:
         for sig in waiters:
             sig.succeed()
 
+    def block_slot(self, slot: int) -> None:
+        """Darken ``slot`` while its failure domain is down.
+
+        Unlike :meth:`retire_slot` this is reversible and synchronous:
+        the slot stops counting toward :attr:`active_slots` and stops
+        receiving fills immediately; evicting its (state-lost) resident
+        is the chaos runtime's job.
+        """
+        if not 0 <= slot < self.cache.slots:
+            raise ValueError(f"no such PRR slot: {slot}")
+        self.blocked_slots.add(slot)
+
+    def unblock_slot(self, slot: int) -> None:
+        """Return ``slot`` to rotation; wakes fills waiting for space."""
+        self.blocked_slots.discard(slot)
+        waiters, self._unpin_waiters[:] = list(self._unpin_waiters), []
+        for sig in waiters:
+            sig.succeed()
+
     def evictable_exists(self, module: str) -> bool:
         """Can a fill for ``module`` proceed right now?"""
+        blocked = self.blocked_slots
+        if blocked:
+            if any(s not in blocked for s in self.cache._free):
+                return True
+            pinned = set(self.busy_modules)
+            return any(
+                m not in pinned and s not in blocked
+                for m, s in self.cache._residents.items()
+            )
         if not self.cache.is_full:
             return True
         pinned = set(self.busy_modules)
@@ -342,7 +377,11 @@ class PrrFabric:
             break
         sig = sim.signal(name=f"cfg:{module}")
         self.configuring[module] = sig
-        self.cache.fill(module, pinned=set(self.busy_modules))
+        self.cache.fill(
+            module,
+            pinned=set(self.busy_modules),
+            blocked=self.blocked_slots,
+        )
         t0 = sim.now
         bs = self.bitstream(module)
         try:
@@ -380,6 +419,8 @@ class PrrFabric:
         if slot in self.retired:
             raise ValueError(f"PRR slot {slot} is already retired")
         self.retired.add(slot)
+        # Retirement subsumes any temporary outage on the same slot.
+        self.blocked_slots.discard(slot)
         sentinel = f"__retired{slot}"
         owner = f"retire:{slot}"
         yield from self.prr_mutexes[slot].acquire(owner)

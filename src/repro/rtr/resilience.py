@@ -21,7 +21,7 @@ from ..faults.errors import ReconfigurationFault
 from ..faults.recovery import RecoveryPolicy
 from ..sim.engine import Delay, Simulator
 
-__all__ = ["ConfigOutcome", "resilient"]
+__all__ = ["ConfigOutcome", "config_attempts", "resilient"]
 
 
 @dataclass
@@ -46,6 +46,61 @@ class ConfigOutcome:
     @property
     def ok(self) -> bool:
         return not (self.fallback or self.degrade)
+
+
+def config_attempts(
+    sim: Simulator,
+    attempt: Callable[[], Generator[Any, Any, Any]],
+    *,
+    max_attempts: int,
+    backoff: float = 0.0,
+    breaker: Any = None,
+) -> Generator[Any, Any, tuple[bool, Any]]:
+    """Bounded retry driver for one service-mode configuration.
+
+    Drives ``attempt()`` (a generator returning the cache-hit flag) up
+    to ``max_attempts`` times, treating each
+    :class:`~repro.faults.errors.ReconfigurationFault` as one consumed
+    attempt.  Returns ``(True, result)`` on success, ``(False, None)``
+    once the budget is exhausted.
+
+    Two optional chaos-mode hooks, both inert by default so the plain
+    service path stays event-identical to the historical inline loop:
+
+    * ``breaker`` — a :class:`~repro.chaos.breakers.CircuitBreaker`-like
+      object.  An attempt the breaker refuses (``allow`` False) fails
+      fast *without* touching the hardware but still consumes an
+      attempt, so a held-open breaker cannot spin the caller forever at
+      one sim instant; outcomes are reported back via
+      ``record_failure`` / ``record_success``.
+    * ``backoff`` — deterministic delay paid between attempts (never
+      after the last), keeping retry storms off the ICAP mutex.
+    """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1: {max_attempts}")
+    attempts = 0
+    while True:
+        if breaker is not None and not breaker.allow(sim.now):
+            attempts += 1
+            if attempts >= max_attempts:
+                return False, None
+            if backoff > 0:
+                yield Delay(backoff)
+            continue
+        try:
+            result = yield from attempt()
+        except ReconfigurationFault:
+            if breaker is not None:
+                breaker.record_failure(sim.now)
+            attempts += 1
+            if attempts >= max_attempts:
+                return False, None
+            if backoff > 0:
+                yield Delay(backoff)
+            continue
+        if breaker is not None:
+            breaker.record_success(sim.now)
+        return True, result
 
 
 def resilient(

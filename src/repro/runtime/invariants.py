@@ -40,6 +40,7 @@ __all__ = [
     "InvariantError",
     "Violation",
     "audit_and_record",
+    "audit_chaos",
     "audit_cluster",
     "audit_comparison",
     "audit_metrics",
@@ -107,6 +108,13 @@ INVARIANTS: dict[str, str] = {
         "arrivals, arrived == completed + shed + in-flight, one latency "
         "sample per completion (all non-negative), and in-flight is "
         "zero unless the run was interrupted"
+    ),
+    "chaos-containment": (
+        "injected failures lose no work: every admitted request still "
+        "completes or is explicitly shed (no in-flight residue on an "
+        "uninterrupted run), migrations happen only when outages did, "
+        "every scripted outage that ended restored its failure domain, "
+        "and restored slots are a subset of failed slots"
     ),
 }
 
@@ -518,6 +526,64 @@ def audit_service(result: Any) -> AuditReport:
             f"tenant {t.name!r}: {t.in_flight} request(s) in flight "
             "after an uninterrupted drain",
         )
+    report.raise_if_strict()
+    return report
+
+
+def audit_chaos(result: Any) -> AuditReport:
+    """Audit a chaos-mode :class:`~repro.service.scheduler.ServiceResult`.
+
+    Runs the full :func:`audit_service` conservation pass, then checks
+    failure containment against the run's chaos record
+    (``result.chaos``): an injected outage may delay or shed work, but
+    it must never *lose* it — and the failure bookkeeping itself must
+    balance (outages recover, restorations name failed slots,
+    migrations imply injected slot failures).
+    """
+    report = audit_service(result)
+    chaos = getattr(result, "chaos", None)
+    if chaos is None:
+        return report
+    interrupted = bool(result.interrupted)
+
+    if not interrupted:
+        residue = sum(t.in_flight for t in result.tenants)
+        _check(
+            report, "chaos-containment",
+            residue == 0,
+            f"{residue} request(s) still in flight after an "
+            "uninterrupted chaos drain (work lost to an injected "
+            "failure)",
+        )
+
+    failed_slots: set[int] = set()
+    for outage in chaos.get("outages", ()):
+        failed_slots.update(outage.get("slots", ()))
+        recovered = outage.get("recovered_at")
+        _check(
+            report, "chaos-containment",
+            interrupted or (
+                recovered is not None
+                and recovered >= outage.get("failed_at", 0.0)
+            ),
+            f"outage on domain {outage.get('domain')!r} never recovered "
+            "(or recovered before it failed)",
+        )
+
+    for restoration in chaos.get("restorations", ()):
+        slot = restoration.get("slot")
+        _check(
+            report, "chaos-containment",
+            slot in failed_slots,
+            f"slot {slot} was restored without ever failing",
+        )
+
+    migrations = sum(t.migrations for t in result.tenants)
+    _check(
+        report, "chaos-containment",
+        migrations == 0 or bool(failed_slots),
+        f"{migrations} migration(s) recorded with no failed slots",
+    )
     report.raise_if_strict()
     return report
 

@@ -8,6 +8,9 @@ the service started pushing back, not just how often.
 
 Shedding is graceful and ordered:
 
+* ``brownout`` — the chaos-mode brownout controller has browned the
+  tenant's tier out (only when a chaos spec arms it; see
+  :mod:`repro.chaos.brownout`);
 * ``rate_limit`` — the tenant's token bucket is empty (sustained rate
   above its contract);
 * ``queue_full`` — the tenant's own bounded backlog is at capacity;
@@ -15,6 +18,11 @@ Shedding is graceful and ordered:
   and a strictly higher-priority tenant has work pending: under
   overload the lowest-priority traffic is shed first, while the highest
   pending priority keeps being served.
+
+The overload check takes the higher-priority-pending predicate as a
+callable so the scheduler can answer it from an incrementally maintained
+per-priority backlog census — O(distinct active priorities) per
+arrival — instead of this module scanning every configured tenant.
 
 With :attr:`~repro.service.tenants.ServiceConfig.admission` off the
 controller is a pass-through (every arrival decides ``admit``/``queue``
@@ -112,12 +120,19 @@ class AdmissionController:
         backlog_of: Callable[[str], int],
         total_backlog: int,
         grant_free: bool,
+        higher_pending: Callable[[int], bool] | None = None,
+        brownout_shed: bool = False,
     ) -> Decision:
         """Decide one arrival; accounts the decision and emits metrics.
 
         ``backlog_of`` reports a tenant's queued (admitted, not yet
         granted) requests; ``total_backlog`` is the service-wide sum;
         ``grant_free`` whether a PRR grant is available right now.
+        ``higher_pending(priority)`` answers whether any strictly
+        higher-priority request is queued (``None`` falls back to a
+        ``backlog_of`` scan over all configured tenants);
+        ``brownout_shed`` is the chaos brownout controller's verdict for
+        this arrival's tier.
         """
         spec = self.tenants[tenant]
         decision = self._decide(
@@ -125,6 +140,8 @@ class AdmissionController:
             backlog_of=backlog_of,
             total_backlog=total_backlog,
             grant_free=grant_free,
+            higher_pending=higher_pending,
+            brownout_shed=brownout_shed,
         )
         self._account(now, tenant, decision.verdict)
         obsm.counter("repro_service_decisions_total").inc(
@@ -145,21 +162,28 @@ class AdmissionController:
         backlog_of: Callable[[str], int],
         total_backlog: int,
         grant_free: bool,
+        higher_pending: Callable[[int], bool] | None = None,
+        brownout_shed: bool = False,
     ) -> Decision:
         """The decision logic proper (no accounting side effects)."""
         if not self.config.admission:
             return Decision("admit" if grant_free else "queue")
+        if brownout_shed:
+            return Decision("shed", "brownout")
         bucket = self.buckets.get(spec.name)
         if bucket is not None and not bucket.try_take(now):
             return Decision("shed", "rate_limit")
         if backlog_of(spec.name) >= spec.queue_capacity:
             return Decision("shed", "queue_full")
         if total_backlog >= self.config.overload_backlog:
-            higher_pending = any(
-                other.priority > spec.priority and backlog_of(name) > 0
-                for name, other in self.tenants.items()
-            )
-            if higher_pending:
+            if higher_pending is not None:
+                blocked = higher_pending(spec.priority)
+            else:
+                blocked = any(
+                    other.priority > spec.priority and backlog_of(name) > 0
+                    for name, other in self.tenants.items()
+                )
+            if blocked:
                 return Decision("shed", "overload")
         return Decision("admit" if grant_free else "queue")
 

@@ -24,13 +24,86 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..runtime.crashsafe import GridOutcome, run_checkpointed
 from ..runtime.invariants import AuditReport, Violation, audit_service
-from ..runtime.journal import atomic_write_text
+from ..runtime.journal import JournalError, RunJournal, atomic_write_text
 from ..runtime.watchdog import Watchdog
 from .scheduler import ServiceResult, run_service
 from .slo import slo_report
 from .tenants import ServiceConfig, TenantSpec
 
-__all__ = ["ServeOutcome", "crash_safe_serve", "serve_payload"]
+__all__ = [
+    "ServeOutcome",
+    "crash_safe_serve",
+    "serve_payload",
+    "verify_resume_meta",
+]
+
+
+def _meta_diff(journaled: Any, requested: Any, path: str = "") -> list[str]:
+    """Field-level differences between two journal meta trees.
+
+    Returns human-readable ``path: journaled X, requested Y`` lines;
+    an empty list means the trees are equal.  Lists of differing length
+    are reported as a length mismatch (element diffs would be noise
+    when a tenant was added or removed).
+    """
+    label = path or "<root>"
+    if isinstance(journaled, Mapping) and isinstance(requested, Mapping):
+        diffs = []
+        for key in sorted(set(journaled) | set(requested), key=str):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in requested:
+                diffs.append(
+                    f"{sub}: journaled {journaled[key]!r}, absent from "
+                    "the request"
+                )
+            elif key not in journaled:
+                diffs.append(
+                    f"{sub}: requested {requested[key]!r}, absent from "
+                    "the journal"
+                )
+            else:
+                diffs.extend(
+                    _meta_diff(journaled[key], requested[key], sub)
+                )
+        return diffs
+    if isinstance(journaled, list) and isinstance(requested, list):
+        if len(journaled) != len(requested):
+            return [
+                f"{label}: journaled {len(journaled)} entries, "
+                f"requested {len(requested)}"
+            ]
+        diffs = []
+        for i, (a, b) in enumerate(zip(journaled, requested)):
+            diffs.extend(_meta_diff(a, b, f"{path}[{i}]"))
+        return diffs
+    if journaled != requested:
+        return [f"{label}: journaled {journaled!r}, requested {requested!r}"]
+    return []
+
+
+def verify_resume_meta(run_dir: str, meta: Mapping[str, Any]) -> None:
+    """Fail a ``--resume`` up front when parameters drifted.
+
+    Loads the journal in ``run_dir`` and compares its pinned meta with
+    this invocation's, raising a :class:`~repro.runtime.journal.JournalError`
+    that names the exact fields that differ (tenant file entries, config
+    knobs, seed, replication count) — instead of the generic whole-meta
+    mismatch the checkpoint engine would raise later.
+    """
+    journal = RunJournal.load(run_dir)
+    if dict(journal.meta) == dict(meta):
+        return
+    diffs = _meta_diff(dict(journal.meta), dict(meta))
+    shown = "; ".join(diffs[:6])
+    more = len(diffs) - 6
+    if more > 0:
+        shown += f" (+{more} more)"
+    raise JournalError(
+        f"cannot resume {run_dir!r}: this invocation's parameters do "
+        f"not match the journaled run — {shown}. Rerun with the "
+        "original tenant file and flags, or point --run-dir at a "
+        "fresh directory."
+    )
 
 
 def serve_payload(result: ServiceResult) -> dict[str, Any]:
@@ -93,6 +166,8 @@ def crash_safe_serve(
         "seed": int(seed),
         "replications": int(replications),
     }
+    if resume:
+        verify_resume_meta(run_dir, meta)
     watchdog = (
         Watchdog(max_wall_s=deadline_s) if deadline_s is not None else None
     )

@@ -19,8 +19,25 @@ serialization, eviction under pressure.  On top of it, service mode adds:
   slots mid-run (:meth:`~repro.rtr.multitask.PrrFabric.retire_slot`),
   shrinking capacity without deadlock; repeated reconfiguration faults
   shed the request (reason ``fault``) instead of wedging a slot;
+* **chaos resilience** (armed only by a non-inert
+  :attr:`~repro.service.tenants.ServiceConfig.chaos` spec) — scripted
+  failure-domain outages darken PRR slots and the configuration path
+  mid-run; a granted task whose slot dies is *migrated*: the work since
+  its last quantum boundary (its implicit checkpoint) is discarded, it
+  re-queues, and it restores on a surviving slot paying
+  ``restore_cost`` plus any reconfiguration — never silently lost.
+  Per-domain circuit breakers fail configuration attempts fast while a
+  domain is dark, and a hysteretic brownout controller sheds
+  low-priority tiers and stretches quanta when the observed tail
+  latency or shed rate crosses its thresholds (see :mod:`repro.chaos`);
 * **a watchdog on every run** — runaway or stalled schedules are cut
   off and reported as ``interrupted`` rather than hanging the process.
+
+The grant queue is a lazy heap: waiters are pushed with a *time-invariant
+static rank* (``aging_rate * ready_since - priority``), which orders any
+two waiters identically to comparing their aged effective priorities at
+dispatch time — so dispatch is O(log waiters) with decisions identical
+to the original full scan, and idle tenants cost nothing per tick.
 
 Reduction identity: with admission off, preemption off and a single
 closed tenant, every code path that yields to the DES is the same
@@ -31,17 +48,21 @@ is pin / ensure-resident / acquire / control / task / release / unpin.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Generator, Sequence
 
 from ..caching.base import ConfigCache
 from ..caching.policies import LruPolicy
-from ..faults.errors import ReconfigurationFault
+from ..chaos.breakers import CircuitBreaker
+from ..chaos.brownout import BrownoutController
 from ..faults.injector import FaultInjector
+from ..hardware.domains import DomainTopology
 from ..hardware.prr import uniform_prr_floorplan
 from ..model.stochastic import resolve_rng
 from ..obs import metrics as obsm
 from ..rtr.multitask import PrrFabric
+from ..rtr.resilience import config_attempts
 from ..rtr.runner import make_node
 from ..runtime.watchdog import Watchdog, WatchdogExpired
 from ..sim.engine import Delay
@@ -79,6 +100,10 @@ class Request:
     preempted: bool = False
     ready_since: float = 0.0
     preemptions: int = 0
+    #: checkpoint migrations survived (chaos mode)
+    migrations: int = 0
+    #: the PRR slot of the most recent grant (chaos migration wait)
+    last_slot: int | None = None
 
     def __post_init__(self) -> None:
         self.remaining = self.work
@@ -98,6 +123,8 @@ class TenantOutcome:
     shed: dict[str, int] = field(default_factory=dict)
     completed: int = 0
     preemptions: int = 0
+    #: checkpoint migrations off failed PRR slots (chaos mode)
+    migrations: int = 0
     configs: int = 0
     #: admitted requests still queued or running at run end
     in_flight: int = 0
@@ -126,6 +153,8 @@ class ServiceResult:
     decision_epochs: dict[str, dict[str, dict[str, int]]]
     interrupted: str | None = None
     notes: dict[str, float] = field(default_factory=dict)
+    #: chaos-runtime logs (outages, breakers, brownout); None when unarmed
+    chaos: dict | None = None
 
     @property
     def total_arrived(self) -> int:
@@ -156,6 +185,239 @@ class _Waiter:
     def __init__(self, req: Request, signal: Any) -> None:
         self.req = req
         self.signal = signal
+
+
+class _ChaosRuntime:
+    """The armed chaos machinery of one :class:`ServiceExecutor`.
+
+    Owns the failure-domain topology, the per-domain circuit breakers,
+    the optional brownout controller, and the per-slot outage state the
+    scripted :meth:`outage_proc` processes drive.  Slot outages are
+    refcounted so overlapping events compose, and a darkened slot only
+    returns to rotation once its (state-lost) resident has actually been
+    evicted — never with a stale configuration still resident.
+
+    Created only for a non-inert spec; every hook in the executor is
+    behind ``if self._chaos is not None``, so an unarmed run stays on
+    the exact historical code path.
+    """
+
+    def __init__(self, executor: "ServiceExecutor", spec: Any) -> None:
+        self.ex = executor
+        self.spec = spec
+        self.sim = executor.sim
+        n_slots = executor.cache.slots
+        self.topology = DomainTopology.build(n_slots, spec.blades)
+        for event in spec.events:
+            self.topology.domain(event.domain)  # fail fast on typos
+        self.rng = resolve_rng(spec.seed)
+        self.breakers: dict[str, CircuitBreaker] = {}
+        if spec.breakers_enabled:
+            self.breakers = {
+                name: CircuitBreaker(
+                    name,
+                    threshold=spec.breaker_threshold,
+                    cooldown=spec.breaker_cooldown,
+                    probe_jitter=spec.breaker_probe_jitter,
+                    rng=self.rng,
+                )
+                for name in sorted(self.topology.domains)
+            }
+        #: the breaker guarding the (single) configuration path
+        self.config_breaker = self.breakers.get("icap0")
+        self.brownout: BrownoutController | None = None
+        if spec.brownout_enabled:
+            self.brownout = BrownoutController(
+                enter_p99=spec.brownout_enter_p99,
+                exit_p99=spec.brownout_exit_p99,
+                enter_shed=spec.brownout_enter_shed,
+                exit_shed=spec.brownout_exit_shed,
+                window=spec.brownout_window,
+                min_samples=spec.brownout_min_samples,
+                hold=spec.brownout_hold,
+                max_shed_priority=spec.brownout_max_shed_priority,
+                quantum_stretch=spec.brownout_quantum_stretch,
+            )
+        #: slot -> {"count", "evicted", "signal"} refcounted outage state
+        self._slot_state: dict[int, dict[str, Any]] = {}
+        #: nested config-blocking outages currently live
+        self._config_block_level = 0
+        self._config_signal: Any = None
+        #: outage log: domain, failed_at, recovered_at, slots, blocks
+        self.outages: list[dict[str, Any]] = []
+        #: ``(slot, time)`` when a slot actually returned to rotation
+        self.restorations: list[dict[str, Any]] = []
+
+    # -- config-path blocking ---------------------------------------------
+
+    @property
+    def config_blocked(self) -> bool:
+        """True while any live outage blocks the configuration path."""
+        return self._config_block_level > 0
+
+    def config_wait(self) -> Any:
+        """The level signal fired when the configuration path returns."""
+        if self._config_signal is None:
+            self._config_signal = self.sim.signal(
+                name="chaos-config-block"
+            )
+        return self._config_signal
+
+    # -- slot outage state -------------------------------------------------
+
+    def _slot_fail(self, slot: int) -> None:
+        """One outage now covers ``slot``; darken it on the first."""
+        st = self._slot_state.get(slot)
+        if st is None:
+            st = {"count": 0, "evicted": True, "signal": None}
+            self._slot_state[slot] = st
+        st["count"] += 1
+        if st["count"] == 1:
+            self.ex.fabric.block_slot(slot)
+            if st["evicted"]:
+                # No evictor still draining a previous outage: start one.
+                st["evicted"] = False
+                st["signal"] = self.sim.signal(
+                    name=f"chaos-evicted:prr{slot}"
+                )
+                self.sim.spawn(
+                    self._evict_slot(slot, st),
+                    name=f"chaos-evict:prr{slot}",
+                )
+
+    def _slot_recover(self, slot: int) -> None:
+        """One outage over ``slot`` ended; maybe return it to rotation."""
+        st = self._slot_state[slot]
+        st["count"] -= 1
+        if st["count"] == 0:
+            self._maybe_unblock(slot, st)
+
+    def _maybe_unblock(self, slot: int, st: dict[str, Any]) -> None:
+        """Unblock ``slot`` once recovered *and* drained of stale state."""
+        if st["count"] == 0 and st["evicted"]:
+            self.ex.fabric.unblock_slot(slot)
+            self.restorations.append(
+                {"slot": slot, "time": self.sim.now}
+            )
+            self.ex._dispatch()
+
+    def _evict_slot(
+        self, slot: int, st: dict[str, Any]
+    ) -> Generator[Any, Any, None]:
+        """Drain the darkened slot's resident (its state died with it).
+
+        Mirrors :meth:`~repro.rtr.multitask.PrrFabric.retire_slot`'s
+        victim loop: waits out an in-flight configuration, then waits
+        for every pin to drop (granted requests migrate off the slot at
+        their next quantum boundary), then evicts.  Fires the outage
+        state's signal so migrated requests waiting to re-queue know the
+        residency is gone.
+        """
+        fabric = self.ex.fabric
+        cache = fabric.cache
+        while True:
+            victim = next(
+                (
+                    m
+                    for m, s in list(cache._residents.items())
+                    if s == slot
+                ),
+                None,
+            )
+            if victim is None:
+                break
+            if victim in fabric.configuring:
+                yield fabric.configuring[victim]
+                continue
+            if victim in fabric.busy_modules:
+                sig = self.sim.signal(name=f"chaos-unpin:prr{slot}")
+                fabric._unpin_waiters.append(sig)
+                yield sig
+                continue
+            cache.evict(victim)
+            break
+        st["evicted"] = True
+        st["signal"].succeed()
+        self._maybe_unblock(slot, st)
+
+    def migration_wait(self, slot: int | None) -> Any:
+        """What a migrated request should wait on before re-queueing.
+
+        Returns the slot's eviction signal while its stale resident is
+        still being drained (so the request cannot synchronously bounce
+        back onto the dead residency), or ``None`` once the slot is
+        clean.
+        """
+        if slot is None:
+            return None
+        st = self._slot_state.get(slot)
+        if st is None or st["evicted"]:
+            return None
+        return st["signal"]
+
+    # -- the scripted outage processes ------------------------------------
+
+    def outage_proc(self, event: Any) -> Generator[Any, Any, None]:
+        """Fail ``event.domain`` at its scripted time, recover later."""
+        yield self.ex._boot.done
+        if event.time:
+            yield Delay(event.time)
+        now = self.sim.now
+        closure = self.topology.closure(event.domain)
+        entry = {
+            "domain": event.domain,
+            "failed_at": now,
+            "recovered_at": None,
+            "slots": [],
+            "blocks_config": self.topology.blocks_config(event.domain),
+        }
+        self.outages.append(entry)
+        for name in closure:
+            breaker = self.breakers.get(name)
+            if breaker is not None:
+                breaker.force_open(now)
+        slots = [
+            s
+            for s in self.topology.slots_down(event.domain)
+            if s not in self.ex.fabric.retired
+        ]
+        entry["slots"] = slots
+        for slot in slots:
+            self._slot_fail(slot)
+        if entry["blocks_config"]:
+            self._config_block_level += 1
+        yield Delay(event.duration)
+        now = self.sim.now
+        if entry["blocks_config"]:
+            self._config_block_level -= 1
+            if self._config_block_level == 0 and (
+                self._config_signal is not None
+            ):
+                sig, self._config_signal = self._config_signal, None
+                sig.succeed()
+        for slot in slots:
+            self._slot_recover(slot)
+        for name in closure:
+            breaker = self.breakers.get(name)
+            if breaker is not None:
+                breaker.force_release(now)
+        entry["recovered_at"] = now
+        self.ex._dispatch()
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe chaos logs for the :class:`ServiceResult`."""
+        return {
+            "outages": [dict(e) for e in self.outages],
+            "restorations": [dict(r) for r in self.restorations],
+            "breakers": {
+                name: breaker.as_dict()
+                for name, breaker in sorted(self.breakers.items())
+                if breaker.transitions
+            },
+            "brownout": (
+                None if self.brownout is None else self.brownout.as_dict()
+            ),
+        }
 
 
 class ServiceExecutor:
@@ -201,11 +463,20 @@ class ServiceExecutor:
         }
         # -- grant state --------------------------------------------------
         self._granted = 0
-        self._waiting: list[_Waiter] = []
+        #: min-heap of (static rank, seq, waiter) — see _static_rank
+        self._waiting: list[tuple[float, int, _Waiter]] = []
         self._running: list[Request] = []
         self._backlog: dict[str, int] = {t.name: 0 for t in tenants}
+        #: incrementally maintained census over the waiter heap, so
+        #: admission decisions cost O(active tenants), not O(all tenants)
+        self._backlog_total = 0
+        self._backlog_by_priority: dict[int, int] = {}
         self._seq = 0
         self._boot: Any = None
+        # -- chaos runtime (armed only for a non-inert spec) --------------
+        self._chaos: _ChaosRuntime | None = None
+        if config.chaos is not None and not config.chaos.inert:
+            self._chaos = _ChaosRuntime(self, config.chaos)
 
     # -- grant machinery ---------------------------------------------------
 
@@ -223,6 +494,20 @@ class ServiceExecutor:
             now - req.ready_since
         )
 
+    def _static_rank(self, req: Request) -> float:
+        """Heap key ordering waiters identically to aged priority.
+
+        Effective priority at any dispatch instant ``t`` is
+        ``p + aging_rate * (t - ready_since)``; the ``aging_rate * t``
+        term is common to every waiter, so comparing
+        ``aging_rate * ready_since - p`` (ascending) picks the same
+        winner as comparing aged priorities (descending) — without
+        recomputing anything per tick for idle waiters.
+        """
+        return (
+            self.config.aging_rate * req.ready_since - req.priority
+        )
+
     def _acquire_grant(self, req: Request) -> Generator[Any, Any, None]:
         """Take a grant, waiting in the priority queue if none is free.
 
@@ -234,9 +519,16 @@ class ServiceExecutor:
             return
         req.ready_since = self.sim.now
         sig = self.sim.signal(name=f"grant:{req.tenant}#{req.seq}")
-        self._waiting.append(_Waiter(req, sig))
+        heapq.heappush(
+            self._waiting,
+            (self._static_rank(req), req.seq, _Waiter(req, sig)),
+        )
         stats = self.stats[req.tenant]
         self._backlog[req.tenant] += 1
+        self._backlog_total += 1
+        self._backlog_by_priority[req.priority] = (
+            self._backlog_by_priority.get(req.priority, 0) + 1
+        )
         stats.backlog_peak = max(
             stats.backlog_peak, self._backlog[req.tenant]
         )
@@ -251,23 +543,28 @@ class ServiceExecutor:
     def _dispatch(self) -> None:
         """Grant waiting requests while capacity is free.
 
-        Picks the maximum effective priority (aging included),
-        tie-broken by global arrival order — a total, deterministic
-        order.
+        Pops the heap's best static rank — identical to picking the
+        maximum effective priority (aging included) tie-broken by global
+        arrival order, a total, deterministic order — in O(log waiters).
         """
-        now = self.sim.now
         while self._waiting and self._granted < self._capacity():
-            best = min(
-                self._waiting,
-                key=lambda w: (
-                    -self._effective_priority(w.req, now),
-                    w.req.seq,
-                ),
-            )
-            self._waiting.remove(best)
+            _, _, best = heapq.heappop(self._waiting)
             self._backlog[best.req.tenant] -= 1
+            self._backlog_total -= 1
+            pr = best.req.priority
+            self._backlog_by_priority[pr] -= 1
+            if not self._backlog_by_priority[pr]:
+                del self._backlog_by_priority[pr]
             self._granted += 1
             best.signal.succeed()
+
+    def _higher_pending(self, priority: int) -> bool:
+        """Any waiter with strictly higher static priority queued?
+
+        Answered from the incrementally maintained per-priority census:
+        O(distinct queued priorities), independent of tenant count.
+        """
+        return any(p > priority for p in self._backlog_by_priority)
 
     def _flag_preemption(self, waiter: Request) -> None:
         """Mark the weakest running request for checkpointing.
@@ -288,45 +585,80 @@ class ServiceExecutor:
 
     # -- request execution -------------------------------------------------
 
+    def _quantum(self) -> float:
+        """The current slice width (brownout stretches it under chaos)."""
+        if self._chaos is not None and self._chaos.brownout is not None:
+            return self.config.quantum * self._chaos.brownout.stretch()
+        return self.config.quantum
+
     def _run_granted(self, req: Request) -> Generator[Any, Any, str]:
         """Execute one granted request slice on the fabric.
 
         Returns ``"done"``, ``"preempted"`` (checkpointed at a quantum
-        boundary) or ``"fault"`` (reconfiguration failed
-        ``max_config_attempts`` times).
+        boundary), ``"fault"`` (reconfiguration failed
+        ``max_config_attempts`` times) or ``"migrated"`` (chaos mode:
+        the request's PRR slot went dark, its state died with it, and it
+        must restore its last checkpoint on a surviving slot).
         """
         owner = f"{req.tenant}#{req.seq}"
         fabric = self.fabric
+        chaos = self._chaos
         fabric.pin(req.module)
         try:
-            attempts = 0
-            while True:
-                try:
-                    hit = yield from fabric.ensure_resident(
-                        req.module, owner
-                    )
-                    break
-                except ReconfigurationFault:
-                    attempts += 1
-                    if attempts >= self.config.max_config_attempts:
-                        return "fault"
+            if chaos is not None:
+                # A dark configuration path gates misses only: already
+                # resident modules keep computing through an ICAP outage.
+                while chaos.config_blocked and not self.cache.contains(
+                    req.module
+                ):
+                    yield chaos.config_wait()
+                ok, hit = yield from config_attempts(
+                    self.sim,
+                    lambda: fabric.ensure_resident(req.module, owner),
+                    max_attempts=self.config.max_config_attempts,
+                    backoff=chaos.spec.config_retry_backoff,
+                    breaker=chaos.config_breaker,
+                )
+            else:
+                ok, hit = yield from config_attempts(
+                    self.sim,
+                    lambda: fabric.ensure_resident(req.module, owner),
+                    max_attempts=self.config.max_config_attempts,
+                )
+            if not ok:
+                return "fault"
             if not hit:
                 self.stats[req.tenant].configs += 1
             slot = self.cache.slot_of(req.module)
+            req.last_slot = slot
+            if chaos is not None and slot in fabric.blocked_slots:
+                return "migrated"
             yield from fabric.prr_mutexes[slot].acquire(owner)
             try:
+                if chaos is not None and slot in fabric.blocked_slots:
+                    return "migrated"
                 if req.preempted and self.config.restore_cost:
                     yield Delay(self.config.restore_cost)
                 if self.control_time:
                     yield Delay(self.control_time)
                 t0 = self.sim.now
-                if not self.config.preemption:
+                migrated = False
+                if not self.config.preemption and chaos is None:
                     yield Delay(req.remaining)
                     req.remaining = 0.0
                 else:
+                    # Chaos mode slices even with preemption off: each
+                    # completed quantum is the task's implicit
+                    # checkpoint, so a slot loss costs at most one
+                    # quantum of re-execution.
                     while req.remaining > _EPS:
-                        step = min(self.config.quantum, req.remaining)
+                        step = min(self._quantum(), req.remaining)
                         yield Delay(step)
+                        if chaos is not None and (
+                            slot in fabric.blocked_slots
+                        ):
+                            migrated = True
+                            break
                         req.remaining -= step
                         if req.preempt_flag and req.remaining > _EPS:
                             break
@@ -334,6 +666,8 @@ class ServiceExecutor:
                     Phase.TASK, t0, self.sim.now, task=req.module,
                     lane=f"prr{slot}", note=req.tenant,
                 )
+                if migrated:
+                    return "migrated"
                 if req.remaining > _EPS:
                     if self.config.checkpoint_cost:
                         yield Delay(self.config.checkpoint_cost)
@@ -360,6 +694,26 @@ class ServiceExecutor:
             if outcome == "fault":
                 self._shed_admitted(req, "fault")
                 return
+            if outcome == "migrated":
+                # The slot died under the request: its state is gone,
+                # progress reverts to the last quantum boundary, and it
+                # re-queues to restore on a surviving slot (paying
+                # restore_cost and any reconfiguration on regrant).
+                req.preempt_flag = False
+                req.preempted = True
+                req.migrations += 1
+                self.stats[req.tenant].migrations += 1
+                obsm.counter("repro_chaos_migrations_total").inc(
+                    tenant=req.tenant
+                )
+                sig = self._chaos.migration_wait(req.last_slot)
+                if sig is not None:
+                    # Wait for the dead slot's stale residency to drain
+                    # so re-entry cannot synchronously land back on it.
+                    yield sig
+                else:
+                    yield Delay(0.0)
+                continue
             req.preempt_flag = False
             req.preempted = True
             req.preemptions += 1
@@ -381,6 +735,8 @@ class ServiceExecutor:
         obsm.histogram("repro_service_latency_seconds").observe(
             latency, tenant=req.tenant
         )
+        if self._chaos is not None and self._chaos.brownout is not None:
+            self._chaos.brownout.observe_completion(self.sim.now, latency)
 
     def _shed_admitted(self, req: Request, reason: str) -> None:
         """Shed a request that had already been admitted."""
@@ -388,6 +744,8 @@ class ServiceExecutor:
         stats.in_flight -= 1
         stats.shed[reason] = stats.shed.get(reason, 0) + 1
         self.admission.shed_post_admission(req.tenant, self.sim.now, reason)
+        if self._chaos is not None and self._chaos.brownout is not None:
+            self._chaos.brownout.observe_shed(self.sim.now)
 
     # -- arrival sources ---------------------------------------------------
 
@@ -398,12 +756,20 @@ class ServiceExecutor:
         """
         stats = self.stats[spec.name]
         stats.arrived += 1
+        brownout = (
+            self._chaos.brownout if self._chaos is not None else None
+        )
         decision = self.admission.decide(
             spec.name,
             self.sim.now,
             backlog_of=lambda name: self._backlog[name],
-            total_backlog=sum(self._backlog.values()),
+            total_backlog=self._backlog_total,
             grant_free=self._grant_free(),
+            higher_pending=self._higher_pending,
+            brownout_shed=(
+                brownout is not None
+                and brownout.should_shed(spec.priority)
+            ),
         )
         stats.decisions[decision.verdict] = (
             stats.decisions.get(decision.verdict, 0) + 1
@@ -412,6 +778,8 @@ class ServiceExecutor:
             stats.shed[decision.reason] = (
                 stats.shed.get(decision.reason, 0) + 1
             )
+            if brownout is not None:
+                brownout.observe_shed(self.sim.now)
             return None
         self._seq += 1
         stats.in_flight += 1
@@ -493,6 +861,12 @@ class ServiceExecutor:
                 self._degrade_proc(delay, slot),
                 name=f"degrade:prr{slot}",
             )
+        if self._chaos is not None:
+            for idx, event in enumerate(self._chaos.spec.events):
+                sim.spawn(
+                    self._chaos.outage_proc(event),
+                    name=f"chaos:{event.domain}#{idx}",
+                )
         watchdog = Watchdog(
             max_events=self.config.max_events,
             stall_events=self.config.stall_events,
@@ -527,6 +901,9 @@ class ServiceExecutor:
                 "hit_ratio": self.cache.stats.hit_ratio,
                 "events": float(sim.events_processed),
             },
+            chaos=(
+                None if self._chaos is None else self._chaos.as_dict()
+            ),
         )
 
 

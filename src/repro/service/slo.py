@@ -78,6 +78,7 @@ def _tenant_report(outcome: TenantOutcome) -> dict[str, Any]:
         "in_flight": outcome.in_flight,
         "decisions": dict(sorted(outcome.decisions.items())),
         "preemptions": outcome.preemptions,
+        "migrations": outcome.migrations,
         "configs": outcome.configs,
         "backlog_peak": outcome.backlog_peak,
         "latency": {

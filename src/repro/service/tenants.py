@@ -317,6 +317,11 @@ class ServiceConfig:
         paper's dual-PRR layout.
     max_events, stall_events:
         Watchdog limits armed for every run (the no-deadlock guard).
+    chaos:
+        Optional :class:`~repro.chaos.spec.ChaosSpec`.  ``None`` — and
+        any spec whose ``inert`` property is true — leaves the chaos
+        runtime unarmed, keeping the run on the exact plain-serve code
+        path.
     """
 
     horizon: float = 100.0
@@ -334,6 +339,9 @@ class ServiceConfig:
     prrs: int = 0
     max_events: int | None = None
     stall_events: int = field(default=1_000_000)
+    #: a :class:`~repro.chaos.spec.ChaosSpec` or None (typed ``Any`` to
+    #: keep :mod:`repro.chaos` importable on top of the service layer)
+    chaos: Any = None
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -359,6 +367,11 @@ class ServiceConfig:
             raise ValueError("prrs must be >= 0 (0 = dual-PRR default)")
         if self.stall_events < 1:
             raise ValueError("stall_events must be >= 1")
+        if self.chaos is not None and not hasattr(self.chaos, "as_dict"):
+            raise ValueError(
+                "chaos must be a ChaosSpec (or None): "
+                f"{type(self.chaos).__name__}"
+            )
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-able fingerprint (journal meta)."""
@@ -386,4 +399,7 @@ class ServiceConfig:
             ),
             "max_config_attempts": int(self.max_config_attempts),
             "prrs": int(self.prrs),
+            "chaos": (
+                None if self.chaos is None else self.chaos.as_dict()
+            ),
         }

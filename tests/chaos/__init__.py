@@ -1,0 +1,1 @@
+"""Chaos-mode tests: topology, breakers, brownout, containment, resume."""

@@ -1,0 +1,93 @@
+"""Circuit-breaker FSM tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import CircuitBreaker
+from repro.model.stochastic import resolve_rng
+
+
+class TestLifecycle:
+    def test_opens_after_consecutive_failures(self):
+        br = CircuitBreaker("icap0", threshold=3, cooldown=1.0)
+        for t in (0.0, 0.1):
+            br.record_failure(t)
+            assert br.state == "closed"
+        br.record_failure(0.2)
+        assert br.state == "open"
+        assert br.retry_at == pytest.approx(1.2)
+
+    def test_success_resets_the_streak(self):
+        br = CircuitBreaker("icap0", threshold=2)
+        br.record_failure(0.0)
+        br.record_success(0.1)
+        br.record_failure(0.2)
+        assert br.state == "closed"
+
+    def test_half_open_probe_then_close(self):
+        br = CircuitBreaker("icap0", threshold=1, cooldown=1.0)
+        br.record_failure(0.0)
+        assert br.state == "open"
+        assert not br.allow(0.5)
+        assert br.allow(1.0)  # the probe
+        assert br.state == "half_open"
+        br.record_success(1.1)
+        assert br.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        br = CircuitBreaker("icap0", threshold=1, cooldown=1.0)
+        br.record_failure(0.0)
+        assert br.allow(1.0)
+        br.record_failure(1.1)
+        assert br.state == "open"
+        assert br.retry_at == pytest.approx(2.1)
+
+    def test_transitions_are_logged(self):
+        br = CircuitBreaker("icap0", threshold=1, cooldown=1.0)
+        br.record_failure(0.0)
+        br.allow(1.0)
+        br.record_success(1.5)
+        assert [(a, b) for _, a, b in br.transitions] == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+
+class TestScriptedOutages:
+    def test_hold_pins_the_breaker_open(self):
+        br = CircuitBreaker("blade0", cooldown=0.1)
+        br.force_open(1.0)
+        assert br.state == "open" and br.held
+        assert not br.allow(100.0)  # cooldown does not apply while held
+        br.force_release(2.0)
+        assert not br.allow(2.05)
+        assert br.allow(2.1 + 1e-12)
+        assert br.state == "half_open"
+
+    def test_release_without_hold_is_a_no_op(self):
+        br = CircuitBreaker("blade0")
+        br.force_release(1.0)
+        assert br.state == "closed" and br.transitions == []
+
+    def test_probe_jitter_is_seeded(self):
+        def delay(seed):
+            br = CircuitBreaker(
+                "icap0", threshold=1, cooldown=1.0,
+                probe_jitter=0.5, rng=resolve_rng(seed),
+            )
+            br.record_failure(0.0)
+            return br.retry_at
+
+        assert delay(3) == delay(3)
+        assert 1.0 <= delay(3) <= 1.5
+        assert delay(3) != delay(4)
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", cooldown=-1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", probe_jitter=-0.1)

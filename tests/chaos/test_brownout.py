@@ -1,0 +1,98 @@
+"""Brownout controller tests: hysteresis, shedding, quantum stretch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import BrownoutController
+
+
+def controller(**kw):
+    defaults = dict(
+        enter_p99=1.0, exit_p99=0.5, enter_shed=0.5, exit_shed=0.1,
+        window=8, min_samples=4, hold=1.0,
+        max_shed_priority=0, quantum_stretch=2.0,
+    )
+    return BrownoutController(**{**defaults, **kw})
+
+
+def drive_into_brownout(ctl, t0=0.0):
+    for i in range(4):
+        ctl.observe_shed(t0 + 0.1 * i)
+    assert ctl.active
+    return t0 + 0.3
+
+
+class TestEntry:
+    def test_needs_min_samples(self):
+        ctl = controller()
+        for i in range(3):
+            ctl.observe_shed(0.1 * i)
+            assert not ctl.active
+        ctl.observe_shed(0.3)
+        assert ctl.active
+        assert ctl.epochs == [(0.3, "entered")]
+
+    def test_latency_tail_alone_triggers(self):
+        ctl = controller()
+        for i in range(4):
+            ctl.observe_completion(0.1 * i, 2.0)
+        assert ctl.active
+
+    def test_healthy_signals_never_trigger(self):
+        ctl = controller()
+        for i in range(20):
+            ctl.observe_completion(0.1 * i, 0.1)
+        assert not ctl.active and ctl.epochs == []
+
+
+class TestExitHysteresis:
+    def test_exit_requires_hold_time_below_thresholds(self):
+        ctl = controller()
+        t = drive_into_brownout(ctl)
+        # Flood the window with healthy completions: the shed window
+        # drains by t+0.9 (signals low starts there), and the hold
+        # timer must then elapse before the exit epoch.
+        for i in range(8):
+            ctl.observe_completion(t + 0.1 * (i + 1), 0.1)
+        assert ctl.active
+        ctl.observe_completion(t + 1.5, 0.1)
+        assert ctl.active  # only 0.6s below thresholds so far
+        ctl.observe_completion(t + 2.0, 0.1)
+        assert not ctl.active
+        assert ctl.epochs[-1][1] == "exited"
+
+    def test_relapse_resets_the_hold_clock(self):
+        ctl = controller(window=4)
+        t = drive_into_brownout(ctl)
+        for i in range(4):
+            ctl.observe_completion(t + 0.1 * (i + 1), 0.1)
+        ctl.observe_completion(t + 0.9, 5.0)  # tail spikes again
+        ctl.observe_completion(t + 1.1, 0.1)
+        ctl.observe_completion(t + 1.2, 0.1)
+        assert ctl.active  # the early below-threshold time did not count
+
+
+class TestPolicySurface:
+    def test_should_shed_is_tiered(self):
+        ctl = controller(max_shed_priority=1)
+        assert not ctl.should_shed(0)
+        drive_into_brownout(ctl)
+        assert ctl.should_shed(0) and ctl.should_shed(1)
+        assert not ctl.should_shed(2)
+
+    def test_stretch_only_inside_brownout(self):
+        ctl = controller(quantum_stretch=3.0)
+        assert ctl.stretch() == 1.0
+        drive_into_brownout(ctl)
+        assert ctl.stretch() == 3.0
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            controller(window=0)
+        with pytest.raises(ValueError):
+            controller(min_samples=0)
+        with pytest.raises(ValueError):
+            controller(hold=-1.0)
+        with pytest.raises(ValueError):
+            controller(quantum_stretch=0.5)

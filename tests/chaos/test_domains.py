@@ -1,0 +1,61 @@
+"""Failure-domain topology unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import DomainTopology, FailureDomain
+
+
+class TestBuild:
+    def test_dual_blade_split(self):
+        topo = DomainTopology.build(4, blades=2)
+        assert sorted(topo.domains) == [
+            "blade0", "blade1", "icap0", "icap1", "interconnect",
+            "prr0", "prr1", "prr2", "prr3",
+        ]
+        assert topo.slots_down("blade0") == (0, 1)
+        assert topo.slots_down("blade1") == (2, 3)
+
+    def test_remainder_slots_go_to_earlier_blades(self):
+        topo = DomainTopology.build(5, blades=2)
+        assert topo.slots_down("blade0") == (0, 1, 2)
+        assert topo.slots_down("blade1") == (3, 4)
+
+    def test_single_blade(self):
+        topo = DomainTopology.build(2, blades=1)
+        assert topo.slots_down("interconnect") == (0, 1)
+        assert topo.slots_down("icap0") == ()
+
+    def test_invalid_blade_counts_raise(self):
+        with pytest.raises(ValueError):
+            DomainTopology.build(2, blades=0)
+        with pytest.raises(ValueError):
+            DomainTopology.build(2, blades=3)
+
+
+class TestQueries:
+    def test_closure_contains_children(self):
+        topo = DomainTopology.build(4, blades=2)
+        assert set(topo.closure("blade0")) == {
+            "blade0", "icap0", "prr0", "prr1"
+        }
+        assert topo.closure("prr3") == ["prr3"]
+
+    def test_blocks_config(self):
+        topo = DomainTopology.build(4, blades=2)
+        assert topo.blocks_config("interconnect")
+        assert topo.blocks_config("blade0")
+        assert topo.blocks_config("icap1")
+        assert not topo.blocks_config("prr0")
+
+    def test_unknown_domain_is_actionable(self):
+        topo = DomainTopology.build(2, blades=1)
+        with pytest.raises(KeyError, match="prr9"):
+            topo.domain("prr9")
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            FailureDomain("x", "warp-core")
+        with pytest.raises(ValueError):
+            FailureDomain("", "prr")

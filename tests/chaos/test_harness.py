@@ -1,0 +1,131 @@
+"""Chaos-harness properties: containment, migration, rate-0 identity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.chaos import ChaosEvent, ChaosSpec, build_scenario
+from repro.chaos.harness import chaos_payload, run_chaos
+from repro.runtime.invariants import audit_chaos
+from repro.service import ServiceConfig, TenantSpec, run_service
+from repro.service.slo import report_json, slo_report
+from repro.service.tenants import default_tenants
+from repro.workloads.task import CallTrace, HardwareTask
+
+NON_NONE = [
+    "single-prr-loss", "rolling-blades", "icap-flap", "seu-storm",
+    "compound",
+]
+
+
+def chaos_config(spec, horizon=8.0, prrs=4, **kw):
+    return ServiceConfig(horizon=horizon, prrs=prrs, chaos=spec, **kw)
+
+
+class TestContainment:
+    @pytest.mark.parametrize("name", NON_NONE)
+    def test_no_scenario_loses_work(self, name):
+        spec = build_scenario(name, seed=3, horizon=8.0, prrs=4, blades=2)
+        result = run_service(
+            default_tenants(), chaos_config(spec), seed=3
+        )
+        audit = audit_chaos(result)
+        assert audit.ok, [str(v) for v in audit.violations]
+        assert "chaos-containment" in audit.checked
+        for t in result.tenants:
+            assert t.arrived == t.completed + t.shed_total
+            assert t.in_flight == 0
+
+    @pytest.mark.parametrize("name", NON_NONE)
+    def test_every_outage_recovers(self, name):
+        spec = build_scenario(name, seed=3, horizon=8.0, prrs=4, blades=2)
+        result = run_service(
+            default_tenants(), chaos_config(spec), seed=3
+        )
+        assert result.chaos is not None
+        assert len(result.chaos["outages"]) == len(spec.events)
+        for outage in result.chaos["outages"]:
+            assert outage["recovered_at"] is not None
+            assert outage["recovered_at"] > outage["failed_at"]
+
+
+class TestMigration:
+    def test_mid_quantum_slot_loss_migrates_and_completes(self):
+        # One long-running task per slot; prr0 dies mid-task, so its
+        # occupant must checkpoint-migrate to the surviving slot and
+        # still finish — nothing is shed, nothing is lost.
+        lib = HardwareTask("median", 1.0)
+        tenant = TenantSpec(
+            name="app", arrival="closed",
+            trace=CallTrace([lib, lib], name="app"),
+        )
+        spec = ChaosSpec(
+            events=(ChaosEvent(time=0.5, domain="prr0", duration=3.0),),
+            blades=1,
+        )
+        result = run_service(
+            [tenant], chaos_config(spec, horizon=20.0, prrs=2), seed=0
+        )
+        stats = result.tenants[0]
+        assert stats.migrations >= 1
+        assert stats.completed == 2 and stats.shed_total == 0
+        assert audit_chaos(result).ok
+
+    def test_migration_is_deterministic(self):
+        spec = build_scenario(
+            "rolling-blades", seed=3, horizon=8.0, prrs=4, blades=2
+        )
+        runs = [
+            run_service(default_tenants(), chaos_config(spec), seed=3)
+            for _ in range(2)
+        ]
+        assert report_json(slo_report(runs[0])) == report_json(
+            slo_report(runs[1])
+        )
+        assert runs[0].chaos == runs[1].chaos
+
+
+class TestRateZeroIdentity:
+    def test_inert_spec_never_arms_the_runtime(self):
+        inert = ChaosSpec(breakers_enabled=False)
+        plain = run_service(
+            default_tenants(), chaos_config(None), seed=5
+        )
+        gated = run_service(
+            default_tenants(), chaos_config(inert), seed=5
+        )
+        assert gated.chaos is None
+        assert report_json(slo_report(gated)) == report_json(
+            slo_report(plain)
+        )
+
+
+class TestPayload:
+    def test_resilience_metrics_are_well_formed(self):
+        spec = build_scenario(
+            "compound", seed=3, horizon=8.0, prrs=4, blades=2
+        )
+        payload = run_chaos(default_tenants(), chaos_config(spec), seed=3)
+        res = payload["resilience"]
+        assert set(res["availability"]) == {"gold", "silver", "bronze"}
+        assert all(0.0 <= v <= 1.0 for v in res["availability"].values())
+        assert res["goodput_retention"] >= 0.0
+        assert res["outages"] == len(spec.events)
+        assert all(v >= 0.0 for v in res["mttr"].values())
+        assert payload["audit"]["ok"], payload["audit"]["violations"]
+
+    def test_faultless_pair_retains_all_goodput(self):
+        spec = ChaosSpec()  # breakers armed, but nothing ever fails
+        result = run_service(
+            default_tenants(), chaos_config(spec), seed=2
+        )
+        baseline = run_service(
+            default_tenants(), chaos_config(None), seed=2
+        )
+        payload = chaos_payload(result, baseline)
+        res = payload["resilience"]
+        assert res["goodput_retention"] == 1.0
+        assert res["migrations"] == 0 and res["outages"] == 0
+        assert math.isnan(res["mttr_overall"])

@@ -1,0 +1,150 @@
+"""Kill-and-resume determinism for ``repro chaos`` (the CI soak job).
+
+Same contract as the serve soak: a chaos run killed between (or
+mid-write of) replication checkpoints resumes to payloads and a journal
+**byte-identical** to an uninterrupted run — and the rate-0 scenario
+("none") produces the *same journal bytes* as plain ``repro serve``.
+
+When ``REPRO_ARTIFACT_DIR`` is set (CI), journals and invariant reports
+are copied there for upload.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+
+import pytest
+
+from repro.chaos import build_scenario
+from repro.chaos.harness import crash_safe_chaos
+from repro.runtime.journal import JOURNAL_NAME, JournalError, RunJournal
+from repro.runtime.parallel import fork_available
+from repro.service import ServiceConfig, crash_safe_serve, default_tenants
+
+HORIZON = 2.0
+SPEC_KW = dict(seed=13, horizon=HORIZON, prrs=4, blades=2)
+CHAOS_KW = dict(scenario="compound", seed=13, replications=4)
+N_REPS = CHAOS_KW["replications"]
+
+
+def chaos_config(scenario="compound"):
+    spec = build_scenario(scenario, **SPEC_KW)
+    return ServiceConfig(horizon=HORIZON, prrs=4, chaos=spec)
+
+
+def full_chaos(run_dir, **kw):
+    return crash_safe_chaos(
+        str(run_dir), default_tenants(), chaos_config(),
+        **{**CHAOS_KW, **kw},
+    )
+
+
+def export_artifacts(label: str, run_dir) -> None:
+    """Copy journal + invariant report for CI upload (no-op locally)."""
+    target = os.environ.get("REPRO_ARTIFACT_DIR")
+    if not target:
+        return
+    dest = os.path.join(target, label)
+    os.makedirs(dest, exist_ok=True)
+    for name in (JOURNAL_NAME, "invariants.json"):
+        source = os.path.join(str(run_dir), name)
+        if os.path.exists(source):
+            shutil.copy(source, os.path.join(dest, name))
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("chaos-reference")
+    outcome = full_chaos(run_dir)
+    export_artifacts("chaos-reference", run_dir)
+    return outcome, run_dir
+
+
+class TestChaosKillAndResume:
+    def test_reference_completes_clean(self, reference):
+        outcome, _ = reference
+        assert outcome.complete
+        assert outcome.computed_points == N_REPS
+        assert outcome.audit.ok
+        assert "chaos-containment" in outcome.audit.checked
+
+    def test_truncated_journal_resumes_byte_identical(
+        self, reference, tmp_path
+    ):
+        outcome, ref_dir = reference
+        victim = tmp_path / "victim"
+        full_chaos(victim)
+        path = victim / JOURNAL_NAME
+        lines = path.read_text().splitlines()
+        assert len(lines) == N_REPS + 2  # header + reps + seal
+
+        # Kill mid-failure-burst: cut at a replication boundary and tear
+        # the next checkpoint line mid-write (torn JSONL tail).
+        rng = random.Random(0xC4A05)
+        survivors = rng.randrange(1, N_REPS)
+        torn = lines[survivors + 1][: len(lines[survivors + 1]) // 2]
+        path.write_text(
+            "\n".join(lines[: survivors + 1] + [torn]) + "\n"
+        )
+        loaded = RunJournal.load(str(victim))
+        assert loaded.dropped_lines == 1
+
+        resumed = full_chaos(victim, resume=True)
+        export_artifacts("chaos-resumed", victim)
+        assert resumed.complete
+        assert resumed.resumed_points == survivors
+        assert resumed.computed_points == N_REPS - survivors
+        assert resumed.results == outcome.results
+        assert path.read_bytes() == (
+            ref_dir / JOURNAL_NAME
+        ).read_bytes()
+        assert (victim / "invariants.json").read_bytes() == (
+            ref_dir / "invariants.json"
+        ).read_bytes()
+
+    def test_resume_with_drifted_parameters_names_the_field(
+        self, reference
+    ):
+        _, ref_dir = reference
+        with pytest.raises(JournalError, match="seed: journaled 13"):
+            full_chaos(ref_dir, seed=14, resume=True)
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+class TestWorkerIdentity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_bit_identical_to_serial(
+        self, reference, tmp_path, workers
+    ):
+        outcome, ref_dir = reference
+        run = tmp_path / f"w{workers}"
+        sharded = full_chaos(run, workers=workers)
+        assert sharded.results == outcome.results
+        assert (run / JOURNAL_NAME).read_bytes() == (
+            ref_dir / JOURNAL_NAME
+        ).read_bytes()
+
+
+class TestRateZeroJournal:
+    def test_none_scenario_journal_is_byte_identical_to_serve(
+        self, tmp_path
+    ):
+        config = ServiceConfig(horizon=HORIZON, prrs=4, chaos=None)
+        chaos_dir = tmp_path / "chaos-none"
+        serve_dir = tmp_path / "serve"
+        crash_safe_chaos(
+            str(chaos_dir), default_tenants(), config,
+            scenario="none", seed=13, replications=2,
+        )
+        crash_safe_serve(
+            str(serve_dir), default_tenants(), config,
+            seed=13, replications=2,
+        )
+        assert (chaos_dir / JOURNAL_NAME).read_bytes() == (
+            serve_dir / JOURNAL_NAME
+        ).read_bytes()
+        assert (chaos_dir / "invariants.json").read_bytes() == (
+            serve_dir / "invariants.json"
+        ).read_bytes()

@@ -1,0 +1,159 @@
+"""Lazy scheduler regressions: heap dispatch and O(active) admission.
+
+The scheduler orders waiters by a *static* rank
+(``aging_rate * ready_since - priority``) on a heap instead of scanning
+every waiter's aged priority at each grant; admission answers the
+overload question from an incrementally maintained per-priority census
+instead of scanning every configured tenant.  These tests pin both
+optimizations to the semantics they replaced: identical decisions, fewer
+lookups.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.service import ServiceConfig, TaskMix, TenantSpec, run_service
+from repro.service.admission import AdmissionController
+from repro.service.scheduler import ServiceExecutor
+from repro.service.slo import report_json, slo_report
+
+MIX = (TaskMix("median", 0.05, 1.0),)
+
+
+def contended_tenants():
+    """Many tenants across many priorities, driving a deep backlog."""
+    return [
+        TenantSpec(
+            name=f"t{i}", priority=i % 4, arrival="poisson", rate=12.0,
+            tasks=MIX, queue_capacity=16,
+        )
+        for i in range(8)
+    ]
+
+
+CONFIG = ServiceConfig(horizon=4.0, prrs=2, aging_rate=0.1)
+
+
+def _brute_force_dispatch(self) -> None:
+    """Reference dispatch: argmax over *aged* priority, O(waiters).
+
+    The pre-heap semantics, spelled out directly: pick the waiter with
+    the highest effective priority at dispatch time, breaking ties by
+    arrival order, with the same census bookkeeping as the heap path.
+    """
+    while self._waiting and self._granted < self._capacity():
+        now = self.sim.now
+        idx = max(
+            range(len(self._waiting)),
+            key=lambda i: (
+                self._effective_priority(self._waiting[i][2].req, now),
+                -self._waiting[i][2].req.seq,
+            ),
+        )
+        _, _, best = self._waiting.pop(idx)
+        heapq.heapify(self._waiting)
+        self._backlog[best.req.tenant] -= 1
+        self._backlog_total -= 1
+        pr = best.req.priority
+        self._backlog_by_priority[pr] -= 1
+        if not self._backlog_by_priority[pr]:
+            del self._backlog_by_priority[pr]
+        self._granted += 1
+        best.signal.succeed()
+
+
+class TestHeapDispatchIdentity:
+    def test_heap_matches_aged_priority_scan(self, monkeypatch):
+        fast = run_service(contended_tenants(), CONFIG, seed=7)
+        fast_json = report_json(slo_report(fast))
+        monkeypatch.setattr(
+            ServiceExecutor, "_dispatch", _brute_force_dispatch
+        )
+        slow = run_service(contended_tenants(), CONFIG, seed=7)
+        assert report_json(slo_report(slow)) == fast_json
+
+    def test_backlog_is_contended(self):
+        # Guard the fixture: the identity above is vacuous unless the
+        # run actually queues (and therefore dispatches off the heap).
+        result = run_service(contended_tenants(), CONFIG, seed=7)
+        assert max(t.backlog_peak for t in result.tenants) >= 4
+
+
+class TestLazyAdmission:
+    def _controller(self, n_tenants=16):
+        tenants = [
+            TenantSpec(
+                name=f"t{i}", priority=i % 4, arrival="poisson",
+                rate=1.0, tasks=MIX,
+            )
+            for i in range(n_tenants)
+        ]
+        config = ServiceConfig(horizon=1.0, overload_backlog=1)
+        return tenants, AdmissionController(tenants, config)
+
+    def test_census_answer_skips_the_tenant_scan(self):
+        tenants, ctl = self._controller()
+        calls = []
+
+        def backlog_of(name):
+            calls.append(name)
+            return 0
+
+        decision = ctl.decide(
+            "t0", 0.0,
+            backlog_of=backlog_of,
+            total_backlog=5,
+            grant_free=False,
+            higher_pending=lambda priority: True,
+        )
+        assert decision.verdict == "shed"
+        assert decision.reason == "overload"
+        # One lookup for t0's own queue bound — not one per tenant.
+        assert calls == ["t0"]
+
+    def test_census_and_scan_agree(self):
+        tenants, ctl = self._controller()
+        backlogs = {t.name: (1 if t.priority == 3 else 0) for t in tenants}
+
+        def higher_pending(priority):
+            return any(
+                t.priority > priority and backlogs[t.name] > 0
+                for t in tenants
+            )
+
+        for tenant in tenants:
+            lazy = ctl._decide(
+                tenant, 0.0,
+                backlog_of=backlogs.__getitem__,
+                total_backlog=4,
+                grant_free=False,
+                higher_pending=higher_pending,
+            )
+            scan = ctl._decide(
+                tenant, 0.0,
+                backlog_of=backlogs.__getitem__,
+                total_backlog=4,
+                grant_free=False,
+            )
+            assert lazy == scan
+
+    def test_brownout_shed_precedes_the_bucket(self):
+        tenants = [
+            TenantSpec(
+                name="b", priority=0, arrival="poisson", rate=1.0,
+                tasks=MIX, rate_limit=5.0, bucket=1.0,
+            )
+        ]
+        ctl = AdmissionController(tenants, ServiceConfig(horizon=1.0))
+        decision = ctl.decide(
+            "b", 0.0,
+            backlog_of=lambda name: 0,
+            total_backlog=0,
+            grant_free=True,
+            brownout_shed=True,
+        )
+        assert decision.verdict == "shed"
+        assert decision.reason == "brownout"
+        # The token bucket was never charged for a browned-out arrival.
+        assert ctl.buckets["b"].tokens == ctl.buckets["b"].capacity

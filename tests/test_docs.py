@@ -63,6 +63,34 @@ class TestInvariantDocs:
         assert not missing, f"invariants absent from MODEL.md: {missing}"
 
 
+class TestResilienceDoc:
+    def test_every_scenario_is_documented(self):
+        from repro.chaos import scenario_names
+
+        text = read(DOCS / "RESILIENCE.md")
+        missing = [n for n in scenario_names() if f"`{n}`" not in text]
+        assert not missing, f"scenarios absent from RESILIENCE.md: {missing}"
+
+    def test_no_phantom_scenarios_documented(self):
+        from repro.chaos import scenario_names
+
+        text = read(DOCS / "RESILIENCE.md")
+        table = re.findall(r"^\| `([a-z0-9-]+)` \|", text, re.MULTILINE)
+        phantom = set(table) - set(scenario_names())
+        assert not phantom, f"RESILIENCE.md documents unknown: {phantom}"
+
+    def test_chaos_metrics_are_documented(self):
+        text = read(DOCS / "RESILIENCE.md")
+        chaos_metrics = [n for n in CATALOG if n.startswith("repro_chaos_")]
+        assert chaos_metrics, "chaos metrics missing from the CATALOG"
+        missing = [n for n in chaos_metrics if f"`{n}`" not in text]
+        assert not missing, f"metrics absent from RESILIENCE.md: {missing}"
+
+    def test_containment_invariant_is_cross_referenced(self):
+        assert "chaos-containment" in INVARIANTS
+        assert "`chaos-containment`" in read(DOCS / "RESILIENCE.md")
+
+
 class TestArchitectureDoc:
     def test_every_subsystem_is_mapped(self):
         text = read(DOCS / "ARCHITECTURE.md")
@@ -81,12 +109,13 @@ class TestArchitectureDoc:
             "docs/OBSERVABILITY.md",
             "docs/MODEL.md",
             "docs/STATIC_ANALYSIS.md",
+            "docs/RESILIENCE.md",
         ):
             assert target in text, f"README does not link {target}"
 
     def test_readme_cli_examples_cover_new_verbs(self):
         text = read(REPO / "README.md")
-        for verb in ("sweep", "trace", "metrics"):
+        for verb in ("sweep", "trace", "metrics", "chaos"):
             assert f"python -m repro {verb}" in text, verb
 
 
