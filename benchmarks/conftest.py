@@ -9,8 +9,6 @@ evaluation section.
 
 from __future__ import annotations
 
-import json
-
 import pytest
 
 
@@ -35,16 +33,15 @@ def bench_json_dir(request) -> str:
 
 
 def write_bench_json(directory: str, name: str, payload: dict) -> None:
-    """Write one ``BENCH_<name>.json`` summary (no-op without a dir)."""
-    if not directory:
-        return
-    import os
+    """Write one ``BENCH_<name>.json`` summary (no-op without a dir).
 
-    os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, f"BENCH_{name}.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    Delegates to :func:`repro.runtime.benchtrack.write_bench_json`:
+    atomic write-temp-then-rename, so a benchmark run killed mid-write
+    never leaves a torn JSON for the trajectory collector.
+    """
+    from repro.runtime.benchtrack import write_bench_json as _atomic_write
+
+    _atomic_write(directory, name, payload)
 
 
 def record(benchmark, **info: object) -> None:

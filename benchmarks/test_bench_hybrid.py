@@ -1,0 +1,76 @@
+"""Benchmark: hybrid sweep engine throughput (grid-points/sec).
+
+Not a published figure — this measures the harness itself: how many
+reliability grid points per wall-clock second the sweep engine
+sustains serially and under ``--workers 4``, and how much faster the
+calibrated hybrid fast path (``--hybrid=on``) answers an
+exactness-proven grid than the pure DES (``--hybrid=off``) — with the
+byte-identity of the two point lists asserted, because a speedup that
+changes answers is a bug, not a result.  With ``--bench-json DIR`` the
+numbers land in ``DIR/BENCH_hybrid.json``; the ``bench-trajectory`` CI
+job folds them into ``BENCH_trajectory.json`` (docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reliability import sweep_fault_hit_grid
+from repro.runtime.parallel import fork_available
+
+from conftest import record, write_bench_json
+
+#: a fault-free grid — every cell satisfies the exactness predicates,
+#: so ``hybrid="on"`` answers all of it analytically
+RATES = (0.0,)
+HIT_RATIOS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0)
+N_CALLS = 40
+SEED = 0
+
+
+def _grid_walltime(hybrid: str, workers: int) -> tuple[float, list]:
+    """Wall seconds (and points) for one full grid evaluation."""
+    t0 = time.perf_counter()
+    points = sweep_fault_hit_grid(
+        RATES, HIT_RATIOS, n_calls=N_CALLS, seed=SEED,
+        workers=workers, hybrid=hybrid,
+    )
+    return time.perf_counter() - t0, points
+
+
+def test_bench_hybrid(benchmark, bench_json_dir) -> None:
+    n_points = len(RATES) * len(HIT_RATIOS)
+
+    des_wall, des_points = _grid_walltime("off", workers=1)
+    hyb_wall, hyb_points = _grid_walltime("on", workers=1)
+    assert des_points == hyb_points, "hybrid changed the answers"
+
+    parallel_wall = (
+        _grid_walltime("on", workers=4)[0] if fork_available() else None
+    )
+
+    # The benchmark fixture times the hybrid serial walk (the mode the
+    # trajectory tracks); the one-shot walls above feed the ratio.
+    benchmark(
+        sweep_fault_hit_grid,
+        RATES, HIT_RATIOS, n_calls=N_CALLS, seed=SEED, hybrid="on",
+    )
+    wall = benchmark.stats.stats.mean if benchmark.stats else hyb_wall
+
+    summary = {
+        "grid_points": n_points,
+        "n_calls": N_CALLS,
+        "seed": SEED,
+        "des_wall_s": des_wall,
+        "hybrid_wall_s": hyb_wall,
+        "hybrid_speedup": des_wall / hyb_wall if hyb_wall else None,
+        "grid_points_per_sec_serial": n_points / wall if wall else None,
+        "grid_points_per_sec_workers4": (
+            n_points / parallel_wall if parallel_wall else None
+        ),
+        "workers": 4 if parallel_wall is not None else 1,
+    }
+    record(benchmark, **summary)
+    write_bench_json(bench_json_dir, "hybrid", summary)
+    assert summary["hybrid_speedup"] is not None
+    assert len(des_points) == n_points

@@ -32,6 +32,15 @@ from typing import Sequence
 
 from ..faults.injector import FaultConfig, FaultInjector
 from ..faults.recovery import FallbackPolicy, RecoveryPolicy
+from ..model.hybrid import (
+    HybridMode,
+    HybridSample,
+    closed_form_exact,
+    fault_point_verdicts,
+    parse_hybrid_mode,
+    replay_fault_point,
+    verification_sample,
+)
 from ..rtr.events import RunResult
 from ..rtr.frtr import FrtrExecutor
 from ..rtr.prtr import PrtrExecutor
@@ -45,6 +54,7 @@ __all__ = [
     "availability",
     "effective_speedup_under_faults",
     "find_crossover",
+    "hybrid_cell_modes",
     "mean_time_to_repair",
     "sweep_fault_hit_grid",
     "trace_with_hit_ratio",
@@ -155,6 +165,7 @@ def effective_speedup_under_faults(
     task_time: float = 0.1,
     seed: int = 0,
     recovery: RecoveryPolicy | None = None,
+    hybrid: str = HybridMode.OFF,
 ) -> FaultSweepPoint:
     """Measure one grid cell: same trace, FRTR vs PRTR, shared fault law.
 
@@ -166,9 +177,56 @@ def effective_speedup_under_faults(
     matters: failed partial attempts hide behind the overlapped task
     until their cost exceeds the task time, and only then does the
     pipeline stage stretch and the effective speedup drop *below* 1.
+
+    ``hybrid="on"`` answers the cell by closed-form replay when the
+    exactness predicates prove the DES result is reproducible without
+    simulation (here: the ``fault_rate == 0`` cells); ``"verify"``
+    additionally shadow-runs the DES on this cell and asserts the two
+    answers are identical (raising
+    :class:`~repro.runtime.invariants.InvariantError` otherwise).
     """
+    mode = parse_hybrid_mode(hybrid)
     if recovery is None:
         recovery = FallbackPolicy(max_attempts=3, backoff=0.05, cap=0.2)
+    if mode != HybridMode.OFF and closed_form_exact(
+        fault_point_verdicts(fault_rate, seed)
+    ):
+        point = replay_fault_point(
+            fault_rate,
+            hit_ratio,
+            n_calls=n_calls,
+            task_time=task_time,
+            seed=seed,
+            recovery=recovery,
+        )
+        if mode == HybridMode.VERIFY:
+            from ..runtime.invariants import audit_hybrid
+
+            simulated = _simulated_fault_point(
+                fault_rate, hit_ratio, n_calls=n_calls,
+                task_time=task_time, seed=seed, recovery=recovery,
+            )
+            label = f"faults:rate={fault_rate!r},H={hit_ratio!r}"
+            audit_hybrid(
+                [HybridSample(label, point, simulated)]
+            ).raise_if_strict(strict=True)
+        return point
+    return _simulated_fault_point(
+        fault_rate, hit_ratio, n_calls=n_calls,
+        task_time=task_time, seed=seed, recovery=recovery,
+    )
+
+
+def _simulated_fault_point(
+    fault_rate: float,
+    hit_ratio: float,
+    *,
+    n_calls: int,
+    task_time: float,
+    seed: int,
+    recovery: RecoveryPolicy | None,
+) -> FaultSweepPoint:
+    """The pure-DES cell measurement (the ``hybrid=off`` path)."""
     trace = trace_with_hit_ratio(hit_ratio, n_calls, task_time)
     config = FaultConfig(chunk_abort_rate=fault_rate, seed=seed)
 
@@ -206,6 +264,34 @@ DEFAULT_FAULT_RATES = (0.0, 1e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.2)
 DEFAULT_HIT_RATIOS = (0.0, 0.5, 0.9)
 
 
+def hybrid_cell_modes(
+    grid: Sequence[tuple[float, float]],
+    hybrid: str,
+    seed: int = 0,
+) -> list[str]:
+    """The per-cell hybrid mode for a ``(hit_ratio, rate)`` grid.
+
+    ``"verify"`` does not shadow-run *every* analytic cell — that would
+    cost more than ``off`` — but a seeded sample of them
+    (:func:`repro.model.hybrid.verification_sample`); the rest run
+    ``"on"``.  The result is a pure function of ``(grid, hybrid,
+    seed)``, so sharded and resumed walks pick identical samples.
+    """
+    mode = parse_hybrid_mode(hybrid)
+    if mode != HybridMode.VERIFY:
+        return [mode] * len(grid)
+    exact = [
+        i
+        for i, cell in enumerate(grid)
+        if closed_form_exact(fault_point_verdicts(cell[1], seed))
+    ]
+    sampled = {exact[j] for j in verification_sample(len(exact), seed=seed)}
+    return [
+        HybridMode.VERIFY if i in sampled else HybridMode.ON
+        for i in range(len(grid))
+    ]
+
+
 def sweep_fault_hit_grid(
     fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
     hit_ratios: Sequence[float] = DEFAULT_HIT_RATIOS,
@@ -215,26 +301,32 @@ def sweep_fault_hit_grid(
     seed: int = 0,
     recovery: RecoveryPolicy | None = None,
     workers: int = 1,
+    hybrid: str = HybridMode.OFF,
 ) -> list[FaultSweepPoint]:
     """The full grid, row-major over hit ratios then fault rates.
 
     Every point is independently seeded, so ``workers > 1`` evaluates
     the grid across fork workers with bit-identical results
-    (:func:`repro.runtime.parallel.parallel_map`).
+    (:func:`repro.runtime.parallel.parallel_map`).  ``hybrid`` selects
+    the analytic fast path per cell (see
+    :func:`effective_speedup_under_faults`); the returned points are
+    byte-identical across every mode and worker count.
     """
     from ..runtime.parallel import parallel_map
 
     grid = [(h, rate) for h in hit_ratios for rate in fault_rates]
+    modes = hybrid_cell_modes(grid, hybrid, seed)
     return parallel_map(
-        lambda cell: effective_speedup_under_faults(
-            cell[1],
-            cell[0],
+        lambda item: effective_speedup_under_faults(
+            item[0][1],
+            item[0][0],
             n_calls=n_calls,
             task_time=task_time,
             seed=seed,
             recovery=recovery,
+            hybrid=item[1],
         ),
-        grid,
+        list(zip(grid, modes)),
         workers=workers,
     )
 

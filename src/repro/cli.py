@@ -80,14 +80,25 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from .experiments import fig5
+    from .model.hybrid import HybridMode, parse_hybrid_mode
 
-    print(fig5.render(x_prtr=args.x_prtr))
+    mode = parse_hybrid_mode(args.hybrid)
+    # Eq. (7) is already closed form, so the hybrid fast path here is
+    # evaluation sharing: compute the panel grid once and reuse it for
+    # the plot and the CSV instead of recomputing per artifact.  The
+    # rendered bytes are identical either way.
+    result = (
+        fig5.run((args.x_prtr,), fig5.DEFAULT_HIT_RATIOS)
+        if mode != HybridMode.OFF
+        else None
+    )
+    print(fig5.render(x_prtr=args.x_prtr, result=result))
     claims = fig5.shape_claims(x_prtr=args.x_prtr)
     print()
     for name, ok in claims.items():
         print(f"  claim {name}: {'PASS' if ok else 'FAIL'}")
     if args.csv:
-        write_csv(args.csv, fig5.to_csv(x_prtr=args.x_prtr))
+        write_csv(args.csv, fig5.to_csv(x_prtr=args.x_prtr, result=result))
         print(f"\nwrote {args.csv}")
     return 0 if all(claims.values()) else 1
 
@@ -100,13 +111,19 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
     )
     ok = True
     for which in panels:
-        print(fig9.render(which, n_calls=args.calls, workers=args.workers))
+        print(fig9.render(
+            which, n_calls=args.calls, workers=args.workers,
+            hybrid=args.hybrid,
+        ))
         print()
         if args.csv:
             path = args.csv.replace(".csv", f"_{which}.csv")
             write_csv(
                 path,
-                fig9.to_csv(which, n_calls=args.calls, workers=args.workers),
+                fig9.to_csv(
+                    which, n_calls=args.calls, workers=args.workers,
+                    hybrid=args.hybrid,
+                ),
             )
             print(f"wrote {path}\n")
     claims = fig9.shape_claims()
@@ -184,7 +201,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     points = sweep_fault_hit_grid(
         rates, hit_ratios,
         n_calls=args.calls, task_time=args.task_time, seed=args.seed,
-        workers=args.workers,
+        workers=args.workers, hybrid=args.hybrid,
     )
     print(render_table(
         [p.as_row() for p in points],
@@ -260,6 +277,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             resume=args.resume,
             deadline_s=args.deadline,
             workers=args.workers,
+            hybrid=args.hybrid,
             progress=(
                 None if args.quiet else (lambda m: print(f"... {m}"))
             ),
@@ -774,9 +792,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="Table 1: resource usage")
     sub.add_parser("table2", help="Table 2: configuration times")
 
+    from .model.hybrid import HybridMode
+
+    hybrid_help = (
+        "analytic fast path: 'on' answers exactness-proven points by "
+        "closed-form replay (bit-identical, no event loop), 'verify' "
+        "additionally shadow-runs a seeded sample on the DES and fails "
+        "on any mismatch (docs/PERFORMANCE.md)"
+    )
+
     p5 = sub.add_parser("fig5", help="Figure 5: asymptotic bounds")
     p5.add_argument("--x-prtr", type=float, default=0.17)
     p5.add_argument("--csv", type=str, default="")
+    p5.add_argument(
+        "--hybrid", choices=list(HybridMode.ALL), default=HybridMode.OFF,
+        help=hybrid_help,
+    )
 
     p9 = sub.add_parser("fig9", help="Figure 9: the XD1 experiment")
     p9.add_argument(
@@ -788,6 +819,10 @@ def build_parser() -> argparse.ArgumentParser:
     p9.add_argument(
         "--workers", type=int, default=1,
         help="fork workers for the DES points (bit-identical results)",
+    )
+    p9.add_argument(
+        "--hybrid", choices=list(HybridMode.ALL), default=HybridMode.OFF,
+        help=hybrid_help,
     )
 
     pp = sub.add_parser("profiles", help="Figures 2-4: execution profiles")
@@ -820,6 +855,10 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument(
         "--workers", type=int, default=1,
         help="fork workers for the grid (bit-identical results)",
+    )
+    pf.add_argument(
+        "--hybrid", choices=list(HybridMode.ALL), default=HybridMode.OFF,
+        help=hybrid_help,
     )
 
     ps = sub.add_parser(
@@ -856,6 +895,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the grid across fork workers, one segment journal "
              "each; results and merged journal are bit-identical to "
              "--workers 1, and kill/--resume works mid-shard",
+    )
+    ps.add_argument(
+        "--hybrid", choices=list(HybridMode.ALL), default=HybridMode.OFF,
+        help=hybrid_help,
     )
     ps.add_argument("--quiet", action="store_true",
                     help="suppress per-point progress lines")

@@ -79,9 +79,17 @@ def _series_for(
 def render(
     x_prtr: float = 0.17,
     hit_ratios: tuple[float, ...] = DEFAULT_HIT_RATIOS,
+    result: SweepResult | None = None,
 ) -> str:
-    """ASCII Figure 5 panel at one ``X_PRTR``."""
-    result = run((x_prtr,), hit_ratios)
+    """ASCII Figure 5 panel at one ``X_PRTR``.
+
+    ``result`` lets a caller that already evaluated the panel's grid
+    (e.g. the CLI under ``--hybrid=on``, which shares one evaluation
+    across render/claims/CSV) pass it in instead of recomputing; it
+    must be ``run((x_prtr,), hit_ratios)`` for the same arguments.
+    """
+    if result is None:
+        result = run((x_prtr,), hit_ratios)
     return ascii_plot(
         _series_for(result, x_prtr, hit_ratios),
         title=f"Figure 5. Asymptotic performance of PRTR (X_PRTR={x_prtr:g})",
@@ -95,9 +103,11 @@ def render(
 def to_csv(
     x_prtr: float = 0.17,
     hit_ratios: tuple[float, ...] = DEFAULT_HIT_RATIOS,
+    result: SweepResult | None = None,
 ) -> str:
-    """The panel's data series as CSV."""
-    result = run((x_prtr,), hit_ratios)
+    """The panel's data series as CSV (``result`` as in :func:`render`)."""
+    if result is None:
+        result = run((x_prtr,), hit_ratios)
     return series_to_csv(
         _series_for(result, x_prtr, hit_ratios), x_name="x_task"
     )

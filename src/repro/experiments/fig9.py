@@ -27,6 +27,15 @@ import numpy as np
 
 from ..analysis.plotting import ascii_plot, series_to_csv
 from ..hardware.catalog import PUBLISHED_TABLE2, US
+from ..model.hybrid import (
+    HybridMode,
+    HybridSample,
+    closed_form_exact,
+    comparison_verdicts,
+    parse_hybrid_mode,
+    replay_comparison_speedup,
+    verification_sample,
+)
 from ..model.parameters import ModelParameters
 from ..model.speedup import asymptotic_speedup, speedup
 from ..model.sweep import log_task_axis
@@ -126,6 +135,7 @@ def simulate_points(
     x_task_points: np.ndarray | None = None,
     n_calls: int = 120,
     workers: int = 1,
+    hybrid: str = HybridMode.OFF,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Discrete-event measurements at a handful of task sizes.
 
@@ -133,10 +143,19 @@ def simulate_points(
     bitstream bytes so the ICAP path lands on the panel's ``T_PRTR``.
     Every task size is an independent DES run, so ``workers > 1`` fans
     them out across fork workers with bit-identical speedups.
+
+    The Figure 9 configuration (fault-free, dual-PRR, uniform I/O,
+    local bitstreams) satisfies every hybrid exactness predicate, so
+    ``hybrid="on"`` answers all points by closed-form replay —
+    bit-identical speedups, no event loop.  ``"verify"`` additionally
+    re-runs a seeded sample of points on the DES and raises
+    :class:`~repro.runtime.invariants.InvariantError` on any mismatch.
     """
+    mode = parse_hybrid_mode(hybrid)
     if x_task_points is None:
         x_task_points = np.logspace(-2.5, 1.0, 8)
     x_values = np.asarray(x_task_points, dtype=float)
+    bitstream_bytes = PUBLISHED_TABLE2["dual_prr"].bitstream_bytes
 
     def one_point(x: float) -> float:
         trace = _cyclic_trace(task_time=x * p.t_frtr, n_calls=n_calls)
@@ -145,22 +164,53 @@ def simulate_points(
             estimated=p.estimated,
             control_time=p.t_control,
             force_miss=True,
-            bitstream_bytes=PUBLISHED_TABLE2["dual_prr"].bitstream_bytes,
+            bitstream_bytes=bitstream_bytes,
         )
         return result.speedup
 
-    speedups = parallel_map(one_point, list(x_values), workers=workers)
+    def one_point_fast(x: float) -> float:
+        trace = _cyclic_trace(task_time=x * p.t_frtr, n_calls=n_calls)
+        return replay_comparison_speedup(
+            trace,
+            estimated=p.estimated,
+            control_time=p.t_control,
+            force_miss=True,
+            bitstream_bytes=bitstream_bytes,
+        )
+
+    use_fast = mode != HybridMode.OFF and closed_form_exact(
+        comparison_verdicts()
+    )
+    fn = one_point_fast if use_fast else one_point
+    speedups = parallel_map(fn, list(x_values), workers=workers)
+    if use_fast and mode == HybridMode.VERIFY:
+        from ..runtime.invariants import audit_hybrid
+
+        samples = [
+            HybridSample(
+                label=f"fig9:{p.name}:x_task={float(x_values[i])!r}",
+                analytic=speedups[i],
+                simulated=one_point(float(x_values[i])),
+            )
+            for i in verification_sample(len(x_values))
+        ]
+        audit_hybrid(samples).raise_if_strict(strict=True)
     return x_values, np.asarray(speedups)
 
 
 def render(
-    which: str = "measured", n_calls: int = 120, workers: int = 1
+    which: str = "measured",
+    n_calls: int = 120,
+    workers: int = 1,
+    hybrid: str = HybridMode.OFF,
 ) -> str:
     """ASCII overlay: model curve (asymptotic + finite-n) vs sim points."""
     p = panel(which)
     x_model, s_model = model_curve(p)
     _, s_finite = model_curve_finite(p, n_calls)
-    x_sim, s_sim = simulate_points(p, n_calls=n_calls, workers=workers)
+    x_sim, s_sim = simulate_points(
+        p, n_calls=n_calls, workers=workers, hybrid=hybrid
+    )
     return ascii_plot(
         {
             "Eq7 (n->inf)": (x_model, s_model),
@@ -176,12 +226,17 @@ def render(
 
 
 def to_csv(
-    which: str = "measured", n_calls: int = 120, workers: int = 1
+    which: str = "measured",
+    n_calls: int = 120,
+    workers: int = 1,
+    hybrid: str = HybridMode.OFF,
 ) -> str:
     p = panel(which)
     x_model, s_model = model_curve(p)
     _, s_finite = model_curve_finite(p, n_calls)
-    x_sim, s_sim = simulate_points(p, n_calls=n_calls, workers=workers)
+    x_sim, s_sim = simulate_points(
+        p, n_calls=n_calls, workers=workers, hybrid=hybrid
+    )
     return series_to_csv(
         {
             "model_asymptotic": (x_model, s_model),

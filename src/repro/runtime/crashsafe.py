@@ -231,6 +231,7 @@ def crash_safe_fault_sweep(
     strict: bool | None = None,
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
+    hybrid: str = "off",
 ) -> SweepOutcome:
     """The reliability grid with checkpoint/resume and auditing.
 
@@ -240,7 +241,14 @@ def crash_safe_fault_sweep(
     run merges to a bit-identical point list.  ``workers > 1`` shards
     the grid across fork workers — point list, audit report and merged
     journal are all bit-identical to the serial walk.
+
+    ``hybrid`` ("off"/"on"/"verify") selects the analytic fast path per
+    cell; points — and therefore journal bytes — are identical in every
+    mode, so a run journaled under one mode resumes cleanly under
+    another (``hybrid`` is deliberately left out of the resume meta).
     """
+    from ..analysis.reliability import hybrid_cell_modes
+
     meta = {
         "kind": "fault_sweep",
         "rates": [float(r) for r in fault_rates],
@@ -250,6 +258,7 @@ def crash_safe_fault_sweep(
         "seed": int(seed),
     }
     grid = [(h, rate) for h in hit_ratios for rate in fault_rates]
+    modes = dict(zip(grid, hybrid_cell_modes(grid, hybrid, seed)))
     watchdog = (
         Watchdog(max_wall_s=deadline_s) if deadline_s is not None else None
     )
@@ -259,6 +268,7 @@ def crash_safe_fault_sweep(
         lambda cell: effective_speedup_under_faults(
             cell[1], cell[0],
             n_calls=n_calls, task_time=task_time, seed=seed,
+            hybrid=modes[cell],
         ),
         key_of=lambda cell: f"rate={cell[1]!r},H={cell[0]!r}",
         encode=asdict,

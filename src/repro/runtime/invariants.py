@@ -43,6 +43,7 @@ __all__ = [
     "audit_chaos",
     "audit_cluster",
     "audit_comparison",
+    "audit_hybrid",
     "audit_metrics",
     "audit_run",
     "audit_service",
@@ -115,6 +116,11 @@ INVARIANTS: dict[str, str] = {
         "uninterrupted run), migrations happen only when outages did, "
         "every scripted outage that ended restored its failure domain, "
         "and restored slots are a subset of failed slots"
+    ),
+    "hybrid-exactness": (
+        "every shadow-verified hybrid sample agrees bit-for-bit: where "
+        "the exactness predicates hold, the closed-form replay equals "
+        "the DES answer exactly (== on floats), per grid point"
     ),
 }
 
@@ -584,6 +590,27 @@ def audit_chaos(result: Any) -> AuditReport:
         migrations == 0 or bool(failed_slots),
         f"{migrations} migration(s) recorded with no failed slots",
     )
+    report.raise_if_strict()
+    return report
+
+
+def audit_hybrid(samples: Sequence[Any]) -> AuditReport:
+    """Audit hybrid shadow-verification samples (``--hybrid=verify``).
+
+    Each sample is a :class:`repro.model.hybrid.HybridSample`-shaped
+    record (``label`` / ``analytic`` / ``simulated``).  The exactness
+    contract is *equality*, not closeness: the replay folds the same
+    float additions as the DES, so any difference at all means a
+    predicate failed to exclude a configuration it should have.
+    """
+    report = AuditReport()
+    for sample in samples:
+        _check(
+            report, "hybrid-exactness",
+            sample.analytic == sample.simulated,
+            f"{sample.label}: analytic {sample.analytic!r} != "
+            f"DES {sample.simulated!r}",
+        )
     report.raise_if_strict()
     return report
 

@@ -30,8 +30,8 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -207,14 +207,33 @@ class Process:
         return f"<Process {self.name!r} {state}>"
 
 
-@dataclass(order=True)
 class Event:
-    """Internal event-queue record; ordered by (time, seq) for determinism."""
+    """Internal event-queue record; ordered by ``(time, seq)``.
 
-    time: float
-    seq: int
-    proc: Any = field(compare=False)
-    value: Any = field(compare=False, default=None)
+    Hot-path record: ``__slots__`` plus a hand-written ``__lt__`` keep the
+    heap sifts free of the tuple churn a ``dataclass(order=True)``
+    comparator would pay on every comparison, and instances are pooled by
+    the owning :class:`Simulator` so a long run allocates O(heap depth)
+    events, not O(events processed).
+    """
+
+    __slots__ = ("time", "seq", "proc", "value")
+
+    def __init__(self, time: float, seq: int, proc: Any, value: Any) -> None:
+        self.time = time
+        self.seq = seq
+        self.proc = proc
+        self.value = value
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+#: cap on the simulator's event free-list — bounds pool memory while still
+#: covering any realistic heap depth in this codebase
+_POOL_LIMIT = 1024
 
 
 class Simulator:
@@ -229,7 +248,14 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: list[Event] = []
-        self._seq = itertools.count()
+        #: zero-delay side queue: events scheduled at exactly ``now`` are
+        #: drained FIFO without paying two O(log n) heap sifts each.  Any
+        #: heap entry at the current time was inserted *before* the clock
+        #: reached it, so its seq is smaller than every side-queue entry's
+        #: and plain "heap first on time ties" preserves (time, seq) order.
+        self._zero: deque[tuple[int, Any, Any]] = deque()
+        self._next_seq = 0
+        self._pool: list[Event] = []
         self._running = False
         self._event_count = 0
         #: optional cancellation hook (:class:`repro.runtime.watchdog.
@@ -245,11 +271,58 @@ class Simulator:
     # -- scheduling ------------------------------------------------------
 
     def _schedule(self, time: float, proc: Any, value: Any) -> None:
-        if time < self.now:
+        now = self.now
+        if time < now:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now={self.now}"
             )
-        heapq.heappush(self._queue, Event(time, next(self._seq), proc, value))
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        if time == now:
+            self._zero.append((seq, proc, value))
+            return
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.proc = proc
+            ev.value = value
+        else:
+            ev = Event(time, seq, proc, value)
+        heapq.heappush(self._queue, ev)
+
+    def _pop(self) -> Optional[tuple[float, Any, Any]]:
+        """The next ``(time, proc, value)`` in (time, seq) order, or None."""
+        zero = self._zero
+        queue = self._queue
+        if zero:
+            # Heap entries tied with ``now`` always precede side-queue
+            # entries (smaller seq by construction — see __init__).
+            if queue and queue[0].time == self.now:
+                ev = heapq.heappop(queue)
+            else:
+                _seq, proc, value = zero.popleft()
+                return (self.now, proc, value)
+        elif queue:
+            ev = heapq.heappop(queue)
+        else:
+            return None
+        out = (ev.time, ev.proc, ev.value)
+        ev.proc = None
+        ev.value = None
+        pool = self._pool
+        if len(pool) < _POOL_LIMIT:
+            pool.append(ev)
+        return out
+
+    def _peek_time(self) -> Optional[float]:
+        """The timestamp of the next pending event, or None if drained."""
+        if self._zero:
+            return self.now
+        if self._queue:
+            return self._queue[0].time
+        return None
 
     def spawn(
         self, gen: Generator[Any, Any, Any], name: str = ""
@@ -280,15 +353,16 @@ class Simulator:
 
     def step(self) -> bool:
         """Process a single event.  Returns ``False`` if the queue is empty."""
-        if not self._queue:
+        entry = self._pop()
+        if entry is None:
             return False
-        ev = heapq.heappop(self._queue)
-        if ev.time < self.now:  # pragma: no cover - guarded at insert
+        time, proc, value = entry
+        if time < self.now:  # pragma: no cover - guarded at insert
             raise SimulationError("event queue time went backwards")
-        self.now = ev.time
+        self.now = time
         self._event_count += 1
-        self.last_process = ev.proc
-        ev.proc._step(ev.value)
+        self.last_process = proc
+        proc._step(value)
         return True
 
     def run(self, until: Optional[float] = None) -> float:
@@ -300,13 +374,22 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
-            while self._queue:
-                if until is not None and self._queue[0].time > until:
-                    self.now = until
-                    break
-                self.step()
-                if self.watchdog is not None:
-                    self.watchdog.after_event(self)
+            if until is None and self.watchdog is None:
+                # Hot path: no deadline to poll and no per-event hook, so
+                # drain without the peek/branch per event.
+                while self.step():
+                    pass
+            else:
+                while True:
+                    t = self._peek_time()
+                    if t is None:
+                        break
+                    if until is not None and t > until:
+                        self.now = until
+                        break
+                    self.step()
+                    if self.watchdog is not None:
+                        self.watchdog.after_event(self)
         finally:
             self._running = False
         return self.now
@@ -316,4 +399,5 @@ class Simulator:
         return self._event_count
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator now={self.now} queued={len(self._queue)}>"
+        queued = len(self._queue) + len(self._zero)
+        return f"<Simulator now={self.now} queued={queued}>"

@@ -1,0 +1,192 @@
+"""The hybrid fast path: exactness, byte-identity, shadow verification.
+
+The contract under test (docs/PERFORMANCE.md, MODEL.md section 13):
+``--hybrid=on`` may change *nothing* but wall time — every
+``SweepResult`` point, every fault-grid dataclass, every CSV byte must
+equal the pure-DES answer with ``==``, across worker counts. Verify
+mode must actually shadow-run the DES and raise on any engineered
+mismatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reliability import (
+    effective_speedup_under_faults,
+    hybrid_cell_modes,
+    sweep_fault_hit_grid,
+)
+from repro.experiments import fig5, fig9
+from repro.model.hybrid import (
+    EXACTNESS_PREDICATES,
+    HybridMode,
+    HybridSample,
+    closed_form_exact,
+    comparison_verdicts,
+    fault_point_verdicts,
+    parse_hybrid_mode,
+    replay_fault_point,
+    verification_sample,
+)
+from repro.runtime.invariants import InvariantError, audit_hybrid
+
+
+class TestModeParsing:
+    def test_all_modes_round_trip(self):
+        for mode in HybridMode.ALL:
+            assert parse_hybrid_mode(mode) == mode
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_hybrid_mode("  ON ") == HybridMode.ON
+        assert parse_hybrid_mode("Verify") == HybridMode.VERIFY
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="hybrid"):
+            parse_hybrid_mode("fast")
+
+
+class TestExactnessPredicates:
+    def test_catalog_names(self):
+        assert set(EXACTNESS_PREDICATES) == {
+            "fault-free",
+            "overlap-applicable",
+            "uniform-io",
+            "local-bitstreams",
+            "recovery-inert",
+        }
+
+    def test_default_comparison_is_exact(self):
+        verdicts = comparison_verdicts()
+        assert all(verdicts.values())
+        assert closed_form_exact(verdicts)
+
+    def test_faulty_rate_is_not_exact(self):
+        assert not closed_form_exact(fault_point_verdicts(0.25))
+        assert closed_form_exact(fault_point_verdicts(0.0))
+
+    def test_unknown_verdict_key_rejected(self):
+        verdicts = dict.fromkeys(EXACTNESS_PREDICATES, True)
+        verdicts["made-up"] = True
+        with pytest.raises(KeyError):
+            closed_form_exact(verdicts)
+
+    def test_missing_predicate_fails_closed(self):
+        verdicts = dict.fromkeys(EXACTNESS_PREDICATES, True)
+        del verdicts["fault-free"]
+        assert not closed_form_exact(verdicts)
+
+
+class TestVerificationSample:
+    def test_pure_function_of_n_and_seed(self):
+        assert verification_sample(40) == verification_sample(40)
+        assert verification_sample(40, seed=1) != verification_sample(40)
+
+    def test_sample_size_rule(self):
+        assert len(verification_sample(40)) == 10  # 25%
+        assert len(verification_sample(3)) == 2    # min_samples floor
+        assert verification_sample(1) == [0]       # clamped to n
+        assert verification_sample(0) == []
+
+    def test_sorted_unique_indices(self):
+        sample = verification_sample(100)
+        assert sample == sorted(set(sample))
+        assert all(0 <= i < 100 for i in sample)
+
+
+class TestReplayBitIdentity:
+    @pytest.mark.parametrize("which", ["estimated", "measured"])
+    def test_fig9_points_identical(self, which):
+        p = fig9.panel(which)
+        x_off, s_off = fig9.simulate_points(p, n_calls=60, hybrid="off")
+        x_on, s_on = fig9.simulate_points(p, n_calls=60, hybrid="on")
+        assert np.array_equal(x_off, x_on)
+        assert np.array_equal(s_off, s_on)  # exact, not allclose
+
+    def test_fault_point_identical(self):
+        for h in (0.0, 0.5, 0.9):
+            des = effective_speedup_under_faults(0.0, h, hybrid="off")
+            fast = effective_speedup_under_faults(0.0, h, hybrid="on")
+            assert des == fast  # frozen-dataclass full equality
+
+    def test_replay_refuses_inexact_point(self):
+        with pytest.raises(ValueError, match="fault-free"):
+            replay_fault_point(0.3, 0.5)
+
+
+class TestGridIdentity:
+    RATES = (0.0, 0.05)
+    HS = (0.0, 0.9)
+
+    def test_faults_grid_identical_across_modes(self):
+        off = sweep_fault_hit_grid(self.RATES, self.HS)
+        on = sweep_fault_hit_grid(self.RATES, self.HS, hybrid="on")
+        verify = sweep_fault_hit_grid(self.RATES, self.HS, hybrid="verify")
+        assert off == on == verify
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_faults_grid_identical_across_workers(self, workers):
+        serial = sweep_fault_hit_grid(self.RATES, self.HS, hybrid="on")
+        sharded = sweep_fault_hit_grid(
+            self.RATES, self.HS, hybrid="on", workers=workers
+        )
+        assert serial == sharded
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_fig9_identical_across_workers(self, workers):
+        p = fig9.panel("measured")
+        _, serial = fig9.simulate_points(p, n_calls=60, hybrid="on")
+        _, sharded = fig9.simulate_points(
+            p, n_calls=60, hybrid="on", workers=workers
+        )
+        assert np.array_equal(serial, sharded)
+
+    def test_cell_modes_partition(self):
+        grid = [(h, r) for h in self.HS for r in (0.0, 0.3)]
+        modes = hybrid_cell_modes(grid, "verify")
+        assert len(modes) == len(grid)
+        # faulty cells can never be verify-sampled (they are not exact)
+        for (h, rate), mode in zip(grid, modes):
+            if rate > 0.0:
+                assert mode != HybridMode.VERIFY
+        assert hybrid_cell_modes(grid, "off") == ["off"] * len(grid)
+
+    def test_fig5_result_reuse_identical(self):
+        shared = fig5.run((0.17,), fig5.DEFAULT_HIT_RATIOS)
+        assert fig5.render(result=shared) == fig5.render()
+        assert fig5.to_csv(result=shared) == fig5.to_csv()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_fig5_grid_identical_across_workers(self, workers):
+        serial = fig5.run()
+        sharded = fig5.run(workers=workers)
+        assert np.array_equal(serial.values, sharded.values)
+
+
+class TestShadowVerification:
+    def test_verify_mode_runs_clean(self):
+        p = fig9.panel("measured")
+        _, s = fig9.simulate_points(p, n_calls=60, hybrid="verify")
+        assert len(s) == 8
+
+    def test_audit_passes_on_agreement(self):
+        report = audit_hybrid(
+            [HybridSample("pt", 1.25, 1.25), HybridSample("pt2", 0.5, 0.5)]
+        )
+        assert report.ok
+
+    def test_audit_raises_on_engineered_mismatch(self):
+        samples = [HybridSample("bad-point", 1.25, 1.2500000001)]
+        with pytest.raises(InvariantError, match="hybrid-exactness"):
+            audit_hybrid(samples).raise_if_strict(strict=True)
+        report = audit_hybrid(samples)
+        assert not report.ok
+        assert any(
+            v.invariant == "hybrid-exactness" for v in report.violations
+        )
+
+    def test_point_level_verify_matches_off(self):
+        verify = effective_speedup_under_faults(0.0, 0.5, hybrid="verify")
+        off = effective_speedup_under_faults(0.0, 0.5, hybrid="off")
+        assert verify == off

@@ -91,6 +91,76 @@ class TestResilienceDoc:
         assert "`chaos-containment`" in read(DOCS / "RESILIENCE.md")
 
 
+class TestPerformanceDoc:
+    def test_every_exactness_predicate_is_documented(self):
+        from repro.model.hybrid import EXACTNESS_PREDICATES
+
+        text = read(DOCS / "PERFORMANCE.md")
+        missing = [
+            n for n in EXACTNESS_PREDICATES if f"`{n}`" not in text
+        ]
+        assert not missing, f"predicates absent from PERFORMANCE.md: {missing}"
+
+    def test_no_phantom_predicates_documented(self):
+        from repro.model.hybrid import EXACTNESS_PREDICATES
+
+        text = read(DOCS / "PERFORMANCE.md")
+        table = re.findall(r"^\| `([a-z-]+)` \|", text, re.MULTILINE)
+        phantom = set(table) - set(EXACTNESS_PREDICATES)
+        assert not phantom, f"PERFORMANCE.md documents unknown: {phantom}"
+
+    def test_every_trajectory_metric_is_documented(self):
+        from repro.runtime.benchtrack import GATE_METRICS
+
+        text = read(DOCS / "PERFORMANCE.md")
+        missing = [n for n in GATE_METRICS if f"`{n}`" not in text]
+        assert not missing, f"metrics absent from PERFORMANCE.md: {missing}"
+
+    def test_hybrid_modes_and_cli_flag_documented(self):
+        text = read(DOCS / "PERFORMANCE.md")
+        for flag in ("--hybrid=off", "--hybrid=on", "--hybrid=verify"):
+            assert flag in text, flag
+
+    def test_exactness_invariant_is_cross_referenced(self):
+        assert "hybrid-exactness" in INVARIANTS
+        assert "`hybrid-exactness`" in read(DOCS / "PERFORMANCE.md")
+
+    def test_linked_from_readme_and_architecture(self):
+        assert "docs/PERFORMANCE.md" in read(REPO / "README.md")
+        assert "PERFORMANCE.md" in read(DOCS / "ARCHITECTURE.md")
+
+
+class TestIndexDoc:
+    def test_every_doc_is_indexed(self):
+        text = read(DOCS / "INDEX.md")
+        missing = [
+            p.name
+            for p in sorted(DOCS.glob("*.md"))
+            if p.name != "INDEX.md" and f"({p.name})" not in text
+        ]
+        assert not missing, f"docs absent from INDEX.md: {missing}"
+
+    def test_no_phantom_docs_indexed(self):
+        text = read(DOCS / "INDEX.md")
+        linked = set(re.findall(r"\[([A-Z_]+\.md)\]", text))
+        real = {p.name for p in DOCS.glob("*.md")}
+        phantom = linked - real
+        assert not phantom, f"INDEX.md links unknown docs: {phantom}"
+
+    def test_every_indexed_doc_names_its_pinning_test(self):
+        text = read(DOCS / "INDEX.md")
+        rows = [
+            line for line in text.splitlines()
+            if line.startswith("| [")
+        ]
+        assert len(rows) >= 6
+        for row in rows:
+            assert "tests/test_docs.py::" in row, f"no pinning test: {row}"
+
+    def test_linked_from_readme(self):
+        assert "docs/INDEX.md" in read(REPO / "README.md")
+
+
 class TestArchitectureDoc:
     def test_every_subsystem_is_mapped(self):
         text = read(DOCS / "ARCHITECTURE.md")
@@ -105,18 +175,47 @@ class TestArchitectureDoc:
     def test_readme_links_the_docs(self):
         text = read(REPO / "README.md")
         for target in (
+            "docs/INDEX.md",
             "docs/ARCHITECTURE.md",
             "docs/OBSERVABILITY.md",
             "docs/MODEL.md",
             "docs/STATIC_ANALYSIS.md",
             "docs/RESILIENCE.md",
+            "docs/PERFORMANCE.md",
         ):
             assert target in text, f"README does not link {target}"
 
     def test_readme_cli_examples_cover_new_verbs(self):
         text = read(REPO / "README.md")
-        for verb in ("sweep", "trace", "metrics", "chaos"):
+        for verb in ("sweep", "trace", "metrics", "chaos", "serve", "lint"):
             assert f"python -m repro {verb}" in text, verb
+
+    def test_readme_test_count_is_current(self):
+        # the README quotes the tier-1 test count; keep it within 10%
+        # of what `pytest tests/` actually collects so the quickstart
+        # never advertises stale numbers
+        text = read(REPO / "README.md")
+        match = re.search(r"([\d,]+) unit/property/integration tests", text)
+        assert match, "README no longer states the test count"
+        quoted = int(match.group(1).replace(",", ""))
+        import subprocess
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "tests", "--collect-only", "-q"],
+            capture_output=True, text=True, cwd=REPO,
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": str(REPO / "src"),
+            },
+        )
+        per_file = re.findall(
+            r"^tests[/\\]\S+: (\d+)$", proc.stdout, re.MULTILINE
+        )
+        assert per_file, proc.stdout[-500:]
+        collected = sum(int(n) for n in per_file)
+        assert abs(collected - quoted) <= collected * 0.10, (
+            f"README claims {quoted} tests, pytest collects {collected}"
+        )
 
 
 class TestStaticAnalysisDoc:
