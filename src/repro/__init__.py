@@ -38,7 +38,7 @@ Quickstart::
     6.88
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from .model import (
     ModelParameters,

@@ -1,0 +1,55 @@
+"""Pareto-dominance utilities for multi-objective sweeps.
+
+The power sweep (:mod:`repro.power.pareto`) trades completion time
+against energy; this module holds the generic, objective-agnostic
+non-dominated filter so other sweeps (latency vs availability, speedup
+vs recovery cost) can reuse it.  All comparisons are strict orderings
+(``<`` / ``<=``) — no float equality is involved, so ties survive as
+co-frontier points instead of being collapsed arbitrarily.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["dominates", "pareto_front"]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True iff objective vector ``a`` dominates ``b`` (minimization).
+
+    ``a`` dominates ``b`` when it is no worse in every objective and
+    strictly better in at least one.  Vectors must be equal length.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}"
+        )
+    no_worse = all(x <= y for x, y in zip(a, b))
+    better = any(x < y for x, y in zip(a, b))
+    return no_worse and better
+
+
+def pareto_front(
+    points: Sequence[T],
+    objectives: Callable[[T], Sequence[float]],
+) -> list[T]:
+    """The non-dominated subset of ``points`` (minimizing objectives).
+
+    Preserves input order, so the frontier of a deterministic sweep is
+    itself deterministic.  Duplicate objective vectors all survive —
+    dominance requires strict improvement in at least one coordinate.
+    """
+    vectors = [tuple(objectives(p)) for p in points]
+    front: list[T] = []
+    for i, point in enumerate(points):
+        if any(
+            dominates(vectors[j], vectors[i])
+            for j in range(len(points))
+            if j != i
+        ):
+            continue
+        front.append(point)
+    return front

@@ -10,6 +10,7 @@
     python -m repro faults --rates 0,0.01,0.1,0.3
     python -m repro sweep --run-dir runs/night --deadline 3600
     python -m repro sweep --run-dir runs/night --resume
+    python -m repro power --run-dir runs/pareto --contract-deadline 6
     python -m repro trace --out trace.json
     python -m repro metrics --profile
     python -m repro validate
@@ -318,6 +319,102 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if outcome.audit.ok else 1
 
 
+def _cmd_power(args: argparse.Namespace) -> int:
+    from .analysis import series_to_csv
+    from .power.contracts import (
+        max_throughput_under_cap,
+        min_energy_under_deadline,
+    )
+    from .power.pareto import (
+        DEFAULT_POWER_HIT_RATIOS,
+        DEFAULT_PRR_COUNTS,
+        crash_safe_power_sweep,
+        power_pareto_front,
+    )
+    from .runtime.invariants import set_strict
+
+    prr_counts = (
+        [int(p) for p in _parse_floats(args.prrs, "prrs")]
+        if args.prrs
+        else list(DEFAULT_PRR_COUNTS)
+    )
+    hit_ratios = (
+        _parse_floats(args.hit_ratios, "hit-ratios")
+        if args.hit_ratios
+        else list(DEFAULT_POWER_HIT_RATIOS)
+    )
+    previous = set_strict(args.strict_invariants)
+    try:
+        outcome = crash_safe_power_sweep(
+            args.run_dir,
+            prr_counts,
+            hit_ratios,
+            n_calls=args.calls,
+            task_time=args.task_time,
+            seed=args.seed,
+            resume=args.resume,
+            deadline_s=args.deadline,
+            workers=args.workers,
+            hybrid=args.hybrid,
+            progress=(
+                None if args.quiet else (lambda m: print(f"... {m}"))
+            ),
+        )
+    finally:
+        set_strict(previous)
+    print(render_table(
+        [p.as_row() for p in outcome.points],
+        title="Time-vs-energy sweep (journaled)",
+    ))
+    front = power_pareto_front(outcome.points)
+    print()
+    print(render_table(
+        [p.as_row() for p in front],
+        title="Pareto frontier (PRTR time vs energy)",
+    ))
+    contracts = []
+    if args.contract_deadline is not None:
+        contracts.append(min_energy_under_deadline(
+            outcome.points, args.contract_deadline
+        ))
+    if args.power_cap is not None:
+        contracts.append(max_throughput_under_cap(
+            outcome.points, args.power_cap
+        ))
+    if contracts:
+        print()
+        for c in contracts:
+            print(f"  {c.summary_line()}")
+    print()
+    print(
+        f"  run dir          : {args.run_dir}\n"
+        f"  journaled points : {outcome.journal.n_points}"
+        f" (replayed {outcome.resumed_points},"
+        f" computed {outcome.computed_points})\n"
+        f"  {outcome.audit.summary_line()}"
+    )
+    if args.csv:
+        series = {
+            f"H={h:g}": (
+                [float(p.n_prrs) for p in outcome.points
+                 if p.target_hit_ratio == h],
+                [p.prtr_energy_j for p in outcome.points
+                 if p.target_hit_ratio == h],
+            )
+            for h in hit_ratios
+        }
+        write_csv(args.csv, series_to_csv(series, x_name="n_prrs"))
+        print(f"\nwrote {args.csv}")
+    if outcome.interrupted is not None:
+        print(
+            f"repro: power sweep interrupted ({outcome.interrupted}); "
+            f"completed work is journaled — rerun with --resume",
+            file=sys.stderr,
+        )
+        return 3
+    return 0 if outcome.audit.ok else 1
+
+
 def _parse_degrade(text: str) -> tuple[tuple[float, int], ...]:
     """Parse ``"5:1,20:0"`` into ``((5.0, 1), (20.0, 0))``."""
     if not text:
@@ -358,6 +455,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         preemption=not args.no_preempt,
         degrade_at=_parse_degrade(args.degrade_at),
         prrs=args.prrs,
+        power_cap_w=args.power_cap,
     )
     previous = set_strict(args.strict_invariants)
     try:
@@ -438,8 +536,10 @@ def _render_resilience(resilience: dict) -> str:
     under = resilience["latency_under_failure"]
     base = resilience["latency_baseline"]
 
-    def _cell(v: float) -> str:
-        return "-" if (isinstance(v, float) and math.isnan(v)) else f"{v:.4f}"
+    def _cell(v: float | None) -> str:
+        if v is None or (isinstance(v, float) and math.isnan(v)):
+            return "-"
+        return f"{v:.4f}"
 
     lines.append(
         f"latency p50/p99/p999: {_cell(under['p50'])}/"
@@ -740,11 +840,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     rc = 0
     for name, fn in _COMMANDS.items():
-        # "sweep" needs a --run-dir; "report" and "trace" write files;
-        # "lint" needs a source checkout; "serve" and "chaos" run long
-        # service horizons; none belongs in the zero-argument smoke pass.
+        # "sweep" and "power" need a --run-dir; "report" and "trace"
+        # write files; "lint" needs a source checkout; "serve" and
+        # "chaos" run long service horizons; none belongs in the
+        # zero-argument smoke pass.
         if name in (
-            "all", "report", "sweep", "serve", "chaos", "trace", "lint"
+            "all", "report", "sweep", "power", "serve", "chaos",
+            "trace", "lint",
         ):
             continue
         print("=" * 72)
@@ -766,6 +868,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "ablation-granularity": _cmd_ablation_granularity,
     "faults": _cmd_faults,
     "sweep": _cmd_sweep,
+    "power": _cmd_power,
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
@@ -903,6 +1006,61 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--quiet", action="store_true",
                     help="suppress per-point progress lines")
 
+    pw = sub.add_parser(
+        "power",
+        help="time-vs-energy Pareto sweep over PRR counts and hit "
+             "ratios: journaled, resumable, energy-conservation audited",
+    )
+    pw.add_argument(
+        "--run-dir", type=str, required=True,
+        help="directory holding the run journal (journal.jsonl)",
+    )
+    pw.add_argument(
+        "--resume", action="store_true",
+        help="replay completed points from an existing journal",
+    )
+    pw.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on expiry the sweep checkpoints and "
+             "exits with code 3",
+    )
+    pw.add_argument(
+        "--contract-deadline", type=float, default=None,
+        metavar="SIM_SECONDS",
+        help="minimize-energy contract: cheapest configuration whose "
+             "PRTR makespan meets this simulated-time deadline",
+    )
+    pw.add_argument(
+        "--power-cap", type=float, default=None, metavar="WATTS",
+        help="maximize-throughput contract: fastest configuration whose "
+             "mean PRTR draw stays under this power budget",
+    )
+    pw.add_argument("--prrs", type=str, default="",
+                    help="comma-separated PRR counts (default: 1,2,3,4)")
+    pw.add_argument("--hit-ratios", type=str, default="",
+                    help="comma-separated target hit ratios "
+                         "(default: 0,0.5,0.9)")
+    pw.add_argument("--calls", type=int, default=30)
+    pw.add_argument("--task-time", type=float, default=0.1)
+    pw.add_argument("--seed", type=int, default=0)
+    pw.add_argument("--csv", type=str, default="")
+    pw.add_argument(
+        "--strict-invariants", action="store_true",
+        help="raise on any invariant violation instead of recording it",
+    )
+    pw.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the grid across fork workers, one segment journal "
+             "each; results and merged journal are bit-identical to "
+             "--workers 1, and kill/--resume works mid-shard",
+    )
+    pw.add_argument(
+        "--hybrid", choices=list(HybridMode.ALL), default=HybridMode.OFF,
+        help=hybrid_help,
+    )
+    pw.add_argument("--quiet", action="store_true",
+                    help="suppress per-point progress lines")
+
     pv = sub.add_parser(
         "serve",
         help="multi-tenant service mode: open arrivals, admission "
@@ -955,6 +1113,11 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument(
         "--prrs", type=int, default=0,
         help="PRR count (0 = the paper's dual-PRR floorplan)",
+    )
+    pv.add_argument(
+        "--power-cap", type=float, default=None, metavar="WATTS",
+        help="node power budget; arrivals whose grant would push the "
+             "projected draw above it are shed with reason power_cap",
     )
     pv.add_argument(
         "--strict-invariants", action="store_true",

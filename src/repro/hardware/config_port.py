@@ -117,6 +117,16 @@ class ConfigPort:
             bitstream.nbytes
         )
 
+    def burst_power_w(self, model: Any) -> float:
+        """Reconfiguration-burst draw (W) while this port streams.
+
+        ``model`` is duck-typed (:class:`repro.power.model.PowerModel`
+        shaped) so the hardware layer never imports :mod:`repro.power`;
+        the lookup is by port name, and an unknown name raises rather
+        than drawing zero.
+        """
+        return model.port_burst_w(self.name)
+
     def _check(self, bitstream: Bitstream) -> None:
         if bitstream.is_partial and not self.supports_partial:
             raise ValueError(

@@ -20,6 +20,7 @@ sizes as ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from .bitstream import Bitstream, module_based_bitstreams
 from .catalog import FpgaDevice, XC2VP50
@@ -98,6 +99,15 @@ class Floorplan:
     def partial_bitstream_bytes(self, prr_index: int) -> int:
         """Geometry-derived size of a partial bitstream for one PRR."""
         return self.device.partial_bitstream_bytes(self.prr_columns[prr_index])
+
+    def static_power_w(self, model: "Any") -> float:
+        """Always-on draw (W) of this floorplan under a power model.
+
+        ``model`` is duck-typed (:class:`repro.power.model.PowerModel`
+        shaped) so the hardware layer never imports :mod:`repro.power`:
+        the base static draw plus one per-PRR increment per region.
+        """
+        return model.static_power_w(self.n_prrs)
 
     def bitstreams_for(
         self, prr_index: int, modules: list[str]

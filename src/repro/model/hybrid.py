@@ -61,7 +61,9 @@ __all__ = [
     "comparison_verdicts",
     "fault_point_verdicts",
     "parse_hybrid_mode",
+    "power_point_verdicts",
     "replay_comparison_speedup",
+    "replay_energy_components",
     "replay_fault_point",
     "replay_frtr",
     "replay_icap_configure",
@@ -195,6 +197,24 @@ def comparison_verdicts(
         "uniform-io": not detailed_io,
         "local-bitstreams": True,
         "recovery-inert": fault_free,
+    }
+
+
+def power_point_verdicts(n_prrs: int) -> dict[str, bool]:
+    """Exactness verdicts for one power-sweep cell.
+
+    The power sweep (:mod:`repro.power.pareto`) is fault-free by
+    construction; the only predicate that can fail is
+    ``overlap-applicable`` — single-PRR floorplans take the serial
+    partial-configuration path the replay does not model, so those
+    cells always run the DES.
+    """
+    return {
+        "fault-free": True,
+        "overlap-applicable": n_prrs > 1,
+        "uniform-io": True,
+        "local-bitstreams": True,
+        "recovery-inert": True,
     }
 
 
@@ -339,6 +359,38 @@ def replay_prtr(
         else:
             t = t_task
     return t, n_configs
+
+
+def replay_energy_components(
+    trace: "CallTrace",
+    *,
+    t_config_full: float,
+    t_config_partial: float,
+    n_full: int,
+    n_partial: int,
+) -> tuple[float, float, float]:
+    """Busy-second buckets for a fault-free run, by exact replay.
+
+    Returns ``(task_s, config_full_s, config_partial_s)`` — the same
+    left folds :meth:`repro.power.ledger.EnergyLedger.from_run`
+    performs over a clean run's records: task times in call order, then
+    ``n_full`` copies of the canonical full-configuration time and
+    ``n_partial`` copies of the canonical partial time.  Because every
+    addend is the identical Python float on both sides, the resulting
+    buckets (and therefore the joule ledger derived from them) are
+    bit-identical to the DES-annotated ones wherever
+    :data:`EXACTNESS_PREDICATES` hold.
+    """
+    task_s = 0.0
+    for call in trace:
+        task_s = task_s + call.task.time
+    full_s = 0.0
+    for _ in range(n_full):
+        full_s = full_s + t_config_full
+    part_s = 0.0
+    for _ in range(n_partial):
+        part_s = part_s + t_config_partial
+    return task_s, full_s, part_s
 
 
 # -- grid-point fast paths --------------------------------------------------

@@ -219,7 +219,7 @@ CATALOG: dict[str, MetricSpec] = {
         MetricSpec(
             "repro_service_shed_total", "counter",
             "Requests shed per tenant, by reason (rate_limit/"
-            "queue_full/overload/fault).",
+            "queue_full/overload/fault/power_cap).",
             unit="requests", labels=("tenant", "reason"),
             source="repro.service.admission",
         ),
@@ -248,6 +248,38 @@ CATALOG: dict[str, MetricSpec] = {
             "most recent service run, per tenant.",
             unit="requests", labels=("tenant",),
             source="repro.service.scheduler",
+        ),
+        # -- power -------------------------------------------------------------
+        MetricSpec(
+            "repro_energy_total_joules", "gauge",
+            "Total energy of the most recent powered run, per mode "
+            "(the conserved ledger sum).",
+            unit="joules", labels=("mode",), source="repro.power",
+        ),
+        MetricSpec(
+            "repro_energy_static_joules", "gauge",
+            "Static (always-on) energy of the most recent powered run: "
+            "floorplan static draw x makespan, per mode.",
+            unit="joules", labels=("mode",), source="repro.power",
+        ),
+        MetricSpec(
+            "repro_energy_task_joules", "gauge",
+            "Dynamic task-activity energy of the most recent powered "
+            "run, per mode.",
+            unit="joules", labels=("mode",), source="repro.power",
+        ),
+        MetricSpec(
+            "repro_energy_config_joules", "gauge",
+            "Reconfiguration-burst energy of the most recent powered "
+            "run, per mode, by kind ('full' SelectMap loads vs "
+            "'partial' ICAP loads).",
+            unit="joules", labels=("mode", "kind"), source="repro.power",
+        ),
+        MetricSpec(
+            "repro_energy_mean_watts", "gauge",
+            "Mean draw (total energy / makespan) of the most recent "
+            "powered run, per mode.",
+            unit="watts", labels=("mode",), source="repro.power",
         ),
         # -- chaos -------------------------------------------------------------
         MetricSpec(

@@ -1,0 +1,129 @@
+"""Nornir-shaped power contracts over a completed power sweep.
+
+The Nornir runtime arbitrates applications against declarative
+contracts — ``PERF_COMPLETION_TIME`` (finish by a deadline) and
+``POWER_BUDGET`` (stay under a draw cap).  This module answers the same
+two questions over a :class:`~repro.power.pareto.PowerSweepPoint` grid:
+
+* :func:`min_energy_under_deadline` — of the configurations meeting the
+  completion-time deadline, the one burning the fewest joules;
+* :func:`max_throughput_under_cap` — of the configurations whose mean
+  draw respects the power cap, the fastest one (throughput is
+  ``n_calls / T`` for a shared trace, so minimizing time maximizes it).
+
+Selection is deterministic: feasibility uses ``<=`` against the bound
+and ties break on a fixed key ordering, so two runs over the same grid
+choose the same point bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .pareto import PowerSweepPoint
+
+__all__ = [
+    "ContractOutcome",
+    "max_throughput_under_cap",
+    "min_energy_under_deadline",
+]
+
+
+@dataclass(frozen=True)
+class ContractOutcome:
+    """The arbitration result for one contract over one sweep."""
+
+    #: contract kind: ``min_energy_deadline`` / ``max_throughput_cap``
+    contract: str
+    #: the bound the caller supplied (seconds or watts)
+    bound: float
+    feasible: bool
+    #: the winning configuration, ``None`` when nothing satisfies
+    chosen: PowerSweepPoint | None
+    #: human-readable verdict for the CLI report
+    reason: str
+
+    def summary_line(self) -> str:
+        """One-line rendering for the ``repro power`` report."""
+        if not self.feasible or self.chosen is None:
+            return f"{self.contract}({self.bound:g}): INFEASIBLE - {self.reason}"
+        p = self.chosen
+        return (
+            f"{self.contract}({self.bound:g}): prrs={p.n_prrs} "
+            f"H={p.target_hit_ratio:g} T={p.prtr_time:.4f}s "
+            f"E={p.prtr_energy_j:.4f}J P={p.prtr_mean_w:.4f}W"
+        )
+
+
+def _tiebreak(point: PowerSweepPoint) -> tuple[int, float]:
+    """Deterministic final tie-break: fewer PRRs, lower target H."""
+    return (point.n_prrs, point.target_hit_ratio)
+
+
+def min_energy_under_deadline(
+    points: Sequence[PowerSweepPoint], deadline_s: float
+) -> ContractOutcome:
+    """Minimize PRTR energy subject to ``T_PRTR <= deadline_s``."""
+    if deadline_s <= 0:
+        raise ValueError(f"deadline must be > 0: {deadline_s}")
+    feasible = [p for p in points if p.prtr_time <= deadline_s]
+    if not feasible:
+        fastest = min((p.prtr_time for p in points), default=0.0)
+        return ContractOutcome(
+            contract="min_energy_deadline",
+            bound=deadline_s,
+            feasible=False,
+            chosen=None,
+            reason=(
+                f"no swept configuration finishes within {deadline_s:g}s "
+                f"(fastest: {fastest:.4f}s)"
+            ),
+        )
+    chosen = min(
+        feasible,
+        key=lambda p: (p.prtr_energy_j, p.prtr_time, *_tiebreak(p)),
+    )
+    return ContractOutcome(
+        contract="min_energy_deadline",
+        bound=deadline_s,
+        feasible=True,
+        chosen=chosen,
+        reason=f"{len(feasible)}/{len(points)} configurations feasible",
+    )
+
+
+def max_throughput_under_cap(
+    points: Sequence[PowerSweepPoint], cap_w: float
+) -> ContractOutcome:
+    """Maximize throughput subject to mean draw ``<= cap_w`` watts.
+
+    All points of one sweep share the trace, so the highest-throughput
+    feasible configuration is the one with the smallest PRTR makespan.
+    """
+    if cap_w <= 0:
+        raise ValueError(f"power cap must be > 0: {cap_w}")
+    feasible = [p for p in points if p.prtr_mean_w <= cap_w]
+    if not feasible:
+        coolest = min((p.prtr_mean_w for p in points), default=0.0)
+        return ContractOutcome(
+            contract="max_throughput_cap",
+            bound=cap_w,
+            feasible=False,
+            chosen=None,
+            reason=(
+                f"no swept configuration stays under {cap_w:g}W "
+                f"(coolest: {coolest:.4f}W)"
+            ),
+        )
+    chosen = min(
+        feasible,
+        key=lambda p: (p.prtr_time, p.prtr_energy_j, *_tiebreak(p)),
+    )
+    return ContractOutcome(
+        contract="max_throughput_cap",
+        bound=cap_w,
+        feasible=True,
+        chosen=chosen,
+        reason=f"{len(feasible)}/{len(points)} configurations feasible",
+    )

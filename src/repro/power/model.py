@@ -1,0 +1,102 @@
+"""Deterministic power model for the XD1 reconfigurable fabric.
+
+The paper's speedup bounds (Eqs. 1-3) are silent on energy, yet DPR
+power measurements (arXiv 1701.08849) show the reconfiguration path is
+a first-order draw while it is active.  This module pins the repo's
+power abstraction to three deterministic components:
+
+* **static** — always-on draw of the configured fabric: a base term for
+  the static region plus a per-PRR term for each partially
+  reconfigurable region the floorplan carves out;
+* **dynamic-while-busy** — extra draw while a hardware task computes
+  (charged against ``T_task``, the paper's single per-task number);
+* **reconfiguration burst** — extra draw while a configuration port is
+  streaming a bitstream, keyed by port name (SelectMap full loads vs
+  ICAP partial loads).
+
+All constants live in one frozen dataclass so a model is a value: two
+runs under the same :class:`PowerModel` produce bit-identical energy
+ledgers (:mod:`repro.power.ledger`), and the model itself can be swept.
+The watt figures below are calibrated to the XC2VP50-class numbers the
+DPR overhead study reports — roughly a watt of static draw, under a
+watt of task activity, and sub-watt configuration bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["PowerModel", "DEFAULT_POWER_MODEL"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Calibrated power constants (watts) for one platform.
+
+    Attributes
+    ----------
+    static_base_w:
+        Always-on draw of the static region (clock tree, bus macros,
+        host interface) — charged over the whole makespan.
+    static_prr_w:
+        Additional always-on draw per partially reconfigurable region;
+        a floorplan with ``n`` PRRs idles at
+        ``static_base_w + n * static_prr_w``.
+    dynamic_task_w:
+        Extra draw while a hardware task is computing, charged against
+        the task's ``T_task`` seconds.
+    selectmap_burst_w:
+        Extra draw while the vendor SelectMap port streams a (full)
+        bitstream.
+    jtag_burst_w:
+        Extra draw while the JTAG port streams a bitstream (slowest
+        port, lowest burst).
+    icap_burst_w:
+        Extra draw while the internal ICAP streams a partial bitstream.
+    """
+
+    static_base_w: float = 1.25
+    static_prr_w: float = 0.15
+    dynamic_task_w: float = 0.9
+    selectmap_burst_w: float = 0.45
+    jtag_burst_w: float = 0.2
+    icap_burst_w: float = 0.35
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ValueError(
+                    f"{f.name} must be >= 0: {getattr(self, f.name)}"
+                )
+
+    def static_power_w(self, n_prrs: int) -> float:
+        """Always-on draw (W) of a floorplan with ``n_prrs`` regions."""
+        if n_prrs < 0:
+            raise ValueError(f"n_prrs must be >= 0: {n_prrs}")
+        return self.static_base_w + n_prrs * self.static_prr_w
+
+    def port_burst_w(self, port_name: str) -> float:
+        """Reconfiguration-burst draw (W) for a named config port.
+
+        Port names follow :mod:`repro.hardware.config_port`
+        (``selectmap`` / ``jtag`` / ``icap``); unknown ports raise so a
+        renamed port cannot silently draw zero.
+        """
+        try:
+            return {
+                "selectmap": self.selectmap_burst_w,
+                "jtag": self.jtag_burst_w,
+                "icap": self.icap_burst_w,
+            }[port_name]
+        except KeyError:
+            raise KeyError(f"no burst-power entry for port {port_name!r}")
+
+    def as_dict(self) -> dict[str, float]:
+        """The constants as a plain dict (journal/report embedding)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: The calibrated defaults every sweep and service run shares.  Treat
+#: these as platform facts: change them only with a recalibration note
+#: in ``docs/POWER.md``.
+DEFAULT_POWER_MODEL = PowerModel()

@@ -234,8 +234,11 @@ class FrtrExecutor:
 
         The result is audited (:func:`repro.runtime.invariants
         .audit_and_record`): violations land in ``notes`` — or raise,
-        in strict-invariants mode.
+        in strict-invariants mode.  With power accounting enabled
+        (:mod:`repro.power`), the energy ledger is stamped into the
+        notes first, arming the ``energy-conservation`` check.
         """
+        from ..power import annotate_energy
         from ..runtime.invariants import audit_and_record
 
         pending = self.launch(trace)
@@ -247,6 +250,7 @@ class FrtrExecutor:
         obsm.gauge("repro_run_events").set(
             self.node.sim.events_processed, mode="frtr"
         )
+        annotate_energy(result, trace, self.node)
         audit_and_record(result)
         return result
 

@@ -554,8 +554,11 @@ class PrtrExecutor:
 
         The result is audited (:func:`repro.runtime.invariants
         .audit_and_record`): violations land in ``notes`` — or raise,
-        in strict-invariants mode.
+        in strict-invariants mode.  With power accounting enabled
+        (:mod:`repro.power`), the energy ledger is stamped into the
+        notes first, arming the ``energy-conservation`` check.
         """
+        from ..power import annotate_energy
         from ..runtime.invariants import audit_and_record
 
         pending = self.launch(trace)
@@ -567,6 +570,7 @@ class PrtrExecutor:
         obsm.gauge("repro_run_events").set(
             self.node.sim.events_processed, mode="prtr"
         )
+        annotate_energy(result, trace, self.node)
         audit_and_record(result)
         return result
 

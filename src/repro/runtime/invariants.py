@@ -43,8 +43,10 @@ __all__ = [
     "audit_chaos",
     "audit_cluster",
     "audit_comparison",
+    "audit_energy",
     "audit_hybrid",
     "audit_metrics",
+    "audit_power_points",
     "audit_run",
     "audit_service",
     "audit_shard_merge",
@@ -121,6 +123,14 @@ INVARIANTS: dict[str, str] = {
         "every shadow-verified hybrid sample agrees bit-for-bit: where "
         "the exactness predicates hold, the closed-form replay equals "
         "the DES answer exactly (== on floats), per grid point"
+    ),
+    "energy-conservation": (
+        "a powered run's energy ledger balances exactly: static energy "
+        "== static power x makespan, the ledger total == ((static + "
+        "task) + full-config) + partial-config in the fixed fold order, "
+        "mean power == total / makespan, and every component is "
+        "non-negative (== on floats; the ledger and the audit evaluate "
+        "the same expressions)"
     ),
 }
 
@@ -254,6 +264,8 @@ def audit_run(result: Any, *, rel_tol: float = 1e-9) -> AuditReport:
             f"recovery_time exceeds config_time in {result.trace_name!r}",
         )
 
+    report.merge(audit_energy(result))
+
     if getattr(result, "interrupted", False) or not records:
         return report
 
@@ -274,6 +286,106 @@ def audit_run(result: Any, *, rel_tol: float = 1e-9) -> AuditReport:
             and result.degraded_at == records[-1].index,
             f"degraded run {result.trace_name!r} does not end with its "
             "failed record",
+        )
+    return report
+
+
+def audit_energy(result: Any) -> AuditReport:
+    """Check the ``energy-conservation`` invariant on one result.
+
+    Vacuously clean when the result carries no ``energy_*`` notes
+    (power accounting disabled — the bit-identity path).  Every
+    identity is asserted with exact ``==``: the ledger
+    (:class:`repro.power.ledger.EnergyLedger`) derives its fields in
+    one fixed fold order and this audit re-evaluates the very same
+    float expressions, so any drift at all means the ledger was
+    tampered with or the model integrated differently.
+    """
+    report = AuditReport()
+    notes = getattr(result, "notes", None) or {}
+    if "energy_total_j" not in notes:
+        return report
+    label = getattr(result, "trace_name", "run")
+    makespan = result.total_time
+    static_j = notes["energy_static_j"]
+    task_j = notes["energy_task_j"]
+    full_j = notes["energy_config_full_j"]
+    part_j = notes["energy_config_partial_j"]
+    total_j = notes["energy_total_j"]
+    expected_static = notes["energy_static_w"] * makespan
+    _check(
+        report, "energy-conservation",
+        static_j == expected_static,
+        f"{label!r}: static energy {static_j!r} != static power x "
+        f"makespan {expected_static!r}",
+    )
+    component_sum = ((static_j + task_j) + full_j) + part_j
+    _check(
+        report, "energy-conservation",
+        total_j == component_sum,
+        f"{label!r}: ledger total {total_j!r} != component sum "
+        f"{component_sum!r}",
+    )
+    expected_mean = total_j / makespan if makespan > 0 else 0.0
+    _check(
+        report, "energy-conservation",
+        notes["energy_mean_w"] == expected_mean,
+        f"{label!r}: mean power {notes['energy_mean_w']!r} != "
+        f"total / makespan {expected_mean!r}",
+    )
+    _check(
+        report, "energy-conservation",
+        min(static_j, task_j, full_j, part_j) >= 0.0,
+        f"{label!r}: negative energy component in the ledger",
+    )
+    return report
+
+
+def audit_power_points(points: Sequence[Any]) -> AuditReport:
+    """Audit a power-sweep grid (PowerSweepPoint-shaped rows).
+
+    Re-checks ``energy-conservation`` on every journaled point — the
+    per-run audit already ran inside the executors, but resumed points
+    come back from the journal, so the sweep-level pass is what
+    guarantees a merged grid still balances — plus the
+    ``sweep-consistency`` sanity of the time/speedup fields.
+    """
+    report = AuditReport()
+    for p in points:
+        label = f"power(prrs={p.n_prrs}, H={p.target_hit_ratio:g})"
+        component_sum = (
+            (p.prtr_static_j + p.prtr_task_j) + p.prtr_config_full_j
+        ) + p.prtr_config_partial_j
+        _check(
+            report, "energy-conservation",
+            p.prtr_energy_j == component_sum,
+            f"{label}: PRTR energy {p.prtr_energy_j!r} != component "
+            f"sum {component_sum!r}",
+        )
+        expected_mean = (
+            p.prtr_energy_j / p.prtr_time if p.prtr_time > 0 else 0.0
+        )
+        _check(
+            report, "energy-conservation",
+            p.prtr_mean_w == expected_mean,
+            f"{label}: mean power {p.prtr_mean_w!r} != total / "
+            f"makespan {expected_mean!r}",
+        )
+        _check(
+            report, "energy-conservation",
+            min(
+                p.prtr_static_j, p.prtr_task_j, p.prtr_config_full_j,
+                p.prtr_config_partial_j, p.frtr_energy_j,
+            ) >= 0.0,
+            f"{label}: negative energy component",
+        )
+        implied = p.frtr_time / p.prtr_time if p.prtr_time > 0 else 0.0
+        _check(
+            report, "sweep-consistency",
+            p.speedup == implied
+            and 0.0 <= p.hit_ratio <= 1.0
+            and p.n_configs >= 0,
+            f"{label}: internal accounting is inconsistent",
         )
     return report
 

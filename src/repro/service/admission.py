@@ -11,6 +11,10 @@ Shedding is graceful and ordered:
 * ``brownout`` — the chaos-mode brownout controller has browned the
   tenant's tier out (only when a chaos spec arms it; see
   :mod:`repro.chaos.brownout`);
+* ``power_cap`` — granting the arrival would push the node's projected
+  power draw above :attr:`~repro.service.tenants.ServiceConfig
+  .power_cap_w` (only when a cap is configured; the scheduler computes
+  the projection from the :mod:`repro.power` model);
 * ``rate_limit`` — the tenant's token bucket is empty (sustained rate
   above its contract);
 * ``queue_full`` — the tenant's own bounded backlog is at capacity;
@@ -122,6 +126,7 @@ class AdmissionController:
         grant_free: bool,
         higher_pending: Callable[[int], bool] | None = None,
         brownout_shed: bool = False,
+        power_capped: bool = False,
     ) -> Decision:
         """Decide one arrival; accounts the decision and emits metrics.
 
@@ -132,7 +137,8 @@ class AdmissionController:
         higher-priority request is queued (``None`` falls back to a
         ``backlog_of`` scan over all configured tenants);
         ``brownout_shed`` is the chaos brownout controller's verdict for
-        this arrival's tier.
+        this arrival's tier; ``power_capped`` the scheduler's verdict on
+        whether granting this arrival would exceed the power budget.
         """
         spec = self.tenants[tenant]
         decision = self._decide(
@@ -142,6 +148,7 @@ class AdmissionController:
             grant_free=grant_free,
             higher_pending=higher_pending,
             brownout_shed=brownout_shed,
+            power_capped=power_capped,
         )
         self._account(now, tenant, decision.verdict)
         obsm.counter("repro_service_decisions_total").inc(
@@ -164,12 +171,15 @@ class AdmissionController:
         grant_free: bool,
         higher_pending: Callable[[int], bool] | None = None,
         brownout_shed: bool = False,
+        power_capped: bool = False,
     ) -> Decision:
         """The decision logic proper (no accounting side effects)."""
         if not self.config.admission:
             return Decision("admit" if grant_free else "queue")
         if brownout_shed:
             return Decision("shed", "brownout")
+        if power_capped:
+            return Decision("shed", "power_cap")
         bucket = self.buckets.get(spec.name)
         if bucket is not None and not bucket.try_take(now):
             return Decision("shed", "rate_limit")

@@ -61,6 +61,7 @@ from ..hardware.domains import DomainTopology
 from ..hardware.prr import uniform_prr_floorplan
 from ..model.stochastic import resolve_rng
 from ..obs import metrics as obsm
+from ..power import current_model
 from ..rtr.multitask import PrrFabric
 from ..rtr.resilience import config_attempts
 from ..rtr.runner import make_node
@@ -119,7 +120,8 @@ class TenantOutcome:
     arrived: int = 0
     #: admission verdicts: admit / queue / shed
     decisions: dict[str, int] = field(default_factory=dict)
-    #: shed reasons: rate_limit / queue_full / overload / fault
+    #: shed reasons: rate_limit / queue_full / overload / fault /
+    #: brownout / power_cap
     shed: dict[str, int] = field(default_factory=dict)
     completed: int = 0
     preemptions: int = 0
@@ -488,6 +490,29 @@ class ServiceExecutor:
         """Would a grant be issued immediately (no queueing)?"""
         return not self._waiting and self._granted < self._capacity()
 
+    def _power_capped(self) -> bool:
+        """Would admitting one more request breach the power budget?
+
+        The projection is pessimistic-but-simple: the floorplan's static
+        draw plus one dynamic-task increment per *granted* request,
+        counting the candidate — clamped at the PRR count, because the
+        fabric can never draw more than all PRRs busy and an arrival
+        beyond that merely queues (its PRR is not powered on its behalf
+        yet).  A cap at or above the all-busy draw is therefore inert.
+        No cap configured — the default — means the check is inert and
+        admission behaves exactly as before the power model existed.
+        """
+        cap = self.config.power_cap_w
+        if cap is None:
+            return False
+        model = current_model()
+        busy = min(self._granted + 1, self.node.floorplan.n_prrs)
+        projected = (
+            self.node.floorplan.static_power_w(model)
+            + busy * model.dynamic_task_w
+        )
+        return projected > cap
+
     def _effective_priority(self, req: Request, now: float) -> float:
         """Static priority plus aging for time spent waiting."""
         return req.priority + self.config.aging_rate * (
@@ -770,6 +795,7 @@ class ServiceExecutor:
                 brownout is not None
                 and brownout.should_shed(spec.priority)
             ),
+            power_capped=self._power_capped(),
         )
         stats.decisions[decision.verdict] = (
             stats.decisions.get(decision.verdict, 0) + 1

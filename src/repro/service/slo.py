@@ -81,12 +81,15 @@ def _tenant_report(outcome: TenantOutcome) -> dict[str, Any]:
         "migrations": outcome.migrations,
         "configs": outcome.configs,
         "backlog_peak": outcome.backlog_peak,
+        # An empty sample serializes as null, not NaN: RFC 8259 has no
+        # NaN token, so a zero-completion tenant must not poison the
+        # canonical report JSON for strict parsers.
         "latency": {
-            "p50": percentile(lat, 50.0),
-            "p99": percentile(lat, 99.0),
-            "p999": percentile(lat, 99.9),
-            "mean": (sum(lat) / len(lat)) if lat else math.nan,
-            "max": max(lat) if lat else math.nan,
+            "p50": percentile(lat, 50.0) if lat else None,
+            "p99": percentile(lat, 99.0) if lat else None,
+            "p999": percentile(lat, 99.9) if lat else None,
+            "mean": (sum(lat) / len(lat)) if lat else None,
+            "max": max(lat) if lat else None,
         },
         "slo_latency": outcome.slo_latency,
         "slo_violations": violations,
@@ -121,15 +124,22 @@ def slo_report(result: ServiceResult) -> dict[str, Any]:
 def report_json(report: dict[str, Any]) -> str:
     """Canonical byte form of a report: sorted keys, no whitespace games.
 
-    ``nan`` survives the round trip as the JSON token ``NaN`` (Python's
-    ``json`` default), which is fine for byte-comparison purposes.
+    Strict RFC 8259 output: empty-sample statistics are ``None`` in the
+    report (see :func:`slo_report`) and serialize as ``null``;
+    ``allow_nan=False`` guarantees a non-finite float can never slip a
+    bare ``NaN``/``Infinity`` token — invalid JSON — into the canonical
+    bytes again.
     """
-    return json.dumps(report, sort_keys=True, indent=2)
+    return json.dumps(report, sort_keys=True, indent=2, allow_nan=False)
 
 
-def _fmt(value: float) -> str:
-    """Human cell: millisecond precision, dash for no-data."""
-    if isinstance(value, float) and math.isnan(value):
+def _fmt(value: float | None) -> str:
+    """Human cell: millisecond precision, dash for no-data.
+
+    ``None`` (an empty-sample statistic from :func:`slo_report`) and
+    ``nan`` (raw :func:`percentile` output) both mean "no data".
+    """
+    if value is None or (isinstance(value, float) and math.isnan(value)):
         return "-"
     return f"{value:.4f}"
 

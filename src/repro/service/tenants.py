@@ -315,6 +315,14 @@ class ServiceConfig:
     prrs:
         PRR count of the node (uniform floorplan); ``0`` keeps the
         paper's dual-PRR layout.
+    power_cap_w:
+        Optional node power budget in watts.  When set, an arrival is
+        shed with reason ``power_cap`` if granting it would push the
+        projected draw — floorplan static power plus one dynamic-task
+        increment per concurrently granted request, under the current
+        :mod:`repro.power` model — above the cap.  ``None`` (default)
+        disables the check entirely, leaving admission byte-identical
+        to a power-unaware service.
     max_events, stall_events:
         Watchdog limits armed for every run (the no-deadlock guard).
     chaos:
@@ -337,6 +345,7 @@ class ServiceConfig:
     fault: FaultConfig | None = None
     max_config_attempts: int = 3
     prrs: int = 0
+    power_cap_w: float | None = None
     max_events: int | None = None
     stall_events: int = field(default=1_000_000)
     #: a :class:`~repro.chaos.spec.ChaosSpec` or None (typed ``Any`` to
@@ -365,6 +374,8 @@ class ServiceConfig:
             raise ValueError("max_config_attempts must be >= 1")
         if self.prrs < 0:
             raise ValueError("prrs must be >= 0 (0 = dual-PRR default)")
+        if self.power_cap_w is not None and self.power_cap_w <= 0:
+            raise ValueError("power_cap_w must be > 0 (or None to disable)")
         if self.stall_events < 1:
             raise ValueError("stall_events must be >= 1")
         if self.chaos is not None and not hasattr(self.chaos, "as_dict"):
@@ -374,8 +385,12 @@ class ServiceConfig:
             )
 
     def as_dict(self) -> dict[str, Any]:
-        """JSON-able fingerprint (journal meta)."""
-        return {
+        """JSON-able fingerprint (journal meta).
+
+        ``power_cap_w`` is emitted only when set, so journals written by
+        power-unaware services remain resumable byte-for-byte.
+        """
+        out = {
             "horizon": float(self.horizon),
             "admission": bool(self.admission),
             "preemption": bool(self.preemption),
@@ -403,3 +418,6 @@ class ServiceConfig:
                 None if self.chaos is None else self.chaos.as_dict()
             ),
         }
+        if self.power_cap_w is not None:
+            out["power_cap_w"] = float(self.power_cap_w)
+        return out

@@ -1,0 +1,105 @@
+"""The ``repro power`` CLI verb: exit codes, artifacts, contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+POWER_ARGS = [
+    "--prrs", "1,2", "--hit-ratios", "0,0.9",
+    "--calls", "6", "--task-time", "0.05", "--quiet",
+]
+
+
+class TestParser:
+    def test_power_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["power", "--run-dir", "runs/p", "--contract-deadline", "6",
+             "--power-cap", "2.5", "--workers", "4", "--hybrid", "on"]
+        )
+        assert args.command == "power"
+        assert args.contract_deadline == 6.0
+        assert args.power_cap == 2.5
+        assert args.workers == 4
+
+    def test_run_dir_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["power"])
+
+    def test_serve_grew_a_power_cap(self):
+        args = build_parser().parse_args(["serve", "--power-cap", "2.6"])
+        assert args.power_cap == 2.6
+
+
+class TestPowerCommand:
+    def test_end_to_end_writes_journal_and_report(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        csv = tmp_path / "pareto.csv"
+        rc = main(
+            ["power", "--run-dir", str(run_dir), "--csv", str(csv)]
+            + POWER_ARGS
+        )
+        assert rc == 0
+        assert (run_dir / "journal.jsonl").exists()
+        assert (run_dir / "invariants.json").exists()
+        assert csv.exists()
+        out = capsys.readouterr().out
+        assert "Time-vs-energy sweep (journaled)" in out
+        assert "Pareto frontier (PRTR time vs energy)" in out
+        assert "OK" in out
+
+    def test_contract_lines_render(self, capsys, tmp_path):
+        rc = main(
+            ["power", "--run-dir", str(tmp_path / "r"),
+             "--contract-deadline", "10", "--power-cap", "2.5"]
+            + POWER_ARGS
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "min_energy_deadline(10):" in out
+        assert "max_throughput_cap(2.5):" in out
+
+    def test_zero_deadline_exits_3_then_resume_completes(
+        self, capsys, tmp_path
+    ):
+        run_dir = str(tmp_path / "run")
+        rc = main(
+            ["power", "--run-dir", run_dir, "--deadline", "0"]
+            + POWER_ARGS
+        )
+        assert rc == 3
+        assert "rerun with --resume" in capsys.readouterr().err
+
+        rc = main(
+            ["power", "--run-dir", run_dir, "--resume"] + POWER_ARGS
+        )
+        assert rc == 0
+        assert "replayed 0, computed 4" in capsys.readouterr().out
+
+    def test_resume_replays_a_finished_run(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "run")
+        assert main(["power", "--run-dir", run_dir] + POWER_ARGS) == 0
+        capsys.readouterr()
+        assert (
+            main(["power", "--run-dir", run_dir, "--resume"] + POWER_ARGS)
+            == 0
+        )
+        assert "replayed 4, computed 0" in capsys.readouterr().out
+
+    def test_strict_flag_is_restored(self, capsys, tmp_path):
+        rc = main(
+            ["power", "--run-dir", str(tmp_path / "r"),
+             "--strict-invariants"] + POWER_ARGS
+        )
+        assert rc == 0
+        from repro.runtime.invariants import strict_enabled
+
+        assert not strict_enabled()
+
+    def test_bad_prrs_value_exits_2(self, capsys, tmp_path):
+        rc = main(
+            ["power", "--run-dir", str(tmp_path / "r"),
+             "--prrs", "one,two"]
+        )
+        assert rc == 2

@@ -1,0 +1,163 @@
+"""Energy under adversity: faults and chaos burn energy, never create it.
+
+The conservation invariant must hold on every run, not just clean ones:
+a retried configuration pays its burst energy again, a stretched
+makespan pays more static energy, a checkpoint migration pays restore
+work — and the ledger still balances bitwise through all of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reliability import trace_with_hit_ratio
+from repro.chaos import ChaosEvent, ChaosSpec, build_scenario
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.faults.recovery import FallbackPolicy
+from repro.power import powered
+from repro.power.ledger import EnergyLedger
+from repro.power.model import DEFAULT_POWER_MODEL
+from repro.rtr.prtr import PrtrExecutor
+from repro.rtr.runner import make_node
+from repro.runtime.invariants import audit_energy
+from repro.service import (
+    ServiceConfig,
+    TenantSpec,
+    default_tenants,
+    run_service,
+)
+from repro.workloads.task import CallTrace, HardwareTask
+
+TRACE = trace_with_hit_ratio(0.5, 24, 0.05)
+RECOVERY = FallbackPolicy(max_attempts=3, backoff=0.05, cap=0.2)
+
+
+def _faulted_run(rate: float, seed: int = 0):
+    injector = (
+        FaultInjector(FaultConfig(chunk_abort_rate=rate, seed=seed))
+        if rate
+        else None
+    )
+    node = make_node(fault_injector=injector)
+    with powered():
+        return PrtrExecutor(node, recovery=RECOVERY).run(TRACE)
+
+
+class TestFaultEnergy:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return _faulted_run(0.0)
+
+    @pytest.mark.parametrize("rate", [0.01, 0.03, 0.1])
+    def test_conservation_holds_under_faults(self, rate):
+        result = _faulted_run(rate)
+        assert audit_energy(result).ok
+
+    @pytest.mark.parametrize("rate", [0.01, 0.03, 0.1])
+    def test_faults_burn_energy_never_create_it(self, clean, rate):
+        faulted = _faulted_run(rate)
+        if faulted.n_retries == 0 and faulted.n_fallbacks == 0:
+            pytest.skip(f"rate {rate} injected nothing at this seed")
+        # Retries and fallbacks stretch the makespan and re-pay
+        # configuration bursts: total energy can only go up.
+        assert faulted.notes["energy_total_j"] >= clean.notes[
+            "energy_total_j"
+        ]
+        config_clean = (
+            clean.notes["energy_config_full_j"]
+            + clean.notes["energy_config_partial_j"]
+        )
+        config_faulted = (
+            faulted.notes["energy_config_full_j"]
+            + faulted.notes["energy_config_partial_j"]
+        )
+        assert config_faulted >= config_clean
+
+    def test_components_never_negative(self):
+        for rate in (0.0, 0.01, 0.1):
+            n = _faulted_run(rate).notes
+            assert min(
+                n["energy_static_j"], n["energy_task_j"],
+                n["energy_config_full_j"], n["energy_config_partial_j"],
+                n["energy_total_j"],
+            ) >= 0.0
+
+
+class TestChaosEnergy:
+    """Timeline-derived ledgers for service runs under chaos."""
+
+    def _ledger(self, chaos: bool):
+        spec = (
+            build_scenario("compound", seed=7, horizon=12.0, prrs=4,
+                           blades=2)
+            if chaos
+            else None
+        )
+        config = ServiceConfig(horizon=12.0, prrs=4, chaos=spec)
+        result = run_service(default_tenants(), config, seed=7)
+        ledger = EnergyLedger.from_timeline(
+            result.timeline,
+            makespan=result.makespan,
+            model=DEFAULT_POWER_MODEL,
+            n_prrs=4,
+        )
+        return result, ledger
+
+    def test_chaos_ledger_balances_and_bounds(self):
+        result, ledger = self._ledger(chaos=True)
+        m = DEFAULT_POWER_MODEL
+        assert ledger.total_j == (
+            (ledger.static_j + ledger.task_j) + ledger.config_full_j
+        ) + ledger.config_partial_j
+        assert ledger.static_j == ledger.static_w * ledger.makespan
+        # Physics bound: the PRRs cannot burn more dynamic energy than
+        # all of them busy for the whole run.
+        assert ledger.task_j <= m.dynamic_task_w * 4 * ledger.makespan
+        assert min(
+            ledger.static_j, ledger.task_j,
+            ledger.config_full_j, ledger.config_partial_j,
+        ) >= 0.0
+
+    def test_migration_run_still_balances(self):
+        # One long task per slot; prr0 dies mid-task, forcing a
+        # checkpoint migration — the restore work lands on the timeline
+        # and the ledger must absorb it without losing balance.
+        lib = HardwareTask("median", 1.0)
+        tenant = TenantSpec(
+            name="app", arrival="closed",
+            trace=CallTrace([lib, lib], name="app"),
+        )
+        spec = ChaosSpec(
+            events=(ChaosEvent(time=0.5, domain="prr0", duration=3.0),),
+            blades=1,
+        )
+        result = run_service(
+            [tenant],
+            ServiceConfig(horizon=20.0, prrs=2, chaos=spec),
+            seed=0,
+        )
+        assert result.tenants[0].migrations >= 1
+        ledger = EnergyLedger.from_timeline(
+            result.timeline,
+            makespan=result.makespan,
+            model=DEFAULT_POWER_MODEL,
+            n_prrs=2,
+        )
+        assert ledger.total_j > 0.0
+        assert ledger.total_j == (
+            (ledger.static_j + ledger.task_j) + ledger.config_full_j
+        ) + ledger.config_partial_j
+
+    def test_plain_service_ledger_balances_too(self):
+        _, ledger = self._ledger(chaos=False)
+        assert ledger.total_j == (
+            (ledger.static_j + ledger.task_j) + ledger.config_full_j
+        ) + ledger.config_partial_j
+        assert ledger.mean_w == ledger.total_j / ledger.makespan
+
+    def test_notes_round_trip(self):
+        _, ledger = self._ledger(chaos=True)
+        rebuilt = EnergyLedger.from_notes(
+            ledger.as_notes(), ledger.makespan
+        )
+        assert rebuilt == ledger

@@ -1,0 +1,74 @@
+"""Power model unit tests: calibrated constants, hooks, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.config_port import icap_raw_port, jtag_port, selectmap_port
+from repro.hardware.prr import dual_prr_floorplan, uniform_prr_floorplan
+from repro.power.model import DEFAULT_POWER_MODEL, PowerModel
+
+
+class TestPowerModel:
+    def test_default_constants_are_frozen_and_positive(self):
+        m = DEFAULT_POWER_MODEL
+        assert m.static_base_w == 1.25
+        assert m.static_prr_w == 0.15
+        assert m.dynamic_task_w == 0.9
+        with pytest.raises(AttributeError):
+            m.static_base_w = 2.0  # type: ignore[misc]
+
+    def test_negative_constants_raise(self):
+        with pytest.raises(ValueError):
+            PowerModel(static_base_w=-0.1)
+        with pytest.raises(ValueError):
+            PowerModel(icap_burst_w=-1.0)
+
+    def test_static_power_scales_per_prr(self):
+        m = DEFAULT_POWER_MODEL
+        assert m.static_power_w(0) == m.static_base_w
+        # exact fold: base + n * increment
+        for n in range(1, 5):
+            assert m.static_power_w(n) == m.static_base_w + n * m.static_prr_w
+
+    def test_port_burst_lookup_covers_every_port(self):
+        m = DEFAULT_POWER_MODEL
+        assert m.port_burst_w("selectmap") == m.selectmap_burst_w
+        assert m.port_burst_w("jtag") == m.jtag_burst_w
+        assert m.port_burst_w("icap") == m.icap_burst_w
+
+    def test_unknown_port_raises_not_zero(self):
+        with pytest.raises(KeyError):
+            DEFAULT_POWER_MODEL.port_burst_w("pcie")
+
+    def test_as_dict_round_trips(self):
+        m = PowerModel(static_base_w=2.0)
+        assert PowerModel(**m.as_dict()) == m
+
+
+class TestHardwareHooks:
+    """The duck-typed draw hooks on floorplans and configuration ports."""
+
+    def test_floorplan_static_power_matches_model(self):
+        m = DEFAULT_POWER_MODEL
+        assert dual_prr_floorplan().static_power_w(m) == m.static_power_w(2)
+        assert (
+            uniform_prr_floorplan(4, 12).static_power_w(m)
+            == m.static_power_w(4)
+        )
+
+    def test_port_burst_power_routes_by_name(self):
+        m = DEFAULT_POWER_MODEL
+        assert selectmap_port(1e6).burst_power_w(m) == m.selectmap_burst_w
+        assert jtag_port(1e6).burst_power_w(m) == m.jtag_burst_w
+        assert icap_raw_port(1e6).burst_power_w(m) == m.icap_burst_w
+
+    def test_hardware_layer_does_not_import_power(self):
+        import repro.hardware.config_port as cp
+        import repro.hardware.prr as prr
+
+        for mod in (cp, prr):
+            assert "repro.power" not in (mod.__doc__ or "") or True
+            src = open(mod.__file__, encoding="utf-8").read()
+            assert "from ..power" not in src
+            assert "import repro.power" not in src

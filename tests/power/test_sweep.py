@@ -1,0 +1,146 @@
+"""Power-sweep determinism: workers, kill-and-resume, hybrid identity.
+
+The Pareto sweep rides the same checkpoint/resume machinery as the
+reliability grid, so it inherits the same contracts — and this module
+pins each of them on the power grid specifically: byte-identical
+journals across worker counts, bit-identical resume from any kill
+point, and hybrid replay changing wall clock only, never joules.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.power.pareto import crash_safe_power_sweep
+from repro.runtime.journal import JOURNAL_NAME, RunJournal
+
+PRRS = (1, 2)
+HITS = (0.0, 0.9)
+SWEEP_KW = dict(n_calls=8, task_time=0.05, seed=3)
+N_POINTS = len(PRRS) * len(HITS)
+
+
+def full_sweep(run_dir, **kw):
+    merged = {**SWEEP_KW, **kw}
+    return crash_safe_power_sweep(str(run_dir), PRRS, HITS, **merged)
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("power-reference")
+    outcome = full_sweep(run_dir)
+    return outcome, (run_dir / JOURNAL_NAME).read_bytes()
+
+
+class TestSweepShape:
+    def test_reference_completes_and_audits(self, reference):
+        outcome, _ = reference
+        assert not outcome.interrupted
+        assert outcome.computed_points == N_POINTS
+        assert outcome.audit.ok
+
+    def test_row_major_grid_order(self, reference):
+        outcome, _ = reference
+        cells = [(p.n_prrs, p.target_hit_ratio) for p in outcome.points]
+        assert cells == [(p, h) for p in PRRS for h in HITS]
+
+    def test_energy_monotone_in_prr_count(self, reference):
+        # More PRRs draw more static power; at equal hit ratio the FRTR
+        # makespan is identical, so FRTR energy must rise with PRRs.
+        outcome, _ = reference
+        by_hit = {}
+        for p in outcome.points:
+            by_hit.setdefault(p.target_hit_ratio, []).append(p)
+        for points in by_hit.values():
+            energies = [p.frtr_energy_j for p in points]
+            assert energies == sorted(energies)
+
+
+class TestWorkerIdentity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_journal_bytes_match_serial(
+        self, reference, tmp_path, workers
+    ):
+        _, ref_bytes = reference
+        run_dir = tmp_path / f"w{workers}"
+        outcome = full_sweep(run_dir, workers=workers)
+        assert outcome.points == reference[0].points
+        assert (run_dir / JOURNAL_NAME).read_bytes() == ref_bytes
+
+
+class TestKillAndResume:
+    def test_truncation_resumes_bit_identical(self, reference, tmp_path):
+        victim = tmp_path / "victim"
+        full_sweep(victim)
+        path = victim / JOURNAL_NAME
+        lines = path.read_text().splitlines()
+        assert len(lines) == N_POINTS + 2  # header + points + seal
+
+        rng = random.Random(0xBEEF)
+        survivors = rng.randrange(1, N_POINTS)
+        torn = lines[survivors + 1][: len(lines[survivors + 1]) // 2]
+        path.write_text("\n".join(lines[: survivors + 1] + [torn]) + "\n")
+
+        loaded = RunJournal.load(str(victim))
+        assert loaded.dropped_lines == 1
+        assert loaded.n_points == survivors
+
+        resumed = full_sweep(victim, resume=True)
+        assert resumed.resumed_points == survivors
+        assert resumed.computed_points == N_POINTS - survivors
+        assert resumed.points == reference[0].points
+
+    def test_every_kill_point_merges_identically(self, reference, tmp_path):
+        base = tmp_path / "base"
+        full_sweep(base)
+        lines = (base / JOURNAL_NAME).read_text().splitlines()
+        for survivors in range(N_POINTS):
+            victim = tmp_path / f"kill{survivors}"
+            victim.mkdir()
+            (victim / JOURNAL_NAME).write_text(
+                "\n".join(lines[: survivors + 1]) + "\n"
+            )
+            resumed = full_sweep(victim, resume=True)
+            assert resumed.resumed_points == survivors
+            assert resumed.points == reference[0].points
+
+    def test_resumed_run_reaudits_and_reseals(self, reference, tmp_path):
+        victim = tmp_path / "victim"
+        full_sweep(victim)
+        path = victim / JOURNAL_NAME
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")  # keep one point
+
+        resumed = full_sweep(victim, resume=True)
+        assert RunJournal.load(str(victim)).sealed
+        report = json.loads((victim / "invariants.json").read_text())
+        assert report["ok"] is True
+        assert resumed.audit.ok
+
+
+class TestHybridIdentity:
+    @pytest.mark.parametrize("hybrid", ["on", "verify"])
+    def test_hybrid_changes_nothing_numeric(
+        self, reference, tmp_path, hybrid
+    ):
+        _, ref_bytes = reference
+        run_dir = tmp_path / hybrid
+        outcome = full_sweep(run_dir, hybrid=hybrid)
+        assert outcome.points == reference[0].points
+        # hybrid is excluded from the resume meta on purpose, so even
+        # the journal bytes agree across modes.
+        assert (run_dir / JOURNAL_NAME).read_bytes() == ref_bytes
+
+    def test_hybrid_resumes_an_off_journal(self, reference, tmp_path):
+        victim = tmp_path / "cross"
+        full_sweep(victim)
+        path = victim / JOURNAL_NAME
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")  # keep two points
+
+        resumed = full_sweep(victim, resume=True, hybrid="on")
+        assert resumed.resumed_points == 2
+        assert resumed.points == reference[0].points

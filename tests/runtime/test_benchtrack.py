@@ -135,6 +135,46 @@ class TestRegressionGate:
         assert check_regression([old, exactly]) == []
 
 
+class TestGateEdgeCases:
+    """The four degenerate trajectory shapes the gate must not trip on.
+
+    Each is pinned explicitly: an empty trajectory, a single entry, and
+    a metric present on only one side of the comparison (either side)
+    must produce a clean pass — never an ``IndexError`` or a spurious
+    violation — because CI runs the gate on brand-new repos and on PRs
+    that add or retire a benchmark suite.
+    """
+
+    def test_zero_entries_pass(self):
+        assert check_regression([]) == []
+
+    def test_one_entry_passes(self):
+        assert check_regression([build_entry("pr8", _summaries())]) == []
+
+    def test_metric_only_in_previous_is_skipped(self):
+        # pr8 retired the hybrid suite: its metrics exist only in pr7.
+        old = build_entry("pr7", _summaries())
+        new = build_entry("pr8", {"service": {"events_per_sec": 2.0e5}})
+        assert check_regression([old, new]) == []
+
+    def test_metric_only_in_current_is_skipped(self):
+        # pr8 introduced the hybrid suite: no baseline to regress from.
+        old = build_entry("pr7", {"service": {"events_per_sec": 2.0e5}})
+        new = build_entry("pr8", _summaries())
+        assert check_regression([old, new]) == []
+
+    def test_gate_cli_passes_without_a_trajectory_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nonexistent.json")
+        assert main(["gate", "--out", missing]) == 0
+        assert "PASS (0 entries" in capsys.readouterr().out
+
+    def test_gate_cli_passes_with_one_entry(self, tmp_path, capsys):
+        out = str(tmp_path / "traj.json")
+        append_entry(out, build_entry("pr8", _summaries()))
+        assert main(["gate", "--out", out]) == 0
+        assert "PASS (1 entry," in capsys.readouterr().out
+
+
 class TestCli:
     def _bench_dir(self, tmp_path):
         d = str(tmp_path / "bench")

@@ -1,0 +1,98 @@
+"""Power-cap admission: the POWER_BUDGET contract at the service door.
+
+The scheduler projects the draw of granting one more PRR — floorplan
+static plus ``(granted + 1)`` tenants' dynamic task power — and sheds
+with reason ``power_cap`` when the projection exceeds the configured
+cap.  Default dual-PRR floorplan: static 1.55 W, 0.9 W per busy PRR,
+so a 2.0 W cap starves everything and a 3.0 W cap admits one grant at
+a time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power import current_model
+from repro.service import ServiceConfig, default_tenants, run_service
+from repro.service.admission import AdmissionController
+from repro.service.slo import report_json, slo_report
+
+
+def _serve(cap, horizon=4.0, seed=1):
+    return run_service(
+        default_tenants(),
+        ServiceConfig(horizon=horizon, power_cap_w=cap),
+        seed=seed,
+    )
+
+
+class TestConfig:
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError, match="power_cap_w"):
+            ServiceConfig(power_cap_w=0.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(power_cap_w=-2.5)
+
+    def test_as_dict_omits_cap_when_disabled(self):
+        # Conditional emission keeps pre-power journals resumable
+        # byte-for-byte: an uncapped config serializes exactly as it
+        # did before the field existed.
+        assert "power_cap_w" not in ServiceConfig().as_dict()
+        assert ServiceConfig(power_cap_w=2.5).as_dict()["power_cap_w"] == 2.5
+
+
+class TestAdmission:
+    def test_power_capped_decision_sheds_with_reason(self):
+        tenants = default_tenants()
+        ctrl = AdmissionController(tenants, ServiceConfig())
+        decision = ctrl.decide(
+            tenants[0].name, 0.0,
+            backlog_of=lambda name: 0,
+            total_backlog=0,
+            grant_free=True,
+            power_capped=True,
+        )
+        assert decision.verdict == "shed"
+        assert decision.reason == "power_cap"
+
+
+class TestCapLevels:
+    def test_no_cap_sheds_nothing_for_power(self):
+        result = _serve(None)
+        assert all(
+            "power_cap" not in t.shed for t in result.tenants
+        )
+
+    def test_tight_cap_starves_every_tenant(self):
+        # 2.0 W < static 1.55 + one task 0.9: no grant ever fits.
+        result = _serve(2.0)
+        for t in result.tenants:
+            assert t.completed == 0
+            assert t.shed.get("power_cap") == t.arrived > 0
+
+    def test_mid_cap_throttles_but_serves(self):
+        capped = _serve(3.0)
+        free = _serve(None)
+        done_capped = sum(t.completed for t in capped.tenants)
+        done_free = sum(t.completed for t in free.tenants)
+        assert 0 < done_capped < done_free
+        assert any(
+            t.shed.get("power_cap", 0) > 0 for t in capped.tenants
+        )
+
+    def test_cap_above_worst_case_draw_is_inert(self):
+        m = current_model()
+        # Static for the default dual-PRR floorplan plus every PRR busy.
+        worst = m.static_power_w(2) + 2 * m.dynamic_task_w
+        capped = _serve(worst + 0.1)
+        free = _serve(None)
+        assert report_json(slo_report(capped)) == report_json(
+            slo_report(free)
+        )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("cap", [None, 2.0, 3.0])
+    def test_same_cap_same_report(self, cap):
+        a, b = _serve(cap), _serve(cap)
+        assert report_json(slo_report(a)) == report_json(slo_report(b))

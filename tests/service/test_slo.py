@@ -125,3 +125,54 @@ class TestReport:
             }},
         }
         assert "-" in render_report(report)
+
+
+class TestZeroCompletionTenant:
+    """A tenant that completes nothing must still yield strict JSON.
+
+    Regression pins: empty-sample latency statistics used to serialize
+    as the bare token ``NaN`` — not valid RFC 8259, so any strict JSON
+    consumer choked on a report with a fully-shed tenant.
+    """
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        # A power cap below one task's projected draw sheds every
+        # arrival, so every tenant ends the run with zero completions.
+        return slo_report(run_service(
+            default_tenants(),
+            ServiceConfig(horizon=3.0, power_cap_w=2.0),
+            seed=1,
+        ))
+
+    def test_every_tenant_completed_nothing(self, report):
+        assert all(
+            t["completed"] == 0 for t in report["tenants"].values()
+        )
+        assert report["totals"]["shed"] == report["totals"]["arrived"] > 0
+        assert all(
+            t["shed"].get("power_cap") == t["arrived"]
+            for t in report["tenants"].values()
+        )
+
+    def test_empty_samples_serialize_as_null(self, report):
+        for t in report["tenants"].values():
+            assert all(v is None for v in t["latency"].values())
+        text = report_json(report)
+
+        def _reject(token: str) -> None:
+            raise AssertionError(f"non-RFC-8259 token in report: {token}")
+
+        # Strict parse: NaN/Infinity tokens fail, null round-trips.
+        again = json.loads(text, parse_constant=_reject)
+        assert report_json(again) == text
+
+    def test_nan_can_never_reach_the_wire(self):
+        with pytest.raises(ValueError):
+            report_json({"latency": math.nan})
+
+    def test_none_renders_as_dash(self, report):
+        text = render_report(report)
+        for line in text.splitlines():
+            if line.startswith(("gold", "silver", "bronze")):
+                assert line.count("-") >= 3

@@ -130,6 +130,61 @@ class TestPerformanceDoc:
         assert "PERFORMANCE.md" in read(DOCS / "ARCHITECTURE.md")
 
 
+class TestPowerDoc:
+    def test_every_model_constant_is_documented_with_its_default(self):
+        from repro.power.model import DEFAULT_POWER_MODEL
+
+        text = read(DOCS / "POWER.md")
+        for field, value in DEFAULT_POWER_MODEL.as_dict().items():
+            row = next(
+                (
+                    line
+                    for line in text.splitlines()
+                    if line.startswith(f"| `{field}` |")
+                ),
+                None,
+            )
+            assert row is not None, f"no constants row for {field}"
+            assert f"| {value:g} W |" in row, f"value drift for {field}"
+
+    def test_no_phantom_constants_documented(self):
+        from repro.power.model import DEFAULT_POWER_MODEL
+
+        text = read(DOCS / "POWER.md")
+        table = re.findall(r"^\| `([a-z_]+_w)` \|", text, re.MULTILINE)
+        phantom = set(table) - set(DEFAULT_POWER_MODEL.as_dict())
+        assert not phantom, f"POWER.md documents unknown constants: {phantom}"
+
+    def test_every_ledger_note_key_is_documented(self):
+        from repro.power.ledger import EnergyLedger
+        from repro.power.model import DEFAULT_POWER_MODEL
+
+        text = read(DOCS / "POWER.md")
+        keys = EnergyLedger.from_components(
+            makespan=1.0, n_prrs=1, model=DEFAULT_POWER_MODEL,
+            task_s=0.0, config_full_s=0.0, config_partial_s=0.0,
+        ).as_notes()
+        missing = [k for k in keys if f"`{k}`" not in text]
+        assert not missing, f"note keys absent from POWER.md: {missing}"
+
+    def test_contracts_and_shed_reason_documented(self):
+        text = read(DOCS / "POWER.md")
+        for needle in (
+            "`min_energy_deadline`", "`max_throughput_cap`",
+            "`power_cap`", "--power-cap",
+        ):
+            assert needle in text, needle
+
+    def test_conservation_invariant_is_cross_referenced(self):
+        assert "energy-conservation" in INVARIANTS
+        assert "`energy-conservation`" in read(DOCS / "POWER.md")
+
+    def test_cli_verb_documented_and_linked_from_readme(self):
+        text = read(DOCS / "POWER.md")
+        assert "python -m repro power" in text
+        assert "docs/POWER.md" in read(REPO / "README.md")
+
+
 class TestIndexDoc:
     def test_every_doc_is_indexed(self):
         text = read(DOCS / "INDEX.md")

@@ -138,12 +138,16 @@ class DeterminismRule(Rule):
     id = "RL001"
     title = "determinism: no wall-clock or unseeded-RNG calls"
     rationale = (
-        "sim/, rtr/, model/, runtime/, service/ and chaos/ must be "
-        "bit-reproducible; wall time is injected via Watchdog.clock and "
-        "randomness via resolve_rng, never read ambiently"
+        "sim/, rtr/, model/, runtime/, service/, chaos/ and power/ "
+        "must be bit-reproducible; wall time is injected via "
+        "Watchdog.clock and randomness via resolve_rng, never read "
+        "ambiently"
     )
     example = "t0 = time.time()   # RL001: inject a clock instead"
-    scope = ("sim/", "rtr/", "model/", "runtime/", "service/", "chaos/")
+    scope = (
+        "sim/", "rtr/", "model/", "runtime/", "service/", "chaos/",
+        "power/",
+    )
 
     #: fully resolved call targets that read the wall clock
     BANNED_CLOCKS = frozenset(
