@@ -821,6 +821,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--ignore", args.ignore]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.sarif:
+        argv += ["--sarif", args.sarif]
+    if args.no_cache:
+        argv.append("--no-cache")
     return reprolint.main(argv)
 
 
@@ -1259,6 +1263,14 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument(
         "--list-rules", action="store_true",
         help="print the rule registry and exit",
+    )
+    pl.add_argument(
+        "--sarif", type=str, default="",
+        help="also write findings as SARIF 2.1.0 to this path",
+    )
+    pl.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the incremental fact cache",
     )
     pr = sub.add_parser("report", help="write the full REPORT.md")
     pr.add_argument("--output", type=str, default="REPORT.md")

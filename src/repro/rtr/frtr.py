@@ -40,7 +40,11 @@ class PendingRun:
         self._build = build
         self._result: RunResult | None = None
 
-    def finalize(self, *, interrupted: str | None = None) -> RunResult:
+    # finalize() is PendingRun's accessor, not an entry point: every
+    # caller (FrtrExecutor.run, the cluster executor) audits the result
+    # before it escapes the runtime, so the audit-coverage rule would
+    # double-count it here.
+    def finalize(self, *, interrupted: str | None = None) -> RunResult:  # reprolint: disable=RL007
         if self._result is None:
             self._result = (
                 self._build()

@@ -295,6 +295,33 @@ class TestStaticAnalysisDoc:
         known = {rule.id for rule in all_rules()}
         assert documented == known, documented ^ known
 
+    def test_rule_pass_column_matches_registry(self):
+        from reprolint import all_rules
+
+        text = read(DOCS / "STATIC_ANALYSIS.md")
+        for rule in all_rules():
+            row = next(
+                (
+                    line
+                    for line in text.splitlines()
+                    if line.startswith(f"| `{rule.id}` |")
+                ),
+                None,
+            )
+            assert row is not None, f"no table row for {rule.id}"
+            expected = "local" if rule.local else "global"
+            assert f"| {expected} |" in row, (
+                f"pass-column drift for {rule.id}: expected {expected}"
+            )
+
+    def test_sarif_and_cache_surfaces_are_documented(self):
+        from reprolint import CACHE_NAME
+        from reprolint.sarif import SARIF_VERSION
+
+        text = read(DOCS / "STATIC_ANALYSIS.md")
+        assert "--sarif" in text and SARIF_VERSION in text
+        assert CACHE_NAME in text and "--no-cache" in text
+
     def test_architecture_doc_links_the_linter(self):
         text = read(DOCS / "ARCHITECTURE.md")
         assert "STATIC_ANALYSIS.md" in text

@@ -1,0 +1,7 @@
+"""Scoped module calling only the untainted helper: must stay clean."""
+
+from util.entropy import span
+
+
+def step(width: float) -> float:
+    return span(width) + 1.0

@@ -1,0 +1,8 @@
+"""Scoped module with a justified, suppressed transitive clock use."""
+
+from util.entropy import jitter_ns
+
+
+def step(scale: float) -> float:
+    # fixture-only: pretend the jitter is sanctioned here
+    return 1.0 + jitter_ns(scale)  # reprolint: disable=RL001

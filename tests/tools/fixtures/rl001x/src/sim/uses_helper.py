@@ -1,0 +1,8 @@
+"""Scoped module reaching a wall-clock through a two-hop chain."""
+
+from util.entropy import jitter_ns
+
+
+def step(scale: float) -> float:
+    # the wall clock sits two calls down: invisible to a per-file rule
+    return 1.0 + jitter_ns(scale)

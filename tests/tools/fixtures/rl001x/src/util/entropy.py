@@ -1,0 +1,21 @@
+"""Out-of-scope helper module: the wall-clock hides two hops down.
+
+This module is *not* under a deterministic scope prefix, so RL001 never
+flags it directly — but anything scoped that calls into the tainted
+functions must be flagged at the call boundary.
+"""
+
+import time
+
+
+def _now() -> float:
+    return time.time()
+
+
+def jitter_ns(scale: float) -> float:
+    return (_now() % 1.0) * scale
+
+
+def span(width: float) -> float:
+    """Clean helper: no sink anywhere below it."""
+    return width * 0.5

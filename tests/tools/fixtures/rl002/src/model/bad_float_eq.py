@@ -7,3 +7,10 @@ def check(speedup, t_frtr, t_prtr, ratio):
     b = ratio != 0.17
     c = float(speedup) == ratio
     return a, b, c
+
+
+def chained(speedup, t_frtr, t_prtr, n):
+    """Two more findings: a chained == pair, and a walrus-bound float."""
+    d = n < speedup == t_frtr / t_prtr  # the == pair is float-valued
+    e = (x := t_frtr / n) == speedup
+    return d, e, x

@@ -10,3 +10,9 @@ def check(speedup, t_frtr, t_prtr, cv, n):
     c = n % 2 == 0
     d = math.floor(speedup) == 2  # math.floor is exact
     return a, b, c, d
+
+
+def chained_clean(cv, n, t_frtr, t_prtr):
+    """Still no findings: only the < pair is float-valued, not the ==."""
+    e = cv == n < t_frtr / t_prtr
+    return e

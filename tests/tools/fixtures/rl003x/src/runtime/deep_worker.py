@@ -1,0 +1,27 @@
+"""Fork worker whose unsafe mutation hides one call away.
+
+The worker itself touches nothing global; ``_merge`` does.  Only the
+call-graph closure can connect the two.
+"""
+
+import multiprocessing
+
+CACHE: dict[int, int] = {}
+
+
+def _merge(index: int, value: int) -> None:
+    CACHE[index] = value
+
+
+def worker(shard: int) -> None:
+    _merge(shard, shard * 2)
+
+
+def run(workers: int) -> dict[int, int]:
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=worker, args=(s,)) for s in range(workers)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()
+    return CACHE

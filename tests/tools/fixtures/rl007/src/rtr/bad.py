@@ -1,0 +1,15 @@
+"""RL007 fixture: results escaping without a guaranteed audit."""
+
+from rtr.events import RunResult
+from runtime.invariants import audit_run
+
+
+def run_unaudited(trace) -> RunResult:
+    return RunResult()
+
+
+def run_half_audited(trace, strict) -> RunResult:
+    result = RunResult()
+    if strict:
+        audit_run(result)
+    return result

@@ -1,0 +1,10 @@
+"""RL007 fixture: the result type the rule tracks."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunResult:
+    """Completed-run summary (fixture stand-in)."""
+
+    records: list = field(default_factory=list)

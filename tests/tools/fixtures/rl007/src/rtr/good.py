@@ -1,0 +1,19 @@
+"""RL007 fixture: audited producers must stay clean.
+
+``run_audited`` calls the auditor directly; ``run_delegating`` inherits
+coverage through the guaranteed call to an audited function.
+"""
+
+from rtr.events import RunResult
+from runtime.invariants import audit_run
+
+
+def run_audited(trace) -> RunResult:
+    result = RunResult()
+    result.records.extend(trace)
+    audit_run(result)
+    return result
+
+
+def run_delegating(trace) -> RunResult:
+    return run_audited(trace)

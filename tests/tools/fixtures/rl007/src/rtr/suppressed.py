@@ -1,0 +1,8 @@
+"""RL007 fixture: a justified escape hatch, suppressed inline."""
+
+from rtr.events import RunResult
+
+
+# probe results are audited by their consumer, not at the source
+def probe(trace) -> RunResult:  # reprolint: disable=RL007
+    return RunResult()

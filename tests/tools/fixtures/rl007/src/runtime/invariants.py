@@ -1,0 +1,6 @@
+"""RL007 fixture: the auditor module (functions here seed the rule)."""
+
+
+def audit_run(result):
+    """Pretend to check the run's invariants."""
+    return result

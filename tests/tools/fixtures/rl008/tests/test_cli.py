@@ -1,0 +1,6 @@
+"""RL008 fixture: string-literal verb references for the linter."""
+
+
+def test_verbs_are_wired():
+    for verb in ("run", "plot", "ghost", "quiet"):
+        assert isinstance(verb, str)

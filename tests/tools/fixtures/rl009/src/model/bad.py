@@ -1,0 +1,19 @@
+"""RL009 fixture: three unsanctioned writes to a frozen spec."""
+
+from model.spec import Spec
+
+
+def tune(spec: Spec):
+    object.__setattr__(spec, "n_ops", 2)
+    return spec
+
+
+def patch(settings: Spec):
+    setattr(settings, "scale", 2.0)
+    return settings
+
+
+def fresh():
+    spec = Spec()
+    spec.n_ops = 3
+    return spec

@@ -1,0 +1,19 @@
+"""RL009 fixture: derivation and unfrozen classes stay clean."""
+
+from dataclasses import dataclass, replace
+
+from model.spec import Spec
+
+
+@dataclass
+class Scratch:
+    n_ops: int = 1
+
+
+def bump(scratch: Scratch):
+    scratch.n_ops += 1  # Scratch is not frozen: fine
+    return scratch
+
+
+def derive(spec: Spec) -> Spec:
+    return replace(spec, n_ops=spec.n_ops + 1)

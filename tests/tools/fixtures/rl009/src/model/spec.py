@@ -1,0 +1,18 @@
+"""RL009 fixture: a frozen spec plus its sanctioned writers."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Spec:
+    n_ops: int = 1
+    scale: float = 1.0
+
+    def __post_init__(self):
+        # normalisation at construction time is the sanctioned path
+        object.__setattr__(self, "scale", float(self.scale))
+
+
+def with_ops(spec: Spec, n_ops: int) -> Spec:
+    """Derive, never mutate."""
+    return replace(spec, n_ops=n_ops)

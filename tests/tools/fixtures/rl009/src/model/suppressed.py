@@ -1,0 +1,9 @@
+"""RL009 fixture: a justified in-place write, suppressed inline."""
+
+from model.spec import Spec
+
+
+def thaw(spec: Spec):
+    # fixture-only: pretend there is a compelling reason
+    object.__setattr__(spec, "n_ops", 9)  # reprolint: disable=RL009
+    return spec

@@ -1,11 +1,13 @@
 """reprolint: fixture-driven rule tests, engine mechanics, live-tree gate.
 
 Each rule gets three fixture shapes under ``fixtures/<rule>/``: a
-positive hit, a suppressed hit, and a clean file.  On top of that the
-engine itself is exercised (select/ignore, baseline round-trip, JSON
-output, exit codes), the ``repro lint`` CLI verb is smoke-tested, and a
-meta-test asserts the live tree is lint-clean under the committed
-baseline — the same gate CI runs.
+positive hit, a suppressed hit, and a clean file.  The whole-program
+rules get interprocedural fixtures on top (``rl001x``, ``rl003x``)
+proving findings that no per-file pass can see.  The engine itself is
+exercised (select/ignore, baseline round-trip, JSON output, exit codes,
+SARIF export, the incremental fact cache), the ``repro lint`` CLI verb
+is smoke-tested, and two meta-tests gate the live tree: zero
+unbaselined findings, and no dead inline suppressions.
 """
 
 from __future__ import annotations
@@ -81,7 +83,16 @@ class TestRL002:
     def test_positive_hits(self):
         result = lint_fixture("rl002", select=["RL002"])
         bad = by_file(result, "bad_float_eq.py")
-        assert len(bad) == 3
+        assert len(bad) == 5
+
+    def test_chained_and_walrus_comparisons_are_caught(self):
+        """PR 5 false negatives: ``n < x == y/z`` hid the == pair from
+        the old left/comparators[0] check; a walrus-bound float on the
+        left did too."""
+        result = lint_fixture("rl002", select=["RL002"])
+        contexts = [f.context for f in by_file(result, "bad_float_eq.py")]
+        assert any("n < speedup ==" in c for c in contexts)
+        assert any(":=" in c for c in contexts)
 
     def test_clean_file_has_no_findings(self):
         result = lint_fixture("rl002", select=["RL002"])
@@ -114,6 +125,66 @@ class TestRL003:
             f.path.endswith("suppressed_worker.py")
             for f in result.suppressed
         )
+
+
+# -- interprocedural taint (the PR 10 tentpole) ----------------------------
+
+
+class TestRL001Interprocedural:
+    """A wall-clock two hops down an out-of-scope helper module."""
+
+    def test_two_hop_chain_is_flagged_at_the_call_boundary(self):
+        result = lint_fixture("rl001x", select=["RL001"])
+        hits = by_file(result, "sim/uses_helper.py")
+        assert len(hits) == 1
+        msg = hits[0].message
+        assert "transitively reaches time.time()" in msg
+        # the rendered chain names both hops
+        assert "util.entropy.jitter_ns" in msg
+        assert "util.entropy._now" in msg
+
+    def test_invisible_to_any_per_file_pass(self):
+        """The scoped file contains no banned call of its own, and the
+        sink lives in an unscoped module RL001 never reports on — only
+        the call graph connects them."""
+        result = lint_fixture("rl001x", select=["RL001"])
+        assert not by_file(result, "util/entropy.py")
+        scoped = (
+            FIXTURES / "rl001x" / "src" / "sim" / "uses_helper.py"
+        ).read_text(encoding="utf-8")
+        assert "time.time" not in scoped
+
+    def test_untainted_helper_from_same_module_is_clean(self):
+        result = lint_fixture("rl001x", select=["RL001"])
+        assert not by_file(result, "sim/clean_use.py")
+
+    def test_suppression_works_at_the_call_site(self):
+        result = lint_fixture("rl001x", select=["RL001"])
+        assert not by_file(result, "sim/suppressed_use.py")
+        assert any(
+            f.path.endswith("suppressed_use.py") for f in result.suppressed
+        )
+
+
+class TestRL003Transitive:
+    """A fork worker whose mutation hides one call away."""
+
+    def test_callee_mutation_is_reached_through_the_closure(self):
+        result = lint_fixture("rl003x", select=["RL003"])
+        hits = by_file(result, "deep_worker.py")
+        assert len(hits) == 1
+        msg = hits[0].message
+        assert "'CACHE'" in msg
+        assert "reached from fork worker 'worker'" in msg
+        assert "_merge" in msg
+
+    def test_invisible_to_a_worker_body_scan(self):
+        """The worker body itself mutates nothing module-level."""
+        worker_src = (
+            FIXTURES / "rl003x" / "src" / "runtime" / "deep_worker.py"
+        ).read_text(encoding="utf-8")
+        worker_body = worker_src.split("def worker")[1].split("def run")[0]
+        assert "CACHE" not in worker_body
 
 
 # -- RL004 metrics catalog -------------------------------------------------
@@ -173,6 +244,102 @@ class TestRL006:
     def test_metric_dictionary_table_is_not_misparsed(self):
         result = lint_fixture("rl006", select=["RL006"])
         assert not any("'H'" in f.message for f in result.findings)
+
+
+# -- RL007 audit coverage --------------------------------------------------
+
+
+class TestRL007:
+    def test_unaudited_and_branch_only_producers_are_flagged(self):
+        result = lint_fixture("rl007", select=["RL007"])
+        bad = by_file(result, "rtr/bad.py")
+        assert len(bad) == 2
+        messages = " ".join(f.message for f in bad)
+        assert "'run_unaudited'" in messages
+        assert "'run_half_audited'" in messages  # audit only under if
+        assert "audit_and_record" in messages
+
+    def test_direct_and_delegated_audits_are_clean(self):
+        result = lint_fixture("rl007", select=["RL007"])
+        assert not by_file(result, "rtr/good.py")
+
+    def test_owner_and_auditor_modules_are_exempt(self):
+        result = lint_fixture("rl007", select=["RL007"])
+        assert not by_file(result, "rtr/events.py")
+        assert not by_file(result, "runtime/invariants.py")
+
+    def test_suppressed_probe(self):
+        result = lint_fixture("rl007", select=["RL007"])
+        assert not by_file(result, "rtr/suppressed.py")
+        assert any(
+            f.path.endswith("rtr/suppressed.py") for f in result.suppressed
+        )
+
+
+# -- RL008 CLI-surface conformance -----------------------------------------
+
+
+class TestRL008:
+    def expect(self, result, fragment: str) -> Finding:
+        hits = [f for f in result.findings if fragment in f.message]
+        assert len(hits) == 1, (fragment, result.findings)
+        return hits[0]
+
+    def test_all_five_drift_directions(self):
+        result = lint_fixture("rl008", select=["RL008"])
+        assert len(result.findings) == 5
+        self.expect(
+            result, "'ghost' is dispatched by _COMMANDS but never "
+        )
+        self.expect(
+            result, "'stale' is registered but missing from the _COMMANDS"
+        )
+        self.expect(result, "'plot' is undocumented")
+        self.expect(result, "'ghost' is undocumented")
+        phantom = self.expect(result, "advertises repro verb 'vanished'")
+        assert phantom.path == "README.md"
+
+    def test_fully_wired_verb_is_clean(self):
+        result = lint_fixture("rl008", select=["RL008"])
+        assert not any("'run'" in f.message for f in result.findings)
+
+    def test_suppressed_undocumented_verb(self):
+        result = lint_fixture("rl008", select=["RL008"])
+        assert [
+            f for f in result.suppressed if "'quiet'" in f.message
+        ]
+
+    def test_rule_is_inert_without_a_dispatch_table(self):
+        result = lint_fixture("rl001", select=["RL008"])
+        assert not result.findings
+
+
+# -- RL009 frozen-config mutation ------------------------------------------
+
+
+class TestRL009:
+    def test_three_write_shapes_are_flagged(self):
+        result = lint_fixture("rl009", select=["RL009"])
+        bad = by_file(result, "model/bad.py")
+        assert len(bad) == 3
+        messages = " ".join(f.message for f in bad)
+        assert "object.__setattr__(...) writes Spec.n_ops" in messages
+        assert "setattr(...) writes Spec.scale" in messages
+        assert "assignment to Spec.n_ops" in messages
+        assert "dataclasses.replace" in messages
+
+    def test_constructor_and_replace_and_unfrozen_are_clean(self):
+        result = lint_fixture("rl009", select=["RL009"])
+        assert not by_file(result, "model/spec.py")  # __post_init__ path
+        assert not by_file(result, "model/clean.py")
+
+    def test_suppressed_thaw(self):
+        result = lint_fixture("rl009", select=["RL009"])
+        assert not by_file(result, "model/suppressed.py")
+        assert any(
+            f.path.endswith("model/suppressed.py")
+            for f in result.suppressed
+        )
 
 
 # -- engine mechanics ------------------------------------------------------
@@ -244,7 +411,7 @@ class TestEngine:
         rules = all_rules()
         ids = [rule.id for rule in rules]
         assert ids == sorted(ids)
-        assert ids == [f"RL00{i}" for i in range(1, 7)]
+        assert ids == [f"RL00{i}" for i in range(1, 10)]
         for rule in rules:
             assert rule.title and rule.rationale and rule.example
 
@@ -256,7 +423,7 @@ class TestCommandLine:
             [
                 "--repo-root", str(fixture),
                 "--root", str(fixture / "src"),
-                "--no-baseline", "--json",
+                "--no-baseline", "--json", "--no-cache",
             ]
         )
         payload = json.loads(capsys.readouterr().out)
@@ -273,7 +440,7 @@ class TestCommandLine:
                 "--repo-root", str(fixture),
                 "--root", str(fixture / "src"),
                 "--baseline", str(baseline),
-                "--write-baseline",
+                "--write-baseline", "--no-cache",
             ]
         )
         assert rc == 0 and baseline.exists()
@@ -282,7 +449,7 @@ class TestCommandLine:
             [
                 "--repo-root", str(fixture),
                 "--root", str(fixture / "src"),
-                "--baseline", str(baseline),
+                "--baseline", str(baseline), "--no-cache",
             ]
         )
         out = capsys.readouterr().out
@@ -301,7 +468,7 @@ class TestCommandLine:
             [
                 "--repo-root", str(fixture),
                 "--root", str(fixture / "src"),
-                "--select", "RL999",
+                "--select", "RL999", "--no-cache",
             ]
         )
         assert rc == 2
@@ -312,7 +479,7 @@ class TestCommandLine:
     def test_repro_lint_cli_verb(self, capsys):
         from repro.cli import main as repro_main
 
-        assert repro_main(["lint", "--json"]) == 0
+        assert repro_main(["lint", "--json", "--no-cache"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["findings"] == []
 
@@ -322,8 +489,137 @@ class TestCommandLine:
         assert repro_main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
-                        "RL006"):
+                        "RL006", "RL007", "RL008", "RL009"):
             assert rule_id in out
+        # every rule ships a worked example and declares its pass
+        assert out.count("e.g.") >= 9
+        assert "whole-program" in out and "per-file" in out
+
+
+# -- incremental cache -----------------------------------------------------
+
+
+class TestCache:
+    def copy_fixture(self, tmp_path, name="rl001"):
+        root = tmp_path / name
+        shutil.copytree(FIXTURES / name, root)
+        return root
+
+    def test_warm_run_reparses_zero_files(self, tmp_path):
+        root = self.copy_fixture(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = run_lint(root / "src", root, cache_path=cache)
+        assert cold.parsed == cold.files > 0
+        warm = run_lint(root / "src", root, cache_path=cache)
+        assert warm.parsed == 0
+        assert warm.findings == cold.findings
+        assert warm.suppressed == cold.suppressed
+
+    def test_editing_one_file_reparses_only_that_file(self, tmp_path):
+        root = self.copy_fixture(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = run_lint(root / "src", root, cache_path=cache)
+        target = root / "src" / "sim" / "clean_clock.py"
+        target.write_text(
+            target.read_text(encoding="utf-8") + "\n\nX = 1\n",
+            encoding="utf-8",
+        )
+        warm = run_lint(root / "src", root, cache_path=cache)
+        assert warm.parsed == 1
+        assert warm.findings == cold.findings
+
+    def test_cached_parse_errors_are_replayed(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "broken.py").write_text("def oops(:\n")
+        cache = tmp_path / "cache.json"
+        cold = run_lint(src, tmp_path, cache_path=cache)
+        warm = run_lint(src, tmp_path, cache_path=cache)
+        assert len(cold.errors) == len(warm.errors) == 1
+        assert warm.parsed == 0
+
+    def test_ruleset_change_drops_the_cache(self, tmp_path):
+        root = self.copy_fixture(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = run_lint(root / "src", root, cache_path=cache)
+        data = json.loads(cache.read_text(encoding="utf-8"))
+        data["ruleset"] = "someone-edited-a-rule"
+        cache.write_text(json.dumps(data), encoding="utf-8")
+        warm = run_lint(root / "src", root, cache_path=cache)
+        assert warm.parsed == cold.files  # wholesale invalidation
+
+    def test_select_runs_never_touch_the_global_cache(self, tmp_path):
+        """A --select run must not poison the cached full-run verdict."""
+        root = self.copy_fixture(tmp_path)
+        cache = tmp_path / "cache.json"
+        full = run_lint(root / "src", root, cache_path=cache)
+        partial = run_lint(
+            root / "src", root, cache_path=cache, select=["RL002"]
+        )
+        assert not partial.findings  # rl001 has no RL002 hits
+        again = run_lint(root / "src", root, cache_path=cache)
+        assert again.findings == full.findings
+        assert again.parsed == 0
+
+
+# -- SARIF export ----------------------------------------------------------
+
+
+class TestSarif:
+    def render(self, tmp_path):
+        fixture = FIXTURES / "rl001"
+        out = tmp_path / "lint.sarif"
+        rc = engine_mod.main(
+            [
+                "--repo-root", str(fixture),
+                "--root", str(fixture / "src"),
+                "--no-baseline", "--no-cache",
+                "--sarif", str(out),
+            ]
+        )
+        assert rc == 1
+        return json.loads(out.read_text(encoding="utf-8"))
+
+    def test_document_matches_the_2_1_0_shape(self, tmp_path, capsys):
+        doc = self.render(tmp_path)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert {r["id"] for r in driver["rules"]} == {
+            rule.id for rule in all_rules()
+        }
+        for descriptor in driver["rules"]:
+            assert descriptor["shortDescription"]["text"]
+            assert descriptor["fullDescription"]["text"]
+
+    def test_results_carry_location_region_and_snippet(
+        self, tmp_path, capsys
+    ):
+        doc = self.render(tmp_path)
+        results = doc["runs"][0]["results"]
+        assert results
+        for row in results:
+            assert row["ruleId"].startswith("RL")
+            location = row["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"]
+            region = location["region"]
+            assert region["startLine"] >= 1
+            assert region["snippet"]["text"]
+
+    def test_suppressed_findings_are_dismissed_not_dropped(
+        self, tmp_path, capsys
+    ):
+        doc = self.render(tmp_path)
+        results = doc["runs"][0]["results"]
+        kinds = {
+            s["kind"] for row in results
+            for s in row.get("suppressions", [])
+        }
+        assert "inSource" in kinds
+        plain = [row for row in results if "suppressions" not in row]
+        assert plain  # the live findings are still first-class
 
 
 # -- the live tree ---------------------------------------------------------
@@ -354,6 +650,30 @@ class TestLiveTree:
                 f"suppression at {finding.path}:{finding.line} has no "
                 "justifying comment above it"
             )
+
+    def test_no_dead_suppressions_in_the_live_tree(self):
+        """Every inline ``# reprolint: disable=RLxxx`` in src/repro
+        names a rule that actually fires on that exact line.  A
+        suppression that no longer suppresses anything is drift: the
+        hazard it excused was either fixed or moved."""
+        result = run_lint(REPO / "src" / "repro", REPO)
+        fired = {(f.path, f.line, f.rule) for f in result.suppressed}
+        declared = []
+        for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+            rel = path.relative_to(REPO).as_posix()
+            text = path.read_text(encoding="utf-8")
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                match = engine_mod._SUPPRESS_RE.search(line)
+                if not match:
+                    continue
+                for part in match.group(1).split(","):
+                    if part.strip():
+                        declared.append(
+                            (rel, lineno, part.strip().upper())
+                        )
+        assert declared  # the tree does use the mechanism
+        dead = [entry for entry in declared if entry not in fired]
+        assert not dead, f"dead suppressions: {dead}"
 
     def test_planted_regression_is_caught(self, tmp_path):
         """Copy the tree, plant a wall-clock read in the DES kernel,

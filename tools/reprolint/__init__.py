@@ -1,9 +1,14 @@
-"""reprolint — AST-based domain linter for the repro codebase.
+"""reprolint — whole-program domain linter for the repro codebase.
 
-Six rules enforce the contracts the reproduction's claims rest on:
-determinism (RL001), float-equality hygiene (RL002), fork-safety
-(RL003), metrics-catalog conformance (RL004), journal-bypass (RL005)
-and invariant-registry/doc agreement (RL006).  See
+Nine rules enforce the contracts the reproduction's claims rest on:
+determinism incl. interprocedural taint (RL001), float-equality
+hygiene (RL002), fork-safety over the worker call graph (RL003),
+metrics-catalog conformance (RL004), journal-bypass (RL005),
+invariant-registry/doc agreement (RL006), RunResult audit coverage
+(RL007), CLI-surface conformance (RL008) and frozen-config mutation
+(RL009).  The engine is two-pass: per-file fact extraction (cached by
+content hash — a warm run re-parses zero files) feeding whole-program
+graph rules, with SARIF 2.1.0 export for code scanning.  See
 ``docs/STATIC_ANALYSIS.md`` for the rule table and suppression policy.
 
 Run it as ``PYTHONPATH=tools python -m reprolint`` or through the CLI
@@ -12,6 +17,7 @@ as ``python -m repro lint``.
 
 from .engine import (
     BASELINE_NAME,
+    CACHE_NAME,
     Finding,
     LintResult,
     Project,
@@ -26,6 +32,7 @@ from .rules import RULES, Rule, all_rules
 
 __all__ = [
     "BASELINE_NAME",
+    "CACHE_NAME",
     "Finding",
     "LintResult",
     "Project",

@@ -1,12 +1,25 @@
-"""The ``reprolint`` rule engine (stdlib only).
+"""The ``reprolint`` whole-program rule engine (stdlib only).
 
 ``reprolint`` is the domain linter of this repository: every headline
 claim — bit-identical resume, serial-vs-sharded journal byte-identity,
 the ``(1+X_PRTR)/X_PRTR`` and 2x speedup bounds — rests on contracts
 that plain tests cannot see (a stray wall-clock read only corrupts the
-*next* refactor).  The engine walks ``src/repro`` with :mod:`ast`, runs
-every registered rule (:mod:`reprolint.rules`) over each module, and
-reports findings with three escape hatches:
+*next* refactor).  Since PR 10 the engine runs in **two passes**:
+
+1. **fact extraction** (:mod:`reprolint.symbols`) — the only pass that
+   touches :func:`ast.parse`; each file is distilled into a
+   JSON-serializable :class:`~reprolint.symbols.ModuleFacts` summary
+   and the *local* (per-file) rules run on its AST.  Both products are
+   cached per content hash (:mod:`reprolint.cache`), so a warm run
+   re-parses zero files.
+2. **graph rules** (:mod:`reprolint.callgraph`, :mod:`reprolint.taint`,
+   :mod:`reprolint.rules`) — the *global* rules see the whole program:
+   interprocedural determinism taint, fork-reachability, audit
+   coverage, CLI-surface and frozen-config conformance.  Their
+   findings are cached behind a whole-tree fingerprint that also
+   covers the README/docs/tests the conformance rules read.
+
+Findings have three escape hatches:
 
 * **inline suppressions** — ``# reprolint: disable=RL001`` on the
   offending line (comma-separate several ids, ``disable=all`` for all);
@@ -26,6 +39,7 @@ Usage::
     PYTHONPATH=tools python -m reprolint [--json] [--list-rules]
         [--select RL001,RL003] [--ignore RL002]
         [--baseline PATH | --no-baseline] [--write-baseline]
+        [--sarif out.sarif] [--cache PATH | --no-cache]
     PYTHONPATH=src python -m repro lint     # the same engine via the CLI
 """
 
@@ -40,8 +54,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
+from .cache import LintCache, file_digest, tree_fingerprint
+from .callgraph import CallGraph, SymbolTable
+from .symbols import ModuleFacts, collect_facts
+
 __all__ = [
     "BASELINE_NAME",
+    "CACHE_NAME",
     "Finding",
     "LintResult",
     "Project",
@@ -55,6 +74,7 @@ __all__ = [
 
 BASELINE_NAME = "baseline.json"
 BASELINE_VERSION = 1
+CACHE_NAME = ".reprolint-cache.json"
 
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
 
@@ -89,31 +109,40 @@ class Finding:
         return (self.rule, self.path, self.context)
 
 
-class SourceModule:
-    """One parsed python file plus its inline-suppression table."""
-
-    def __init__(self, path: Path, rel: str, src_rel: str) -> None:
-        self.path = path
-        #: path relative to the repo root (what findings report)
-        self.rel = rel
-        #: path relative to the scanned source root (what scopes match)
-        self.src_rel = src_rel
-        self.text = path.read_text(encoding="utf-8")
-        self.lines = self.text.splitlines()
-        self.tree = ast.parse(self.text, filename=str(path))
-        self.suppressions = self._scan_suppressions()
-
-    def _scan_suppressions(self) -> dict[int, set[str]]:
-        table: dict[int, set[str]] = {}
-        for lineno, line in enumerate(self.lines, start=1):
-            match = _SUPPRESS_RE.search(line)
-            if match:
-                table[lineno] = {
+def _scan_suppressions(lines: Sequence[str]) -> dict[int, list[str]]:
+    """Physical line -> upper-cased rule ids disabled on that line."""
+    table: dict[int, list[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            table[lineno] = sorted(
+                {
                     part.strip().upper()
                     for part in match.group(1).split(",")
                     if part.strip()
                 }
-        return table
+            )
+    return table
+
+
+class SourceModule:
+    """One parsed python file, handed to the *local* rules."""
+
+    def __init__(
+        self,
+        rel: str,
+        src_rel: str,
+        text: str,
+        tree: ast.Module,
+    ) -> None:
+        #: path relative to the repo root (what findings report)
+        self.rel = rel
+        #: path relative to the scanned source root (what scopes match)
+        self.src_rel = src_rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = tree
+        self.suppressions = _scan_suppressions(self.lines)
 
     def suppressed(self, rule_id: str, line: int) -> bool:
         """Whether ``rule_id`` is disabled on physical line ``line``."""
@@ -139,15 +168,47 @@ class SourceModule:
 
 
 class Project:
-    """The scanned tree: parsed modules plus doc-file access for rules."""
+    """The analyzed program: facts for every file plus shared lookups.
 
-    def __init__(self, src_root: Path, repo_root: Path) -> None:
+    This is the pass-1 product and the only thing pass 2 (the global
+    rules) ever sees — ``modules`` holds
+    :class:`~reprolint.symbols.ModuleFacts`, never ASTs, which is what
+    lets the incremental cache skip parsing entirely on a warm run.
+    """
+
+    def __init__(
+        self,
+        src_root: Path,
+        repo_root: Path,
+        *,
+        local_rules: Sequence[Any] = (),
+        cache: LintCache | None = None,
+    ) -> None:
         self.src_root = Path(src_root).resolve()
         self.repo_root = Path(repo_root).resolve()
-        self.modules: list[SourceModule] = []
+        self.modules: list[ModuleFacts] = []
         #: ``(path, message)`` pairs for files that failed to parse
         self.errors: list[tuple[str, str]] = []
-        self._load()
+        #: files that went through ast.parse this run (0 on warm runs)
+        self.parsed = 0
+        #: raw findings of the *local* rules (pre-suppression)
+        self.local_findings: list[Finding] = []
+        #: src_rel -> content hash, input to the tree fingerprint
+        self.file_digests: dict[str, str] = {}
+        self._lines: dict[str, list[str]] = {}
+        self._by_rel: dict[str, ModuleFacts] = {}
+        self._symbols: SymbolTable | None = None
+        self._graph: CallGraph | None = None
+        self._doc_files: list[tuple[str, str]] | None = None
+        self._test_files: list[tuple[str, str]] | None = None
+        self._root_pkg = (
+            self.src_root.name
+            if (self.src_root / "__init__.py").exists()
+            else ""
+        )
+        self._load(local_rules, cache)
+
+    # -- loading ------------------------------------------------------
 
     def _rel(self, path: Path) -> str:
         try:
@@ -155,22 +216,127 @@ class Project:
         except ValueError:
             return path.as_posix()
 
-    def _load(self) -> None:
+    def _module_name(self, src_rel: str) -> str:
+        parts = src_rel[: -len(".py")].split("/")
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        if self._root_pkg:
+            parts = [self._root_pkg, *parts]
+        return ".".join(parts)
+
+    def _load(
+        self, local_rules: Sequence[Any], cache: LintCache | None
+    ) -> None:
         for path in sorted(self.src_root.rglob("*.py")):
             src_rel = path.relative_to(self.src_root).as_posix()
+            rel = self._rel(path)
             try:
-                self.modules.append(
-                    SourceModule(path, self._rel(path), src_rel)
-                )
-            except (SyntaxError, UnicodeDecodeError) as exc:
-                self.errors.append((self._rel(path), str(exc)))
+                text = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                self.errors.append((rel, str(exc)))
+                continue
+            digest = file_digest(text)
+            self.file_digests[src_rel] = digest
+            self._lines[src_rel] = text.splitlines()
 
-    def module(self, src_rel: str) -> SourceModule | None:
-        """The module at a source-root-relative path, if scanned."""
-        for mod in self.modules:
-            if mod.src_rel == src_rel:
-                return mod
-        return None
+            entry = cache.lookup(src_rel, digest) if cache else None
+            if entry is not None:
+                if "error" in entry:
+                    self.errors.append((rel, str(entry["error"])))
+                    continue
+                facts = ModuleFacts.from_dict(entry["facts"])
+                self.modules.append(facts)
+                self._by_rel[facts.rel] = facts
+                self.local_findings.extend(
+                    Finding(**row) for row in entry["findings"]
+                )
+                continue
+
+            try:
+                tree = ast.parse(text, filename=str(path))
+            except SyntaxError as exc:
+                self.errors.append((rel, str(exc)))
+                if cache is not None:
+                    cache.store(
+                        src_rel, {"digest": digest, "error": str(exc)}
+                    )
+                continue
+            self.parsed += 1
+            source = SourceModule(rel, src_rel, text, tree)
+            facts = collect_facts(
+                tree,
+                src_rel=src_rel,
+                rel=rel,
+                module=self._module_name(src_rel),
+                suppressions=source.suppressions,
+            )
+            self.modules.append(facts)
+            self._by_rel[facts.rel] = facts
+            fresh: list[Finding] = []
+            for rule in local_rules:
+                if rule.applies(source):
+                    fresh.extend(rule.check_module(source, self))
+            self.local_findings.extend(fresh)
+            if cache is not None:
+                cache.store(src_rel, {
+                    "digest": digest,
+                    "facts": facts.as_dict(),
+                    "findings": [f.as_dict() for f in fresh],
+                })
+
+    # -- lookups ------------------------------------------------------
+
+    @property
+    def symbols(self) -> SymbolTable:
+        """Lazily built project-wide symbol table."""
+        if self._symbols is None:
+            self._symbols = SymbolTable(self.modules)
+        return self._symbols
+
+    @property
+    def graph(self) -> CallGraph:
+        """Lazily built project-wide call graph."""
+        if self._graph is None:
+            self._graph = CallGraph(self.symbols)
+        return self._graph
+
+    def module(self, src_rel: str) -> ModuleFacts | None:
+        """The facts at a source-root-relative path, if scanned."""
+        return self.symbols.by_src_rel.get(src_rel)
+
+    def module_by_rel(self, rel: str) -> ModuleFacts | None:
+        """The facts at a repo-root-relative path, if scanned."""
+        return self._by_rel.get(rel)
+
+    def line_text(self, src_rel: str, line: int) -> str:
+        """The stripped source text of a physical line ('' off-range)."""
+        lines = self._lines.get(src_rel, [])
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        facts: ModuleFacts,
+        rule_id: str,
+        line: int,
+        message: str,
+        context: str | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored in a scanned module."""
+        return Finding(
+            rule=rule_id,
+            path=facts.rel,
+            line=line,
+            message=message,
+            context=(
+                context
+                if context is not None
+                else self.line_text(facts.src_rel, line)
+            ),
+        )
+
+    # -- documentation / test inputs (conformance rules) --------------
 
     def doc_path(self, rel: str) -> Path:
         """Absolute path of a repo-root-relative documentation file."""
@@ -179,6 +345,44 @@ class Project:
     def doc_rel(self, rel: str) -> str:
         """Repo-root-relative display path for a documentation file."""
         return self._rel(self.repo_root / rel)
+
+    def doc_files(self) -> list[tuple[str, str]]:
+        """``(rel, text)`` for README.md and every docs/*.md file."""
+        if self._doc_files is None:
+            out: list[tuple[str, str]] = []
+            readme = self.repo_root / "README.md"
+            if readme.is_file():
+                out.append(("README.md", readme.read_text(encoding="utf-8")))
+            docs_dir = self.repo_root / "docs"
+            if docs_dir.is_dir():
+                for path in sorted(docs_dir.glob("*.md")):
+                    out.append((
+                        self._rel(path),
+                        path.read_text(encoding="utf-8"),
+                    ))
+            self._doc_files = out
+        return self._doc_files
+
+    def test_files(self) -> list[tuple[str, str]]:
+        """``(rel, text)`` for tests/**/*.py (fixture trees excluded)."""
+        if self._test_files is None:
+            out: list[tuple[str, str]] = []
+            tests_dir = self.repo_root / "tests"
+            if tests_dir.is_dir():
+                for path in sorted(tests_dir.rglob("*.py")):
+                    rel = self._rel(path)
+                    if "/fixtures/" in f"/{rel}":
+                        continue  # fixture mini-repos are not tests
+                    out.append((rel, path.read_text(encoding="utf-8")))
+            self._test_files = out
+        return self._test_files
+
+    def external_digests(self) -> list[tuple[str, str]]:
+        """Content hashes of the non-src inputs the global rules read."""
+        return [
+            (rel, file_digest(text))
+            for rel, text in (*self.doc_files(), *self.test_files())
+        ]
 
 
 @dataclass
@@ -189,6 +393,8 @@ class LintResult:
     suppressed: list[Finding] = field(default_factory=list)
     errors: list[tuple[str, str]] = field(default_factory=list)
     files: int = 0
+    #: files that went through ast.parse (0 == fully warm cache)
+    parsed: int = 0
 
     def partition(
         self, baseline: Sequence[Mapping[str, Any]]
@@ -240,18 +446,22 @@ def run_lint(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     rules: Sequence[Any] | None = None,
+    cache_path: Path | None = None,
 ) -> LintResult:
     """Run every (selected) rule over the tree under ``src_root``.
 
     ``select`` keeps only the named rule ids, ``ignore`` drops the named
-    ones; ``rules`` overrides the registry entirely (tests).  Returns a
-    :class:`LintResult`; baseline handling is the caller's job
-    (:func:`main` does it for the CLI).
+    ones; ``rules`` overrides the registry entirely (tests).
+    ``cache_path`` enables the incremental cache: unchanged files skip
+    pass 1 entirely, and an unchanged tree skips the global pass too.
+    Returns a :class:`LintResult`; baseline handling is the caller's
+    job (:func:`main` does it for the CLI).
     """
     from .rules import all_rules
 
-    active = list(rules) if rules is not None else all_rules()
-    known = {rule.id for rule in active}
+    registry = list(rules) if rules is not None else all_rules()
+    known = {rule.id for rule in registry}
+    active = list(registry)
     if select is not None:
         wanted = {r.upper() for r in select}
         unknown = wanted - known
@@ -264,24 +474,60 @@ def run_lint(
         if unknown:
             raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
         active = [rule for rule in active if rule.id not in dropped]
+    active_ids = {rule.id for rule in active}
 
-    project = Project(src_root, repo_root)
-    result = LintResult(errors=list(project.errors),
-                        files=len(project.modules))
-    raw: list[Finding] = []
-    for rule in active:
-        rule.begin(project)
-    for mod in project.modules:
-        for rule in active:
-            if rule.applies(mod):
-                raw.extend(rule.check_module(mod, project))
-    for rule in active:
-        raw.extend(rule.finalize(project))
+    # the cache stores the findings of *every* local rule per file, so
+    # pass 1 must run the full local registry whenever it may store —
+    # a filtered run then narrows at report time
+    cache = (
+        LintCache(Path(cache_path))
+        if cache_path is not None and rules is None
+        else None
+    )
+    local_registry = [rule for rule in registry if rule.local]
+    local_to_run = (
+        local_registry
+        if cache is not None
+        else [rule for rule in local_registry if rule.id in active_ids]
+    )
 
-    for finding in sorted(raw, key=Finding.sort_key):
-        mod = next(
-            (m for m in project.modules if m.rel == finding.path), None
+    project = Project(
+        src_root, repo_root, local_rules=local_to_run, cache=cache
+    )
+    raw: list[Finding] = [
+        f for f in project.local_findings if f.rule in active_ids
+    ]
+
+    # pass 2: global rules, cached behind the whole-tree fingerprint
+    global_rules = [rule for rule in active if not rule.local]
+    full_run = select is None and ignore is None
+    fingerprint = tree_fingerprint(
+        project.file_digests, project.external_digests()
+    )
+    if cache is not None and full_run and cache.global_hit(fingerprint):
+        raw.extend(
+            Finding(**row) for row in cache.global_findings
         )
+    else:
+        global_findings: list[Finding] = []
+        for rule in global_rules:
+            global_findings.extend(rule.check_program(project))
+        raw.extend(global_findings)
+        if cache is not None and full_run:
+            cache.store_global(
+                fingerprint, [f.as_dict() for f in global_findings]
+            )
+    if cache is not None:
+        cache.prune(set(project.file_digests))
+        cache.save()
+
+    result = LintResult(
+        errors=list(project.errors),
+        files=len(project.modules),
+        parsed=project.parsed,
+    )
+    for finding in sorted(raw, key=Finding.sort_key):
+        mod = project.module_by_rel(finding.path)
         if mod is not None and mod.suppressed(finding.rule, finding.line):
             result.suppressed.append(finding)
         else:
@@ -365,7 +611,7 @@ def _render_human(
     lines.append(
         f"reprolint: {len(new)} finding(s) "
         f"({len(matched)} baselined, {len(result.suppressed)} suppressed) "
-        f"across {result.files} files"
+        f"across {result.files} files, {result.parsed} parsed"
     )
     return "\n".join(lines)
 
@@ -378,7 +624,7 @@ def _render_json(
 ) -> str:
     return json.dumps(
         {
-            "version": 1,
+            "version": 2,
             "findings": [f.as_dict() for f in new],
             "baselined": [f.as_dict() for f in matched],
             "suppressed": [f.as_dict() for f in result.suppressed],
@@ -387,6 +633,7 @@ def _render_json(
                 {"path": p, "message": m} for p, m in result.errors
             ],
             "files": result.files,
+            "parsed": result.parsed,
         },
         indent=2,
     )
@@ -398,9 +645,12 @@ def _list_rules() -> str:
     lines = []
     for rule in all_rules():
         scope = ", ".join(rule.scope) if rule.scope else "(whole tree)"
+        kind = "local (per-file)" if rule.local else "global (whole-program)"
         lines.append(f"{rule.id}  {rule.title}")
-        lines.append(f"       scope: {scope}")
+        lines.append(f"       scope: {scope}  [{kind}]")
         lines.append(f"       {rule.rationale}")
+        for example_line in rule.example.splitlines():
+            lines.append(f"       e.g. {example_line}")
     return "\n".join(lines)
 
 
@@ -408,7 +658,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Run the linter as a command; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="reprolint",
-        description="AST-based domain linter for the repro codebase.",
+        description="Whole-program domain linter for the repro codebase.",
     )
     parser.add_argument(
         "--repo-root", type=str, default="",
@@ -439,6 +689,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="write current findings to the baseline file and exit 0",
     )
     parser.add_argument(
+        "--sarif", type=str, default="",
+        help="also write findings as SARIF 2.1.0 to this path",
+    )
+    parser.add_argument(
+        "--cache", type=str, default="",
+        help=f"incremental cache file (default: <repo-root>/{CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache for this run",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="machine-readable output",
     )
@@ -464,12 +726,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"reprolint: no such source root: {src_root}", file=sys.stderr)
         return 2
 
+    cache_path: Path | None = None
+    if not args.no_cache:
+        cache_path = (
+            Path(args.cache) if args.cache else repo_root / CACHE_NAME
+        )
+
     try:
         result = run_lint(
             src_root,
             repo_root,
             select=_parse_rule_ids(args.select) or None,
             ignore=_parse_rule_ids(args.ignore) or None,
+            cache_path=cache_path,
         )
     except ValueError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
@@ -497,6 +766,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"reprolint: {exc}", file=sys.stderr)
             return 2
     new, matched, stale = result.partition(baseline)
+
+    if args.sarif:
+        from .rules import all_rules
+        from .sarif import render_sarif
+
+        Path(args.sarif).write_text(
+            render_sarif(
+                new=new,
+                baselined=matched,
+                suppressed=result.suppressed,
+                rules=all_rules(),
+            ),
+            encoding="utf-8",
+        )
 
     render = _render_json if args.json else _render_human
     print(render(new, matched, stale, result))

@@ -1,47 +1,70 @@
-"""The reprolint rule registry: six domain rules for the RTR stack.
+"""The reprolint rule registry: nine domain rules for the RTR stack.
 
 Each rule is a class with an ``id`` (``RL001``..), a ``scope`` (path
-prefixes under the scanned source root; empty means the whole tree),
-and three hooks the engine calls: ``begin(project)`` once,
-``check_module(mod, project)`` per file in scope, and
-``finalize(project)`` once at the end (for cross-file rules).
+prefixes under the scanned source root; empty means the whole tree)
+and a ``local`` flag that picks its engine hook:
+
+* **local rules** (``local = True``) see one parsed file at a time via
+  ``check_module(mod, program)`` — their findings are a pure function
+  of that file's bytes, so the incremental cache stores them per file;
+* **global rules** (``local = False``) see the whole program at once
+  via ``check_program(program)`` — the symbol table, call graph and
+  taint analyses of :mod:`reprolint.callgraph` / :mod:`reprolint.taint`
+  are available, and their findings are cached behind a whole-tree
+  fingerprint.
 
 The rules encode the contracts the reproduction's claims rest on:
 
 * **RL001 determinism** — simulation/model/runtime code must not read
-  wall clocks or unseeded RNGs; randomness flows through
-  ``resolve_rng`` and wall time through the injectable
-  ``Watchdog.clock`` (passing ``time.monotonic`` *as a value* is fine;
-  *calling* it in sim code is not).
+  wall clocks or unseeded RNGs, *directly or through any helper it
+  calls*; randomness flows through ``resolve_rng`` and wall time
+  through the injectable ``Watchdog.clock``.
 * **RL002 float-equality** — model/analysis code must not compare
-  float-valued expressions with ``==``/``!=``; use ``math.isclose`` or
-  a pinned tolerance.  (Integer-literal sentinel checks like
-  ``cv == 0`` are exact by construction and allowed.)
-* **RL003 fork-safety** — a ``Process(target=...)`` fork worker must
-  not mutate module-level state: after ``fork`` such writes land in the
-  child's copy-on-write pages, invisible to the parent and sibling
-  shards — exactly the hazard that would silently break
-  serial-vs-parallel byte-identity.
+  float-valued expressions with ``==``/``!=``; every comparand pair of
+  a chained comparison is checked, and walrus bindings are seen
+  through.
+* **RL003 fork-safety** — nothing reachable from a
+  ``Process(target=...)`` fork worker may mutate module-level state:
+  after ``fork`` such writes land in the child's copy-on-write pages,
+  invisible to the parent and sibling shards.
 * **RL004 metrics-catalog conformance** — every ``counter``/``gauge``/
   ``histogram`` name literal must be declared in
   ``repro.obs.metrics.CATALOG``, and every catalog entry must be
   emitted somewhere.
 * **RL005 journal-bypass** — nothing outside ``runtime/journal.py``
-  may open a ``journal*.jsonl`` path for writing; the append-only
-  contract (one fsynced line per point, torn-tail clipping) only holds
-  if every byte goes through :class:`repro.runtime.journal.RunJournal`.
+  may open a ``journal*.jsonl`` path for writing.
 * **RL006 invariant-registry drift** — the invariant names registered
   in ``runtime/invariants.py`` and the table in ``docs/MODEL.md`` must
   stay in bijection.
+* **RL007 audit-coverage** — every public entry point that returns or
+  constructs a ``RunResult`` must reach an ``audit_*`` invariant check
+  on every non-exception path (directly or through a guaranteed call
+  into an audited runner).
+* **RL008 CLI-surface conformance** — every ``repro`` verb is
+  registered, documented in README/docs and referenced by at least one
+  test; docs may not advertise verbs that do not exist.
+* **RL009 frozen-config mutation** — no attribute writes on frozen
+  spec dataclass instances outside their constructors; derive new
+  configurations with ``dataclasses.replace``.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
-from .engine import Finding, Project, SourceModule
+from .callgraph import FnNode
+from .symbols import BANNED_CLOCKS, dotted_name, receiver_root
+from .taint import (
+    closure_chain,
+    determinism_taint,
+    fork_closures,
+    taint_chain,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard
+    from .engine import Finding, Project, SourceModule
 
 __all__ = [
     "RULES",
@@ -52,56 +75,17 @@ __all__ = [
     "MetricsCatalogRule",
     "JournalBypassRule",
     "InvariantDriftRule",
+    "AuditCoverageRule",
+    "CliConformanceRule",
+    "FrozenMutationRule",
     "all_rules",
     "dotted_name",
     "receiver_root",
 ]
 
 
-def dotted_name(node: ast.AST) -> str | None:
-    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def receiver_root(node: ast.AST) -> str | None:
-    """The root Name of an attribute/subscript/call chain, else None."""
-    while True:
-        if isinstance(node, (ast.Attribute, ast.Subscript)):
-            node = node.value
-        elif isinstance(node, ast.Call):
-            node = node.func
-        else:
-            break
-    return node.id if isinstance(node, ast.Name) else None
-
-
-def _import_table(tree: ast.Module) -> dict[str, str]:
-    """Local name -> fully dotted origin for every module-level import."""
-    table: dict[str, str] = {}
-    for node in tree.body:
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.asname:
-                    table[alias.asname] = alias.name
-                else:
-                    top = alias.name.split(".")[0]
-                    table[top] = top
-        elif isinstance(node, ast.ImportFrom) and node.module:
-            for alias in node.names:
-                local = alias.asname or alias.name
-                table[local] = f"{node.module}.{alias.name}"
-    return table
-
-
 class Rule:
-    """Base rule: metadata plus the three engine hooks."""
+    """Base rule: metadata plus the two engine hooks."""
 
     id = "RL000"
     title = ""
@@ -110,22 +94,22 @@ class Rule:
     #: path prefixes (relative to the scanned source root) this rule
     #: applies to; empty tuple means every file
     scope: tuple[str, ...] = ()
+    #: True for per-file AST rules (cacheable per file), False for
+    #: whole-program rules (cacheable per tree fingerprint)
+    local = False
 
-    def applies(self, mod: SourceModule) -> bool:
-        """Whether ``mod`` is inside this rule's scope."""
+    def applies(self, mod: Any) -> bool:
+        """Whether a module (anything with ``src_rel``) is in scope."""
         return not self.scope or mod.src_rel.startswith(self.scope)
 
-    def begin(self, project: Project) -> None:
-        """Reset per-run state (called once before any module)."""
-
     def check_module(
-        self, mod: SourceModule, project: Project
-    ) -> Iterable[Finding]:
-        """Per-file findings."""
+        self, mod: "SourceModule", program: "Project"
+    ) -> Iterable["Finding"]:
+        """Per-file findings (local rules only)."""
         return ()
 
-    def finalize(self, project: Project) -> Iterable[Finding]:
-        """Cross-file findings, after every module was checked."""
+    def check_program(self, program: "Project") -> Iterable["Finding"]:
+        """Whole-program findings (global rules only)."""
         return ()
 
 
@@ -133,7 +117,7 @@ class Rule:
 
 
 class DeterminismRule(Rule):
-    """No wall clocks or unseeded RNGs in deterministic code."""
+    """No wall clocks or unseeded RNGs reachable from deterministic code."""
 
     id = "RL001"
     title = "determinism: no wall-clock or unseeded-RNG calls"
@@ -141,7 +125,7 @@ class DeterminismRule(Rule):
         "sim/, rtr/, model/, runtime/, service/, chaos/ and power/ "
         "must be bit-reproducible; wall time is injected via "
         "Watchdog.clock and randomness via resolve_rng, never read "
-        "ambiently"
+        "ambiently — not even through a helper two calls away"
     )
     example = "t0 = time.time()   # RL001: inject a clock instead"
     scope = (
@@ -150,28 +134,9 @@ class DeterminismRule(Rule):
     )
 
     #: fully resolved call targets that read the wall clock
-    BANNED_CLOCKS = frozenset(
-        {
-            "time.time",
-            "time.time_ns",
-            "time.clock",
-            "time.perf_counter",
-            "time.perf_counter_ns",
-            "datetime.datetime.now",
-            "datetime.datetime.utcnow",
-            "datetime.datetime.today",
-            "datetime.date.today",
-        }
-    )
+    BANNED_CLOCKS = BANNED_CLOCKS
 
-    def _resolve(self, dotted: str, imports: dict[str, str]) -> str:
-        root, _, rest = dotted.partition(".")
-        origin = imports.get(root)
-        if origin is None:
-            return dotted
-        return f"{origin}.{rest}" if rest else origin
-
-    def _banned(self, resolved: str) -> str | None:
+    def _message(self, resolved: str) -> str:
         if resolved in self.BANNED_CLOCKS:
             return (
                 f"wall-clock call {resolved}() in deterministic code; "
@@ -182,38 +147,63 @@ class DeterminismRule(Rule):
                 f"stdlib RNG call {resolved}() in deterministic code; "
                 "route randomness through resolve_rng"
             )
-        if resolved.startswith("numpy.random.") or resolved.startswith(
-            "np.random."
-        ):
-            return (
-                f"direct numpy RNG construction {resolved}() outside "
-                "resolve_rng; pass a seed or Generator through "
-                "resolve_rng instead"
-            )
-        return None
+        return (
+            f"direct numpy RNG construction {resolved}() outside "
+            "resolve_rng; pass a seed or Generator through "
+            "resolve_rng instead"
+        )
 
-    def check_module(
-        self, mod: SourceModule, project: Project
-    ) -> Iterator[Finding]:
-        imports = _import_table(mod.tree)
+    def check_program(self, program: "Project") -> Iterator["Finding"]:
+        symbols = program.symbols
+        graph = program.graph
 
-        def visit(node: ast.AST, in_resolve_rng: bool) -> Iterator[Finding]:
-            if isinstance(
-                node, (ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
-                in_resolve_rng = in_resolve_rng or (
-                    node.name == "resolve_rng"
-                )
-            if isinstance(node, ast.Call) and not in_resolve_rng:
-                dotted = dotted_name(node.func)
-                if dotted is not None:
-                    message = self._banned(self._resolve(dotted, imports))
-                    if message is not None:
-                        yield mod.finding(self.id, node, message)
-            for child in ast.iter_child_nodes(node):
-                yield from visit(child, in_resolve_rng)
+        def scoped(src_rel: str) -> bool:
+            return src_rel.startswith(self.scope)
 
-        yield from visit(mod.tree, False)
+        # direct sinks in scoped files (the per-file rule of PR 5)
+        for mod in symbols.modules:
+            if not scoped(mod.src_rel):
+                continue
+            for fn in mod.functions.values():
+                for sink in fn.sinks:
+                    if sink.exempt:
+                        continue
+                    yield program.finding(
+                        mod, self.id, sink.line,
+                        self._message(sink.resolved),
+                    )
+
+        # call sites in scoped files whose (out-of-scope) target
+        # transitively reaches a sink — invisible to a per-file pass
+        tainted = determinism_taint(symbols, graph, scoped)
+        seen: set[tuple[str, int, FnNode]] = set()
+        for mod in symbols.modules:
+            if not scoped(mod.src_rel):
+                continue
+            for fn in mod.functions.values():
+                for call in fn.calls:
+                    for target in graph.resolve(mod, fn, call):
+                        info = tainted.get(target)
+                        if info is None:
+                            continue
+                        tmod = symbols.module_of(target)
+                        if tmod is None or scoped(tmod.src_rel):
+                            # in-scope targets are flagged at their
+                            # own sink line, not at every call site
+                            continue
+                        key = (mod.rel, call.line, target)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        chain = taint_chain(symbols, tainted, target)
+                        yield program.finding(
+                            mod, self.id, call.line,
+                            f"call to {symbols.display(target)}() in "
+                            "deterministic code transitively reaches "
+                            f"{info.sink}() ({chain}); inject a clock "
+                            "or route randomness through resolve_rng "
+                            "at the call boundary",
+                        )
 
 
 # -- RL002 -----------------------------------------------------------------
@@ -233,6 +223,7 @@ class FloatEqualityRule(Rule):
     )
     example = "if speedup == t_frtr / t_prtr:   # RL002: use math.isclose"
     scope = ("model/", "analysis/")
+    local = True
 
     _FLOAT_CALLS = ("float",)
     _MATH_EXACT = frozenset(
@@ -255,6 +246,9 @@ class FloatEqualityRule(Rule):
     def _floaty(self, node: ast.AST) -> bool:
         if isinstance(node, ast.Constant):
             return isinstance(node.value, float)
+        if isinstance(node, ast.NamedExpr):
+            # (x := t / n) == y compares the bound float value
+            return self._floaty(node.value)
         if isinstance(node, ast.UnaryOp):
             return self._floaty(node.operand)
         if isinstance(node, ast.BinOp):
@@ -274,30 +268,34 @@ class FloatEqualityRule(Rule):
         return False
 
     def check_module(
-        self, mod: SourceModule, project: Project
-    ) -> Iterator[Finding]:
+        self, mod: "SourceModule", program: "Project"
+    ) -> Iterator["Finding"]:
         for node in ast.walk(mod.tree):
             if not isinstance(node, ast.Compare):
                 continue
-            if not any(
-                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
-            ):
-                continue
+            # chained comparisons are checked pairwise: in
+            # `a == b < c / 2.0` only the (a, b) pair uses ==, so the
+            # float-valued (b, c/2.0) pair must not trip the rule —
+            # and `x < y == t / n` must (the == pair is float-valued)
             sides = [node.left, *node.comparators]
-            if any(self._floaty(side) for side in sides):
-                yield mod.finding(
-                    self.id,
-                    node,
-                    "float-valued expression compared with ==/!=; use "
-                    "math.isclose(...) or a pinned tolerance",
-                )
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._floaty(sides[i]) or self._floaty(sides[i + 1]):
+                    yield mod.finding(
+                        self.id,
+                        node,
+                        "float-valued expression compared with ==/!=; "
+                        "use math.isclose(...) or a pinned tolerance",
+                    )
+                    break
 
 
 # -- RL003 -----------------------------------------------------------------
 
 
 class ForkSafetyRule(Rule):
-    """Fork workers must not mutate module-level state."""
+    """Nothing reachable from a fork worker mutates module state."""
 
     id = "RL003"
     title = "fork-safety: no module-state mutation in fork workers"
@@ -305,214 +303,68 @@ class ForkSafetyRule(Rule):
         "after fork, writes to module globals land in the child's "
         "copy-on-write pages — invisible to the parent and sibling "
         "shards, so results silently diverge from the serial walk; "
-        "workers communicate only via their segment journal and the "
-        "status queue"
+        "the whole-program pass follows the worker's call graph, so a "
+        "mutation three helpers deep is as visible as one in the body"
     )
     example = "def worker(shard):\n    CACHE[shard] = ...   # RL003"
 
-    #: method names that mutate their receiver in this codebase
-    MUTATORS = frozenset(
-        {
-            "append",
-            "extend",
-            "insert",
-            "add",
-            "update",
-            "setdefault",
-            "pop",
-            "popitem",
-            "clear",
-            "remove",
-            "discard",
-            "sort",
-            "reverse",
-            "reset",
-            "inc",
-            "dec",
-            "set",
-            "observe",
-            "record",
-        }
-    )
-    _MUTABLE_VALUES = (
-        ast.List,
-        ast.Dict,
-        ast.Set,
-        ast.ListComp,
-        ast.DictComp,
-        ast.SetComp,
-        ast.Call,
-    )
-
-    def _module_state(self, tree: ast.Module) -> set[str]:
-        """Module-level names bound to (potentially) mutable objects."""
-        names: set[str] = set()
-        for node in tree.body:
-            targets: list[ast.expr] = []
-            if isinstance(node, ast.Assign):
-                targets = node.targets
-                value = node.value
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                targets = [node.target]
-                value = node.value
-            else:
-                continue
-            if not isinstance(value, self._MUTABLE_VALUES):
-                continue
-            for target in targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
-        return names
-
-    def _worker_defs(self, tree: ast.Module) -> list[ast.FunctionDef]:
-        """Functions passed as ``target=`` to a ``*Process(...)`` call."""
-        worker_names: set[str] = set()
-        for node in ast.walk(tree):
-            if not isinstance(node, ast.Call):
-                continue
-            dotted = dotted_name(node.func) or ""
-            if not dotted.split(".")[-1].endswith("Process"):
-                continue
-            for kw in node.keywords:
-                if kw.arg == "target" and isinstance(kw.value, ast.Name):
-                    worker_names.add(kw.value.id)
-        return [
-            node
-            for node in ast.walk(tree)
-            if isinstance(node, ast.FunctionDef)
-            and node.name in worker_names
-        ]
+    def check_program(self, program: "Project") -> Iterator["Finding"]:
+        symbols = program.symbols
+        graph = program.graph
+        emitted: set[tuple[str, int, str, str]] = set()
+        for closure in fork_closures(symbols, graph):
+            worker = closure.worker_name
+            for node in closure.parents:
+                fn = symbols.function(node)
+                mod = symbols.module_of(node)
+                if fn is None or mod is None:
+                    continue
+                direct = node == closure.worker
+                chain = (
+                    "" if direct
+                    else closure_chain(symbols, closure, node)
+                )
+                for mut in fn.mutations:
+                    key = (mod.rel, mut.line, mut.kind, mut.root)
+                    if key in emitted:
+                        continue
+                    emitted.add(key)
+                    yield program.finding(
+                        mod, self.id, mut.line,
+                        self._message(mut, fn.name, worker, chain),
+                    )
 
     @staticmethod
-    def _binding_names(target: ast.expr) -> Iterator[str]:
-        """Names a target expression *binds* (``x[i] = ..`` binds none)."""
-        if isinstance(target, ast.Name):
-            yield target.id
-        elif isinstance(target, (ast.Tuple, ast.List)):
-            for elt in target.elts:
-                yield from ForkSafetyRule._binding_names(elt)
-        elif isinstance(target, ast.Starred):
-            yield from ForkSafetyRule._binding_names(target.value)
-
-    @classmethod
-    def _locals_of(cls, fn: ast.FunctionDef) -> set[str]:
-        """Names bound inside the worker (params, assigns, loops, ...)."""
-        bound: set[str] = set()
-        args = fn.args
-        for arg in (
-            *args.posonlyargs, *args.args, *args.kwonlyargs,
-        ):
-            bound.add(arg.arg)
-        if args.vararg:
-            bound.add(args.vararg.arg)
-        if args.kwarg:
-            bound.add(args.kwarg.arg)
-        for node in ast.walk(fn):
-            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-                targets = (
-                    node.targets
-                    if isinstance(node, ast.Assign)
-                    else [node.target]
-                )
-                for target in targets:
-                    bound.update(cls._binding_names(target))
-            elif isinstance(node, (ast.For, ast.comprehension)):
-                bound.update(cls._binding_names(node.target))
-            elif isinstance(node, ast.withitem) and node.optional_vars:
-                bound.update(cls._binding_names(node.optional_vars))
-            elif isinstance(node, ast.ExceptHandler) and node.name:
-                bound.add(node.name)
-            elif isinstance(node, ast.NamedExpr):
-                if isinstance(node.target, ast.Name):
-                    bound.add(node.target.id)
-            elif isinstance(
-                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
-            ) and node is not fn:
-                bound.add(node.name)
-        for node in ast.walk(fn):
-            if isinstance(node, ast.Global):
-                bound.difference_update(node.names)
-        return bound
-
-    def check_module(
-        self, mod: SourceModule, project: Project
-    ) -> Iterator[Finding]:
-        workers = self._worker_defs(mod.tree)
-        if not workers:
-            return
-        module_state = self._module_state(mod.tree)
-        module_state.update(_import_table(mod.tree))
-
-        for fn in workers:
-            local = self._locals_of(fn)
-
-            def shared(root: str | None) -> bool:
-                return (
-                    root is not None
-                    and root not in local
-                    and root in module_state
-                )
-
-            for node in ast.walk(fn):
-                if isinstance(node, ast.Global):
-                    yield mod.finding(
-                        self.id,
-                        node,
-                        f"`global {', '.join(node.names)}` inside fork "
-                        f"worker {fn.name!r}: rebinding module state in "
-                        "a forked child never reaches the parent or "
-                        "sibling shards",
-                    )
-                elif isinstance(
-                    node, (ast.Assign, ast.AugAssign, ast.AnnAssign)
-                ):
-                    targets = (
-                        node.targets
-                        if isinstance(node, ast.Assign)
-                        else [node.target]
-                    )
-                    for target in targets:
-                        if isinstance(
-                            target, (ast.Attribute, ast.Subscript)
-                        ) and shared(receiver_root(target)):
-                            yield mod.finding(
-                                self.id,
-                                node,
-                                f"assignment to module-level state "
-                                f"{receiver_root(target)!r} inside fork "
-                                f"worker {fn.name!r}: the write is "
-                                "private to the forked child "
-                                "(copy-on-write) and breaks "
-                                "serial-vs-parallel identity",
-                            )
-                elif isinstance(node, ast.Delete):
-                    for target in node.targets:
-                        if isinstance(
-                            target, (ast.Attribute, ast.Subscript)
-                        ) and shared(receiver_root(target)):
-                            yield mod.finding(
-                                self.id,
-                                node,
-                                f"deletion from module-level state "
-                                f"{receiver_root(target)!r} inside fork "
-                                f"worker {fn.name!r}",
-                            )
-                elif isinstance(node, ast.Call) and isinstance(
-                    node.func, ast.Attribute
-                ):
-                    if node.func.attr in self.MUTATORS and shared(
-                        receiver_root(node.func.value)
-                    ):
-                        yield mod.finding(
-                            self.id,
-                            node,
-                            f"mutating call .{node.func.attr}() on "
-                            f"module-level state "
-                            f"{receiver_root(node.func.value)!r} inside "
-                            f"fork worker {fn.name!r}: the mutation is "
-                            "private to the forked child and invisible "
-                            "to the parent and sibling shards",
-                        )
+    def _message(mut: Any, fn_name: str, worker: str, chain: str) -> str:
+        """Finding text; the direct form matches the PR 5 rule."""
+        if chain:
+            where = (
+                f"inside {fn_name!r}, reached from fork worker "
+                f"{worker!r} ({chain})"
+            )
+        else:
+            where = f"inside fork worker {worker!r}"
+        if mut.kind == "global":
+            return (
+                f"`global {mut.detail}` {where}: rebinding module "
+                "state in a forked child never reaches the parent or "
+                "sibling shards"
+            )
+        if mut.kind == "assign":
+            return (
+                f"assignment to module-level state {mut.root!r} "
+                f"{where}: the write is private to the forked child "
+                "(copy-on-write) and breaks serial-vs-parallel "
+                "identity"
+            )
+        if mut.kind == "delete":
+            return f"deletion from module-level state {mut.root!r} {where}"
+        return (
+            f"mutating call .{mut.detail}() on module-level state "
+            f"{mut.root!r} {where}: the mutation is private to the "
+            "forked child and invisible to the parent and sibling "
+            "shards"
+        )
 
 
 # -- RL004 -----------------------------------------------------------------
@@ -531,71 +383,33 @@ class MetricsCatalogRule(Rule):
     example = 'obsm.counter("repro_typo_total").inc()   # RL004'
 
     CATALOG_MODULE = "obs/metrics.py"
-    FACTORIES = frozenset({"counter", "gauge", "histogram"})
 
-    def begin(self, project: Project) -> None:
-        self._catalog: dict[str, int] | None = None
-        self._referenced: set[str] = set()
-        mod = project.module(self.CATALOG_MODULE)
-        if mod is None:
+    def check_program(self, program: "Project") -> Iterator["Finding"]:
+        catalog_mod = program.module(self.CATALOG_MODULE)
+        if catalog_mod is None or not catalog_mod.metric_specs:
             return
-        catalog: dict[str, int] = {}
-        for node in ast.walk(mod.tree):
-            if (
-                isinstance(node, ast.Call)
-                and dotted_name(node.func) == "MetricSpec"
-                and node.args
-                and isinstance(node.args[0], ast.Constant)
-                and isinstance(node.args[0].value, str)
-            ):
-                catalog[node.args[0].value] = node.lineno
-        if catalog:
-            self._catalog = catalog
-
-    def check_module(
-        self, mod: SourceModule, project: Project
-    ) -> Iterator[Finding]:
-        if self._catalog is None or mod.src_rel == self.CATALOG_MODULE:
-            return
-        for node in ast.walk(mod.tree):
-            if not isinstance(node, ast.Call):
+        catalog = {
+            spec.value: spec.line for spec in catalog_mod.metric_specs
+        }
+        referenced: set[str] = set()
+        for mod in program.modules:
+            if mod.src_rel == self.CATALOG_MODULE:
                 continue
-            func = node.func
-            name = (
-                func.attr
-                if isinstance(func, ast.Attribute)
-                else func.id if isinstance(func, ast.Name) else None
-            )
-            if name not in self.FACTORIES:
-                continue
-            if not (
-                node.args
-                and isinstance(node.args[0], ast.Constant)
-                and isinstance(node.args[0].value, str)
-            ):
-                continue
-            metric = node.args[0].value
-            if metric in self._catalog:
-                self._referenced.add(metric)
-            else:
-                yield mod.finding(
-                    self.id,
-                    node,
-                    f"metric name {metric!r} is not declared in "
-                    "repro.obs.metrics.CATALOG (closed catalog: add a "
-                    "MetricSpec and a docs/OBSERVABILITY.md row)",
-                )
-
-    def finalize(self, project: Project) -> Iterator[Finding]:
-        if self._catalog is None:
-            return
-        mod = project.module(self.CATALOG_MODULE)
-        assert mod is not None
-        for metric, line in sorted(self._catalog.items()):
-            if metric not in self._referenced:
-                yield mod.finding(
-                    self.id,
-                    line,
+            for use in mod.metric_uses:
+                if use.value in catalog:
+                    referenced.add(use.value)
+                else:
+                    yield program.finding(
+                        mod, self.id, use.line,
+                        f"metric name {use.value!r} is not declared in "
+                        "repro.obs.metrics.CATALOG (closed catalog: "
+                        "add a MetricSpec and a docs/OBSERVABILITY.md "
+                        "row)",
+                    )
+        for metric, line in sorted(catalog.items()):
+            if metric not in referenced:
+                yield program.finding(
+                    catalog_mod, self.id, line,
                     f"catalog entry {metric!r} is never emitted by any "
                     "scanned module; drop the MetricSpec or instrument "
                     "the source it documents",
@@ -617,6 +431,7 @@ class JournalBypassRule(Rule):
         "repro.runtime.journal.RunJournal"
     )
     example = 'open(f"{d}/journal.jsonl", "a")   # RL005: use RunJournal'
+    local = True
 
     OWNER_MODULE = "runtime/journal.py"
     _JOURNAL_RE = re.compile(r"journal[-\w.{}]*\.jsonl")
@@ -659,8 +474,8 @@ class JournalBypassRule(Rule):
         return True  # dynamic mode on a journal path: assume the worst
 
     def check_module(
-        self, mod: SourceModule, project: Project
-    ) -> Iterator[Finding]:
+        self, mod: "SourceModule", program: "Project"
+    ) -> Iterator["Finding"]:
         if mod.src_rel == self.OWNER_MODULE:
             return
         for node in ast.walk(mod.tree):
@@ -709,32 +524,8 @@ class InvariantDriftRule(Rule):
     _HEADER_RE = re.compile(r"^\|\s*invariant\s*\|", re.IGNORECASE)
     _ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
 
-    def _registry(
-        self, project: Project
-    ) -> tuple[SourceModule, dict[str, int]] | None:
-        mod = project.module(self.REGISTRY_MODULE)
-        if mod is None:
-            return None
-        for node in ast.walk(mod.tree):
-            if (
-                isinstance(node, ast.Assign)
-                and any(
-                    isinstance(t, ast.Name) and t.id == "INVARIANTS"
-                    for t in node.targets
-                )
-                and isinstance(node.value, ast.Dict)
-            ):
-                names = {
-                    key.value: key.lineno
-                    for key in node.value.keys
-                    if isinstance(key, ast.Constant)
-                    and isinstance(key.value, str)
-                }
-                return mod, names
-        return None
-
-    def _doc_rows(self, project: Project) -> dict[str, int] | None:
-        path = project.doc_path(self.DOC)
+    def _doc_rows(self, program: "Project") -> dict[str, int] | None:
+        path = program.doc_path(self.DOC)
         if not path.exists():
             return None
         rows: dict[str, int] = {}
@@ -756,21 +547,22 @@ class InvariantDriftRule(Rule):
                 rows[match.group(1)] = lineno
         return rows if rows else None
 
-    def finalize(self, project: Project) -> Iterator[Finding]:
-        registry = self._registry(project)
-        rows = self._doc_rows(project)
-        if registry is None or rows is None:
+    def check_program(self, program: "Project") -> Iterator["Finding"]:
+        mod = program.module(self.REGISTRY_MODULE)
+        rows = self._doc_rows(program)
+        if mod is None or not mod.invariant_keys or rows is None:
             return
-        mod, names = registry
+        names = {key.value: key.line for key in mod.invariant_keys}
         for name, line in sorted(names.items()):
             if name not in rows:
-                yield mod.finding(
-                    self.id,
-                    line,
+                yield program.finding(
+                    mod, self.id, line,
                     f"invariant {name!r} is registered but missing from "
                     f"the {self.DOC} invariant table",
                 )
-        doc_rel = project.doc_rel(self.DOC)
+        from .engine import Finding
+
+        doc_rel = program.doc_rel(self.DOC)
         for name, line in sorted(rows.items()):
             if name not in names:
                 yield Finding(
@@ -786,6 +578,272 @@ class InvariantDriftRule(Rule):
                 )
 
 
+# -- RL007 -----------------------------------------------------------------
+
+
+class AuditCoverageRule(Rule):
+    """Public RunResult producers must reach an ``audit_*`` check."""
+
+    id = "RL007"
+    title = "audit-coverage: RunResult producers reach an invariant audit"
+    rationale = (
+        "a RunResult that escapes without audit_and_record (or another "
+        "audit_* check) on every non-exception path is an unverified "
+        "claim — the invariant registry only defends results that flow "
+        "through it; delegating to an audited runner counts because "
+        "the analysis follows guaranteed calls through the call graph"
+    )
+    example = (
+        "def run_variant(trace) -> RunResult:\n"
+        "    return _collect(trace)   # RL007: no audit on this path"
+    )
+
+    RESULT_CLASS = "RunResult"
+    AUDITOR_MODULE = "runtime/invariants.py"
+    AUDIT_PREFIX = "audit"
+
+    def _auditor_nodes(self, program: "Project") -> set[FnNode]:
+        nodes: set[FnNode] = set()
+        for mod in program.modules:
+            if not self._is_auditor_module(mod.src_rel):
+                continue
+            for qual, fn in mod.functions.items():
+                if fn.name.startswith(self.AUDIT_PREFIX):
+                    nodes.add(FnNode(mod.src_rel, qual))
+        return nodes
+
+    def _is_auditor_module(self, src_rel: str) -> bool:
+        return src_rel == self.AUDITOR_MODULE or src_rel.endswith(
+            "/" + self.AUDITOR_MODULE
+        )
+
+    def _produces_result(
+        self, program: "Project", mod: Any, fn: Any, owners: set[str]
+    ) -> bool:
+        """Whether ``fn`` returns or constructs the result class."""
+        symbols = program.symbols
+        candidates = []
+        if fn.returns and fn.returns.split(".")[-1] == self.RESULT_CLASS:
+            candidates.append(fn.returns)
+        for call in fn.calls:
+            if (
+                call.kind == "name"
+                and call.target.split(".")[-1] == self.RESULT_CLASS
+            ):
+                candidates.append(call.target)
+        for raw in candidates:
+            resolved = symbols.resolve_class(mod, raw)
+            if (
+                resolved is not None
+                and resolved[1].name == self.RESULT_CLASS
+                and resolved[0].src_rel in owners
+            ):
+                return True
+        return False
+
+    def check_program(self, program: "Project") -> Iterator["Finding"]:
+        symbols = program.symbols
+        graph = program.graph
+        owners = {
+            mod.src_rel
+            for mod in program.modules
+            if self.RESULT_CLASS in mod.classes
+        }
+        auditors = self._auditor_nodes(program)
+        if not owners or not auditors:
+            return
+
+        # "audits" fixed point over *guaranteed* call edges: a
+        # function audits iff it always-calls an auditor or another
+        # auditing function on every non-exception path
+        always: dict[FnNode, list[FnNode]] = {}
+        for caller, out in graph.edges.items():
+            targets = [callee for callee, fact in out if fact.always]
+            if targets:
+                always[caller] = targets
+        audits = set(auditors)
+        changed = True
+        while changed:
+            changed = False
+            for caller, targets in always.items():
+                if caller not in audits and any(
+                    t in audits for t in targets
+                ):
+                    audits.add(caller)
+                    changed = True
+
+        for mod in program.modules:
+            if mod.src_rel in owners or self._is_auditor_module(
+                mod.src_rel
+            ):
+                continue
+            for fn in mod.functions.values():
+                if not fn.public:
+                    continue
+                if not self._produces_result(program, mod, fn, owners):
+                    continue
+                if FnNode(mod.src_rel, fn.qual) in audits:
+                    continue
+                yield program.finding(
+                    mod, self.id, fn.line,
+                    f"public entry point {fn.qual!r} returns/constructs "
+                    f"{self.RESULT_CLASS} but no audit_* invariant "
+                    "check is guaranteed on its non-exception paths; "
+                    "call audit_and_record(result) (or delegate to an "
+                    "audited runner) before returning",
+                )
+
+
+# -- RL008 -----------------------------------------------------------------
+
+
+class CliConformanceRule(Rule):
+    """CLI verbs, their docs and their tests stay in agreement."""
+
+    id = "RL008"
+    title = "cli-surface: every repro verb is registered, documented, tested"
+    rationale = (
+        "the _COMMANDS dispatch table is the CLI's public surface: a "
+        "verb without an add_parser registration crashes at dispatch, "
+        "an undocumented verb is invisible to users, an untested verb "
+        "regresses silently, and a doc mention of a removed verb is a "
+        "broken promise — all four directions are checked"
+    )
+    example = (
+        '"fig12": _cmd_fig12,   # RL008 until README and a test know it'
+    )
+
+    _DOC_VERB_RE = re.compile(r"python -m repro ([a-z][a-z0-9-]*)")
+
+    def check_program(self, program: "Project") -> Iterator["Finding"]:
+        cli_mods = [m for m in program.modules if m.command_keys]
+        if not cli_mods:
+            return
+        docs = program.doc_files()
+        tests = program.test_files()
+        doc_blob = "\n".join(text for _, text in docs)
+        test_blob = "\n".join(text for _, text in tests)
+        known: set[str] = set()
+        for mod in cli_mods:
+            verbs: dict[str, int] = {}
+            for fact in mod.command_keys:
+                verbs.setdefault(fact.value, fact.line)
+            known.update(verbs)
+            registered = {fact.value for fact in mod.parser_verbs}
+            if registered:
+                for verb, line in sorted(verbs.items()):
+                    if verb not in registered:
+                        yield program.finding(
+                            mod, self.id, line,
+                            f"CLI verb {verb!r} is dispatched by "
+                            "_COMMANDS but never registered via "
+                            "add_parser(...); it cannot be parsed",
+                        )
+                for fact in mod.parser_verbs:
+                    if fact.value not in verbs:
+                        yield program.finding(
+                            mod, self.id, fact.line,
+                            f"subparser {fact.value!r} is registered "
+                            "but missing from the _COMMANDS dispatch "
+                            "table; parsing it crashes at dispatch",
+                        )
+            if docs:
+                for verb, line in sorted(verbs.items()):
+                    pattern = (
+                        rf"(?<![\w-]){re.escape(verb)}(?![\w-])"
+                    )
+                    if not re.search(pattern, doc_blob):
+                        yield program.finding(
+                            mod, self.id, line,
+                            f"CLI verb {verb!r} is undocumented: no "
+                            "mention in README.md or docs/*.md",
+                        )
+            if tests:
+                for verb, line in sorted(verbs.items()):
+                    if (
+                        f'"{verb}"' not in test_blob
+                        and f"'{verb}'" not in test_blob
+                    ):
+                        yield program.finding(
+                            mod, self.id, line,
+                            f"CLI verb {verb!r} is untested: no tests/ "
+                            "file references it as a string literal",
+                        )
+        if not known:
+            return
+        from .engine import Finding
+
+        for rel, text in docs:
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                for match in self._DOC_VERB_RE.finditer(line):
+                    verb = match.group(1)
+                    if verb not in known:
+                        yield Finding(
+                            rule=self.id,
+                            path=rel,
+                            line=lineno,
+                            message=(
+                                f"documentation advertises repro verb "
+                                f"{verb!r} which is not in the "
+                                "_COMMANDS dispatch table"
+                            ),
+                            context=verb,
+                        )
+
+
+# -- RL009 -----------------------------------------------------------------
+
+
+class FrozenMutationRule(Rule):
+    """No attribute writes on frozen spec dataclasses post-construction."""
+
+    id = "RL009"
+    title = "frozen-config: no attribute writes on frozen spec instances"
+    rationale = (
+        "experiment specs are @dataclass(frozen=True) so a run's "
+        "configuration is immutable once audited; object.__setattr__ "
+        "is sanctioned only inside __init__/__post_init__/__setstate__ "
+        "and *replace* helpers — anywhere else it silently invalidates "
+        "the recorded configuration (derive a new spec with "
+        "dataclasses.replace instead)"
+    )
+    example = (
+        'object.__setattr__(spec, "n_ops", 2)   # RL009: use replace()'
+    )
+
+    def check_program(self, program: "Project") -> Iterator["Finding"]:
+        symbols = program.symbols
+        for mod in program.modules:
+            for fn in mod.functions.values():
+                for write in fn.frozen_writes:
+                    if write.sanctioned:
+                        continue
+                    resolved = symbols.resolve_class(mod, write.cls)
+                    if resolved is None or not resolved[1].frozen:
+                        continue
+                    cls_name = resolved[1].name
+                    if write.via == "assign":
+                        message = (
+                            f"assignment to {cls_name}.{write.attr} on "
+                            f"a frozen spec instance: {cls_name} is "
+                            "@dataclass(frozen=True); derive a new "
+                            "instance with dataclasses.replace(...) "
+                            "instead"
+                        )
+                    else:
+                        message = (
+                            f"{write.via}(...) writes "
+                            f"{cls_name}.{write.attr} outside a "
+                            f"constructor: {cls_name} is "
+                            "@dataclass(frozen=True) and this bypasses "
+                            "its immutability; derive a new instance "
+                            "with dataclasses.replace(...) instead"
+                        )
+                    yield program.finding(
+                        mod, self.id, write.line, message
+                    )
+
+
 RULES: tuple[type[Rule], ...] = (
     DeterminismRule,
     FloatEqualityRule,
@@ -793,6 +851,9 @@ RULES: tuple[type[Rule], ...] = (
     MetricsCatalogRule,
     JournalBypassRule,
     InvariantDriftRule,
+    AuditCoverageRule,
+    CliConformanceRule,
+    FrozenMutationRule,
 )
 
 

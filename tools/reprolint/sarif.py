@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 export for GitHub code scanning.
+
+Maps a lint run onto the `Static Analysis Results Interchange
+Format <https://docs.oasis-open.org/sarif/sarif/v2.1.0/>`_: one
+``run`` with the reprolint tool descriptor (every registered rule
+becomes a ``reportingDescriptor`` with its title, rationale, and
+example), one ``result`` per finding.  Suppressed and baselined
+findings are included with a populated ``suppressions`` array
+(``inSource`` for ``# reprolint: disable=`` comments, ``external``
+for baseline entries) so code scanning shows them as dismissed
+instead of forgetting they exist.
+
+Only stdlib ``json`` is used; the output is deliberately minimal —
+every emitted property is required or recommended by the 2.1.0
+schema, which keeps the document trivially valid.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Finding
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: Any) -> dict[str, Any]:
+    """One ``reportingDescriptor`` for the tool driver."""
+    return {
+        "id": rule.id,
+        "name": rule.title,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "help": {"text": f"example:\n{rule.example}"},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(
+    finding: "Finding",
+    rule_index: dict[str, int],
+    suppression: str | None,
+) -> dict[str, Any]:
+    """One SARIF ``result`` row for a finding."""
+    row: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index.get(finding.rule, -1),
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "snippet": {"text": finding.context},
+                    },
+                }
+            }
+        ],
+    }
+    if suppression is not None:
+        row["suppressions"] = [{"kind": suppression}]
+    return row
+
+
+def render_sarif(
+    *,
+    new: Sequence["Finding"],
+    baselined: Sequence["Finding"],
+    suppressed: Sequence["Finding"],
+    rules: Sequence[Any],
+) -> str:
+    """Render one lint run as a SARIF 2.1.0 JSON document."""
+    ordered = sorted(rules, key=lambda rule: rule.id)
+    rule_index = {rule.id: i for i, rule in enumerate(ordered)}
+    results: list[dict[str, Any]] = []
+    for finding in new:
+        results.append(_result(finding, rule_index, None))
+    for finding in suppressed:
+        results.append(_result(finding, rule_index, "inSource"))
+    for finding in baselined:
+        results.append(_result(finding, rule_index, "external"))
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": "2.0.0",
+                        "rules": [
+                            _rule_descriptor(rule) for rule in ordered
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"

@@ -1,0 +1,171 @@
+"""Interprocedural taint analyses over the call graph.
+
+Two flow analyses power the upgraded determinism and fork-safety
+rules:
+
+* **determinism taint** (RL001) — a function is *tainted* when it
+  directly performs a wall-clock / unseeded-RNG call, or when any
+  project call it makes reaches such a function.  Taint propagates
+  backwards over call edges, with two sanctioned stops: functions
+  named ``resolve_rng`` (the blessed RNG factory — its sinks are
+  exempt and calling it is the *fix*, not a finding), and sinks that
+  are inline-suppressed inside scoped code (the suppression is the
+  sanction, so callers are not re-flagged).
+* **fork reachability** (RL003) — the closure of every
+  ``Process(target=...)`` worker function: any module-state mutation
+  inside that closure happens after ``fork`` in the child's
+  copy-on-write pages, whether it sits in the worker body (the PR 5
+  rule) or three calls deep (only visible to this whole-program
+  pass).
+
+Both return parent/next-hop pointers so the rules can render the
+offending call chain in the finding message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .callgraph import CallGraph, FnNode, SymbolTable
+from .symbols import SinkFact
+
+__all__ = [
+    "ForkClosure",
+    "TaintInfo",
+    "determinism_taint",
+    "fork_closures",
+]
+
+
+@dataclass
+class TaintInfo:
+    """Why a function is determinism-tainted."""
+
+    sink: str              # resolved sink name, e.g. "time.time"
+    via: FnNode | None     # next hop toward the sink (None = direct)
+
+
+def _is_resolve_rng(node: FnNode) -> bool:
+    """Whether a node is (or is nested in) a ``resolve_rng`` def."""
+    return node.qual.split(".")[-1] == "resolve_rng" or (
+        "resolve_rng." in node.qual
+    )
+
+
+def determinism_taint(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    scoped: Callable[[str], bool],
+) -> dict[FnNode, TaintInfo]:
+    """Backward-propagated wall-clock/RNG taint for every function.
+
+    ``scoped`` maps a ``src_rel`` to whether RL001 already reports
+    direct sinks there; a *suppressed* direct sink in scoped code
+    does not seed taint (the inline suppression sanctions the whole
+    pattern), while sinks in unscoped helper code always do — that
+    is exactly the gap this analysis exists to close.
+    """
+    tainted: dict[FnNode, TaintInfo] = {}
+    frontier: list[FnNode] = []
+    for mod in symbols.modules:
+        in_scope = scoped(mod.src_rel)
+        for fn in mod.functions.values():
+            node = FnNode(mod.src_rel, fn.qual)
+            if _is_resolve_rng(node):
+                continue
+            seed: SinkFact | None = None
+            for sink in fn.sinks:
+                if sink.exempt:
+                    continue
+                if in_scope and mod.suppressed("RL001", sink.line):
+                    continue
+                seed = sink
+                break
+            if seed is not None:
+                tainted[node] = TaintInfo(sink=seed.resolved, via=None)
+                frontier.append(node)
+
+    rev = graph.reverse_edges()
+    while frontier:
+        nxt: list[FnNode] = []
+        for node in frontier:
+            info = tainted[node]
+            for caller in rev.get(node, ()):
+                if caller in tainted or _is_resolve_rng(caller):
+                    continue
+                # a call *into* resolve_rng never propagates taint,
+                # and resolve_rng itself is filtered above; calls out
+                # of it (helpers it uses) may still taint others.
+                tainted[caller] = TaintInfo(sink=info.sink, via=node)
+                nxt.append(caller)
+        frontier = nxt
+    return tainted
+
+
+def taint_chain(
+    symbols: SymbolTable,
+    tainted: dict[FnNode, TaintInfo],
+    node: FnNode,
+    limit: int = 6,
+) -> str:
+    """Render ``a -> b -> time.time()`` for a tainted node."""
+    hops: list[str] = []
+    cursor: FnNode | None = node
+    sink = ""
+    while cursor is not None and len(hops) < limit:
+        info = tainted.get(cursor)
+        if info is None:
+            break
+        hops.append(symbols.display(cursor))
+        sink = info.sink
+        cursor = info.via
+    return " -> ".join(hops + [f"{sink}()"])
+
+
+@dataclass
+class ForkClosure:
+    """One fork worker and everything it can reach."""
+
+    worker: FnNode          # the Process(target=...) function
+    worker_name: str        # its bare name (message text)
+    spawn_line: int         # where the Process(...) call happens
+    spawn_src_rel: str      # module making the spawn
+    parents: dict[FnNode, FnNode | None]  # reachable set w/ parents
+
+
+def fork_closures(
+    symbols: SymbolTable, graph: CallGraph
+) -> list[ForkClosure]:
+    """Resolve every ``Process(target=...)`` worker and its closure."""
+    closures: list[ForkClosure] = []
+    seen: set[tuple[str, FnNode]] = set()
+    for mod in symbols.modules:
+        for raw_name, encl_qual, line in mod.worker_targets:
+            encl = mod.functions.get(encl_qual)
+            if encl is None:
+                continue
+            nodes = graph.resolve_bare_name(mod, encl, raw_name)
+            if not nodes:
+                continue
+            for worker in nodes:
+                key = (mod.src_rel, worker)
+                if key in seen:
+                    continue
+                seen.add(key)
+                closures.append(ForkClosure(
+                    worker=worker,
+                    worker_name=worker.qual.split(".")[-1],
+                    spawn_line=line,
+                    spawn_src_rel=mod.src_rel,
+                    parents=graph.reachable([worker]),
+                ))
+    return closures
+
+
+def closure_chain(
+    symbols: SymbolTable, closure: ForkClosure, node: FnNode
+) -> str:
+    """Render the worker-to-node call chain for a finding message."""
+    path = CallGraph.chain(closure.parents, node)
+    return " -> ".join(symbols.display(hop) for hop in path)
